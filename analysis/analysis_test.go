@@ -1,0 +1,366 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/clarifynet/clarify/bdd"
+	"github.com/clarifynet/clarify/internal/testgen"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/policy"
+	"github.com/clarifynet/clarify/route"
+	"github.com/clarifynet/clarify/symbolic"
+)
+
+// Figure 2(a): the new stanza inserted at the top of ISP_OUT.
+const figure2a = `ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+ip community-list expanded D2 permit _300:3_
+ip prefix-list D3 seq 10 permit 100.0.0.0/16 le 23
+route-map ISP_OUT permit 10
+ match community D2
+ match ip address prefix-list D3
+ set metric 55
+route-map ISP_OUT deny 20
+ match as-path D0
+route-map ISP_OUT deny 30
+ match ip address prefix-list D1
+route-map ISP_OUT permit 40
+ match local-preference 300
+`
+
+// Figure 2(b): the new stanza inserted at the bottom.
+const figure2b = `ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+ip community-list expanded D2 permit _300:3_
+ip prefix-list D3 seq 10 permit 100.0.0.0/16 le 23
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+route-map ISP_OUT permit 40
+ match community D2
+ match ip address prefix-list D3
+ set metric 55
+`
+
+func spacesFor(t *testing.T, texts ...string) (*symbolic.RouteSpace, []*ios.Config) {
+	t.Helper()
+	cfgs := make([]*ios.Config, len(texts))
+	for i, txt := range texts {
+		cfgs[i] = ios.MustParse(txt)
+	}
+	s, err := symbolic.NewRouteSpace(cfgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, cfgs
+}
+
+// TestPaperDifferentialExample reproduces §2.2: comparing top vs bottom
+// insertion yields a differential route that the top placement permits with
+// metric 55 (OPTION 1) and the bottom placement denies (OPTION 2).
+func TestPaperDifferentialExample(t *testing.T) {
+	s, cfgs := spacesFor(t, figure2a, figure2b)
+	diffs, err := CompareRouteMaps(s, cfgs[0], cfgs[0].RouteMaps["ISP_OUT"], cfgs[1], cfgs[1].RouteMaps["ISP_OUT"], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) == 0 {
+		t.Fatal("no differential example found; the paper's example requires one")
+	}
+	// At least one diff must be the paper's shape: permitted with metric 55
+	// by (a), denied by (b).
+	found := false
+	for _, d := range diffs {
+		if d.VerdictA.Permit && !d.VerdictB.Permit && d.VerdictA.Output.MED == 55 {
+			found = true
+			// The differential route must match the new stanza (prefix in
+			// 100.0.0.0/16 le 23 with community 300:3) and an original deny.
+			if !d.Input.HasCommunity(route.MustParseCommunity("300:3")) {
+				t.Errorf("differential route lacks community 300:3: %s", d.Input)
+			}
+			if d.Input.Network.Bits() < 16 || d.Input.Network.Bits() > 23 {
+				t.Errorf("differential route length %d outside [16,23]", d.Input.Network.Bits())
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no OPTION1/OPTION2-shaped diff among %d diffs", len(diffs))
+	}
+}
+
+func TestCompareEqualMapsFindsNothing(t *testing.T) {
+	s, cfgs := spacesFor(t, figure2a, figure2a)
+	eq, err := EquivalentRouteMaps(s, cfgs[0], cfgs[0].RouteMaps["ISP_OUT"], cfgs[1], cfgs[1].RouteMaps["ISP_OUT"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("identical maps reported different")
+	}
+}
+
+// TestQuickCompareSoundness: every reported diff is confirmed by construction;
+// additionally, when CompareRouteMaps reports equivalence, random probing
+// must not find a counterexample.
+func TestQuickCompareSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		cfgA := testgen.Config(rng, "RM", 3)
+		cfgB := testgen.Config(rng, "RM", 3)
+		s, err := symbolic.NewRouteSpace(cfgA, cfgB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rmA, rmB := cfgA.RouteMaps["RM"], cfgB.RouteMaps["RM"]
+		diffs, err := CompareRouteMaps(s, cfgA, rmA, cfgB, rmB, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evA, evB := policy.NewEvaluator(cfgA), policy.NewEvaluator(cfgB)
+		if len(diffs) == 0 {
+			// Equivalent per the analysis: random probes must agree.
+			for i := 0; i < 200; i++ {
+				r := testgen.Route(rng)
+				va, err := evA.EvalRouteMap(rmA, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				vb, err := evB.EvalRouteMap(rmB, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !VerdictsEqual(va, vb) {
+					t.Fatalf("trial %d: claimed equivalent, but %s differs\nA:\n%s\nB:\n%s",
+						trial, r.Network, cfgA.Print(), cfgB.Print())
+				}
+			}
+		}
+		for _, d := range diffs {
+			va, _ := evA.EvalRouteMap(rmA, d.Input)
+			vb, _ := evB.EvalRouteMap(rmB, d.Input)
+			if VerdictsEqual(va, vb) {
+				t.Fatalf("trial %d: reported diff is not a diff", trial)
+			}
+		}
+	}
+}
+
+func TestSearchRouteMap(t *testing.T) {
+	s, cfgs := spacesFor(t, figure2a)
+	cfg := cfgs[0]
+	rm := cfg.RouteMaps["ISP_OUT"]
+	// Find a permitted route: must exist (stanza 10 or 40).
+	r, ok, err := SearchRouteMap(s, cfg, rm, bdd.True, true)
+	if err != nil || !ok {
+		t.Fatalf("no permitted route found: %v", err)
+	}
+	ev := policy.NewEvaluator(cfg)
+	v, _ := ev.EvalRouteMap(rm, r)
+	if !v.Permit {
+		t.Errorf("witness %s not permitted", r.Network)
+	}
+	// Find a denied route.
+	r, ok, err = SearchRouteMap(s, cfg, rm, bdd.True, false)
+	if err != nil || !ok {
+		t.Fatalf("no denied route found: %v", err)
+	}
+	v, _ = ev.EvalRouteMap(rm, r)
+	if v.Permit {
+		t.Errorf("witness %s not denied", r.Network)
+	}
+}
+
+func TestSearchRouteMapWithConstraint(t *testing.T) {
+	s, cfgs := spacesFor(t, figure2a)
+	cfg := cfgs[0]
+	rm := cfg.RouteMaps["ISP_OUT"]
+	// Constrain to the new stanza's own match: permitted witnesses must then
+	// carry community 300:3.
+	pred, err := s.StanzaPred(cfg, rm.Stanzas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok, err := SearchRouteMap(s, cfg, rm, pred, true)
+	if err != nil || !ok {
+		t.Fatal("constrained search failed")
+	}
+	if !r.HasCommunity(route.MustParseCommunity("300:3")) {
+		t.Errorf("witness %v lacks 300:3", r.Communities)
+	}
+}
+
+func TestSearchACL(t *testing.T) {
+	cfg := ios.MustParse(`ip access-list extended A
+ deny tcp any any eq 22
+ permit tcp any any
+`)
+	s := symbolic.NewACLSpace()
+	pk, ok := SearchACL(s, cfg.ACLs["A"], bdd.True, true)
+	if !ok {
+		t.Fatal("no permitted packet")
+	}
+	if v := policy.EvalACL(cfg.ACLs["A"], pk); !v.Permit {
+		t.Errorf("witness %s not permitted", pk)
+	}
+	pk, ok = SearchACL(s, cfg.ACLs["A"], bdd.True, false)
+	if !ok {
+		t.Fatal("no denied packet")
+	}
+	if v := policy.EvalACL(cfg.ACLs["A"], pk); v.Permit {
+		t.Errorf("witness %s not denied", pk)
+	}
+	// An all-permit ACL has no denied tcp/22 packet... but non-tcp packets
+	// fall to implicit deny; constrain to the permit entry's space.
+	pred := s.ACEPred(cfg.ACLs["A"].Entries[1])
+	if _, ok := SearchACL(s, cfg.ACLs["A"], s.Pool.And(pred, s.Pool.Not(s.ACEPred(cfg.ACLs["A"].Entries[0]))), false); ok {
+		t.Error("found denied packet inside the permit-only region")
+	}
+}
+
+func TestRouteMapOverlaps(t *testing.T) {
+	// ISP_OUT with the new stanza on top: the new stanza (community 300:3 ∧
+	// 100.0.0.0/16 le 23) overlaps the as-path deny (any prefix) and the
+	// local-pref permit, but not prefix-list D1.
+	s, cfgs := spacesFor(t, figure2a)
+	cfg := cfgs[0]
+	overlaps, err := RouteMapOverlaps(s, cfg, cfg.RouteMaps["ISP_OUT"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairSet := map[[2]int]RouteMapOverlap{}
+	for _, o := range overlaps {
+		pairSet[[2]int{o.I, o.J}] = o
+	}
+	if _, ok := pairSet[[2]int{0, 1}]; !ok {
+		t.Error("new stanza should overlap as-path deny stanza")
+	}
+	if _, ok := pairSet[[2]int{0, 2}]; ok {
+		t.Error("new stanza must not overlap prefix-list D1 stanza (disjoint prefix spaces)")
+	}
+	if o, ok := pairSet[[2]int{0, 3}]; !ok || o.Conflicting {
+		t.Error("new stanza should overlap local-pref stanza, non-conflicting")
+	}
+	if o := pairSet[[2]int{0, 1}]; !o.Conflicting {
+		t.Error("permit vs deny overlap should be conflicting")
+	}
+	// Witnesses genuinely match both stanzas.
+	ev := policy.NewEvaluator(cfg)
+	for _, o := range overlaps {
+		mi, _ := ev.StanzaMatches(cfg.RouteMaps["ISP_OUT"].Stanzas[o.I], o.Witness)
+		mj, _ := ev.StanzaMatches(cfg.RouteMaps["ISP_OUT"].Stanzas[o.J], o.Witness)
+		if !mi || !mj {
+			t.Errorf("overlap (%d,%d) witness does not match both stanzas", o.I, o.J)
+		}
+	}
+}
+
+func TestACLOverlapsAndStats(t *testing.T) {
+	cfg := ios.MustParse(`ip access-list extended A
+ permit tcp host 1.1.1.1 host 2.2.2.2 eq 80
+ deny ip any any
+ permit udp 10.0.0.0 0.0.0.255 any
+ deny udp 10.0.0.0 0.0.255.255 any
+`)
+	s := symbolic.NewACLSpace()
+	acl := cfg.ACLs["A"]
+	overlaps := ACLOverlaps(s, acl)
+	get := func(i, j int) (ACLOverlap, bool) {
+		for _, o := range overlaps {
+			if o.I == i && o.J == j {
+				return o, true
+			}
+		}
+		return ACLOverlap{}, false
+	}
+	// (0,1): permit tcp host/host ⊂ deny ip any any → conflicting proper subset.
+	o, ok := get(0, 1)
+	if !ok || !o.Conflicting || !o.ProperSubset {
+		t.Errorf("(0,1) = %+v, want conflicting proper subset", o)
+	}
+	// (2,3): permit udp 10.0.0/24 ⊂ deny udp 10.0/16 → conflicting subset.
+	o, ok = get(2, 3)
+	if !ok || !o.Conflicting || !o.ProperSubset {
+		t.Errorf("(2,3) = %+v, want conflicting proper subset", o)
+	}
+	// (1,2): deny any ∧ permit udp overlap, entry 2 ⊂ entry 1.
+	if o, ok = get(1, 2); !ok || !o.ProperSubset {
+		t.Errorf("(1,2) = %+v, want proper subset", o)
+	}
+	stats := AnalyzeACL(s, acl)
+	if stats.Entries != 4 || stats.Overlaps != len(overlaps) {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.NonTrivial >= stats.Conflicting {
+		t.Errorf("all conflicts here are subset pairs: %+v", stats)
+	}
+}
+
+func TestACLOverlapEqualEntriesNotProperSubset(t *testing.T) {
+	cfg := ios.MustParse(`ip access-list extended A
+ permit tcp any any eq 80
+ deny tcp any any eq 80
+`)
+	s := symbolic.NewACLSpace()
+	overlaps := ACLOverlaps(s, cfg.ACLs["A"])
+	if len(overlaps) != 1 {
+		t.Fatalf("got %d overlaps", len(overlaps))
+	}
+	if overlaps[0].ProperSubset {
+		t.Error("identical match conditions are not a *proper* subset pair")
+	}
+	if !overlaps[0].Conflicting {
+		t.Error("permit/deny pair should conflict")
+	}
+}
+
+func TestAnalyzeRouteMapStats(t *testing.T) {
+	s, cfgs := spacesFor(t, figure2a)
+	cfg := cfgs[0]
+	st, err := AnalyzeRouteMap(s, cfg, cfg.RouteMaps["ISP_OUT"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stanzas != 4 || st.Overlaps == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestContinueMapsOverlapButRefuseComparison mirrors the paper's §3 stance:
+// route maps using `continue` still get overlap measurement (actions are
+// ignored), but verdict-based analyses reject them.
+func TestContinueMapsOverlapButRefuseComparison(t *testing.T) {
+	cfg := ios.MustParse(`ip prefix-list ALL seq 10 permit 0.0.0.0/0 le 32
+ip prefix-list TEN seq 10 permit 10.0.0.0/8 le 32
+route-map RM permit 10
+ match ip address prefix-list ALL
+ set metric 1
+ continue
+route-map RM permit 20
+ match ip address prefix-list TEN
+`)
+	s, err := symbolic.NewRouteSpace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := AnalyzeRouteMap(s, cfg, cfg.RouteMaps["RM"])
+	if err != nil {
+		t.Fatalf("overlap analysis must accept continue: %v", err)
+	}
+	if st.Overlaps != 1 {
+		t.Errorf("overlaps = %d, want 1", st.Overlaps)
+	}
+	if _, err := CompareRouteMaps(s, cfg, cfg.RouteMaps["RM"], cfg, cfg.RouteMaps["RM"], 1); err == nil {
+		t.Error("comparison must reject continue maps")
+	}
+	if _, _, err := SearchRouteMap(s, cfg, cfg.RouteMaps["RM"], bdd.True, true); err == nil {
+		t.Error("search must reject continue maps")
+	}
+}

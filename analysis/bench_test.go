@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/clarifynet/clarify/internal/testgen"
+	"github.com/clarifynet/clarify/symbolic"
+)
+
+// BenchmarkRouteMapOverlaps measures pairwise overlap detection on random
+// 6-stanza route maps.
+func BenchmarkRouteMapOverlaps(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := testgen.Config(rng, "RM", 6)
+	s, err := symbolic.NewRouteSpace(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RouteMapOverlaps(s, cfg, cfg.RouteMaps["RM"]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkACLOverlaps measures pairwise ACL conflict detection.
+func BenchmarkACLOverlaps(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := testgen.ACL(rng, "A", 12)
+	s := symbolic.NewACLSpace()
+	acl := cfg.ACLs["A"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ACLOverlaps(s, acl)
+	}
+}
+
+// BenchmarkCompareRandomMaps measures full differential comparison between
+// two random route maps sharing one universe.
+func BenchmarkCompareRandomMaps(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	cfgA := testgen.Config(rng, "RM", 4)
+	cfgB := testgen.Config(rng, "RM", 4)
+	s, err := symbolic.NewRouteSpace(cfgA, cfgB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompareRouteMaps(s, cfgA, cfgA.RouteMaps["RM"], cfgB, cfgB.RouteMaps["RM"], 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

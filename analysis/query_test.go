@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/policy"
+	"github.com/clarifynet/clarify/route"
+	"github.com/clarifynet/clarify/symbolic"
+)
+
+func TestSearchRouteMapMatching(t *testing.T) {
+	cfg := ios.MustParse(figure2a)
+	rm := cfg.RouteMaps["ISP_OUT"]
+	ev := policy.NewEvaluator(cfg)
+
+	// A permitted route carrying 300:3 under 100.0.0.0/16 exists (stanza 10).
+	r, ok, err := SearchRouteMapMatching(cfg, rm, RouteQuery{
+		PrefixWithin: "100.0.0.0/16",
+		HasCommunity: []string{"300:3"},
+	}, true)
+	if err != nil || !ok {
+		t.Fatalf("search failed: ok=%v err=%v", ok, err)
+	}
+	v, _ := ev.EvalRouteMap(rm, r)
+	if !v.Permit || v.Output.MED != 55 {
+		t.Errorf("witness verdict %+v", v)
+	}
+	if !r.HasCommunity(route.MustParseCommunity("300:3")) {
+		t.Errorf("witness lacks community: %v", r.Communities)
+	}
+
+	// No permitted route exists with as-path ending in 32 and local-pref 100
+	// (stanza 20 denies unless lp is 300 or the community/prefix stanza wins
+	// — constrain away from both).
+	lp := uint32(100)
+	_, ok, err = SearchRouteMapMatching(cfg, rm, RouteQuery{
+		ASPathRegex:  "_32$",
+		LocalPref:    &lp,
+		PrefixWithin: "50.0.0.0/8",
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("no such permitted route should exist")
+	}
+	// ...but a denied one does.
+	r, ok, err = SearchRouteMapMatching(cfg, rm, RouteQuery{
+		ASPathRegex:  "_32$",
+		LocalPref:    &lp,
+		PrefixWithin: "50.0.0.0/8",
+	}, false)
+	if err != nil || !ok {
+		t.Fatalf("denied search failed: %v", err)
+	}
+	if v, _ := ev.EvalRouteMap(rm, r); v.Permit {
+		t.Error("witness should be denied")
+	}
+}
+
+func TestRouteQueryValidation(t *testing.T) {
+	cfg := ios.MustParse(figure2a)
+	rm := cfg.RouteMaps["ISP_OUT"]
+	if _, _, err := SearchRouteMapMatching(cfg, rm, RouteQuery{PrefixWithin: "bogus"}, true); err == nil {
+		t.Error("bad CIDR should fail")
+	}
+	if _, _, err := SearchRouteMapMatching(cfg, rm, RouteQuery{
+		CommunityRegex: "_1_", HasCommunity: []string{"1:1"},
+	}, true); err == nil {
+		t.Error("conflicting community constraints should fail")
+	}
+	if _, _, err := SearchRouteMapMatching(cfg, rm, RouteQuery{
+		HasCommunity: []string{"1:1", "2:2"},
+	}, true); err == nil {
+		t.Error("multi-literal HasCommunity should fail loudly")
+	}
+}
+
+func TestSearchACLMatching(t *testing.T) {
+	cfg := ios.MustParse(`ip access-list extended A
+ deny tcp any any eq 22
+ permit tcp 10.0.0.0 0.0.0.255 any
+ deny ip any any
+`)
+	acl := cfg.ACLs["A"]
+	// A permitted tcp packet from 10.0.0.0/24 exists, but not to port 22.
+	pk, ok, err := SearchACLMatching(acl, PacketQuery{Protocol: "tcp", Src: "10.0.0.0/24"}, true)
+	if err != nil || !ok {
+		t.Fatalf("search failed: %v", err)
+	}
+	if v := policy.EvalACL(acl, pk); !v.Permit {
+		t.Errorf("witness %s not permitted", pk)
+	}
+	_, ok, err = SearchACLMatching(acl, PacketQuery{Protocol: "tcp", Src: "10.0.0.0/24", DstPort: "eq 22"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("port 22 is denied for everyone")
+	}
+	// Defaults: empty fields mean any.
+	if _, ok, err := SearchACLMatching(acl, PacketQuery{}, false); err != nil || !ok {
+		t.Errorf("some denied packet must exist: %v", err)
+	}
+}
+
+func TestShadowedStanzas(t *testing.T) {
+	cfg := ios.MustParse(`ip prefix-list ALL seq 10 permit 0.0.0.0/0 le 32
+ip prefix-list TEN seq 10 permit 10.0.0.0/8 le 32
+route-map RM deny 10
+ match ip address prefix-list ALL
+route-map RM permit 20
+ match ip address prefix-list TEN
+route-map RM permit 30
+ match local-preference 300
+`)
+	s, err := symbolic.NewRouteSpace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadowed, err := ShadowedStanzas(s, cfg, cfg.RouteMaps["RM"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stanza 10 matches everything → 20 and 30 are dead.
+	if len(shadowed) != 2 || shadowed[0] != 1 || shadowed[1] != 2 {
+		t.Errorf("shadowed = %v, want [1 2]", shadowed)
+	}
+}
+
+func TestShadowedACEs(t *testing.T) {
+	cfg := ios.MustParse(`ip access-list extended A
+ deny tcp any any
+ permit tcp 10.0.0.0 0.0.0.255 any eq 80
+ permit udp any any
+`)
+	s := symbolic.NewACLSpace()
+	shadowed := ShadowedACEs(s, cfg.ACLs["A"])
+	if len(shadowed) != 1 || shadowed[0] != 1 {
+		t.Errorf("shadowed = %v, want [1]", shadowed)
+	}
+}
+
+func TestNoShadowsInPaperExample(t *testing.T) {
+	cfg := ios.MustParse(figure2a)
+	s, err := symbolic.NewRouteSpace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadowed, err := ShadowedStanzas(s, cfg, cfg.RouteMaps["ISP_OUT"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shadowed) != 0 {
+		t.Errorf("paper example has no dead stanzas, got %v", shadowed)
+	}
+}

@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"github.com/clarifynet/clarify/bdd"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/symbolic"
+)
+
+// ShadowedStanzas returns the indices of route-map stanzas no route can ever
+// reach: their first-match region is empty because earlier stanzas capture
+// everything they match. Dead stanzas are a classic configuration smell and
+// make insertion ambiguity strictly worse (the paper's disambiguator already
+// skips them when probing).
+func ShadowedStanzas(s *symbolic.RouteSpace, cfg *ios.Config, rm *ios.RouteMap) ([]int, error) {
+	regions, err := s.FirstMatch(cfg, rm)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for i := range rm.Stanzas {
+		if s.Pool.AndN(regions[i], s.Valid) == bdd.False {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// ShadowedACEs returns the indices of unreachable ACL entries.
+func ShadowedACEs(s *symbolic.ACLSpace, acl *ios.ACL) []int {
+	regions := s.FirstMatch(acl)
+	var out []int
+	for i := range acl.Entries {
+		if regions[i] == bdd.False {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,424 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
+// with hash-consed nodes, an ITE-based apply, existential quantification,
+// model counting and witness extraction.
+//
+// The engine underpins every symbolic analysis in this repository: ACL header
+// spaces, symbolic BGP route spaces, first-match partitions and differential
+// policy comparison. Pools are cheap to create and are dropped wholesale when
+// an analysis finishes, so no garbage collection of dead nodes is performed.
+//
+// Variables are identified by their level (0 is the topmost level in the
+// ordering). Node handles are plain int32 indices into the pool and are only
+// meaningful relative to the pool that produced them.
+package bdd
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Node is a handle to a BDD node within a Pool.
+type Node int32
+
+// Terminal nodes, shared by every pool.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+type node struct {
+	level  int32 // variable level; terminals use level = maxLevel sentinel
+	lo, hi Node  // cofactors for var=false / var=true
+}
+
+type nodeKey struct {
+	level  int32
+	lo, hi Node
+}
+
+type iteKey struct {
+	f, g, h Node
+}
+
+const terminalLevel = int32(1<<31 - 1)
+
+// Pool owns the node storage and operation caches for one BDD universe.
+// A Pool is not safe for concurrent use.
+type Pool struct {
+	nodes    []node
+	unique   map[nodeKey]Node
+	iteCache map[iteKey]Node
+	numVars  int
+}
+
+// NewPool creates a pool over numVars variables, levels 0..numVars-1.
+func NewPool(numVars int) *Pool {
+	if numVars < 0 {
+		panic("bdd: negative variable count")
+	}
+	p := &Pool{
+		nodes:    make([]node, 2, 1024),
+		unique:   make(map[nodeKey]Node, 1024),
+		iteCache: make(map[iteKey]Node, 1024),
+		numVars:  numVars,
+	}
+	p.nodes[False] = node{level: terminalLevel}
+	p.nodes[True] = node{level: terminalLevel}
+	return p
+}
+
+// NumVars reports the number of variables in the pool's universe.
+func (p *Pool) NumVars() int { return p.numVars }
+
+// Size reports the number of live nodes, including the two terminals.
+func (p *Pool) Size() int { return len(p.nodes) }
+
+// AddVars grows the universe by n additional variables and returns the level
+// of the first new variable. Existing nodes remain valid because levels of
+// new variables are appended below all existing ones only in numbering, not
+// in ordering semantics; ordering is by level value, so new variables sit at
+// the bottom of the order.
+func (p *Pool) AddVars(n int) int {
+	if n < 0 {
+		panic("bdd: negative variable count")
+	}
+	first := p.numVars
+	p.numVars += n
+	return first
+}
+
+func (p *Pool) level(n Node) int32 { return p.nodes[n].level }
+
+// mk returns the hash-consed node (level, lo, hi), applying the reduction
+// rule lo==hi.
+func (p *Pool) mk(level int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	k := nodeKey{level, lo, hi}
+	if n, ok := p.unique[k]; ok {
+		return n
+	}
+	n := Node(len(p.nodes))
+	p.nodes = append(p.nodes, node{level: level, lo: lo, hi: hi})
+	p.unique[k] = n
+	return n
+}
+
+// Var returns the BDD for the single variable at the given level.
+func (p *Pool) Var(level int) Node {
+	if level < 0 || level >= p.numVars {
+		panic(fmt.Sprintf("bdd: variable level %d out of range [0,%d)", level, p.numVars))
+	}
+	return p.mk(int32(level), False, True)
+}
+
+// NVar returns the BDD for the negation of the variable at the given level.
+func (p *Pool) NVar(level int) Node {
+	if level < 0 || level >= p.numVars {
+		panic(fmt.Sprintf("bdd: variable level %d out of range [0,%d)", level, p.numVars))
+	}
+	return p.mk(int32(level), True, False)
+}
+
+// ITE computes if-then-else: f ? g : h.
+func (p *Pool) ITE(f, g, h Node) Node {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	k := iteKey{f, g, h}
+	if r, ok := p.iteCache[k]; ok {
+		return r
+	}
+	top := p.level(f)
+	if l := p.level(g); l < top {
+		top = l
+	}
+	if l := p.level(h); l < top {
+		top = l
+	}
+	f0, f1 := p.cofactors(f, top)
+	g0, g1 := p.cofactors(g, top)
+	h0, h1 := p.cofactors(h, top)
+	lo := p.ITE(f0, g0, h0)
+	hi := p.ITE(f1, g1, h1)
+	r := p.mk(top, lo, hi)
+	p.iteCache[k] = r
+	return r
+}
+
+func (p *Pool) cofactors(n Node, level int32) (lo, hi Node) {
+	nd := p.nodes[n]
+	if nd.level != level {
+		return n, n
+	}
+	return nd.lo, nd.hi
+}
+
+// And returns the conjunction of a and b.
+func (p *Pool) And(a, b Node) Node { return p.ITE(a, b, False) }
+
+// Or returns the disjunction of a and b.
+func (p *Pool) Or(a, b Node) Node { return p.ITE(a, True, b) }
+
+// Not returns the negation of a.
+func (p *Pool) Not(a Node) Node { return p.ITE(a, False, True) }
+
+// Xor returns the exclusive or of a and b.
+func (p *Pool) Xor(a, b Node) Node { return p.ITE(a, p.Not(b), b) }
+
+// Implies returns a → b.
+func (p *Pool) Implies(a, b Node) Node { return p.ITE(a, b, True) }
+
+// Iff returns a ↔ b.
+func (p *Pool) Iff(a, b Node) Node { return p.ITE(a, b, p.Not(b)) }
+
+// Diff returns a ∧ ¬b.
+func (p *Pool) Diff(a, b Node) Node { return p.ITE(b, False, a) }
+
+// AndN folds And over its arguments; AndN() == True.
+func (p *Pool) AndN(ns ...Node) Node {
+	r := True
+	for _, n := range ns {
+		r = p.And(r, n)
+		if r == False {
+			return False
+		}
+	}
+	return r
+}
+
+// OrN folds Or over its arguments; OrN() == False.
+func (p *Pool) OrN(ns ...Node) Node {
+	r := False
+	for _, n := range ns {
+		r = p.Or(r, n)
+		if r == True {
+			return True
+		}
+	}
+	return r
+}
+
+// Exists existentially quantifies the variables whose levels are in vars.
+func (p *Pool) Exists(f Node, vars []int) Node {
+	if len(vars) == 0 {
+		return f
+	}
+	set := make(map[int32]bool, len(vars))
+	for _, v := range vars {
+		set[int32(v)] = true
+	}
+	memo := make(map[Node]Node)
+	var rec func(n Node) Node
+	rec = func(n Node) Node {
+		if n == True || n == False {
+			return n
+		}
+		if r, ok := memo[n]; ok {
+			return r
+		}
+		nd := p.nodes[n]
+		lo := rec(nd.lo)
+		hi := rec(nd.hi)
+		var r Node
+		if set[nd.level] {
+			r = p.Or(lo, hi)
+		} else {
+			r = p.mk(nd.level, lo, hi)
+		}
+		memo[n] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Restrict substitutes constant values for variables: assignment maps a
+// variable level to its value.
+func (p *Pool) Restrict(f Node, assignment map[int]bool) Node {
+	if len(assignment) == 0 {
+		return f
+	}
+	set := make(map[int32]bool, len(assignment))
+	for v, b := range assignment {
+		set[int32(v)] = b
+	}
+	memo := make(map[Node]Node)
+	var rec func(n Node) Node
+	rec = func(n Node) Node {
+		if n == True || n == False {
+			return n
+		}
+		if r, ok := memo[n]; ok {
+			return r
+		}
+		nd := p.nodes[n]
+		var r Node
+		if b, ok := set[nd.level]; ok {
+			if b {
+				r = rec(nd.hi)
+			} else {
+				r = rec(nd.lo)
+			}
+		} else {
+			r = p.mk(nd.level, rec(nd.lo), rec(nd.hi))
+		}
+		memo[n] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Eval evaluates f under a total assignment: value[level] gives each
+// variable's value. Levels absent from the slice range are treated as false.
+func (p *Pool) Eval(f Node, value []bool) bool {
+	n := f
+	for n != True && n != False {
+		nd := p.nodes[n]
+		if int(nd.level) < len(value) && value[nd.level] {
+			n = nd.hi
+		} else {
+			n = nd.lo
+		}
+	}
+	return n == True
+}
+
+// AnySat returns one satisfying partial assignment of f (variable level →
+// value). Variables not present in the map are don't-cares. ok is false iff
+// f is unsatisfiable.
+func (p *Pool) AnySat(f Node) (assignment map[int]bool, ok bool) {
+	if f == False {
+		return nil, false
+	}
+	assignment = make(map[int]bool)
+	n := f
+	for n != True {
+		nd := p.nodes[n]
+		if nd.lo != False {
+			assignment[int(nd.level)] = false
+			n = nd.lo
+		} else {
+			assignment[int(nd.level)] = true
+			n = nd.hi
+		}
+	}
+	return assignment, true
+}
+
+// SatCount returns the number of total assignments over the pool's universe
+// satisfying f.
+func (p *Pool) SatCount(f Node) *big.Int {
+	memo := make(map[Node]*big.Int)
+	var rec func(n Node) *big.Int // count over variables strictly below n's level
+	rec = func(n Node) *big.Int {
+		if n == False {
+			return big.NewInt(0)
+		}
+		if n == True {
+			return big.NewInt(1)
+		}
+		if c, ok := memo[n]; ok {
+			return c
+		}
+		nd := p.nodes[n]
+		lo := new(big.Int).Mul(rec(nd.lo), pow2(int(p.gapBelow(nd.lo, nd.level)))) // weight skipped levels
+		hi := new(big.Int).Mul(rec(nd.hi), pow2(int(p.gapBelow(nd.hi, nd.level))))
+		c := new(big.Int).Add(lo, hi)
+		memo[n] = c
+		return c
+	}
+	top := p.level(f)
+	gap := int32(0)
+	if f == True || f == False {
+		gap = int32(p.numVars)
+	} else {
+		gap = top
+	}
+	return new(big.Int).Mul(rec(f), pow2(int(gap)))
+}
+
+// gapBelow counts the variable levels skipped between parentLevel and child.
+func (p *Pool) gapBelow(child Node, parentLevel int32) int32 {
+	childLevel := p.level(child)
+	if childLevel == terminalLevel {
+		childLevel = int32(p.numVars)
+	}
+	return childLevel - parentLevel - 1
+}
+
+func pow2(n int) *big.Int {
+	if n < 0 {
+		n = 0
+	}
+	return new(big.Int).Lsh(big.NewInt(1), uint(n))
+}
+
+// AllSat invokes fn for each satisfying cube of f. A cube is a partial
+// assignment; unmentioned variables are don't-cares. Iteration stops early if
+// fn returns false. The cube map is reused across calls; callers must copy it
+// to retain it.
+func (p *Pool) AllSat(f Node, fn func(cube map[int]bool) bool) {
+	cube := make(map[int]bool)
+	var rec func(n Node) bool
+	rec = func(n Node) bool {
+		if n == False {
+			return true
+		}
+		if n == True {
+			return fn(cube)
+		}
+		nd := p.nodes[n]
+		cube[int(nd.level)] = false
+		if !rec(nd.lo) {
+			return false
+		}
+		cube[int(nd.level)] = true
+		if !rec(nd.hi) {
+			return false
+		}
+		delete(cube, int(nd.level))
+		return true
+	}
+	rec(f)
+}
+
+// Support returns the sorted levels of the variables f depends on.
+func (p *Pool) Support(f Node) []int {
+	seen := make(map[Node]bool)
+	levels := make(map[int32]bool)
+	var rec func(n Node)
+	rec = func(n Node) {
+		if n == True || n == False || seen[n] {
+			return
+		}
+		seen[n] = true
+		nd := p.nodes[n]
+		levels[nd.level] = true
+		rec(nd.lo)
+		rec(nd.hi)
+	}
+	rec(f)
+	out := make([]int, 0, len(levels))
+	for l := range levels {
+		out = append(out, int(l))
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

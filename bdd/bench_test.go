@@ -1,0 +1,66 @@
+package bdd
+
+import "testing"
+
+// BenchmarkITEChain measures raw apply throughput on a deep conjunction.
+func BenchmarkITEChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := NewPool(64)
+		f := True
+		for v := 0; v < 64; v++ {
+			f = p.And(f, p.Var(v))
+		}
+		if f == False {
+			b.Fatal("unexpected false")
+		}
+	}
+}
+
+// BenchmarkIntervalConstraint measures the comparator-circuit encoding used
+// for local-preference and metric matches.
+func BenchmarkIntervalConstraint(b *testing.B) {
+	p := NewPool(32)
+	v := NewVec(p, 0, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v.InRange(uint64(i%1000), uint64(i%1000+100000)) == False {
+			b.Fatal("empty interval")
+		}
+	}
+}
+
+// BenchmarkPrefixConstraint measures the IP-prefix encoding.
+func BenchmarkPrefixConstraint(b *testing.B) {
+	p := NewPool(32)
+	v := NewVec(p, 0, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.PrefixEq(0x0A000000|uint64(i%256)<<8, 24)
+	}
+}
+
+// BenchmarkAnySat measures witness extraction.
+func BenchmarkAnySat(b *testing.B) {
+	p := NewPool(64)
+	v := NewVec(p, 0, 32)
+	w := NewVec(p, 32, 32)
+	f := p.And(v.InRange(1000, 2000), w.PrefixEq(0x0A000000, 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.AnySat(f); !ok {
+			b.Fatal("unsat")
+		}
+	}
+}
+
+// BenchmarkSatCount measures model counting.
+func BenchmarkSatCount(b *testing.B) {
+	p := NewPool(48)
+	v := NewVec(p, 0, 24)
+	w := NewVec(p, 24, 24)
+	f := p.Or(v.InRange(5, 500000), w.LeqConst(12345))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.SatCount(f)
+	}
+}

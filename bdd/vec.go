@@ -1,0 +1,150 @@
+package bdd
+
+import "fmt"
+
+// Vec is a fixed-width bit vector of BDD variables or, more generally, of
+// BDD-valued bits. Bit 0 of the vector is the most significant bit, so a Vec
+// laid out over consecutive levels keeps numeric comparisons shallow.
+type Vec struct {
+	pool *Pool
+	bits []Node // bits[0] is the MSB
+}
+
+// NewVec returns a vector of width fresh variable references starting at
+// level offset (MSB first).
+func NewVec(p *Pool, offset, width int) Vec {
+	bits := make([]Node, width)
+	for i := 0; i < width; i++ {
+		bits[i] = p.Var(offset + i)
+	}
+	return Vec{pool: p, bits: bits}
+}
+
+// Width reports the number of bits in the vector.
+func (v Vec) Width() int { return len(v.bits) }
+
+// Bit returns the BDD for bit i (0 = MSB).
+func (v Vec) Bit(i int) Node { return v.bits[i] }
+
+// EqConst returns the BDD asserting v == value. value must fit in the width.
+func (v Vec) EqConst(value uint64) Node {
+	v.checkFits(value)
+	p := v.pool
+	r := True
+	// Conjunct from LSB up so the resulting BDD is built bottom-up.
+	for i := len(v.bits) - 1; i >= 0; i-- {
+		bit := value >> uint(len(v.bits)-1-i) & 1
+		if bit == 1 {
+			r = p.And(v.bits[i], r)
+		} else {
+			r = p.And(p.Not(v.bits[i]), r)
+		}
+	}
+	return r
+}
+
+// Eq returns the BDD asserting v == w bitwise. The vectors must have equal
+// width.
+func (v Vec) Eq(w Vec) Node {
+	if len(v.bits) != len(w.bits) {
+		panic(fmt.Sprintf("bdd: width mismatch %d vs %d", len(v.bits), len(w.bits)))
+	}
+	p := v.pool
+	r := True
+	for i := len(v.bits) - 1; i >= 0; i-- {
+		r = p.And(p.Iff(v.bits[i], w.bits[i]), r)
+	}
+	return r
+}
+
+// LeqConst returns the BDD asserting v <= value (unsigned).
+func (v Vec) LeqConst(value uint64) Node {
+	v.checkFits(value)
+	p := v.pool
+	// Build from LSB: leq = (bit < c) ∨ (bit == c ∧ leqRest)
+	r := True
+	for i := len(v.bits) - 1; i >= 0; i-- {
+		c := value >> uint(len(v.bits)-1-i) & 1
+		if c == 1 {
+			// bit=0 → strictly less regardless of rest; bit=1 → depends on rest.
+			r = p.ITE(v.bits[i], r, True)
+		} else {
+			// bit=1 → strictly greater; bit=0 → depends on rest.
+			r = p.ITE(v.bits[i], False, r)
+		}
+	}
+	return r
+}
+
+// GeqConst returns the BDD asserting v >= value (unsigned).
+func (v Vec) GeqConst(value uint64) Node {
+	v.checkFits(value)
+	p := v.pool
+	r := True
+	for i := len(v.bits) - 1; i >= 0; i-- {
+		c := value >> uint(len(v.bits)-1-i) & 1
+		if c == 1 {
+			r = p.ITE(v.bits[i], r, False)
+		} else {
+			r = p.ITE(v.bits[i], True, r)
+		}
+	}
+	return r
+}
+
+// InRange returns the BDD asserting lo <= v <= hi (unsigned).
+func (v Vec) InRange(lo, hi uint64) Node {
+	if lo > hi {
+		return False
+	}
+	return v.pool.And(v.GeqConst(lo), v.LeqConst(hi))
+}
+
+// PrefixEq returns the BDD asserting that the top nbits of v equal the top
+// nbits of value, where value is left-aligned in the vector width (the usual
+// IP prefix convention: value is the full-width address, nbits the prefix
+// length).
+func (v Vec) PrefixEq(value uint64, nbits int) Node {
+	if nbits < 0 || nbits > len(v.bits) {
+		panic(fmt.Sprintf("bdd: prefix length %d out of range [0,%d]", nbits, len(v.bits)))
+	}
+	p := v.pool
+	r := True
+	for i := nbits - 1; i >= 0; i-- {
+		bit := value >> uint(len(v.bits)-1-i) & 1
+		if bit == 1 {
+			r = p.And(v.bits[i], r)
+		} else {
+			r = p.And(p.Not(v.bits[i]), r)
+		}
+	}
+	return r
+}
+
+func (v Vec) checkFits(value uint64) {
+	if len(v.bits) < 64 && value >= 1<<uint(len(v.bits)) {
+		panic(fmt.Sprintf("bdd: value %d does not fit in %d bits", value, len(v.bits)))
+	}
+}
+
+// DecodeVec extracts the unsigned value of the vector variables at levels
+// [offset, offset+width) from a (possibly partial) assignment. Don't-care
+// bits default to 0.
+func DecodeVec(assignment map[int]bool, offset, width int) uint64 {
+	var out uint64
+	for i := 0; i < width; i++ {
+		out <<= 1
+		if assignment[offset+i] {
+			out |= 1
+		}
+	}
+	return out
+}
+
+// EncodeVec writes value into assignment at levels [offset, offset+width),
+// MSB first.
+func EncodeVec(assignment map[int]bool, offset, width int, value uint64) {
+	for i := 0; i < width; i++ {
+		assignment[offset+i] = value>>uint(width-1-i)&1 == 1
+	}
+}

@@ -1,0 +1,44 @@
+package bgpsim
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+)
+
+// BenchmarkConvergenceChain measures fixed-point propagation across a chain
+// of 16 routers originating one prefix each.
+func BenchmarkConvergenceChain(b *testing.B) {
+	build := func() *Network {
+		n := NewNetwork()
+		const k = 16
+		for i := 0; i < k; i++ {
+			r := &Router{
+				Name: fmt.Sprintf("R%02d", i),
+				ASN:  uint32(64512 + i),
+				Originate: []netip.Prefix{
+					netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16),
+				},
+			}
+			if err := n.AddRouter(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < k-1; i++ {
+			if err := n.Connect(fmt.Sprintf("R%02d", i), fmt.Sprintf("R%02d", i+1), "", "", "", ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return n
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := build().Run(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !st.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package bgpsim
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/clarifynet/clarify/ios"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func mustAdd(t *testing.T, n *Network, r *Router) {
+	t.Helper()
+	if err := n.AddRouter(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustConnect(t *testing.T, n *Network, a, b string, maps ...string) {
+	t.Helper()
+	m := make([]string, 4)
+	copy(m, maps)
+	if err := n.Connect(a, b, m[0], m[1], m[2], m[3]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearPropagation(t *testing.T) {
+	n := NewNetwork()
+	mustAdd(t, n, &Router{Name: "A", ASN: 1, Originate: []netip.Prefix{pfx("8.0.0.0/8")}})
+	mustAdd(t, n, &Router{Name: "B", ASN: 2})
+	mustAdd(t, n, &Router{Name: "C", ASN: 3})
+	mustConnect(t, n, "A", "B")
+	mustConnect(t, n, "B", "C")
+	st, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatal("did not converge")
+	}
+	e, ok := st.Best("C", pfx("8.0.0.0/8"))
+	if !ok {
+		t.Fatal("C has no route")
+	}
+	path := e.Route.FlatASPath()
+	if len(path) != 2 || path[0] != 2 || path[1] != 1 {
+		t.Errorf("path = %v, want [2 1]", path)
+	}
+	if e.From != "B" {
+		t.Errorf("learned from %q", e.From)
+	}
+	// Local origination wins at A.
+	ea, _ := st.Best("A", pfx("8.0.0.0/8"))
+	if ea.From != "" || ea.Route.Weight != 32768 {
+		t.Errorf("A's own route: %+v", ea)
+	}
+}
+
+func TestLoopRejection(t *testing.T) {
+	// Triangle: routes must not loop indefinitely; every router gets exactly
+	// one best route and the run converges.
+	n := NewNetwork()
+	mustAdd(t, n, &Router{Name: "A", ASN: 1, Originate: []netip.Prefix{pfx("8.0.0.0/8")}})
+	mustAdd(t, n, &Router{Name: "B", ASN: 2})
+	mustAdd(t, n, &Router{Name: "C", ASN: 3})
+	mustConnect(t, n, "A", "B")
+	mustConnect(t, n, "B", "C")
+	mustConnect(t, n, "C", "A")
+	st, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatal("triangle did not converge")
+	}
+	e, ok := st.Best("C", pfx("8.0.0.0/8"))
+	if !ok {
+		t.Fatal("C unreachable")
+	}
+	if got := len(e.Route.FlatASPath()); got != 1 {
+		t.Errorf("C should pick the direct path, got length %d", got)
+	}
+}
+
+func TestLocalPrefWinsOverPathLength(t *testing.T) {
+	// D learns 8/8 via short path (B) and long path (C). Import policy sets
+	// local-preference 200 on the long path → long path wins.
+	n := NewNetwork()
+	mustAdd(t, n, &Router{Name: "SRC", ASN: 1, Originate: []netip.Prefix{pfx("8.0.0.0/8")}})
+	mustAdd(t, n, &Router{Name: "B", ASN: 2})
+	mustAdd(t, n, &Router{Name: "C1", ASN: 31})
+	mustAdd(t, n, &Router{Name: "C2", ASN: 32})
+	d := &Router{Name: "D", ASN: 4, Config: ios.MustParse(`ip prefix-list ALL seq 10 permit 0.0.0.0/0 le 32
+route-map PREFER permit 10
+ match ip address prefix-list ALL
+ set local-preference 200
+`)}
+	mustAdd(t, n, d)
+	mustConnect(t, n, "SRC", "B")
+	mustConnect(t, n, "SRC", "C1")
+	mustConnect(t, n, "C1", "C2")
+	mustConnect(t, n, "B", "D")
+	// D imports from C2 with PREFER.
+	if err := n.Connect("C2", "D", "", "", "PREFER", ""); err != nil {
+		t.Fatal(err)
+	}
+	st, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := st.Best("D", pfx("8.0.0.0/8"))
+	if !ok {
+		t.Fatal("D unreachable")
+	}
+	if e.From != "C2" {
+		t.Errorf("best via %s, want C2 (local-pref 200)", e.From)
+	}
+	if e.Route.LocalPref != 200 {
+		t.Errorf("local-pref = %d", e.Route.LocalPref)
+	}
+}
+
+func TestExportDenyFilters(t *testing.T) {
+	n := NewNetwork()
+	src := &Router{Name: "SRC", ASN: 1,
+		Originate: []netip.Prefix{pfx("8.0.0.0/8"), pfx("192.168.0.0/16")},
+		Config: ios.MustParse(`ip prefix-list BOGON seq 10 permit 192.168.0.0/16 le 32
+route-map NO_BOGON deny 10
+ match ip address prefix-list BOGON
+route-map NO_BOGON permit 20
+`)}
+	mustAdd(t, n, src)
+	mustAdd(t, n, &Router{Name: "B", ASN: 2})
+	if err := n.Connect("SRC", "B", "", "NO_BOGON", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	st, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.HasRoute("B", pfx("8.0.0.0/8")) {
+		t.Error("8/8 should propagate")
+	}
+	if st.HasRoute("B", pfx("192.168.0.0/16")) {
+		t.Error("bogon leaked")
+	}
+}
+
+func TestCommunityTaggingAcrossHops(t *testing.T) {
+	// A tags on export; C filters on the tag two hops later.
+	n := NewNetwork()
+	a := &Router{Name: "A", ASN: 1, Originate: []netip.Prefix{pfx("8.0.0.0/8")},
+		Config: ios.MustParse(`route-map TAG permit 10
+ set community 100:1
+`)}
+	mustAdd(t, n, a)
+	mustAdd(t, n, &Router{Name: "B", ASN: 2})
+	c := &Router{Name: "C", ASN: 3, Config: ios.MustParse(`ip community-list standard TAGGED permit 100:1
+route-map DROP_TAGGED deny 10
+ match community TAGGED
+route-map DROP_TAGGED permit 20
+`)}
+	mustAdd(t, n, c)
+	if err := n.Connect("A", "B", "", "TAG", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("B", "C", "", "", "DROP_TAGGED", ""); err != nil {
+		t.Fatal(err)
+	}
+	st, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HasRoute("C", pfx("8.0.0.0/8")) {
+		t.Error("tagged route should be dropped at C")
+	}
+	if !st.HasRoute("B", pfx("8.0.0.0/8")) {
+		t.Error("B should carry the tagged route")
+	}
+}
+
+func TestSplitHorizon(t *testing.T) {
+	n := NewNetwork()
+	mustAdd(t, n, &Router{Name: "A", ASN: 1, Originate: []netip.Prefix{pfx("8.0.0.0/8")}})
+	mustAdd(t, n, &Router{Name: "B", ASN: 2})
+	mustConnect(t, n, "A", "B")
+	st, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B must not re-advertise A's route back; A's RIB keeps the originated
+	// entry only.
+	e, _ := st.Best("A", pfx("8.0.0.0/8"))
+	if e.From != "" {
+		t.Errorf("A's route came from %q", e.From)
+	}
+}
+
+func TestDanglingMapErrors(t *testing.T) {
+	n := NewNetwork()
+	mustAdd(t, n, &Router{Name: "A", ASN: 1, Originate: []netip.Prefix{pfx("8.0.0.0/8")}})
+	mustAdd(t, n, &Router{Name: "B", ASN: 2})
+	if err := n.Connect("A", "B", "", "GHOST", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Run(0); err == nil {
+		t.Fatal("dangling export map should error")
+	}
+}
+
+func TestDuplicateRouterRejected(t *testing.T) {
+	n := NewNetwork()
+	mustAdd(t, n, &Router{Name: "A", ASN: 1})
+	if err := n.AddRouter(&Router{Name: "A", ASN: 2}); err == nil {
+		t.Fatal("duplicate router accepted")
+	}
+	if err := n.Connect("A", "NOPE", "", "", "", ""); err == nil {
+		t.Fatal("unknown router accepted")
+	}
+}

@@ -1,0 +1,185 @@
+package bgpsim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+// randomConnectedNetwork builds a random connected topology of n policy-free
+// routers, each originating one unique prefix.
+func randomConnectedNetwork(t *testing.T, rng *rand.Rand, n int) *Network {
+	t.Helper()
+	net := NewNetwork()
+	for i := 0; i < n; i++ {
+		r := &Router{
+			Name: fmt.Sprintf("R%d", i),
+			ASN:  uint32(64500 + i),
+			Originate: []netip.Prefix{
+				netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16),
+			},
+		}
+		if err := net.AddRouter(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Random spanning tree guarantees connectivity; extra edges add cycles.
+	for i := 1; i < n; i++ {
+		parent := rng.Intn(i)
+		if err := net.Connect(fmt.Sprintf("R%d", i), fmt.Sprintf("R%d", parent), "", "", "", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	extra := rng.Intn(n)
+	for e := 0; e < extra; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if hasSession(net, a, b) {
+			continue
+		}
+		if err := net.Connect(fmt.Sprintf("R%d", a), fmt.Sprintf("R%d", b), "", "", "", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+func hasSession(n *Network, a, b int) bool {
+	ra := n.Router(fmt.Sprintf("R%d", a))
+	for _, nb := range ra.Neighbors {
+		if nb.Remote == fmt.Sprintf("R%d", b) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestQuickConvergenceAndReachability: policy-free connected networks
+// converge, every router reaches every originated prefix, and every RIB
+// path is loop-free and consistent hop by hop.
+func TestQuickConvergenceAndReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(6)
+		net := randomConnectedNetwork(t, rng, n)
+		st, err := net.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Converged {
+			t.Fatalf("trial %d: did not converge in %d rounds", trial, st.Rounds)
+		}
+		for i := 0; i < n; i++ {
+			router := fmt.Sprintf("R%d", i)
+			for j := 0; j < n; j++ {
+				pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(j), 0, 0}), 16)
+				e, ok := st.Best(router, pfx)
+				if !ok {
+					t.Fatalf("trial %d: %s cannot reach R%d's prefix", trial, router, j)
+				}
+				checkPathConsistency(t, net, st, router, pfx, e)
+			}
+		}
+	}
+}
+
+// checkPathConsistency verifies loop-freedom and hop-by-hop agreement: if r
+// learned the route from nb, then nb has a best route for the same prefix
+// whose AS path is the learned path minus nb's own prepend.
+func checkPathConsistency(t *testing.T, net *Network, st *State, router string, pfx netip.Prefix, e RIBEntry) {
+	t.Helper()
+	path := e.Route.FlatASPath()
+	seen := map[uint32]bool{}
+	for _, asn := range path {
+		if seen[asn] {
+			t.Fatalf("%s: AS path %v has a loop", router, path)
+		}
+		seen[asn] = true
+	}
+	if net.Router(router).ASN != 0 && seen[net.Router(router).ASN] {
+		t.Fatalf("%s: own ASN in received path %v", router, path)
+	}
+	if e.From == "" {
+		if len(path) != 0 {
+			t.Fatalf("%s: originated route with non-empty path %v", router, path)
+		}
+		return
+	}
+	nb := net.Router(e.From)
+	if len(path) == 0 || path[0] != nb.ASN {
+		t.Fatalf("%s: path %v does not start with %s's ASN %d", router, path, e.From, nb.ASN)
+	}
+	nbEntry, ok := st.Best(e.From, pfx)
+	if !ok {
+		t.Fatalf("%s: learned %s from %s, which has no route", router, pfx, e.From)
+	}
+	nbPath := nbEntry.Route.FlatASPath()
+	if len(nbPath) != len(path)-1 {
+		t.Fatalf("%s: path %v vs neighbor %s path %v length mismatch", router, path, e.From, nbPath)
+	}
+	for i := range nbPath {
+		if nbPath[i] != path[i+1] {
+			t.Fatalf("%s: path %v inconsistent with neighbor's %v", router, path, nbPath)
+		}
+	}
+}
+
+// TestQuickShortestPathsWithoutPolicy: with no policies, every best route's
+// AS-path length equals the topological hop distance.
+func TestQuickShortestPathsWithoutPolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(5)
+		net := randomConnectedNetwork(t, rng, n)
+		st, err := net.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist := hopDistances(net, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(j), 0, 0}), 16)
+				e, ok := st.Best(fmt.Sprintf("R%d", i), pfx)
+				if !ok {
+					t.Fatalf("unreachable R%d from R%d", j, i)
+				}
+				if got := len(e.Route.FlatASPath()); got != dist[i][j] {
+					t.Fatalf("trial %d: R%d→R%d path length %d, hop distance %d", trial, i, j, got, dist[i][j])
+				}
+			}
+		}
+	}
+}
+
+// hopDistances computes all-pairs BFS distances over sessions.
+func hopDistances(net *Network, n int) [][]int {
+	dist := make([][]int, n)
+	for i := range dist {
+		dist[i] = make([]int, n)
+		for j := range dist[i] {
+			dist[i][j] = -1
+		}
+		dist[i][i] = 0
+		queue := []int{i}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			r := net.Router(fmt.Sprintf("R%d", cur))
+			for _, nb := range r.Neighbors {
+				var k int
+				fmt.Sscanf(nb.Remote, "R%d", &k)
+				if dist[i][k] < 0 {
+					dist[i][k] = dist[i][cur] + 1
+					queue = append(queue, k)
+				}
+			}
+		}
+	}
+	return dist
+}

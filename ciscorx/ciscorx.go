@@ -1,0 +1,126 @@
+// Package ciscorx translates Cisco IOS as-path and expanded community-list
+// regular expressions into exact automata over boundary-explicit strings.
+//
+// Cisco regexes are searched (substring semantics) against the textual form
+// of the attribute, with three metacharacters that reference positions rather
+// than characters: '^' (start), '$' (end) and '_' (a boundary: start, end, or
+// the delimiter between tokens). We make boundaries first-class by rendering
+// subjects with explicit sentinel characters — the AS path [32, 54] becomes
+// "^32 54$", the community 300:3 becomes "^300:3$" — after which '^' and '$'
+// are ordinary literals and '_' is the character class [ ^$]. Substring
+// search then reduces to full-match of .*(R).* over the sentinel alphabet.
+//
+// The same construction is used by the concrete evaluator (internal/policy)
+// and the symbolic atomic-predicate builder (internal/atoms), guaranteeing
+// that both agree on every input.
+package ciscorx
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/clarifynet/clarify/rx"
+)
+
+// PathAlphabet covers boundary-explicit AS-path strings.
+var PathAlphabet = rx.Alphabet("0123456789 ^$")
+
+// CommunityAlphabet covers boundary-explicit community strings.
+var CommunityAlphabet = rx.Alphabet("0123456789:^$")
+
+// digit{1,5}: up to five digits, keeping decoded numbers within uint16/uint32
+// bounds for witnesses.
+const numToken = "[0-9][0-9]?[0-9]?[0-9]?[0-9]?"
+
+// validPath accepts "^$" (empty path) and "^a( b)*$" forms.
+var validPath = rx.MustCompile(`\^(`+numToken+`( `+numToken+`)*)?\$`, PathAlphabet)
+
+// validCommunity accepts "^hi:lo$" forms.
+var validCommunity = rx.MustCompile(`\^`+numToken+`:`+numToken+`\$`, CommunityAlphabet)
+
+// ValidPath returns the automaton of well-formed boundary-explicit AS-path
+// strings; atomic predicates intersect against it so every region witness
+// decodes to a real path.
+func ValidPath() *rx.DFA { return validPath }
+
+// ValidCommunity returns the automaton of well-formed boundary-explicit
+// community strings.
+func ValidCommunity() *rx.DFA { return validCommunity }
+
+// translate rewrites Cisco metacharacters into the sentinel dialect.
+func translate(pattern string) (string, error) {
+	var sb strings.Builder
+	inClass := false
+	for i := 0; i < len(pattern); i++ {
+		c := pattern[i]
+		switch {
+		case c == '\\':
+			if i+1 >= len(pattern) {
+				return "", fmt.Errorf("ciscorx: trailing backslash in %q", pattern)
+			}
+			sb.WriteByte('\\')
+			i++
+			sb.WriteByte(pattern[i])
+		case c == '[':
+			inClass = true
+			sb.WriteByte(c)
+		case c == ']':
+			inClass = false
+			sb.WriteByte(c)
+		case inClass:
+			sb.WriteByte(c)
+		case c == '_':
+			sb.WriteString(`[ \^$]`)
+		case c == '^':
+			sb.WriteString(`\^`)
+		case c == '$':
+			sb.WriteString(`\$`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String(), nil
+}
+
+func compile(pattern string, alpha rx.Alphabet, valid *rx.DFA) (*rx.DFA, error) {
+	body, err := translate(pattern)
+	if err != nil {
+		return nil, err
+	}
+	d, err := rx.Compile(".*("+body+").*", alpha)
+	if err != nil {
+		return nil, fmt.Errorf("ciscorx: pattern %q: %w", pattern, err)
+	}
+	return d.Intersect(valid), nil
+}
+
+// CompilePath compiles a Cisco as-path regex to an automaton over
+// boundary-explicit path strings (already intersected with ValidPath).
+func CompilePath(pattern string) (*rx.DFA, error) {
+	return compile(pattern, PathAlphabet, validPath)
+}
+
+// CompileCommunity compiles a Cisco expanded community-list regex to an
+// automaton over boundary-explicit community strings (already intersected
+// with ValidCommunity).
+func CompileCommunity(pattern string) (*rx.DFA, error) {
+	return compile(pattern, CommunityAlphabet, validCommunity)
+}
+
+// PathSubject renders an ASN sequence in the boundary-explicit form matched
+// by CompilePath automata.
+func PathSubject(asns []uint32) string {
+	var sb strings.Builder
+	sb.WriteByte('^')
+	for i, a := range asns {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", a)
+	}
+	sb.WriteByte('$')
+	return sb.String()
+}
+
+// CommunitySubject renders a community string in boundary-explicit form.
+func CommunitySubject(comm string) string { return "^" + comm + "$" }

@@ -1,0 +1,449 @@
+// Package clarify is the end-to-end workflow engine of Figure 1: classify
+// the user's intent, retrieve prompts, synthesize a snippet with the LLM,
+// extract and verify a behavioural specification, iterate on verification
+// feedback, then disambiguate the insertion point and update the
+// configuration.
+package clarify
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"github.com/clarifynet/clarify/disambig"
+	"github.com/clarifynet/clarify/intent"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/llm"
+	"github.com/clarifynet/clarify/spec"
+)
+
+// DefaultMaxAttempts is the synthesis retry threshold before punting to the
+// user (Figure 1, step 5).
+const DefaultMaxAttempts = 3
+
+// ErrPunt is returned when synthesis keeps failing verification and the tool
+// gives up, per the paper: "we reach a threshold and punt to the user who
+// starts over or provides more information."
+var ErrPunt = errors.New("clarify: synthesis failed verification repeatedly; please rephrase or refine the intent")
+
+// Session drives incremental updates against one configuration.
+type Session struct {
+	// Client is the language model; use llm.NewSimLLM() offline.
+	Client llm.Client
+	// Store is the prompt database; nil selects the built-in store.
+	Store *llm.PromptStore
+	// Config is the configuration being updated; Submit replaces it on
+	// success. It is never mutated in place.
+	Config *ios.Config
+	// RouteOracle and ACLOracle answer disambiguation questions.
+	RouteOracle disambig.RouteOracle
+	ACLOracle   disambig.ACLOracle
+	// MaxAttempts bounds synthesis retries; 0 selects DefaultMaxAttempts.
+	MaxAttempts int
+	// SkipVerification disables the verifier (ablation only).
+	SkipVerification bool
+	// Strategy selects the disambiguation algorithm (default binary search).
+	Strategy disambig.Strategy
+	// EnableReuse caches verified snippets by intent text: repeated intents
+	// (the paper's "some route-maps were reused" case) skip every LLM call
+	// and go straight to disambiguation.
+	EnableReuse bool
+	// Trace, when non-nil, receives a line per pipeline step (classification
+	// outcome, synthesis attempts, verification feedback, disambiguation
+	// summary) — the workflow's observability hook.
+	Trace io.Writer
+
+	mu    sync.Mutex
+	stats Stats
+	reuse map[string]*reuseEntry
+}
+
+// reuseEntry is one cached verified synthesis.
+type reuseEntry struct {
+	kind        intent.Kind
+	snippetText string
+	specJSON    string
+	snippet     *ios.Config
+	name        string
+}
+
+// Stats aggregates the counters reported in the paper's Figure 4.
+type Stats struct {
+	// LLMCalls counts completions requested (classification + synthesis +
+	// spec extraction + retries).
+	LLMCalls int
+	// Disambiguations counts questions answered by the user.
+	Disambiguations int
+	// Retries counts synthesis attempts beyond the first.
+	Retries int
+	// Punts counts updates abandoned at the retry threshold.
+	Punts int
+	// Updates counts successful insertions.
+	Updates int
+}
+
+// Stats returns a snapshot of the session counters.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// UpdateResult reports one successful incremental update.
+type UpdateResult struct {
+	Kind intent.Kind
+	// SnippetText is the final verified LLM output.
+	SnippetText string
+	// SpecJSON is the behavioural specification shown to the user.
+	SpecJSON string
+	// Attempts is the number of synthesis calls used.
+	Attempts int
+	// RouteInsert / ACLInsert carry the disambiguation outcome.
+	RouteInsert *disambig.RouteResult
+	ACLInsert   *disambig.ACLResult
+	// Config is the updated configuration (also stored on the session).
+	Config *ios.Config
+}
+
+func (s *Session) store() *llm.PromptStore {
+	if s.Store == nil {
+		s.Store = llm.NewPromptStore()
+	}
+	return s.Store
+}
+
+func (s *Session) maxAttempts() int {
+	if s.MaxAttempts <= 0 {
+		return DefaultMaxAttempts
+	}
+	return s.MaxAttempts
+}
+
+// tracef emits one trace line when tracing is enabled.
+func (s *Session) tracef(format string, args ...interface{}) {
+	if s.Trace != nil {
+		fmt.Fprintf(s.Trace, "clarify: "+format+"\n", args...)
+	}
+}
+
+func (s *Session) complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	s.mu.Lock()
+	s.stats.LLMCalls++
+	s.mu.Unlock()
+	return s.Client.Complete(ctx, req)
+}
+
+// Submit runs the full pipeline for one natural-language intent against the
+// named route-map or ACL in the session's configuration.
+func (s *Session) Submit(ctx context.Context, intentText, targetName string) (*UpdateResult, error) {
+	if s.Config == nil {
+		return nil, fmt.Errorf("clarify: session has no configuration")
+	}
+	if s.EnableReuse {
+		s.mu.Lock()
+		entry := s.reuse[intentText]
+		s.mu.Unlock()
+		if entry != nil {
+			s.tracef("reusing verified snippet for identical intent (0 LLM calls)")
+			switch entry.kind {
+			case intent.KindRouteMap:
+				return s.insertRouteSnippet(entry.snippet, entry.name, targetName, entry.snippetText, entry.specJSON, 0)
+			case intent.KindACL:
+				return s.insertACLSnippet(entry.snippet, entry.name, targetName, entry.snippetText, entry.specJSON, 0)
+			}
+		}
+	}
+	// Step 1: classification call.
+	resp, err := s.complete(ctx, s.store().BuildRequest(llm.TaskClassify,
+		llm.Message{Role: llm.RoleUser, Content: intentText}))
+	if err != nil {
+		return nil, fmt.Errorf("clarify: classification: %w", err)
+	}
+	kind := strings.TrimSpace(resp.Content)
+	s.tracef("classified intent as %s", kind)
+	switch kind {
+	case "acl":
+		return s.submitACL(ctx, intentText, targetName)
+	case "route-map":
+		return s.submitRouteMap(ctx, intentText, targetName)
+	default:
+		return nil, fmt.Errorf("clarify: classifier returned %q", resp.Content)
+	}
+}
+
+// submitRouteMap is the route-map pipeline: synthesize → spec → verify loop
+// → disambiguate.
+func (s *Session) submitRouteMap(ctx context.Context, intentText, mapName string) (*UpdateResult, error) {
+	store := s.store()
+
+	// Step 3 (second half): one spec-extraction call; the spec is stable
+	// across retries because it is derived from the unchanged intent.
+	specResp, err := s.complete(ctx, store.BuildRequest(llm.TaskSpecRouteMap,
+		llm.Message{Role: llm.RoleUser, Content: intentText}))
+	if err != nil {
+		return nil, fmt.Errorf("clarify: spec extraction: %w", err)
+	}
+	rmSpec, err := spec.ParseRouteMapSpec([]byte(specResp.Content))
+	if err != nil {
+		return nil, fmt.Errorf("clarify: spec extraction produced invalid JSON: %w", err)
+	}
+
+	turns := []llm.Message{{Role: llm.RoleUser, Content: intentText}}
+	var snippet *ios.Config
+	var snippetMap, snippetText string
+	attempts := 0
+	for {
+		if attempts >= s.maxAttempts() {
+			s.mu.Lock()
+			s.stats.Punts++
+			s.mu.Unlock()
+			return nil, ErrPunt
+		}
+		attempts++
+		if attempts > 1 {
+			s.mu.Lock()
+			s.stats.Retries++
+			s.mu.Unlock()
+		}
+		resp, err := s.complete(ctx, store.BuildRequest(llm.TaskSynthRouteMap, turns...))
+		if err != nil {
+			return nil, fmt.Errorf("clarify: synthesis: %w", err)
+		}
+		snippetText = resp.Content
+		feedback := ""
+		cfg, err := ios.Parse(snippetText)
+		if err != nil {
+			feedback = fmt.Sprintf("The previous output was not valid Cisco IOS syntax: %v.", err)
+		} else if name, err2 := soleRouteMap(cfg); err2 != nil {
+			feedback = fmt.Sprintf("The previous output was malformed: %v.", err2)
+		} else if err3 := cfg.Validate(); err3 != nil {
+			feedback = fmt.Sprintf("The previous output references undefined data structures: %v.", err3)
+		} else if !s.SkipVerification {
+			violations, err4 := spec.VerifyRouteMapSnippet(cfg, name, rmSpec)
+			if err4 != nil {
+				return nil, fmt.Errorf("clarify: verification: %w", err4)
+			}
+			if len(violations) > 0 {
+				feedback = "The previous stanza does not meet the specification: " + describeViolations(violations)
+			} else {
+				snippet, snippetMap = cfg, name
+			}
+		} else {
+			snippet, snippetMap = cfg, name
+		}
+		if snippet != nil {
+			s.tracef("attempt %d verified", attempts)
+			break
+		}
+		s.tracef("attempt %d rejected: %s", attempts, feedback)
+		turns = append(turns,
+			llm.Message{Role: llm.RoleAssistant, Content: snippetText},
+			llm.Message{Role: llm.RoleUser, Content: feedback + llm.FeedbackIntentMarker + intentText},
+		)
+	}
+
+	if s.EnableReuse {
+		s.mu.Lock()
+		if s.reuse == nil {
+			s.reuse = map[string]*reuseEntry{}
+		}
+		s.reuse[intentText] = &reuseEntry{
+			kind: intent.KindRouteMap, snippetText: snippetText,
+			specJSON: specResp.Content, snippet: snippet, name: snippetMap,
+		}
+		s.mu.Unlock()
+	}
+	return s.insertRouteSnippet(snippet, snippetMap, mapName, snippetText, specResp.Content, attempts)
+}
+
+// insertRouteSnippet is step 6 for route maps: disambiguation and insertion
+// of an already-verified snippet.
+func (s *Session) insertRouteSnippet(snippet *ios.Config, snippetMap, mapName, snippetText, specJSON string, attempts int) (*UpdateResult, error) {
+	res, err := disambig.InsertRouteMapStanzaStrategy(s.Strategy, s.Config, mapName, snippet, snippetMap, s.RouteOracle)
+	if err != nil {
+		return nil, err
+	}
+	s.tracef("disambiguated %s: %d distinguishing overlap(s), %d question(s), inserted at position %d",
+		mapName, len(res.Overlaps), len(res.Questions), res.Position)
+	s.mu.Lock()
+	s.stats.Disambiguations += len(res.Questions)
+	s.stats.Updates++
+	s.mu.Unlock()
+	s.Config = res.Config
+	return &UpdateResult{
+		Kind:        intent.KindRouteMap,
+		SnippetText: snippetText,
+		SpecJSON:    specJSON,
+		Attempts:    attempts,
+		RouteInsert: res,
+		Config:      res.Config,
+	}, nil
+}
+
+// submitACL is the ACL pipeline.
+func (s *Session) submitACL(ctx context.Context, intentText, aclName string) (*UpdateResult, error) {
+	store := s.store()
+	specResp, err := s.complete(ctx, store.BuildRequest(llm.TaskSpecACL,
+		llm.Message{Role: llm.RoleUser, Content: intentText}))
+	if err != nil {
+		return nil, fmt.Errorf("clarify: spec extraction: %w", err)
+	}
+	aclSpec, err := spec.ParseACLSpec([]byte(specResp.Content))
+	if err != nil {
+		return nil, fmt.Errorf("clarify: spec extraction produced invalid JSON: %w", err)
+	}
+
+	turns := []llm.Message{{Role: llm.RoleUser, Content: intentText}}
+	var snippet *ios.Config
+	var snippetACL, snippetText string
+	attempts := 0
+	for {
+		if attempts >= s.maxAttempts() {
+			s.mu.Lock()
+			s.stats.Punts++
+			s.mu.Unlock()
+			return nil, ErrPunt
+		}
+		attempts++
+		if attempts > 1 {
+			s.mu.Lock()
+			s.stats.Retries++
+			s.mu.Unlock()
+		}
+		resp, err := s.complete(ctx, store.BuildRequest(llm.TaskSynthACL, turns...))
+		if err != nil {
+			return nil, fmt.Errorf("clarify: synthesis: %w", err)
+		}
+		snippetText = resp.Content
+		feedback := ""
+		cfg, err := ios.Parse(snippetText)
+		if err != nil {
+			feedback = fmt.Sprintf("The previous output was not valid Cisco IOS syntax: %v.", err)
+		} else if name, err2 := soleACL(cfg); err2 != nil {
+			feedback = fmt.Sprintf("The previous output was malformed: %v.", err2)
+		} else if !s.SkipVerification {
+			violations, err3 := spec.VerifyACLSnippet(cfg, name, aclSpec)
+			if err3 != nil {
+				return nil, fmt.Errorf("clarify: verification: %w", err3)
+			}
+			if len(violations) > 0 {
+				feedback = "The previous entry does not meet the specification: " + describeViolations(violations)
+			} else {
+				snippet, snippetACL = cfg, name
+			}
+		} else {
+			snippet, snippetACL = cfg, name
+		}
+		if snippet != nil {
+			s.tracef("attempt %d verified", attempts)
+			break
+		}
+		s.tracef("attempt %d rejected: %s", attempts, feedback)
+		turns = append(turns,
+			llm.Message{Role: llm.RoleAssistant, Content: snippetText},
+			llm.Message{Role: llm.RoleUser, Content: feedback + llm.FeedbackIntentMarker + intentText},
+		)
+	}
+
+	if s.EnableReuse {
+		s.mu.Lock()
+		if s.reuse == nil {
+			s.reuse = map[string]*reuseEntry{}
+		}
+		s.reuse[intentText] = &reuseEntry{
+			kind: intent.KindACL, snippetText: snippetText,
+			specJSON: specResp.Content, snippet: snippet, name: snippetACL,
+		}
+		s.mu.Unlock()
+	}
+	return s.insertACLSnippet(snippet, snippetACL, aclName, snippetText, specResp.Content, attempts)
+}
+
+// insertACLSnippet is step 6 for ACLs.
+func (s *Session) insertACLSnippet(snippet *ios.Config, snippetACL, aclName, snippetText, specJSON string, attempts int) (*UpdateResult, error) {
+	res, err := disambig.InsertACLEntry(s.Config, aclName, snippet, snippetACL, s.ACLOracle)
+	if err != nil {
+		return nil, err
+	}
+	s.tracef("disambiguated %s: %d distinguishing overlap(s), %d question(s), inserted at position %d",
+		aclName, len(res.Overlaps), len(res.Questions), res.Position)
+	s.mu.Lock()
+	s.stats.Disambiguations += len(res.Questions)
+	s.stats.Updates++
+	s.mu.Unlock()
+	s.Config = res.Config
+	return &UpdateResult{
+		Kind:        intent.KindACL,
+		SnippetText: snippetText,
+		SpecJSON:    specJSON,
+		Attempts:    attempts,
+		ACLInsert:   res,
+		Config:      res.Config,
+	}, nil
+}
+
+func soleRouteMap(cfg *ios.Config) (string, error) {
+	if len(cfg.RouteMaps) != 1 {
+		return "", fmt.Errorf("want exactly one route-map, got %d", len(cfg.RouteMaps))
+	}
+	for name, rm := range cfg.RouteMaps {
+		if len(rm.Stanzas) != 1 {
+			return "", fmt.Errorf("want exactly one stanza, got %d", len(rm.Stanzas))
+		}
+		return name, nil
+	}
+	return "", nil
+}
+
+func soleACL(cfg *ios.Config) (string, error) {
+	if len(cfg.ACLs) != 1 {
+		return "", fmt.Errorf("want exactly one access-list, got %d", len(cfg.ACLs))
+	}
+	for name, acl := range cfg.ACLs {
+		if len(acl.Entries) != 1 {
+			return "", fmt.Errorf("want exactly one entry, got %d", len(acl.Entries))
+		}
+		return name, nil
+	}
+	return "", nil
+}
+
+func describeViolations(vs []spec.Violation) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("[%s] %s", v.Kind, v.Details)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// NewRouteMap starts an empty route-map in the session's configuration so
+// incremental synthesis can build it from scratch (the §5 workflow).
+func (s *Session) NewRouteMap(name string) error {
+	if s.Config == nil {
+		s.Config = ios.NewConfig()
+	} else {
+		s.Config = s.Config.Clone()
+	}
+	if _, exists := s.Config.RouteMaps[name]; exists {
+		return fmt.Errorf("clarify: route-map %q already exists", name)
+	}
+	s.Config.AddRouteMap(name)
+	return nil
+}
+
+// NewACL starts an empty ACL in the session's configuration.
+func (s *Session) NewACL(name string) error {
+	if s.Config == nil {
+		s.Config = ios.NewConfig()
+	} else {
+		s.Config = s.Config.Clone()
+	}
+	if _, exists := s.Config.ACLs[name]; exists {
+		return fmt.Errorf("clarify: ACL %q already exists", name)
+	}
+	s.Config.AddACL(name)
+	return nil
+}

@@ -1,0 +1,280 @@
+package clarify
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/clarifynet/clarify/analysis"
+	"github.com/clarifynet/clarify/disambig"
+	"github.com/clarifynet/clarify/intent"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/llm"
+	"github.com/clarifynet/clarify/symbolic"
+)
+
+const paperISPOut = `ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+`
+
+const paperPrompt = `Write a route-map stanza that permits routes containing the prefix 100.0.0.0/16 with mask length less than or equal to 23 and tagged with the community 300:3. Their MED value should be set to 55.`
+
+// figure2a is the target semantics for the paper walkthrough (new stanza on
+// top).
+func figure2a(t *testing.T) *ios.Config {
+	t.Helper()
+	cfg := ios.MustParse(paperISPOut + `ip community-list expanded D2 permit _300:3_
+ip prefix-list D3 seq 10 permit 100.0.0.0/16 le 23
+`)
+	st := &ios.Stanza{
+		Permit:  true,
+		Matches: []ios.Match{ios.MatchCommunity{List: "D2"}, ios.MatchPrefixList{List: "D3"}},
+		Sets:    []ios.SetClause{ios.SetMetric{Value: 55}},
+	}
+	cfg.RouteMaps["ISP_OUT"].InsertStanza(0, st)
+	return cfg
+}
+
+func newPaperSession(t *testing.T, client llm.Client) *Session {
+	t.Helper()
+	target := figure2a(t)
+	return &Session{
+		Client:      client,
+		Config:      ios.MustParse(paperISPOut),
+		RouteOracle: disambig.NewSimUserRouteMap(target, "ISP_OUT"),
+	}
+}
+
+func TestPaperWalkthroughEndToEnd(t *testing.T) {
+	sim := llm.NewSimLLM()
+	s := newPaperSession(t, sim)
+	res, err := s.Submit(context.Background(), paperPrompt, "ISP_OUT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != intent.KindRouteMap || res.Attempts != 1 {
+		t.Errorf("kind=%v attempts=%d", res.Kind, res.Attempts)
+	}
+	// The snippet is the paper's SET_METRIC output.
+	for _, want := range []string{"route-map SET_METRIC permit 10", "match community COM_LIST", "set metric 55"} {
+		if !strings.Contains(res.SnippetText, want) {
+			t.Errorf("snippet missing %q:\n%s", want, res.SnippetText)
+		}
+	}
+	// The spec is the paper's JSON shape.
+	for _, want := range []string{`"permit": true`, `"100.0.0.0/16:16-23"`, `"metric": 55`} {
+		if !strings.Contains(res.SpecJSON, want) {
+			t.Errorf("spec missing %q:\n%s", want, res.SpecJSON)
+		}
+	}
+	// Insertion: top, D2/D3 renames, two questions.
+	ri := res.RouteInsert
+	if ri.Position != 0 || ri.Renames["COM_LIST"] != "D2" || ri.Renames["PREFIX_100"] != "D3" {
+		t.Errorf("insert = pos %d renames %v", ri.Position, ri.Renames)
+	}
+	if len(ri.Questions) != 2 {
+		t.Errorf("questions = %d", len(ri.Questions))
+	}
+	// Session stats: 3 LLM calls (classify, spec, synth), 2 disambiguations.
+	st := s.Stats()
+	if st.LLMCalls != 3 || st.Disambiguations != 2 || st.Updates != 1 || st.Retries != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Final semantics equals Figure 2(a).
+	target := figure2a(t)
+	space, err := symbolic.NewRouteSpace(res.Config, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := analysis.EquivalentRouteMaps(space, res.Config, res.Config.RouteMaps["ISP_OUT"], target, target.RouteMaps["ISP_OUT"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("final config differs from Figure 2(a):\n%s", res.Config.Print())
+	}
+}
+
+func TestVerificationLoopRecoversFromFaults(t *testing.T) {
+	for _, fault := range []llm.Fault{llm.FaultWrongValue, llm.FaultWidenMask, llm.FaultDropMatch, llm.FaultFlipAction, llm.FaultSyntax} {
+		sim := llm.NewSimLLM(fault)
+		s := newPaperSession(t, sim)
+		res, err := s.Submit(context.Background(), paperPrompt, "ISP_OUT")
+		if err != nil {
+			t.Fatalf("fault %v: %v", fault, err)
+		}
+		if res.Attempts != 2 {
+			t.Errorf("fault %v: attempts = %d, want 2", fault, res.Attempts)
+		}
+		st := s.Stats()
+		if st.Retries != 1 {
+			t.Errorf("fault %v: retries = %d", fault, st.Retries)
+		}
+	}
+}
+
+func TestPuntAfterRepeatedFailures(t *testing.T) {
+	sim := llm.NewSimLLM(llm.FaultWrongValue, llm.FaultWrongValue, llm.FaultWrongValue, llm.FaultWrongValue)
+	s := newPaperSession(t, sim)
+	_, err := s.Submit(context.Background(), paperPrompt, "ISP_OUT")
+	if !errors.Is(err, ErrPunt) {
+		t.Fatalf("err = %v, want ErrPunt", err)
+	}
+	if s.Stats().Punts != 1 {
+		t.Errorf("stats = %+v", s.Stats())
+	}
+}
+
+func TestSkipVerificationShipsWrongStanza(t *testing.T) {
+	// Ablation: with the verifier off, a faulty synthesis lands in the
+	// config unchallenged.
+	sim := llm.NewSimLLM(llm.FaultWrongValue)
+	target := figure2a(t)
+	s := &Session{
+		Client:           sim,
+		Config:           ios.MustParse(paperISPOut),
+		RouteOracle:      disambig.NewSimUserRouteMap(target, "ISP_OUT"),
+		SkipVerification: true,
+	}
+	res, err := s.Submit(context.Background(), paperPrompt, "ISP_OUT")
+	if err != nil {
+		// The simulated user may reject both options when the wrong stanza
+		// changes behaviour beyond its intent — also a detection, but the
+		// dangerous case is silent success, checked below.
+		return
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d", res.Attempts)
+	}
+	// The shipped stanza sets metric 56, not 55.
+	if !strings.Contains(res.SnippetText, "set metric 56") {
+		t.Errorf("expected the faulty stanza to ship:\n%s", res.SnippetText)
+	}
+}
+
+func TestACLPipelineEndToEnd(t *testing.T) {
+	base := `ip access-list extended EDGE
+ deny tcp any any eq 22
+ permit tcp any any established
+ deny ip any any
+`
+	orig := ios.MustParse(base)
+	// Target: the new entry above the ssh deny.
+	snip := ios.MustParse("ip access-list extended N\n permit tcp 10.0.0.0 0.0.0.255 any eq 22\n")
+	target := orig.Clone()
+	target.ACLs["EDGE"].InsertEntry(0, snip.ACLs["N"].Entries[0].Clone())
+
+	sim := llm.NewSimLLM()
+	s := &Session{
+		Client:    sim,
+		Config:    orig,
+		ACLOracle: disambig.NewSimUserACL(target, "EDGE"),
+	}
+	res, err := s.Submit(context.Background(),
+		"Write an ACL entry that permits tcp traffic from 10.0.0.0/24 to any host on port 22.", "EDGE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != intent.KindACL || res.ACLInsert == nil {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.ACLInsert.Position != 0 {
+		t.Errorf("position = %d", res.ACLInsert.Position)
+	}
+	sp := symbolic.NewACLSpace()
+	if sp.PermitSet(res.Config.ACLs["EDGE"]) != sp.PermitSet(target.ACLs["EDGE"]) {
+		t.Error("final ACL differs from target")
+	}
+}
+
+func TestSessionAccumulatesAcrossUpdates(t *testing.T) {
+	sim := llm.NewSimLLM()
+	target := figure2a(t)
+	s := &Session{
+		Client:      sim,
+		Config:      ios.MustParse(paperISPOut),
+		RouteOracle: disambig.NewSimUserRouteMap(target, "ISP_OUT"),
+	}
+	if _, err := s.Submit(context.Background(), paperPrompt, "ISP_OUT"); err != nil {
+		t.Fatal(err)
+	}
+	// Second update against the grown config: deny routes through AS 666
+	// everywhere (its own intent); target = result of inserting at top.
+	// Build the expected target dynamically by running the insertion on a
+	// fixed position via a scripted oracle that always prefers the new rule.
+	s.RouteOracle = disambig.FuncRouteOracle(func(disambig.RouteQuestion) (bool, error) { return true, nil })
+	res, err := s.Submit(context.Background(), "Write a route-map stanza that denies routes passing through AS 666.", "ISP_OUT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RouteInsert.Position != 0 {
+		t.Errorf("always-prefer-new oracle should land on top, got %d", res.RouteInsert.Position)
+	}
+	if len(s.Config.RouteMaps["ISP_OUT"].Stanzas) != 5 {
+		t.Errorf("stanzas = %d, want 5", len(s.Config.RouteMaps["ISP_OUT"].Stanzas))
+	}
+	if s.Stats().Updates != 2 {
+		t.Errorf("stats = %+v", s.Stats())
+	}
+}
+
+func TestNewRouteMapAndACL(t *testing.T) {
+	s := &Session{}
+	if err := s.NewRouteMap("RM"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.NewRouteMap("RM"); err == nil {
+		t.Error("duplicate route-map should fail")
+	}
+	if err := s.NewACL("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Config.RouteMaps["RM"]; !ok {
+		t.Error("route-map lost after NewACL")
+	}
+}
+
+func TestSubmitWithoutConfig(t *testing.T) {
+	s := &Session{Client: llm.NewSimLLM()}
+	if _, err := s.Submit(context.Background(), paperPrompt, "X"); err == nil {
+		t.Fatal("missing config should fail")
+	}
+}
+
+func TestICMPPipelineEndToEnd(t *testing.T) {
+	orig := ios.MustParse(`ip access-list extended EDGE
+ deny icmp any any echo
+ permit ip any any
+`)
+	target := orig.Clone()
+	snip := ios.MustParse("ip access-list extended N\n permit icmp 10.0.0.0 0.0.0.255 any echo\n")
+	target.ACLs["EDGE"].InsertEntry(0, snip.ACLs["N"].Entries[0].Clone())
+	s := &Session{
+		Client:    llm.NewSimLLM(),
+		Config:    orig,
+		ACLOracle: disambig.NewSimUserACL(target, "EDGE"),
+	}
+	res, err := s.Submit(context.Background(),
+		"Write an ACL entry that permits ping traffic from 10.0.0.0/24 to any host.", "EDGE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ACLInsert.Position != 0 {
+		t.Errorf("position = %d, want 0 (above the echo deny)", res.ACLInsert.Position)
+	}
+	if !strings.Contains(res.SnippetText, "permit icmp 10.0.0.0 0.0.0.255 any echo") {
+		t.Errorf("snippet:\n%s", res.SnippetText)
+	}
+	if !strings.Contains(res.SpecJSON, `"icmp": "echo"`) {
+		t.Errorf("spec:\n%s", res.SpecJSON)
+	}
+}

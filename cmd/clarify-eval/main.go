@@ -1,0 +1,102 @@
+// Command clarify-eval regenerates every table and figure of the paper's
+// evaluation: the Section 3 overlap measurements over the synthetic corpora,
+// the Figure 4 incremental-synthesis statistics with global-policy
+// validation, and the Section 4 question-complexity ablation.
+//
+// Usage:
+//
+//	clarify-eval -exp all                 # everything, scaled-down corpora
+//	clarify-eval -exp campus-acl -full    # the paper's full 11,088-ACL corpus
+//	clarify-eval -exp figure4
+//	clarify-eval -exp questions
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/clarifynet/clarify/exper"
+	"github.com/clarifynet/clarify/workload"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment: cloud-acl, cloud-rm, campus-acl, campus-rm, figure4, questions, verify, all")
+		seed = flag.Int64("seed", 1, "corpus seed")
+		full = flag.Bool("full", false, "use the paper's full corpus sizes (slower)")
+	)
+	flag.Parse()
+
+	sizes := map[string]int{
+		"cloud-acl":  80,
+		"cloud-rm":   120,
+		"campus-acl": 400,
+		"campus-rm":  169,
+	}
+	if *full {
+		sizes["cloud-acl"] = workload.CloudACLCount
+		sizes["cloud-rm"] = workload.CloudRouteMapCount
+		sizes["campus-acl"] = workload.CampusACLCount
+		sizes["campus-rm"] = workload.CampusRouteMapCount
+	}
+
+	run := func(name string) {
+		switch name {
+		case "cloud-acl":
+			fmt.Printf("(corpus: %d ACLs, seed %d)\n", sizes[name], *seed)
+			exper.WriteCloudACLTable(os.Stdout, exper.CloudACLExperiment(*seed, sizes[name]))
+		case "cloud-rm":
+			fmt.Printf("(corpus: %d route-maps, seed %d)\n", sizes[name], *seed)
+			agg, err := exper.CloudRouteMapExperiment(*seed, sizes[name])
+			if err != nil {
+				fatal(err)
+			}
+			exper.WriteCloudRMTable(os.Stdout, agg)
+		case "campus-acl":
+			fmt.Printf("(corpus: %d ACLs, seed %d)\n", sizes[name], *seed)
+			exper.WriteCampusACLTable(os.Stdout, exper.CampusACLExperiment(*seed, sizes[name]))
+		case "campus-rm":
+			fmt.Printf("(corpus: %d route-maps, seed %d)\n", sizes[name], *seed)
+			agg, err := exper.CampusRouteMapExperiment(*seed, sizes[name])
+			if err != nil {
+				fatal(err)
+			}
+			exper.WriteCampusRMTable(os.Stdout, agg)
+		case "figure4":
+			if err := exper.Figure4(context.Background(), os.Stdout); err != nil {
+				fatal(err)
+			}
+		case "verify":
+			rows, err := exper.VerifyAblation(context.Background())
+			if err != nil {
+				fatal(err)
+			}
+			exper.WriteVerifyAblation(os.Stdout, rows)
+		case "questions":
+			binary, linear, err := exper.QuestionComplexity([]int{1, 2, 3, 7, 15, 31, 63, 127})
+			if err != nil {
+				fatal(err)
+			}
+			exper.WriteQuestionTable(os.Stdout, binary, linear)
+		default:
+			fmt.Fprintf(os.Stderr, "clarify-eval: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"cloud-acl", "cloud-rm", "campus-acl", "campus-rm", "figure4", "questions", "verify"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clarify-eval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,162 @@
+// Command clarify is the interactive front end of the Clarify pipeline
+// (Figure 1 of the paper): it loads an existing configuration, reads
+// natural-language intents, synthesizes and verifies configuration snippets
+// with an LLM, and interactively disambiguates where each new rule belongs.
+//
+// Usage:
+//
+//	clarify -config isp.cfg -target ISP_OUT [-llm sim|http] [flags] < intents.txt
+//
+// With -llm sim (the default) the deterministic simulated LLM is used and no
+// network access is needed. With -llm http, -base-url and -model select an
+// OpenAI-compatible endpoint; the API key is read from $CLARIFY_API_KEY.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/clarifynet/clarify"
+	"github.com/clarifynet/clarify/disambig"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/llm"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "path to the existing IOS configuration (required)")
+		target     = flag.String("target", "", "route-map or ACL name to update (required)")
+		llmKind    = flag.String("llm", "sim", "LLM backend: sim or http")
+		baseURL    = flag.String("base-url", "https://api.openai.com/v1", "OpenAI-compatible API root (http backend)")
+		model      = flag.String("model", "gpt-4", "model identifier (http backend)")
+		outPath    = flag.String("o", "", "write the updated configuration here (default: stdout)")
+		verbose    = flag.Bool("v", false, "trace pipeline steps to stderr")
+	)
+	flag.Parse()
+	if *configPath == "" || *target == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var trace io.Writer
+	if *verbose {
+		trace = os.Stderr
+	}
+	if err := run(*configPath, *target, *llmKind, *baseURL, *model, *outPath, os.Stdin, os.Stdout, trace); err != nil {
+		fmt.Fprintln(os.Stderr, "clarify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(configPath, target, llmKind, baseURL, model, outPath string, stdin io.Reader, out io.Writer, trace io.Writer) error {
+	data, err := os.ReadFile(configPath)
+	if err != nil {
+		return err
+	}
+	cfg, err := ios.Parse(string(data))
+	if err != nil {
+		return err
+	}
+
+	var client llm.Client
+	switch llmKind {
+	case "sim":
+		client = llm.NewSimLLM()
+	case "http":
+		client = &llm.HTTPClient{BaseURL: baseURL, Model: model, APIKey: os.Getenv("CLARIFY_API_KEY")}
+	default:
+		return fmt.Errorf("unknown -llm backend %q", llmKind)
+	}
+
+	in := bufio.NewScanner(stdin)
+	oracle := &consoleOracle{in: in, out: out}
+	session := &clarify.Session{
+		Client:      client,
+		Config:      cfg,
+		RouteOracle: oracle,
+		ACLOracle:   oracle,
+		Trace:       trace,
+	}
+
+	fmt.Fprintln(out, "Enter one intent per line (empty line to finish):")
+	for {
+		fmt.Fprint(out, "> ")
+		if !in.Scan() {
+			break
+		}
+		text := strings.TrimSpace(in.Text())
+		if text == "" {
+			break
+		}
+		res, err := session.Submit(context.Background(), text, target)
+		if err != nil {
+			fmt.Fprintln(out, "  error:", err)
+			continue
+		}
+		fmt.Fprintf(out, "\nSynthesized snippet (%d attempt(s)):\n%s\n", res.Attempts, indent(res.SnippetText))
+		fmt.Fprintf(out, "Behavioural specification:\n%s\n\n", indent(res.SpecJSON))
+		if res.RouteInsert != nil {
+			fmt.Fprintf(out, "Inserted at position %d after %d question(s).\n\n",
+				res.RouteInsert.Position, len(res.RouteInsert.Questions))
+		}
+		if res.ACLInsert != nil {
+			fmt.Fprintf(out, "Inserted at position %d after %d question(s).\n\n",
+				res.ACLInsert.Position, len(res.ACLInsert.Questions))
+		}
+	}
+
+	final := session.Config.Print()
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(final), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Updated configuration written to %s\n", outPath)
+	} else {
+		fmt.Fprintf(out, "\nFinal configuration:\n%s", final)
+	}
+	st := session.Stats()
+	fmt.Fprintf(out, "\nSession: %d LLM calls, %d disambiguation questions, %d retries, %d updates\n",
+		st.LLMCalls, st.Disambiguations, st.Retries, st.Updates)
+	return nil
+}
+
+// consoleOracle renders differential examples in the paper's OPTION 1 /
+// OPTION 2 style and reads the user's choice from stdin.
+type consoleOracle struct {
+	in  *bufio.Scanner
+	out io.Writer
+}
+
+func (o *consoleOracle) ChooseRoute(q disambig.RouteQuestion) (bool, error) {
+	fmt.Fprintf(o.out, "\n%s\n", q)
+	return o.ask()
+}
+
+func (o *consoleOracle) ChooseACL(q disambig.ACLQuestion) (bool, error) {
+	fmt.Fprintf(o.out, "\n%s\n", q)
+	return o.ask()
+}
+
+func (o *consoleOracle) ask() (bool, error) {
+	for {
+		fmt.Fprint(o.out, "Choose behaviour [1/2]: ")
+		if !o.in.Scan() {
+			return false, fmt.Errorf("input closed during disambiguation")
+		}
+		switch strings.TrimSpace(o.in.Text()) {
+		case "1":
+			return true, nil
+		case "2":
+			return false, nil
+		}
+		fmt.Fprintln(o.out, "Please answer 1 (new rule applies) or 2 (keep existing behaviour).")
+	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
+}

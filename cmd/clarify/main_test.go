@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testConfig = `ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+`
+
+func TestInteractiveSession(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "isp.cfg")
+	if err := os.WriteFile(cfgPath, []byte(testConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.cfg")
+
+	// Scripted session: the paper's prompt, then OPTION 1 for both
+	// questions, then an empty line to finish.
+	script := strings.Join([]string{
+		"Write a route-map stanza that permits routes containing the prefix 100.0.0.0/16 with mask length less than or equal to 23 and tagged with the community 300:3. Their MED value should be set to 55.",
+		"1",
+		"1",
+		"",
+	}, "\n") + "\n"
+
+	var out strings.Builder
+	err := run(cfgPath, "ISP_OUT", "sim", "", "", outPath, strings.NewReader(script), &out, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"OPTION 1", "OPTION 2", "route-map SET_METRIC permit 10",
+		`"metric": 55`, "Inserted at position 0 after 2 question(s)",
+		"3 LLM calls, 2 disambiguation questions",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	final, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ip community-list expanded D2 permit _300:3_", "ip prefix-list D3 seq 10 permit 100.0.0.0/16 le 23"} {
+		if !strings.Contains(string(final), want) {
+			t.Errorf("final config missing %q:\n%s", want, final)
+		}
+	}
+}
+
+func TestInteractiveSessionAnswerValidation(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "isp.cfg")
+	if err := os.WriteFile(cfgPath, []byte(testConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An invalid answer ("x") must be re-asked, then "2" accepted.
+	script := strings.Join([]string{
+		"Write a route-map stanza that permits routes containing the prefix 100.0.0.0/16 with mask length less than or equal to 23 and tagged with the community 300:3. Their MED value should be set to 55.",
+		"x",
+		"2",
+		"2",
+		"",
+	}, "\n") + "\n"
+	var out strings.Builder
+	if err := run(cfgPath, "ISP_OUT", "sim", "", "", "", strings.NewReader(script), &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Please answer 1") {
+		t.Error("invalid answer not re-prompted")
+	}
+	if !strings.Contains(out.String(), "Inserted at position 3") {
+		t.Errorf("keep-existing answers should land at the bottom:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run("/nonexistent.cfg", "X", "sim", "", "", "", strings.NewReader(""), &out, nil); err == nil {
+		t.Error("missing config file should fail")
+	}
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "bad.cfg")
+	_ = os.WriteFile(cfgPath, []byte("frobnicate\n"), 0o644)
+	if err := run(cfgPath, "X", "sim", "", "", "", strings.NewReader(""), &out, nil); err == nil {
+		t.Error("unparseable config should fail")
+	}
+	good := filepath.Join(dir, "good.cfg")
+	_ = os.WriteFile(good, []byte(testConfig), 0o644)
+	if err := run(good, "ISP_OUT", "martian", "", "", "", strings.NewReader(""), &out, nil); err == nil {
+		t.Error("unknown backend should fail")
+	}
+}

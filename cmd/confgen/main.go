@@ -1,0 +1,80 @@
+// Command confgen materializes the synthetic Section 3 corpora as *.cfg
+// files, one configuration per file, for use with the overlaps analyzer or
+// any external tool.
+//
+// Usage:
+//
+//	confgen -profile cloud  -out corpus/ [-acls 237]  [-routemaps 800] [-seed 1]
+//	confgen -profile campus -out corpus/ [-acls 11088] [-routemaps 169] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/workload"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "cloud", "corpus profile: cloud or campus")
+		out     = flag.String("out", "corpus", "output directory")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		acls    = flag.Int("acls", -1, "ACL count (-1 = the paper's full size)")
+		rms     = flag.Int("routemaps", -1, "route-map count (-1 = the paper's full size)")
+	)
+	flag.Parse()
+	if err := run(*profile, *out, *seed, *acls, *rms, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// run generates the corpus and writes one .cfg per configuration under dir.
+func run(profile, dir string, seed int64, acls, rms int, w io.Writer) error {
+	var corpus *workload.Corpus
+	switch profile {
+	case "cloud":
+		corpus = workload.Cloud(seed, pick(acls, workload.CloudACLCount), pick(rms, workload.CloudRouteMapCount))
+	case "campus":
+		corpus = workload.Campus(seed, pick(acls, workload.CampusACLCount), pick(rms, workload.CampusRouteMapCount))
+	default:
+		return fmt.Errorf("unknown profile %q", profile)
+	}
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(kind string, i int, cfg *ios.Config) error {
+		path := filepath.Join(dir, fmt.Sprintf("%s-%s-%05d.cfg", corpus.Name, kind, i))
+		return os.WriteFile(path, []byte(cfg.Print()), 0o644)
+	}
+	for i, cfg := range corpus.ACLConfigs {
+		if err := write("acl", i, cfg); err != nil {
+			return err
+		}
+	}
+	for i, cfg := range corpus.RouteMapConfigs {
+		if err := write("rm", i, cfg); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "confgen: wrote %d ACL configs and %d route-map configs to %s (profile %s, seed %d)\n",
+		len(corpus.ACLConfigs), len(corpus.RouteMapConfigs), dir, corpus.Name, seed)
+	return nil
+}
+
+func pick(v, full int) int {
+	if v < 0 {
+		return full
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "confgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestConfgenWritesCorpus(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run("cloud", dir, 7, 12, 8, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 12 ACL configs and 8 route-map configs") {
+		t.Errorf("summary wrong: %s", out.String())
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.cfg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 20 {
+		t.Fatalf("wrote %d files, want 20", len(files))
+	}
+	// Files are non-empty IOS text.
+	data, err := os.ReadFile(files[0])
+	if err != nil || len(data) == 0 {
+		t.Fatalf("empty corpus file: %v", err)
+	}
+}
+
+func TestConfgenUnknownProfile(t *testing.T) {
+	var out strings.Builder
+	if err := run("martian", t.TempDir(), 1, 1, 1, &out); err == nil {
+		t.Fatal("unknown profile should fail")
+	}
+}

@@ -1,0 +1,162 @@
+// Command overlaps runs the paper's Section 3 measurement over configuration
+// files: for every ACL and route-map found, it reports the overlapping rule
+// pairs (conflicting, proper-subset, non-trivial) computed by the symbolic
+// engine, plus corpus-level aggregates.
+//
+// Usage:
+//
+//	overlaps file1.cfg [file2.cfg ...]
+//	overlaps -dir configs/
+//	overlaps -witness file.cfg      # also print one witness per overlap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/clarifynet/clarify/analysis"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/symbolic"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "analyze every *.cfg file under this directory")
+		witness = flag.Bool("witness", false, "print a witness input for each overlapping pair")
+	)
+	flag.Parse()
+	paths := flag.Args()
+	if *dir != "" {
+		found, err := filepath.Glob(filepath.Join(*dir, "*.cfg"))
+		if err != nil {
+			fatal(err)
+		}
+		paths = append(paths, found...)
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "overlaps: no configuration files given")
+		flag.Usage()
+		os.Exit(2)
+	}
+	sort.Strings(paths)
+	if err := run(paths, *witness, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// run analyzes the given configuration files and writes the report to w.
+func run(paths []string, witness bool, w io.Writer) error {
+	var totals struct {
+		acls, aclsWithConflict, aclsOver20 int
+		rms, rmsWithOverlap, rmsOver20     int
+	}
+	aclSpace := symbolic.NewACLSpace()
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		cfg, err := ios.Parse(string(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(w, "== %s\n", path)
+
+		for _, name := range sortedACLs(cfg) {
+			acl := cfg.ACLs[name]
+			st := analysis.AnalyzeACL(aclSpace, acl)
+			shadowed := analysis.ShadowedACEs(aclSpace, acl)
+			totals.acls++
+			if st.Conflicting > 0 {
+				totals.aclsWithConflict++
+			}
+			if st.Conflicting > 20 {
+				totals.aclsOver20++
+			}
+			fmt.Fprintf(w, "  ACL %-20s entries=%-3d overlaps=%-4d conflicting=%-4d non-trivial=%-3d shadowed=%d\n",
+				name, st.Entries, st.Overlaps, st.Conflicting, st.NonTrivial, len(shadowed))
+			if witness {
+				for _, o := range analysis.ACLOverlaps(aclSpace, acl) {
+					kind := "overlap"
+					if o.Conflicting {
+						kind = "conflict"
+					}
+					if o.ProperSubset {
+						kind += "/subset"
+					}
+					fmt.Fprintf(w, "    entries %d×%d (%s): %s\n", o.I+1, o.J+1, kind, o.Witness)
+				}
+			}
+		}
+
+		if len(cfg.RouteMaps) > 0 {
+			space, err := symbolic.NewRouteSpace(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			for _, name := range sortedRMs(cfg) {
+				rm := cfg.RouteMaps[name]
+				st, err := analysis.AnalyzeRouteMap(space, cfg, rm)
+				if err != nil {
+					return fmt.Errorf("%s: %w", path, err)
+				}
+				totals.rms++
+				if st.Overlaps > 0 {
+					totals.rmsWithOverlap++
+				}
+				if st.Overlaps > 20 {
+					totals.rmsOver20++
+				}
+				shadowNote := ""
+				if !rm.HasContinue() {
+					if shadowed, err := analysis.ShadowedStanzas(space, cfg, rm); err == nil && len(shadowed) > 0 {
+						shadowNote = fmt.Sprintf(" shadowed=%d", len(shadowed))
+					}
+				}
+				fmt.Fprintf(w, "  route-map %-15s stanzas=%-3d overlaps=%-4d conflicting=%d%s\n",
+					name, st.Stanzas, st.Overlaps, st.Conflicting, shadowNote)
+				if witness {
+					overlaps, err := analysis.RouteMapOverlaps(space, cfg, rm)
+					if err != nil {
+						return err
+					}
+					for _, o := range overlaps {
+						fmt.Fprintf(w, "    stanzas %d×%d: route %s communities %v\n",
+							o.I+1, o.J+1, o.Witness.Network, o.Witness.Communities)
+					}
+				}
+			}
+		}
+	}
+	fmt.Fprintf(w, "\nTotals: %d ACLs (%d with conflicts, %d with >20) | %d route-maps (%d with overlaps, %d with >20)\n",
+		totals.acls, totals.aclsWithConflict, totals.aclsOver20,
+		totals.rms, totals.rmsWithOverlap, totals.rmsOver20)
+	return nil
+}
+
+func sortedACLs(cfg *ios.Config) []string {
+	var out []string
+	for n := range cfg.ACLs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedRMs(cfg *ios.Config) []string {
+	var out []string
+	for n := range cfg.RouteMaps {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "overlaps:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestOverlapsReport(t *testing.T) {
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "edge.cfg")
+	if err := os.WriteFile(cfg, []byte(`ip access-list extended EDGE
+ permit tcp host 1.1.1.1 any eq 80
+ deny ip any any
+ip prefix-list P seq 10 permit 10.0.0.0/8 le 24
+route-map RM deny 10
+ match ip address prefix-list P
+route-map RM permit 20
+ match ip address prefix-list P
+ set metric 5
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{cfg}, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"ACL EDGE", "conflicting=1", "non-trivial=0",
+		"route-map RM", "overlaps=1",
+		"entries 1×2 (conflict/subset)",
+		"stanzas 1×2: route",
+		"Totals: 1 ACLs (1 with conflicts, 0 with >20) | 1 route-maps (1 with overlaps, 0 with >20)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestOverlapsErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"/nonexistent.cfg"}, false, &out); err == nil {
+		t.Error("missing file should fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.cfg")
+	_ = os.WriteFile(bad, []byte("frobnicate\n"), 0o644)
+	if err := run([]string{bad}, false, &out); err == nil {
+		t.Error("unparseable file should fail")
+	}
+}

@@ -1,0 +1,117 @@
+// Command rmdiff compares route maps across two configurations and prints
+// concrete differential examples — the standalone form of the paper's
+// compareRoutePolicies step (§2.2), useful for reviewing any manual or
+// tool-made change.
+//
+// Usage:
+//
+//	rmdiff before.cfg after.cfg              # compare every shared route-map
+//	rmdiff -map ISP_OUT before.cfg after.cfg # one route-map
+//	rmdiff -n 10 before.cfg after.cfg        # up to 10 examples per map
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/clarifynet/clarify/analysis"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/policy"
+	"github.com/clarifynet/clarify/symbolic"
+)
+
+func main() {
+	var (
+		mapName = flag.String("map", "", "compare only this route-map")
+		maxN    = flag.Int("n", 3, "maximum differential examples per route-map")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: rmdiff [-map NAME] [-n N] before.cfg after.cfg")
+		os.Exit(2)
+	}
+	equal, err := run(flag.Arg(0), flag.Arg(1), *mapName, *maxN, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmdiff:", err)
+		os.Exit(1)
+	}
+	if !equal {
+		os.Exit(1) // diff-style exit code
+	}
+}
+
+// run compares the two files' route maps; equal reports observational
+// equivalence of every compared map.
+func run(beforePath, afterPath, mapName string, maxN int, w io.Writer) (equal bool, err error) {
+	before, err := load(beforePath)
+	if err != nil {
+		return false, err
+	}
+	after, err := load(afterPath)
+	if err != nil {
+		return false, err
+	}
+	var names []string
+	if mapName != "" {
+		names = []string{mapName}
+	} else {
+		for name := range before.RouteMaps {
+			if _, ok := after.RouteMaps[name]; ok {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+	}
+	if len(names) == 0 {
+		return false, fmt.Errorf("no shared route-maps to compare")
+	}
+	space, err := symbolic.NewRouteSpace(before, after)
+	if err != nil {
+		return false, err
+	}
+	equal = true
+	for _, name := range names {
+		rmA, okA := before.RouteMaps[name]
+		rmB, okB := after.RouteMaps[name]
+		if !okA || !okB {
+			return false, fmt.Errorf("route-map %q missing from one configuration", name)
+		}
+		diffs, err := analysis.CompareRouteMaps(space, before, rmA, after, rmB, maxN)
+		if err != nil {
+			return false, err
+		}
+		if len(diffs) == 0 {
+			fmt.Fprintf(w, "route-map %s: equivalent\n", name)
+			continue
+		}
+		equal = false
+		fmt.Fprintf(w, "route-map %s: %d differential example(s)\n", name, len(diffs))
+		for i, d := range diffs {
+			fmt.Fprintf(w, "\n--- example %d ---\nInput route:\n%s\n\n%s behavior:\n%s\n%s behavior:\n%s\n",
+				i+1, d.Input, beforePath, verdict(d.VerdictA), afterPath, verdict(d.VerdictB))
+		}
+	}
+	return equal, nil
+}
+
+func verdict(v policy.RouteVerdict) string {
+	if !v.Permit {
+		return "ACTION: deny"
+	}
+	return "ACTION: permit\n" + v.Output.String()
+}
+
+func load(path string) (*ios.Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := ios.Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const beforeCfg = `ip as-path access-list D0 permit _32$
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT permit 20
+route-map STABLE permit 10
+`
+
+const afterCfg = `ip as-path access-list D0 permit _32$
+route-map ISP_OUT permit 10
+route-map STABLE permit 10
+`
+
+func write(t *testing.T, dir, name, text string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRmdiffFindsDifference(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "before.cfg", beforeCfg)
+	b := write(t, dir, "after.cfg", afterCfg)
+	var out strings.Builder
+	equal, err := run(a, b, "", 3, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if equal {
+		t.Fatal("dropping the as-path deny must be visible")
+	}
+	text := out.String()
+	for _, want := range []string{"route-map ISP_OUT:", "differential example", "ACTION: deny", "ACTION: permit", "route-map STABLE: equivalent"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRmdiffEquivalent(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.cfg", beforeCfg)
+	b := write(t, dir, "b.cfg", beforeCfg)
+	var out strings.Builder
+	equal, err := run(a, b, "ISP_OUT", 3, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal || !strings.Contains(out.String(), "equivalent") {
+		t.Errorf("identical configs should compare equivalent:\n%s", out.String())
+	}
+}
+
+func TestRmdiffErrors(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.cfg", beforeCfg)
+	var out strings.Builder
+	if _, err := run(a, filepath.Join(dir, "missing.cfg"), "", 3, &out); err == nil {
+		t.Error("missing file should fail")
+	}
+	if _, err := run(a, a, "NOPE", 3, &out); err == nil {
+		t.Error("unknown map should fail")
+	}
+	empty := write(t, dir, "empty.cfg", "! nothing\n")
+	if _, err := run(a, empty, "", 3, &out); err == nil {
+		t.Error("no shared maps should fail")
+	}
+}

@@ -1,0 +1,100 @@
+package disambig
+
+import (
+	"fmt"
+
+	"github.com/clarifynet/clarify/bdd"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/policy"
+	"github.com/clarifynet/clarify/symbolic"
+)
+
+// ACLResult reports a completed ACL insertion.
+type ACLResult struct {
+	Config    *ios.Config
+	Position  int
+	Questions []ACLQuestion
+	Overlaps  []int
+}
+
+// InsertACLEntry runs the disambiguation flow for access lists: locate the
+// entries whose first-match regions intersect the new entry with a different
+// action, binary-search the insertion gap, insert and renumber.
+func InsertACLEntry(orig *ios.Config, aclName string, snippet *ios.Config, snippetACL string, oracle ACLOracle) (*ACLResult, error) {
+	if _, ok := orig.ACLs[aclName]; !ok {
+		return nil, fmt.Errorf("disambig: ACL %q not in configuration", aclName)
+	}
+	snipACL, ok := snippet.ACLs[snippetACL]
+	if !ok {
+		return nil, fmt.Errorf("disambig: snippet lacks ACL %q", snippetACL)
+	}
+	if len(snipACL.Entries) != 1 {
+		return nil, fmt.Errorf("disambig: snippet has %d entries, want exactly 1", len(snipACL.Entries))
+	}
+	work := orig.Clone()
+	acl := work.ACLs[aclName]
+	newEntry := snipACL.Entries[0].Clone()
+
+	space := symbolic.NewACLSpace()
+	regions := space.FirstMatch(acl)
+	predNew := space.ACEPred(newEntry)
+
+	type probe struct {
+		entry    int
+		question ACLQuestion
+	}
+	var probes []probe
+	for i, e := range acl.Entries {
+		if e.Permit == newEntry.Permit {
+			continue // same action: placement relative to this entry is unobservable
+		}
+		shared := space.Pool.And(regions[i], predNew)
+		if shared == bdd.False {
+			continue
+		}
+		pk, ok := space.Witness(shared)
+		if !ok {
+			continue
+		}
+		v := policy.EvalACL(acl, pk)
+		if v.Index != i {
+			// Decode must land in the first-match region by construction;
+			// defensive skip otherwise.
+			continue
+		}
+		probes = append(probes, probe{entry: i, question: ACLQuestion{
+			Input:       pk,
+			NewPermit:   newEntry.Permit,
+			OldPermit:   e.Permit,
+			ProbedEntry: i,
+		}})
+	}
+
+	result := &ACLResult{}
+	for _, p := range probes {
+		result.Overlaps = append(result.Overlaps, p.entry)
+	}
+	lo, hi := 0, len(probes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		q := probes[mid].question
+		preferNew, err := oracle.ChooseACL(q)
+		if err != nil {
+			return nil, err
+		}
+		result.Questions = append(result.Questions, q)
+		if preferNew {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	pos := 0
+	if lo > 0 {
+		pos = probes[lo-1].entry + 1
+	}
+	acl.InsertEntry(pos, newEntry)
+	result.Config = work
+	result.Position = pos
+	return result, nil
+}

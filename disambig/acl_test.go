@@ -1,0 +1,200 @@
+package disambig
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/clarifynet/clarify/internal/testgen"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/policy"
+	"github.com/clarifynet/clarify/symbolic"
+)
+
+const baseACL = `ip access-list extended EDGE
+ deny tcp any any eq 22
+ permit udp 10.0.0.0 0.0.0.255 any
+ permit tcp any any established
+ deny ip any any
+`
+
+const aclSnippet = `ip access-list extended NEW_ENTRY
+ permit tcp 10.0.0.0 0.0.0.255 any eq 22
+`
+
+// targetACL builds EDGE with the new entry inserted at pos.
+func targetACL(t *testing.T, pos int) *ios.Config {
+	t.Helper()
+	cfg := ios.MustParse(baseACL)
+	snip := ios.MustParse(aclSnippet)
+	cfg.ACLs["EDGE"].InsertEntry(pos, snip.ACLs["NEW_ENTRY"].Entries[0].Clone())
+	return cfg
+}
+
+func aclEquivalent(t *testing.T, a, b *ios.Config, name string) {
+	t.Helper()
+	s := symbolic.NewACLSpace()
+	pa := s.PermitSet(a.ACLs[name])
+	pb := s.PermitSet(b.ACLs[name])
+	if pa != pb {
+		t.Fatalf("ACLs differ:\n--- got ---\n%s\n--- want ---\n%s", a.Print(), b.Print())
+	}
+}
+
+func TestACLInsertTop(t *testing.T) {
+	orig := ios.MustParse(baseACL)
+	snippet := ios.MustParse(aclSnippet)
+	target := targetACL(t, 0) // permit 10.0.0.x:22 despite the ssh deny
+	user := NewSimUserACL(target, "EDGE")
+	res, err := InsertACLEntry(orig, "EDGE", snippet, "NEW_ENTRY", user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only distinguishing overlap is entry 0 (deny tcp any any eq 22):
+	// it first-match-captures the new entry's whole space, so the catch-all
+	// deny at entry 3 never sees those packets and is rightly not probed.
+	if len(res.Overlaps) != 1 || res.Overlaps[0] != 0 {
+		t.Errorf("overlaps = %v, want [0]", res.Overlaps)
+	}
+	if len(res.Questions) != 1 {
+		t.Errorf("questions = %d, want 1", len(res.Questions))
+	}
+	if res.Position != 0 {
+		t.Errorf("position = %d, want 0", res.Position)
+	}
+	aclEquivalent(t, res.Config, target, "EDGE")
+	if len(orig.ACLs["EDGE"].Entries) != 4 {
+		t.Error("original mutated")
+	}
+}
+
+func TestACLInsertBetween(t *testing.T) {
+	// Target: below the ssh deny but above the catch-all deny (positions
+	// 1..3 are all equivalent for this entry).
+	orig := ios.MustParse(baseACL)
+	snippet := ios.MustParse(aclSnippet)
+	target := targetACL(t, 2)
+	user := NewSimUserACL(target, "EDGE")
+	res, err := InsertACLEntry(orig, "EDGE", snippet, "NEW_ENTRY", user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aclEquivalent(t, res.Config, target, "EDGE")
+	if got := len(res.Questions); got > 1 {
+		t.Errorf("questions = %d, want ≤ 1 for 2 overlaps... bound is ⌈log2(3)⌉=2", got)
+	}
+	// Sequence numbers renumbered.
+	for i, e := range res.Config.ACLs["EDGE"].Entries {
+		if e.Seq != (i+1)*10 {
+			t.Errorf("entry %d seq = %d", i, e.Seq)
+		}
+	}
+}
+
+func TestACLInsertBottomTarget(t *testing.T) {
+	// A new entry whose packets should keep being handled by existing rules
+	// everywhere → bottom placement.
+	orig := ios.MustParse(baseACL)
+	snippet := ios.MustParse("ip access-list extended NEW_ENTRY\n permit ip any any\n")
+	target := ios.MustParse(baseACL)
+	target.ACLs["EDGE"].InsertEntry(4, ios.MustParse("ip access-list extended X\n permit ip any any\n").ACLs["X"].Entries[0])
+	user := NewSimUserACL(target, "EDGE")
+	res, err := InsertACLEntry(orig, "EDGE", snippet, "NEW_ENTRY", user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aclEquivalent(t, res.Config, target, "EDGE")
+	if res.Position != 4 {
+		t.Errorf("position = %d, want 4", res.Position)
+	}
+}
+
+func TestACLQuestionShape(t *testing.T) {
+	orig := ios.MustParse(baseACL)
+	snippet := ios.MustParse(aclSnippet)
+	target := targetACL(t, 0)
+	var questions []ACLQuestion
+	oracle := FuncACLOracle(func(q ACLQuestion) (bool, error) {
+		questions = append(questions, q)
+		return NewSimUserACL(target, "EDGE").ChooseACL(q)
+	})
+	if _, err := InsertACLEntry(orig, "EDGE", snippet, "NEW_ENTRY", oracle); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range questions {
+		if q.NewPermit == q.OldPermit {
+			t.Error("question options identical")
+		}
+		// Inputs must match the new entry: tcp from 10.0.0.0/24 port 22.
+		if q.Input.Protocol != 6 || q.Input.DstPort != 22 {
+			t.Errorf("question input does not match new entry: %s", q.Input)
+		}
+	}
+}
+
+func TestACLInsertErrors(t *testing.T) {
+	orig := ios.MustParse(baseACL)
+	snippet := ios.MustParse(aclSnippet)
+	if _, err := InsertACLEntry(orig, "NOPE", snippet, "NEW_ENTRY", nil); err == nil {
+		t.Error("missing ACL should fail")
+	}
+	if _, err := InsertACLEntry(orig, "EDGE", snippet, "NOPE", nil); err == nil {
+		t.Error("missing snippet ACL should fail")
+	}
+}
+
+// TestQuickACLDisambiguation mirrors the route-map property: random ACLs,
+// random entries, every target position → equivalent result.
+func TestQuickACLDisambiguation(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		origCfg := testgen.ACL(rng, "A", 5)
+		entry := testgen.RandomACE(rng, 10)
+		snippet := ios.NewConfig()
+		snippet.AddACL("NEW").Entries = append(snippet.AddACL("NEW").Entries, entry)
+
+		targetPos := rng.Intn(len(origCfg.ACLs["A"].Entries) + 1)
+		target := origCfg.Clone()
+		target.ACLs["A"].InsertEntry(targetPos, entry.Clone())
+
+		user := NewSimUserACL(target, "A")
+		res, err := InsertACLEntry(origCfg, "A", snippet, "NEW", user)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, origCfg.Print())
+		}
+		s := symbolic.NewACLSpace()
+		if s.PermitSet(res.Config.ACLs["A"]) != s.PermitSet(target.ACLs["A"]) {
+			t.Fatalf("trial %d: result not equivalent to target\ngot:\n%s\nwant:\n%s",
+				trial, res.Config.Print(), target.Print())
+		}
+		// Random probing double-check.
+		for i := 0; i < 100; i++ {
+			pk := testgen.Packet(rng)
+			if policy.EvalACL(res.Config.ACLs["A"], pk).Permit != policy.EvalACL(target.ACLs["A"], pk).Permit {
+				t.Fatalf("trial %d: packet %s differs", trial, pk)
+			}
+		}
+	}
+}
+
+func TestACLFirstMatchRegionsUsedForOverlaps(t *testing.T) {
+	// Entry 1 is fully shadowed by entry 0 on the new entry's space → it
+	// must not be probed.
+	orig := ios.MustParse(`ip access-list extended A
+ deny tcp any any eq 80
+ deny tcp 1.0.0.0 0.255.255.255 any eq 80
+ permit ip any any
+`)
+	snippet := ios.MustParse("ip access-list extended N\n permit tcp 1.0.0.0 0.255.255.255 any eq 80\n")
+	target := orig.Clone()
+	target.ACLs["A"].InsertEntry(0, snippet.ACLs["N"].Entries[0].Clone())
+	res, err := InsertACLEntry(orig, "A", snippet, "N", NewSimUserACL(target, "A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range res.Overlaps {
+		if o == 1 {
+			t.Error("shadowed entry 1 should not be a probe")
+		}
+	}
+	_ = policy.ImplicitDeny
+}

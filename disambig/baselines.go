@@ -1,0 +1,266 @@
+package disambig
+
+import (
+	"fmt"
+
+	"github.com/clarifynet/clarify/analysis"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/policy"
+	"github.com/clarifynet/clarify/symbolic"
+)
+
+// Strategy selects a disambiguation algorithm; used by the ablation benches
+// comparing question counts.
+type Strategy int
+
+// Disambiguation strategies.
+const (
+	// StrategyBinary is the §4 binary search (the contribution).
+	StrategyBinary Strategy = iota
+	// StrategyLinear probes every distinguishing overlap top-down until the
+	// user picks the new stanza — the obvious one-question-per-overlap
+	// baseline.
+	StrategyLinear
+	// StrategyTopBottom reproduces the paper's prototype: only the top and
+	// bottom placements are considered, resolved with at most one question
+	// (§2.2: "our disambiguator prototype only supports stanza insertions at
+	// the top or bottom").
+	StrategyTopBottom
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyBinary:
+		return "binary"
+	case StrategyLinear:
+		return "linear"
+	case StrategyTopBottom:
+		return "top-bottom"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// InsertRouteMapStanzaLinear is InsertRouteMapStanza with a linear scan in
+// place of binary search: it asks one question per distinguishing overlap,
+// from the top, placing the new stanza immediately before the first overlap
+// the user assigns to it.
+func InsertRouteMapStanzaLinear(orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle) (*RouteResult, error) {
+	return insertWithSearch(orig, mapName, snippet, snippetMap, oracle, linearSearch)
+}
+
+// InsertRouteMapStanzaStrategy dispatches on strategy.
+func InsertRouteMapStanzaStrategy(strategy Strategy, orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle) (*RouteResult, error) {
+	switch strategy {
+	case StrategyLinear:
+		return InsertRouteMapStanzaLinear(orig, mapName, snippet, snippetMap, oracle)
+	case StrategyTopBottom:
+		return InsertRouteMapStanzaTopBottom(orig, mapName, snippet, snippetMap, oracle)
+	default:
+		return InsertRouteMapStanza(orig, mapName, snippet, snippetMap, oracle)
+	}
+}
+
+func linearSearch(probes []probeQ, oracle RouteOracle, record func(RouteQuestion)) (int, error) {
+	for gap, p := range probes {
+		preferNew, err := oracle.ChooseRoute(p.example)
+		if err != nil {
+			return 0, err
+		}
+		record(p.example)
+		if preferNew {
+			return gap, nil
+		}
+	}
+	return len(probes), nil
+}
+
+func binarySearch(probes []probeQ, oracle RouteOracle, record func(RouteQuestion)) (int, error) {
+	lo, hi := 0, len(probes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		preferNew, err := oracle.ChooseRoute(probes[mid].example)
+		if err != nil {
+			return 0, err
+		}
+		record(probes[mid].example)
+		if preferNew {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+// InsertRouteMapStanzaTopBottom reproduces the paper's prototype: build the
+// top-inserted and bottom-inserted candidates, compare them, and ask at most
+// one question. When the candidates differ on inputs the user assigns to
+// *neither* extreme consistently, the restriction simply cannot express the
+// intent — exactly the limitation §7 lists as future work.
+func InsertRouteMapStanzaTopBottom(orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle) (*RouteResult, error) {
+	prep, err := prepare(orig, mapName, snippet, snippetMap)
+	if err != nil {
+		return nil, err
+	}
+	work, rm, newStanza := prep.work, prep.rm, prep.stanza
+
+	top := work.Clone()
+	top.RouteMaps[mapName].InsertStanza(0, newStanza.Clone())
+	bottom := work.Clone()
+	bottom.RouteMaps[mapName].InsertStanza(len(rm.Stanzas), newStanza.Clone())
+
+	space, err := symbolic.NewRouteSpace(top, bottom)
+	if err != nil {
+		return nil, err
+	}
+	diffs, err := analysis.CompareRouteMaps(space, top, top.RouteMaps[mapName], bottom, bottom.RouteMaps[mapName], 1)
+	if err != nil {
+		return nil, err
+	}
+	result := &RouteResult{Renames: prep.renames}
+	if len(diffs) == 0 {
+		// Equivalent: place at the bottom.
+		result.Config = bottom
+		result.Position = len(rm.Stanzas)
+		return result, nil
+	}
+	d := diffs[0]
+	q := RouteQuestion{
+		Input:      d.Input,
+		NewVerdict: d.VerdictA, // top placement: new stanza wins
+		OldVerdict: d.VerdictB, // bottom placement: existing stanzas win
+	}
+	preferNew, err := oracle.ChooseRoute(q)
+	if err != nil {
+		return nil, err
+	}
+	result.Questions = append(result.Questions, q)
+	if preferNew {
+		result.Config = top
+		result.Position = 0
+	} else {
+		result.Config = bottom
+		result.Position = len(rm.Stanzas)
+	}
+	return result, nil
+}
+
+// ---------- shared preparation ----------
+
+type probeQ struct {
+	stanza  int
+	example RouteQuestion
+}
+
+type prepared struct {
+	work    *ios.Config
+	rm      *ios.RouteMap
+	stanza  *ios.Stanza
+	renames map[string]string
+}
+
+// prepare clones, renames and merges the snippet — the common preamble of
+// every insertion strategy.
+func prepare(orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string) (*prepared, error) {
+	if _, ok := orig.RouteMaps[mapName]; !ok {
+		return nil, fmt.Errorf("disambig: route-map %q not in configuration", mapName)
+	}
+	snipRM, ok := snippet.RouteMaps[snippetMap]
+	if !ok {
+		return nil, fmt.Errorf("disambig: snippet lacks route-map %q", snippetMap)
+	}
+	if len(snipRM.Stanzas) != 1 {
+		return nil, fmt.Errorf("disambig: snippet has %d stanzas, want exactly 1", len(snipRM.Stanzas))
+	}
+	work := orig.Clone()
+	snip := snippet.Clone()
+	renames := map[string]string{}
+	taken := map[string]bool{}
+	for _, name := range snip.ListNames() {
+		fresh := nextListName(work, taken)
+		snip.RenameList(name, fresh)
+		renames[name] = fresh
+		taken[fresh] = true
+	}
+	stanza := snip.RouteMaps[snippetMap].Stanzas[0].Clone()
+	snip.RemoveRouteMap(snippetMap)
+	if err := work.Merge(snip); err != nil {
+		return nil, fmt.Errorf("disambig: merging snippet lists: %w", err)
+	}
+	return &prepared{work: work, rm: work.RouteMaps[mapName], stanza: stanza, renames: renames}, nil
+}
+
+// insertWithSearch is the generic flow parameterized by gap-search strategy.
+func insertWithSearch(orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle,
+	search func([]probeQ, RouteOracle, func(RouteQuestion)) (int, error)) (*RouteResult, error) {
+	prep, err := prepare(orig, mapName, snippet, snippetMap)
+	if err != nil {
+		return nil, err
+	}
+	work, rm, newStanza := prep.work, prep.rm, prep.stanza
+	probes, err := collectProbes(work, rm, newStanza)
+	if err != nil {
+		return nil, err
+	}
+	result := &RouteResult{Renames: prep.renames}
+	for _, p := range probes {
+		result.Overlaps = append(result.Overlaps, p.stanza)
+	}
+	gap, err := search(probes, oracle, func(q RouteQuestion) {
+		result.Questions = append(result.Questions, q)
+	})
+	if err != nil {
+		return nil, err
+	}
+	pos := 0
+	if gap > 0 {
+		pos = probes[gap-1].stanza + 1
+	}
+	rm.InsertStanza(pos, newStanza)
+	if err := work.Validate(); err != nil {
+		return nil, fmt.Errorf("disambig: post-insertion validation: %w", err)
+	}
+	result.Config = work
+	result.Position = pos
+	return result, nil
+}
+
+// collectProbes finds the distinguishing overlaps with a confirmed
+// differential example each.
+func collectProbes(work *ios.Config, rm *ios.RouteMap, newStanza *ios.Stanza) ([]probeQ, error) {
+	// The new stanza is not part of any route-map in work yet; wrap it in a
+	// throwaway config so NewRouteSpace collects its set-community literals
+	// into the atomic-predicate universe.
+	wrapper := ios.NewConfig()
+	wrapper.AddRouteMap("__NEW__").Stanzas = []*ios.Stanza{newStanza}
+	space, err := symbolic.NewRouteSpace(work, wrapper)
+	if err != nil {
+		return nil, err
+	}
+	regions, err := space.FirstMatch(work, rm)
+	if err != nil {
+		return nil, err
+	}
+	predNew, err := space.StanzaPred(work, newStanza)
+	if err != nil {
+		return nil, err
+	}
+	ev := policy.NewEvaluator(work)
+	var probes []probeQ
+	for i := range rm.Stanzas {
+		shared := space.Pool.AndN(regions[i], predNew, space.Valid)
+		outEq, err := space.OutputEqual(newStanza, rm.Stanzas[i])
+		if err != nil {
+			return nil, err
+		}
+		q, found, err := confirmQuestion(space, ev, rm, newStanza, i, space.Pool.Diff(shared, outEq))
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			probes = append(probes, probeQ{stanza: i, example: q})
+		}
+	}
+	return probes, nil
+}

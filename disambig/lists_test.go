@@ -1,0 +1,307 @@
+package disambig
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"github.com/clarifynet/clarify/internal/testgen"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/policy"
+	"github.com/clarifynet/clarify/route"
+)
+
+// renumberPrefixList rewrites sequence numbers to match slice order, so
+// seq-order evaluation agrees with the intended positions.
+func renumberPrefixList(l *ios.PrefixList) {
+	for i := range l.Entries {
+		l.Entries[i].Seq = (i + 1) * 10
+	}
+}
+
+// listSemanticsEqual compares two configurations' list verdicts on a random
+// route sample.
+func listSemanticsEqual(t *testing.T, kind ListKind, name string, a, b *ios.Config, seed int64) {
+	t.Helper()
+	var clause ios.Match
+	switch kind {
+	case KindPrefixList:
+		clause = ios.MatchPrefixList{List: name}
+	case KindCommunityList:
+		clause = ios.MatchCommunity{List: name}
+	case KindASPathList:
+		clause = ios.MatchASPath{List: name}
+	}
+	evA, evB := policy.NewEvaluator(a), policy.NewEvaluator(b)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 400; i++ {
+		r := testgen.Route(rng)
+		va, err := evA.MatchHolds(clause, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := evB.MatchHolds(clause, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if va != vb {
+			t.Fatalf("%s %s: semantics differ on %s (communities %v, path %v): %v vs %v\n--- got ---\n%s--- want ---\n%s",
+				kind, name, r.Network, r.Communities, r.FlatASPath(), va, vb, a.Print(), b.Print())
+		}
+	}
+}
+
+func TestInsertPrefixListEntry(t *testing.T) {
+	orig := ios.MustParse(`ip prefix-list L seq 10 deny 10.1.0.0/16 le 24
+ip prefix-list L seq 20 permit 10.0.0.0/8 le 24
+`)
+	// New permit for 10.1.2.0/24 le 32: overlaps the deny (conflicting) and
+	// the permit (same action → unobservable).
+	entry := ios.PrefixListEntry{Permit: true, Prefix: netip.MustParsePrefix("10.1.2.0/24"), Le: 32}
+
+	// Target: the new permit should win over the deny → position 0.
+	target := orig.Clone()
+	tl := target.PrefixLists["L"]
+	tl.Entries = append([]ios.PrefixListEntry{entry}, tl.Entries...)
+	renumberPrefixList(tl)
+	user := &SimUserList{Target: target, Kind: KindPrefixList, ListName: "L"}
+	res, err := InsertPrefixListEntry(orig, "L", entry, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Position != 0 {
+		t.Errorf("position = %d, want 0", res.Position)
+	}
+	if len(res.Overlaps) != 1 || res.Overlaps[0] != 0 {
+		t.Errorf("overlaps = %v, want [0]", res.Overlaps)
+	}
+	if len(res.Questions) != 1 {
+		t.Errorf("questions = %d", len(res.Questions))
+	}
+	listSemanticsEqual(t, KindPrefixList, "L", res.Config, target, 1)
+	// Sequence numbers renumbered.
+	for i, e := range res.Config.PrefixLists["L"].Entries {
+		if e.Seq != (i+1)*10 {
+			t.Errorf("entry %d seq = %d", i, e.Seq)
+		}
+	}
+	// Original untouched.
+	if len(orig.PrefixLists["L"].Entries) != 2 {
+		t.Error("original mutated")
+	}
+}
+
+func TestInsertPrefixListEntryBelow(t *testing.T) {
+	orig := ios.MustParse(`ip prefix-list L seq 10 deny 10.1.0.0/16 le 24
+ip prefix-list L seq 20 permit 10.0.0.0/8 le 24
+`)
+	entry := ios.PrefixListEntry{Permit: true, Prefix: netip.MustParsePrefix("10.1.2.0/24"), Le: 32}
+	// Target: keep the deny's priority → new entry below it.
+	target := orig.Clone()
+	tl := target.PrefixLists["L"]
+	tl.Entries = append(tl.Entries, ios.PrefixListEntry{})
+	copy(tl.Entries[2:], tl.Entries[1:])
+	tl.Entries[1] = entry
+	renumberPrefixList(tl)
+	user := &SimUserList{Target: target, Kind: KindPrefixList, ListName: "L"}
+	res, err := InsertPrefixListEntry(orig, "L", entry, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Position != 1 {
+		t.Errorf("position = %d, want 1", res.Position)
+	}
+	listSemanticsEqual(t, KindPrefixList, "L", res.Config, target, 2)
+}
+
+func TestInsertCommunityListEntry(t *testing.T) {
+	orig := ios.MustParse(`ip community-list expanded CL deny _300:[0-9]+_
+ip community-list expanded CL permit _[0-9]+:[0-9]+_
+`)
+	entry := ios.CommunityListEntry{Permit: true, Values: []string{"_300:3_"}}
+	// Target: permit 300:3 despite the broader 300:* deny → top.
+	target := orig.Clone()
+	tl := target.CommunityLists["CL"]
+	tl.Entries = append([]ios.CommunityListEntry{entry}, tl.Entries...)
+	user := &SimUserList{Target: target, Kind: KindCommunityList, ListName: "CL"}
+	res, err := InsertCommunityListEntry(orig, "CL", entry, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Position != 0 {
+		t.Errorf("position = %d, want 0", res.Position)
+	}
+	listSemanticsEqual(t, KindCommunityList, "CL", res.Config, target, 3)
+	// The question's witness carries a 300:x community matching both.
+	if len(res.Questions) != 1 {
+		t.Fatalf("questions = %d", len(res.Questions))
+	}
+	w := res.Questions[0].Input
+	found := false
+	for _, c := range w.Communities {
+		if c.Hi == 300 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("witness communities %v lack a 300:x", w.Communities)
+	}
+}
+
+func TestInsertASPathEntry(t *testing.T) {
+	orig := ios.MustParse(`ip as-path access-list A deny _666_
+ip as-path access-list A permit .*
+`)
+	entry := ios.ASPathEntry{Permit: true, Regex: "^666$"}
+	// Target: routes whose whole path is just 666 should be permitted → top.
+	target := orig.Clone()
+	tl := target.ASPathLists["A"]
+	tl.Entries = append([]ios.ASPathEntry{entry}, tl.Entries...)
+	user := &SimUserList{Target: target, Kind: KindASPathList, ListName: "A"}
+	res, err := InsertASPathEntry(orig, "A", entry, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Position != 0 {
+		t.Errorf("position = %d, want 0", res.Position)
+	}
+	listSemanticsEqual(t, KindASPathList, "A", res.Config, target, 4)
+	if user.Asked == 0 {
+		t.Error("expected at least one question")
+	}
+}
+
+func TestListInsertNoConflictNoQuestions(t *testing.T) {
+	orig := ios.MustParse("ip prefix-list L seq 10 permit 10.0.0.0/8 le 24\n")
+	entry := ios.PrefixListEntry{Permit: true, Prefix: netip.MustParsePrefix("10.2.0.0/16"), Le: 28}
+	res, err := InsertPrefixListEntry(orig, "L", entry, FuncListOracle(func(ListQuestion) (bool, error) {
+		t.Fatal("same-action overlap must not ask")
+		return false, nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Questions) != 0 {
+		t.Errorf("questions = %d", len(res.Questions))
+	}
+}
+
+func TestListInsertMissingList(t *testing.T) {
+	orig := ios.NewConfig()
+	if _, err := InsertPrefixListEntry(orig, "NOPE", ios.PrefixListEntry{}, nil); err == nil {
+		t.Error("missing prefix-list should fail")
+	}
+	if _, err := InsertCommunityListEntry(orig, "NOPE", ios.CommunityListEntry{Values: []string{"1:1"}}, nil); err == nil {
+		t.Error("missing community-list should fail")
+	}
+	if _, err := InsertASPathEntry(orig, "NOPE", ios.ASPathEntry{Regex: "_1_"}, nil); err == nil {
+		t.Error("missing as-path list should fail")
+	}
+}
+
+// TestQuickPrefixListDisambiguation: random prefix lists, random entries,
+// random target positions → equivalent semantics.
+func TestQuickPrefixListDisambiguation(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	cidrs := []string{"10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "20.0.0.0/16", "1.0.0.0/20", "100.0.0.0/16"}
+	for trial := 0; trial < 25; trial++ {
+		orig := ios.NewConfig()
+		n := 2 + rng.Intn(4)
+		var entries []ios.PrefixListEntry
+		for i := 0; i < n; i++ {
+			pfx := netip.MustParsePrefix(cidrs[rng.Intn(len(cidrs))])
+			e := ios.PrefixListEntry{
+				Seq:    (i + 1) * 10,
+				Permit: rng.Intn(2) == 0,
+				Prefix: pfx.Masked(),
+			}
+			if rng.Intn(2) == 0 {
+				e.Le = pfx.Bits() + rng.Intn(33-pfx.Bits())
+				if e.Le == pfx.Bits() {
+					e.Le = 0
+				}
+			}
+			entries = append(entries, e)
+		}
+		orig.AddPrefixList("L", entries...)
+
+		pfx := netip.MustParsePrefix(cidrs[rng.Intn(len(cidrs))])
+		newEntry := ios.PrefixListEntry{Permit: rng.Intn(2) == 0, Prefix: pfx.Masked(), Le: 32}
+
+		targetPos := rng.Intn(n + 1)
+		target := orig.Clone()
+		tl := target.PrefixLists["L"]
+		tl.Entries = append(tl.Entries, ios.PrefixListEntry{})
+		copy(tl.Entries[targetPos+1:], tl.Entries[targetPos:])
+		tl.Entries[targetPos] = newEntry
+		renumberPrefixList(tl)
+
+		user := &SimUserList{Target: target, Kind: KindPrefixList, ListName: "L"}
+		res, err := InsertPrefixListEntry(orig, "L", newEntry, user)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, orig.Print())
+		}
+		listSemanticsEqual(t, KindPrefixList, "L", res.Config, target, int64(trial))
+	}
+}
+
+// TestQuickCommunityListDisambiguation mirrors the property for community
+// lists.
+func TestQuickCommunityListDisambiguation(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	regexes := []string{"_300:3_", "_300:[0-9]+_", "_100:1_", "_9:9_", "_[0-9]+:[0-9]+_"}
+	for trial := 0; trial < 15; trial++ {
+		orig := ios.NewConfig()
+		n := 2 + rng.Intn(3)
+		var entries []ios.CommunityListEntry
+		for i := 0; i < n; i++ {
+			entries = append(entries, ios.CommunityListEntry{
+				Permit: rng.Intn(2) == 0,
+				Values: []string{regexes[rng.Intn(len(regexes))]},
+			})
+		}
+		orig.AddCommunityList("CL", true, entries...)
+		newEntry := ios.CommunityListEntry{Permit: rng.Intn(2) == 0, Values: []string{regexes[rng.Intn(len(regexes))]}}
+
+		targetPos := rng.Intn(n + 1)
+		target := orig.Clone()
+		tl := target.CommunityLists["CL"]
+		tl.Entries = append(tl.Entries, ios.CommunityListEntry{})
+		copy(tl.Entries[targetPos+1:], tl.Entries[targetPos:])
+		tl.Entries[targetPos] = newEntry
+
+		user := &SimUserList{Target: target, Kind: KindCommunityList, ListName: "CL"}
+		res, err := InsertCommunityListEntry(orig, "CL", newEntry, user)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, orig.Print())
+		}
+		listSemanticsEqual(t, KindCommunityList, "CL", res.Config, target, int64(100+trial))
+	}
+}
+
+func TestListQuestionString(t *testing.T) {
+	q := ListQuestion{
+		Kind:      KindPrefixList,
+		List:      "L",
+		Input:     route.New("10.1.2.0/24"),
+		NewPermit: true,
+		OldPermit: false,
+	}
+	s := q.String()
+	for _, want := range []string{"prefix-list L", "OPTION 1", "permit", "OPTION 2", "deny", "10.1.2.0/24"} {
+		if !contains(s, want) {
+			t.Errorf("question rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return indexOf(s, sub) >= 0 }
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

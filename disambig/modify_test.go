@@ -1,0 +1,149 @@
+package disambig
+
+import (
+	"testing"
+
+	"github.com/clarifynet/clarify/analysis"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/policy"
+)
+
+func TestDeleteRouteMapStanzaImpact(t *testing.T) {
+	orig := ios.MustParse(paperISPOut)
+	// Deleting the as-path deny re-routes ASN-32 routes: most fall to the
+	// implicit deny (same action), but an ASN-32 route with local-pref 300
+	// flips to permitted by stanza 30.
+	res, err := DeleteRouteMapStanza(orig, "ISP_OUT", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Config.RouteMaps["ISP_OUT"].Stanzas) != 2 {
+		t.Fatal("stanza not deleted")
+	}
+	if len(res.Impacts) == 0 {
+		t.Fatal("deleting a live deny must report impacts")
+	}
+	evBefore := policy.NewEvaluator(orig)
+	evAfter := policy.NewEvaluator(res.Config)
+	for _, imp := range res.Impacts {
+		vb, err := evBefore.EvalRouteMap(orig.RouteMaps["ISP_OUT"], imp.Example.Input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		va, err := evAfter.EvalRouteMap(res.Config.RouteMaps["ISP_OUT"], imp.Example.Input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if analysis.VerdictsEqual(vb, va) {
+			t.Errorf("reported impact is not a behavioural change: %s", imp.Example.Input.Network)
+		}
+	}
+	// Original untouched.
+	if len(orig.RouteMaps["ISP_OUT"].Stanzas) != 3 {
+		t.Error("original mutated")
+	}
+}
+
+func TestDeleteDeadStanzaNoImpact(t *testing.T) {
+	// Stanza 2 is fully shadowed by stanza 1 (identical match, same
+	// effective deny) — deleting it is invisible.
+	cfg := ios.MustParse(`ip prefix-list P seq 10 permit 10.0.0.0/8 le 32
+route-map RM deny 10
+ match ip address prefix-list P
+route-map RM deny 20
+ match ip address prefix-list P
+route-map RM permit 30
+`)
+	res, err := DeleteRouteMapStanza(cfg, "RM", 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Impacts) != 0 {
+		t.Errorf("deleting a shadowed stanza reported impacts: %+v", res.Impacts)
+	}
+}
+
+func TestReplaceRouteMapStanza(t *testing.T) {
+	orig := ios.MustParse(paperISPOut)
+	// Replace the lp-300 permit with one that also sets metric 77.
+	newStanza := orig.RouteMaps["ISP_OUT"].Stanzas[2].Clone()
+	newStanza.Sets = []ios.SetClause{ios.SetMetric{Value: 77}}
+	res, err := ReplaceRouteMapStanza(orig, "ISP_OUT", 2, newStanza, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Impacts) == 0 {
+		t.Fatal("metric change must be observable")
+	}
+	found := false
+	for _, imp := range res.Impacts {
+		if imp.Example.VerdictB.Permit && imp.Example.VerdictB.Output.MED == 77 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no impact shows the new metric")
+	}
+}
+
+func TestReplaceValidatesReferences(t *testing.T) {
+	orig := ios.MustParse(paperISPOut)
+	bad := &ios.Stanza{Permit: true, Matches: []ios.Match{ios.MatchASPath{List: "GHOST"}}}
+	if _, err := ReplaceRouteMapStanza(orig, "ISP_OUT", 0, bad, 1); err == nil {
+		t.Fatal("dangling reference should fail")
+	}
+}
+
+func TestEditErrors(t *testing.T) {
+	orig := ios.MustParse(paperISPOut)
+	if _, err := DeleteRouteMapStanza(orig, "NOPE", 0, 1); err == nil {
+		t.Error("missing map should fail")
+	}
+	if _, err := DeleteRouteMapStanza(orig, "ISP_OUT", 9, 1); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if _, err := ReplaceRouteMapStanza(orig, "ISP_OUT", -1, &ios.Stanza{}, 1); err == nil {
+		t.Error("negative index should fail")
+	}
+}
+
+func TestDeleteACLEntryImpact(t *testing.T) {
+	cfg := ios.MustParse(`ip access-list extended A
+ deny tcp any any eq 22
+ permit ip any any
+`)
+	res, err := DeleteACLEntry(cfg, "A", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Changed) == 0 {
+		t.Fatal("deleting the ssh deny must flip packets")
+	}
+	if len(cfg.ACLs["A"].Entries) != 2 {
+		t.Error("original mutated")
+	}
+	if len(res.Config.ACLs["A"].Entries) != 1 {
+		t.Error("entry not deleted")
+	}
+}
+
+func TestDeleteRedundantACLEntryNoImpact(t *testing.T) {
+	cfg := ios.MustParse(`ip access-list extended A
+ permit tcp any any eq 80
+ permit tcp any any eq 80
+ deny ip any any
+`)
+	res, err := DeleteACLEntry(cfg, "A", 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Changed) != 0 {
+		t.Errorf("redundant entry deletion flipped packets: %+v", res.Changed)
+	}
+	if _, err := DeleteACLEntry(cfg, "A", 7, 1); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if _, err := DeleteACLEntry(cfg, "NOPE", 0, 1); err == nil {
+		t.Error("missing ACL should fail")
+	}
+}

@@ -1,0 +1,293 @@
+// Package evaltopo reproduces the paper's Section 5 evaluation: the Figure 3
+// topology (a datacenter and a management network behind routers R1 and R2,
+// a border router M, and two ISPs), the Lightyear-style decomposition of the
+// five global policies into per-router local intents, the incremental
+// synthesis of every route-map through the full Clarify pipeline, and the
+// validation of the global policies on the converged BGP network.
+//
+// The five global policies (§5):
+//  1. Reused prefixes within the datacenter and management are mutually
+//     invisible.
+//  2. The special prefix 10.1.0.0/16 (a datacenter service) is visible to M.
+//  3. M prefers the path through R1 to reach 10.1.0.0/16.
+//  4. No bogon prefixes are advertised (to the ISPs).
+//  5. ISP1 and ISP2 are mutually unreachable via our network.
+package evaltopo
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+
+	"github.com/clarifynet/clarify"
+	"github.com/clarifynet/clarify/bgpsim"
+	"github.com/clarifynet/clarify/disambig"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/llm"
+)
+
+// AS numbers and prefixes of the Figure 3 topology.
+const (
+	ASM    = 65000
+	ASR1   = 65001
+	ASR2   = 65002
+	ASDC   = 65101
+	ASMGMT = 65102
+	ASISP1 = 100
+	ASISP2 = 200
+)
+
+// Named prefixes.
+var (
+	ServicePrefix = netip.MustParsePrefix("10.1.0.0/16")  // DC service, visible to M
+	PublicPrefix  = netip.MustParsePrefix("100.0.0.0/16") // DC public, exported to ISPs
+	ReusedPrefix  = netip.MustParsePrefix("192.168.0.0/16")
+	MgmtPrefix    = netip.MustParsePrefix("10.2.0.0/16")
+	ISP1Prefix    = netip.MustParsePrefix("8.0.0.0/8")
+	ISP2Prefix    = netip.MustParsePrefix("9.0.0.0/8")
+)
+
+// Communities used by the local policies: routes are tagged on import so
+// filtering decisions compose across routers.
+const (
+	CommDC      = "65000:100" // learned from the datacenter
+	CommMgmt    = "65000:200" // learned from management
+	CommService = "65000:300" // the special service route
+)
+
+// Intent is one local-policy synthesis step: an English intent targeted at a
+// route-map of a router, plus the simulated operator's placement preference
+// (true = the new stanza takes precedence over every overlapping stanza).
+type Intent struct {
+	Router    string
+	MapName   string
+	Text      string
+	PreferNew bool
+}
+
+// Intents returns the Lightyear-style decomposition of the five global
+// policies into per-router single-stanza intents, in synthesis order.
+func Intents() []Intent {
+	permitAll := "Write a route-map stanza that permits routes with the prefix 0.0.0.0/0 with mask length less than or equal to 32."
+	edge := func(router string) []Intent {
+		return []Intent{
+			// Policy 1 machinery: tag by source network, drop cross-tagged
+			// routes at both import and export.
+			{router, "DC_IN", "Write a route-map stanza that permits routes with the prefix 0.0.0.0/0 with mask length less than or equal to 32 and set the community " + CommDC + ".", false},
+			{router, "DC_IN", "Write a route-map stanza that denies routes tagged with the community " + CommMgmt + ".", true},
+			{router, "MGMT_IN", "Write a route-map stanza that permits routes with the prefix 0.0.0.0/0 with mask length less than or equal to 32 and set the community " + CommMgmt + ".", false},
+			{router, "MGMT_IN", "Write a route-map stanza that denies routes tagged with the community " + CommDC + ".", true},
+			{router, "DC_OUT", "Write a route-map stanza that denies routes tagged with the community " + CommMgmt + ".", true},
+			{router, "DC_OUT", permitAll, false},
+			{router, "MGMT_OUT", "Write a route-map stanza that denies routes tagged with the community " + CommDC + ".", true},
+			{router, "MGMT_OUT", permitAll, false},
+			// Policy 2 machinery: advertise everything up to M, tagging the
+			// service route.
+			{router, "M_OUT", "Write a route-map stanza that permits routes containing the prefix 10.1.0.0/16 and set the community " + CommService + ".", true},
+			{router, "M_OUT", permitAll, false},
+		}
+	}
+	var out []Intent
+	out = append(out, edge("R1")...)
+	out = append(out, edge("R2")...)
+	out = append(out,
+		// Policy 3: prefer the R1 path for the service prefix.
+		Intent{"M", "PREFER_R1", "Write a route-map stanza that permits routes containing the prefix 10.1.0.0/16. Their local-preference should be set to 200.", true},
+		Intent{"M", "PREFER_R1", permitAll, false},
+		// Imports from R2 and the ISPs.
+		Intent{"M", "INTERNAL_IN", permitAll, false},
+		// Policies 4 and 5 on each ISP export.
+		Intent{"M", "ISP1_OUT", "Write a route-map stanza that denies routes passing through AS 200.", true},
+		Intent{"M", "ISP1_OUT", "Write a route-map stanza that denies routes with the prefix 10.0.0.0/8 with mask length less than or equal to 32.", true},
+		Intent{"M", "ISP1_OUT", "Write a route-map stanza that permits routes containing the prefix 100.0.0.0/16.", false},
+		Intent{"M", "ISP2_OUT", "Write a route-map stanza that denies routes passing through AS 100.", true},
+		Intent{"M", "ISP2_OUT", "Write a route-map stanza that denies routes with the prefix 10.0.0.0/8 with mask length less than or equal to 32.", true},
+		Intent{"M", "ISP2_OUT", "Write a route-map stanza that permits routes containing the prefix 100.0.0.0/16.", false},
+	)
+	return out
+}
+
+// RouterStats is one row of the paper's Figure 4 table.
+type RouterStats struct {
+	Router          string
+	RouteMaps       int
+	LLMCalls        int
+	Disambiguations int
+}
+
+// Synthesize runs every intent through the full Clarify pipeline (one
+// session per router) and returns the per-router configurations and Figure 4
+// statistics. newClient constructs the LLM used by each router's session
+// (e.g. func() llm.Client { return llm.NewSimLLM() }).
+func Synthesize(ctx context.Context, newClient func() llm.Client) (map[string]*ios.Config, []RouterStats, error) {
+	sessions := map[string]*clarify.Session{}
+	routerOrder := []string{"R1", "R2", "M"}
+	for _, r := range routerOrder {
+		sessions[r] = &clarify.Session{Client: newClient(), Config: ios.NewConfig()}
+	}
+	for _, in := range Intents() {
+		s := sessions[in.Router]
+		if s == nil {
+			return nil, nil, fmt.Errorf("evaltopo: intent for unknown router %q", in.Router)
+		}
+		if _, ok := s.Config.RouteMaps[in.MapName]; !ok {
+			if err := s.NewRouteMap(in.MapName); err != nil {
+				return nil, nil, err
+			}
+		}
+		prefer := in.PreferNew
+		s.RouteOracle = disambig.FuncRouteOracle(func(disambig.RouteQuestion) (bool, error) {
+			return prefer, nil
+		})
+		if _, err := s.Submit(ctx, in.Text, in.MapName); err != nil {
+			return nil, nil, fmt.Errorf("evaltopo: %s/%s %q: %w", in.Router, in.MapName, in.Text, err)
+		}
+	}
+	configs := map[string]*ios.Config{}
+	var stats []RouterStats
+	for _, r := range []string{"M", "R1", "R2"} {
+		s := sessions[r]
+		configs[r] = s.Config
+		st := s.Stats()
+		stats = append(stats, RouterStats{
+			Router:          r,
+			RouteMaps:       len(s.Config.RouteMaps),
+			LLMCalls:        st.LLMCalls,
+			Disambiguations: st.Disambiguations,
+		})
+	}
+	return configs, stats, nil
+}
+
+// BuildTopology wires the Figure 3 network around the synthesized configs
+// for M, R1 and R2. The stub routers (DC, MGMT, ISP1, ISP2) have no
+// policies.
+func BuildTopology(configs map[string]*ios.Config) (*bgpsim.Network, error) {
+	n := bgpsim.NewNetwork()
+	add := func(r *bgpsim.Router) error { return n.AddRouter(r) }
+	if err := add(&bgpsim.Router{Name: "DC", ASN: ASDC,
+		Originate: []netip.Prefix{ServicePrefix, PublicPrefix, ReusedPrefix}}); err != nil {
+		return nil, err
+	}
+	if err := add(&bgpsim.Router{Name: "MGMT", ASN: ASMGMT,
+		Originate: []netip.Prefix{MgmtPrefix, ReusedPrefix}}); err != nil {
+		return nil, err
+	}
+	if err := add(&bgpsim.Router{Name: "R1", ASN: ASR1, Config: configs["R1"]}); err != nil {
+		return nil, err
+	}
+	if err := add(&bgpsim.Router{Name: "R2", ASN: ASR2, Config: configs["R2"]}); err != nil {
+		return nil, err
+	}
+	if err := add(&bgpsim.Router{Name: "M", ASN: ASM, Config: configs["M"]}); err != nil {
+		return nil, err
+	}
+	if err := add(&bgpsim.Router{Name: "ISP1", ASN: ASISP1, Originate: []netip.Prefix{ISP1Prefix}}); err != nil {
+		return nil, err
+	}
+	if err := add(&bgpsim.Router{Name: "ISP2", ASN: ASISP2, Originate: []netip.Prefix{ISP2Prefix}}); err != nil {
+		return nil, err
+	}
+
+	// Edge routers to the leaf networks.
+	for _, r := range []string{"R1", "R2"} {
+		if err := n.Connect(r, "DC", "DC_IN", "DC_OUT", "", ""); err != nil {
+			return nil, err
+		}
+		if err := n.Connect(r, "MGMT", "MGMT_IN", "MGMT_OUT", "", ""); err != nil {
+			return nil, err
+		}
+	}
+	// Border.
+	if err := n.Connect("M", "R1", "PREFER_R1", "", "", "M_OUT"); err != nil {
+		return nil, err
+	}
+	if err := n.Connect("M", "R2", "INTERNAL_IN", "", "", "M_OUT"); err != nil {
+		return nil, err
+	}
+	if err := n.Connect("M", "ISP1", "INTERNAL_IN", "ISP1_OUT", "", ""); err != nil {
+		return nil, err
+	}
+	if err := n.Connect("M", "ISP2", "INTERNAL_IN", "ISP2_OUT", "", ""); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// PolicyCheck is one validated global policy.
+type PolicyCheck struct {
+	Name    string
+	Holds   bool
+	Details string
+}
+
+// CheckGlobalPolicies evaluates the five §5 policies on the converged state.
+func CheckGlobalPolicies(st *bgpsim.State) []PolicyCheck {
+	var out []PolicyCheck
+	check := func(name string, holds bool, details string) {
+		out = append(out, PolicyCheck{Name: name, Holds: holds, Details: details})
+	}
+
+	// 1. Reused prefixes mutually invisible: each side's best route for the
+	// reused prefix is its own origination, never the other side's.
+	dcOK := !st.LearnedVia("DC", ReusedPrefix, ASMGMT)
+	mgmtOK := !st.LearnedVia("MGMT", ReusedPrefix, ASDC)
+	check("reused-prefixes-mutually-invisible", dcOK && mgmtOK,
+		fmt.Sprintf("DC sees MGMT's copy: %v; MGMT sees DC's copy: %v", !dcOK, !mgmtOK))
+
+	// 2. The service prefix is visible to M.
+	check("service-visible-at-M", st.HasRoute("M", ServicePrefix),
+		fmt.Sprintf("M has route for %s: %v", ServicePrefix, st.HasRoute("M", ServicePrefix)))
+
+	// 3. M prefers the path through R1.
+	best, ok := st.Best("M", ServicePrefix)
+	check("M-prefers-R1", ok && best.From == "R1",
+		fmt.Sprintf("best route learned from %q (local-pref %d)", best.From, best.Route.LocalPref))
+
+	// 4. No bogons advertised to the ISPs.
+	bogons := []netip.Prefix{
+		netip.MustParsePrefix("10.0.0.0/8"),
+		netip.MustParsePrefix("172.16.0.0/12"),
+		netip.MustParsePrefix("192.168.0.0/16"),
+	}
+	leaks := ""
+	for _, isp := range []string{"ISP1", "ISP2"} {
+		for _, p := range st.Prefixes(isp) {
+			for _, b := range bogons {
+				if b.Contains(p.Addr()) && p.Bits() >= b.Bits() {
+					leaks += fmt.Sprintf("%s has %s; ", isp, p)
+				}
+			}
+		}
+	}
+	check("no-bogons-advertised", leaks == "", leaks)
+
+	// 5. ISPs mutually unreachable via our network.
+	isp1Reaches := st.LearnedVia("ISP1", ISP2Prefix, ASM)
+	isp2Reaches := st.LearnedVia("ISP2", ISP1Prefix, ASM)
+	check("ISPs-mutually-unreachable", !isp1Reaches && !isp2Reaches,
+		fmt.Sprintf("ISP1→ISP2 via us: %v; ISP2→ISP1 via us: %v", isp1Reaches, isp2Reaches))
+
+	return out
+}
+
+// RunEvaluation is the one-call Section 5 experiment: synthesize, build,
+// converge, validate. It returns the Figure 4 rows and the policy checks.
+func RunEvaluation(ctx context.Context, newClient func() llm.Client) ([]RouterStats, []PolicyCheck, *bgpsim.State, error) {
+	configs, stats, err := Synthesize(ctx, newClient)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	net, err := BuildTopology(configs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st, err := net.Run(0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if !st.Converged {
+		return nil, nil, nil, fmt.Errorf("evaltopo: network did not converge in %d rounds", st.Rounds)
+	}
+	return stats, CheckGlobalPolicies(st), st, nil
+}

@@ -1,0 +1,127 @@
+package clarify_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/clarifynet/clarify"
+	"github.com/clarifynet/clarify/analysis"
+	"github.com/clarifynet/clarify/disambig"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/llm"
+	"github.com/clarifynet/clarify/symbolic"
+)
+
+const exampleConfig = `ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+`
+
+// ExampleSession_Submit shows the full Figure 1 pipeline on the paper's
+// running example, with an oracle that always gives the new stanza
+// precedence.
+func ExampleSession_Submit() {
+	cfg, err := ios.Parse(exampleConfig)
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := &clarify.Session{
+		Client: llm.NewSimLLM(),
+		Config: cfg,
+		RouteOracle: disambig.FuncRouteOracle(func(q disambig.RouteQuestion) (bool, error) {
+			return true, nil // OPTION 1: the new stanza wins
+		}),
+	}
+	res, err := session.Submit(context.Background(),
+		"Write a route-map stanza that permits routes containing the prefix "+
+			"100.0.0.0/16 with mask length less than or equal to 23 and tagged "+
+			"with the community 300:3. Their MED value should be set to 55.",
+		"ISP_OUT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted at position %d after %d question(s)\n",
+		res.RouteInsert.Position, len(res.RouteInsert.Questions))
+	fmt.Printf("renames: COM_LIST→%s PREFIX_100→%s\n",
+		res.RouteInsert.Renames["COM_LIST"], res.RouteInsert.Renames["PREFIX_100"])
+	// Output:
+	// inserted at position 0 after 2 question(s)
+	// renames: COM_LIST→D2 PREFIX_100→D3
+}
+
+// ExampleInsertRouteMapStanza runs the disambiguator directly on a verified
+// snippet, with a simulated user whose intent is bottom placement.
+func ExampleInsertRouteMapStanza() {
+	orig := ios.MustParse(exampleConfig)
+	snippet := ios.MustParse(`ip community-list expanded COM_LIST permit _300:3_
+route-map NEW permit 10
+ match community COM_LIST
+ set metric 55
+`)
+	target := orig.Clone()
+	target.AddCommunityList("D2", true, ios.CommunityListEntry{Permit: true, Values: []string{"_300:3_"}})
+	target.RouteMaps["ISP_OUT"].InsertStanza(3, &ios.Stanza{
+		Permit:  true,
+		Matches: []ios.Match{ios.MatchCommunity{List: "D2"}},
+		Sets:    []ios.SetClause{ios.SetMetric{Value: 55}},
+	})
+	user := disambig.NewSimUserRouteMap(target, "ISP_OUT")
+	res, err := disambig.InsertRouteMapStanza(orig, "ISP_OUT", snippet, "NEW", user)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("position %d, %d questions\n", res.Position, len(res.Questions))
+	// Output:
+	// position 3, 2 questions
+}
+
+// ExampleCompareRouteMaps finds a differential input between two placements
+// of the same stanza — the paper's OPTION 1 / OPTION 2 machinery.
+func ExampleCompareRouteMaps() {
+	top := ios.MustParse(exampleConfig)
+	top.AddCommunityList("D2", true, ios.CommunityListEntry{Permit: true, Values: []string{"_300:3_"}})
+	bottom := top.Clone()
+	stanza := &ios.Stanza{
+		Permit:  true,
+		Matches: []ios.Match{ios.MatchCommunity{List: "D2"}},
+		Sets:    []ios.SetClause{ios.SetMetric{Value: 55}},
+	}
+	top.RouteMaps["ISP_OUT"].InsertStanza(0, stanza.Clone())
+	bottom.RouteMaps["ISP_OUT"].InsertStanza(3, stanza.Clone())
+
+	space, err := symbolic.NewRouteSpace(top, bottom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diffs, err := analysis.CompareRouteMaps(space,
+		top, top.RouteMaps["ISP_OUT"], bottom, bottom.RouteMaps["ISP_OUT"], 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := diffs[0]
+	fmt.Printf("top placement permits: %v; bottom placement permits: %v\n",
+		d.VerdictA.Permit, d.VerdictB.Permit)
+	// Output:
+	// top placement permits: true; bottom placement permits: false
+}
+
+// ExampleSearchRouteMapMatching uses the declarative query API to find a
+// denied route with specific attributes.
+func ExampleSearchRouteMapMatching() {
+	cfg := ios.MustParse(exampleConfig)
+	r, ok, err := analysis.SearchRouteMapMatching(cfg, cfg.RouteMaps["ISP_OUT"],
+		analysis.RouteQuery{ASPathRegex: "_32$", PrefixWithin: "50.0.0.0/8"}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found=%v network under 50.0.0.0/8: %v path ends in 32: %v\n",
+		ok, r.Network.Addr().As4()[0] == 50, r.FlatASPath()[len(r.FlatASPath())-1] == 32)
+	// Output:
+	// found=true network under 50.0.0.0/8: true path ends in 32: true
+}

@@ -1,0 +1,70 @@
+// The acl-update example shows the ACL half of the pipeline: inserting a new
+// access-control entry into an edge filter where the placement is ambiguous
+// (the new permit overlaps an existing ssh deny), with the verification loop
+// visibly recovering from an injected LLM fault on the first attempt.
+//
+// Run with:
+//
+//	go run ./examples/acl-update
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/clarifynet/clarify"
+	"github.com/clarifynet/clarify/disambig"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/llm"
+)
+
+const edgeACL = `ip access-list extended EDGE_IN
+ deny tcp any any eq 22
+ permit udp 10.0.0.0 0.0.0.255 any eq 53
+ permit tcp any any established
+ deny ip any any
+`
+
+const prompt = `Write an ACL entry that permits tcp traffic from 10.0.0.0/24 to any host on port 22.`
+
+func main() {
+	cfg, err := ios.Parse(edgeACL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Existing ACL:")
+	fmt.Println(cfg.Print())
+
+	// Inject a wrong-port fault on the first synthesis call: the verifier
+	// catches it against the JSON spec and the retry produces the correct
+	// entry — Figure 1's steps 3–5 in action.
+	client := llm.NewSimLLM(llm.FaultWrongValue)
+
+	oracle := disambig.FuncACLOracle(func(q disambig.ACLQuestion) (bool, error) {
+		fmt.Printf("--- Disambiguation question ---\n%s\n", q)
+		fmt.Println(">>> operator wants the management subnet to reach ssh: OPTION 1")
+		fmt.Println()
+		return true, nil
+	})
+	session := &clarify.Session{
+		Client:    client,
+		Config:    cfg,
+		ACLOracle: oracle,
+	}
+	fmt.Printf("Intent:\n  %s\n\n", prompt)
+	res, err := session.Submit(context.Background(), prompt, "EDGE_IN")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Synthesis took %d attempt(s) (first output failed verification)\n\n", res.Attempts)
+	fmt.Println("Verified snippet:")
+	fmt.Println(res.SnippetText)
+	fmt.Println("Specification:")
+	fmt.Println(res.SpecJSON)
+	fmt.Println()
+	fmt.Printf("Inserted at entry position %d\n\n", res.ACLInsert.Position)
+	fmt.Println("Final ACL:")
+	fmt.Println(session.Config.Print())
+}

@@ -1,0 +1,74 @@
+// The campus-audit example runs the Section 3 overlap measurement over a
+// generated campus corpus: it materializes the configurations, analyzes
+// every ACL and route-map with the symbolic engine, prints the aggregate
+// table next to the paper's numbers, and drills into the most conflicted
+// ACL with concrete witness packets.
+//
+// Run with:
+//
+//	go run ./examples/campus-audit
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/clarifynet/clarify/analysis"
+	"github.com/clarifynet/clarify/exper"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/symbolic"
+	"github.com/clarifynet/clarify/workload"
+)
+
+func main() {
+	const (
+		seed  = 1
+		nACLs = 400 // scaled-down campus; pass workload.CampusACLCount for full size
+		nRMs  = workload.CampusRouteMapCount
+	)
+	corpus := workload.Campus(seed, nACLs, nRMs)
+	fmt.Printf("Generated campus corpus: %d devices (paper), %d ACLs, %d route-maps\n\n",
+		corpus.Devices, len(corpus.ACLConfigs), len(corpus.RouteMapConfigs))
+
+	aclAgg := exper.AnalyzeACLCorpus(corpus.ACLConfigs)
+	exper.WriteCampusACLTable(os.Stdout, aclAgg)
+	fmt.Println()
+
+	rmAgg, err := exper.AnalyzeRouteMapCorpus(corpus.RouteMapConfigs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exper.WriteCampusRMTable(os.Stdout, rmAgg)
+	fmt.Println()
+
+	// Drill into the most conflicted ACL.
+	space := symbolic.NewACLSpace()
+	var worst *ios.ACL
+	worstConflicts := -1
+	for _, cfg := range corpus.ACLConfigs {
+		for _, acl := range cfg.ACLs {
+			st := analysis.AnalyzeACL(space, acl)
+			if st.Conflicting > worstConflicts {
+				worstConflicts = st.Conflicting
+				worst = acl
+			}
+		}
+	}
+	fmt.Printf("Most conflicted ACL (%s, %d conflicting pairs) — first 5 witnesses:\n",
+		worst.Name, worstConflicts)
+	shown := 0
+	for _, o := range analysis.ACLOverlaps(space, worst) {
+		if !o.Conflicting {
+			continue
+		}
+		fmt.Printf("  entries %d×%d disagree on packet: %s\n", o.I+1, o.J+1, o.Witness)
+		shown++
+		if shown == 5 {
+			break
+		}
+	}
+	fmt.Println("\nAmbiguity is real: inserting a new rule into this ACL without")
+	fmt.Println("asking the operator where it belongs would silently pick one of")
+	fmt.Println("many inequivalent behaviours.")
+}

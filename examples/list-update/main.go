@@ -1,0 +1,97 @@
+// The list-update example exercises the extensions beyond the paper's
+// prototype (its §7 future-work list): disambiguating insertions into
+// ancillary data structures — prefix lists, community lists — and reporting
+// the semantic impact of deleting an existing rule.
+//
+// Run with:
+//
+//	go run ./examples/list-update
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+
+	"github.com/clarifynet/clarify/disambig"
+	"github.com/clarifynet/clarify/ios"
+)
+
+const baseConfig = `ip prefix-list CUSTOMER seq 10 deny 10.1.0.0/16 le 24
+ip prefix-list CUSTOMER seq 20 permit 10.0.0.0/8 le 24
+ip community-list expanded REGIONS deny _300:[0-9]+_
+ip community-list expanded REGIONS permit _[0-9]+:[0-9]+_
+route-map IMPORT permit 10
+ match ip address prefix-list CUSTOMER
+route-map IMPORT deny 20
+ match community REGIONS
+route-map IMPORT permit 30
+`
+
+func main() {
+	cfg, err := ios.Parse(baseConfig)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Configuration:")
+	fmt.Println(cfg.Print())
+
+	// 1. Insert a prefix-list entry whose placement is ambiguous: a permit
+	// for 10.1.2.0/24 can land above the /16 deny (carving an exception) or
+	// below it (dead letter). The operator wants the exception.
+	fmt.Println("== Inserting 'permit 10.1.2.0/24 le 32' into prefix-list CUSTOMER ==")
+	entry := ios.PrefixListEntry{Permit: true, Prefix: netip.MustParsePrefix("10.1.2.0/24"), Le: 32}
+	res, err := disambig.InsertPrefixListEntry(cfg, "CUSTOMER", entry,
+		disambig.FuncListOracle(func(q disambig.ListQuestion) (bool, error) {
+			fmt.Printf("--- Question ---\n%s\n>>> operator picks OPTION 1 (carve the exception)\n\n", q)
+			return true, nil
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Inserted at entry position %d (%d question(s))\n\n", res.Position, len(res.Questions))
+	cfg = res.Config
+
+	// 2. Insert a community-list entry: permit 300:3 despite the broader
+	// 300:* deny.
+	fmt.Println("== Inserting 'permit _300:3_' into community-list REGIONS ==")
+	centry := ios.CommunityListEntry{Permit: true, Values: []string{"_300:3_"}}
+	cres, err := disambig.InsertCommunityListEntry(cfg, "REGIONS", centry,
+		disambig.FuncListOracle(func(q disambig.ListQuestion) (bool, error) {
+			fmt.Printf("--- Question ---\n%s\n>>> operator picks OPTION 1\n\n", q)
+			return true, nil
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Inserted at entry position %d\n\n", cres.Position)
+	cfg = cres.Config
+
+	// 3. Delete the community deny stanza and review the semantic impact
+	// before committing.
+	fmt.Println("== Deleting route-map IMPORT stanza 20 (community deny) ==")
+	del, err := disambig.DeleteRouteMapStanza(cfg, "IMPORT", 1, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(del.Impacts) == 0 {
+		fmt.Println("No behavioural change (the stanza was dead).")
+	} else {
+		fmt.Printf("Deletion changes behaviour on %d example route(s):\n", len(del.Impacts))
+		for _, imp := range del.Impacts {
+			d := imp.Example
+			fmt.Printf("\n  route %s (communities %v):\n    before: %s\n    after:  %s\n",
+				d.Input.Network, d.Input.Communities, action(d.VerdictA.Permit), action(d.VerdictB.Permit))
+		}
+	}
+	fmt.Println("\nOperator reviews the impact and decides whether to commit.")
+	fmt.Println("\nFinal configuration (after the two insertions):")
+	fmt.Println(cfg.Print())
+}
+
+func action(permit bool) string {
+	if permit {
+		return "permit"
+	}
+	return "deny"
+}

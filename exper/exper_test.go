@@ -1,0 +1,192 @@
+package exper
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// Scaled-down corpora keep tests fast; archetype fractions are preserved, so
+// shape assertions transfer to full scale.
+const (
+	testCloudACLs  = 60
+	testCloudRMs   = 80
+	testCampusACLs = 150
+	testCampusRMs  = 40
+)
+
+func TestCloudACLShape(t *testing.T) {
+	agg := CloudACLExperiment(1, testCloudACLs)
+	if agg.Examined != testCloudACLs {
+		t.Fatalf("examined = %d", agg.Examined)
+	}
+	// Paper fractions: 69/237 ≈ 29% with ≥1 conflict, 48/237 ≈ 20% with >20.
+	fracConflict := float64(agg.WithConflict) / float64(agg.Examined)
+	fracHeavy := float64(agg.ConflictOver20) / float64(agg.Examined)
+	if fracConflict < 0.20 || fracConflict > 0.40 {
+		t.Errorf("conflicting fraction = %.2f, want ≈ 0.29", fracConflict)
+	}
+	if fracHeavy < 0.10 || fracHeavy > 0.30 {
+		t.Errorf(">20 fraction = %.2f, want ≈ 0.20", fracHeavy)
+	}
+	// The giant edge ACL has over 100 conflicting pairs.
+	if agg.MaxPairs <= 100 {
+		t.Errorf("max pairs = %d, want > 100", agg.MaxPairs)
+	}
+}
+
+func TestCloudRouteMapShape(t *testing.T) {
+	agg, err := CloudRouteMapExperiment(1, testCloudRMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(agg.WithOverlap) / float64(agg.Examined)
+	// Paper: 140/800 = 17.5%.
+	if frac < 0.10 || frac > 0.28 {
+		t.Errorf("overlap fraction = %.2f, want ≈ 0.175", frac)
+	}
+	if agg.Over20 == 0 {
+		t.Error("expected at least one >20-overlap route-map at this scale")
+	}
+	if agg.Over20 > agg.WithOverlap {
+		t.Error("inconsistent aggregate")
+	}
+}
+
+func TestCampusACLShape(t *testing.T) {
+	agg := CampusACLExperiment(1, testCampusACLs)
+	pct := func(a, b int) float64 { return 100 * float64(a) / float64(b) }
+	if got := pct(agg.WithConflict, agg.Examined); got < 30 || got > 46 {
+		t.Errorf("%%conflicting = %.1f, want ≈ 37.7", got)
+	}
+	if got := pct(agg.WithNonTrivial, agg.Examined); got < 12 || got > 26 {
+		t.Errorf("%%non-trivial = %.1f, want ≈ 18.6", got)
+	}
+	if got := pct(agg.ConflictOver20, agg.WithConflict); got < 15 || got > 40 {
+		t.Errorf("%%>20-of-conflicting = %.1f, want ≈ 27", got)
+	}
+	if got := pct(agg.NonTrivialOver20, agg.WithNonTrivial); got < 5 || got > 30 {
+		t.Errorf("%%>20-of-non-trivial = %.1f, want ≈ 16.3", got)
+	}
+	// Non-trivial is a strict subset of conflicting (subset pairs exist).
+	if agg.WithNonTrivial >= agg.WithConflict {
+		t.Errorf("non-trivial (%d) should be below conflicting (%d)", agg.WithNonTrivial, agg.WithConflict)
+	}
+}
+
+func TestCampusRouteMapShape(t *testing.T) {
+	agg, err := CampusRouteMapExperiment(1, testCampusRMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the two special maps overlap, like the paper's 2-of-169.
+	if agg.WithOverlap != 2 {
+		t.Errorf("with overlap = %d, want 2", agg.WithOverlap)
+	}
+	// The triplet: 3 overlapping pairs, 2 conflicting.
+	if agg.MaxOverlaps != 3 || agg.MaxConflicting != 2 {
+		t.Errorf("max = %d pairs / %d conflicting, want 3/2", agg.MaxOverlaps, agg.MaxConflicting)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := CloudACLExperiment(7, 40)
+	b := CloudACLExperiment(7, 40)
+	if a != b {
+		t.Errorf("same seed should reproduce: %+v vs %+v", a, b)
+	}
+	c := CloudACLExperiment(8, 40)
+	_ = c // different seeds may or may not differ in aggregates; only stability is required
+}
+
+func TestFigure4Driver(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure4(context.Background(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 4", "M", "R1", "R2", "reused-prefixes-mutually-invisible", "HOLDS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "VIOLATED") {
+		t.Errorf("policy violations reported:\n%s", out)
+	}
+}
+
+func TestQuestionComplexity(t *testing.T) {
+	sizes := []int{1, 3, 7, 15}
+	binary, linear, err := QuestionComplexity(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range sizes {
+		wantBinary := map[int]int{1: 1, 3: 2, 7: 3, 15: 4}[k]
+		if binary[i].Questions != wantBinary {
+			t.Errorf("k=%d: binary questions = %d, want %d", k, binary[i].Questions, wantBinary)
+		}
+		// Worst case for linear (bottom target): k questions.
+		if linear[i].Questions != k {
+			t.Errorf("k=%d: linear questions = %d, want %d", k, linear[i].Questions, k)
+		}
+	}
+	var buf bytes.Buffer
+	WriteQuestionTable(&buf, binary, linear)
+	if !strings.Contains(buf.String(), "binary questions") {
+		t.Error("table header missing")
+	}
+}
+
+func TestTableWriters(t *testing.T) {
+	var buf bytes.Buffer
+	WriteCloudACLTable(&buf, CloudACLExperiment(1, 30))
+	rm, err := CloudRouteMapExperiment(1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteCloudRMTable(&buf, rm)
+	WriteCampusACLTable(&buf, CampusACLExperiment(1, 60))
+	crm, err := CampusRouteMapExperiment(1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteCampusRMTable(&buf, crm)
+	out := buf.String()
+	for _, want := range []string{"237", "800", "11088", "169", "measured"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables missing %q", want)
+		}
+	}
+}
+
+func TestVerifyAblation(t *testing.T) {
+	rows, err := VerifyAblation(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	shipped := 0
+	for _, r := range rows {
+		if !r.CorrectWithVerifier {
+			t.Errorf("fault %v: verifier did not repair", r.Fault)
+		}
+		if r.AttemptsWithVerifier != 2 {
+			t.Errorf("fault %v: attempts = %d, want 2", r.Fault, r.AttemptsWithVerifier)
+		}
+		if r.ShippedWrongWithout {
+			shipped++
+		}
+	}
+	if shipped == 0 {
+		t.Error("without the verifier, at least some faults must ship")
+	}
+	var buf bytes.Buffer
+	WriteVerifyAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "wrong-value") {
+		t.Error("table missing fault names")
+	}
+}

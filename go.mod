@@ -1,0 +1,3 @@
+module github.com/clarifynet/clarify
+
+go 1.22

@@ -1,0 +1,403 @@
+// Package intent models structured user intents for single-stanza updates
+// and parses the restricted English the paper's prompts use.
+//
+// The structured form is the meeting point of the pipeline: the simulated
+// LLM renders IOS configuration and JSON specifications from it, and tests
+// construct it directly. The English parser recognizes the phrasing family
+// of the paper's §2.1 prompt ("Write a route-map stanza that permits routes
+// containing the prefix 100.0.0.0/16 with mask length less than or equal to
+// 23 and tagged with the community 300:3. Their MED value should be set to
+// 55.") plus the equivalent ACL phrasings.
+package intent
+
+import (
+	"fmt"
+	"net/netip"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the two synthesis pipelines of Figure 1.
+type Kind int
+
+// Intent kinds.
+const (
+	KindRouteMap Kind = iota
+	KindACL
+)
+
+func (k Kind) String() string {
+	if k == KindACL {
+		return "acl"
+	}
+	return "route-map"
+}
+
+// PrefixConstraint matches routes under Prefix with prefix length in
+// [LenLo, LenHi].
+type PrefixConstraint struct {
+	Prefix netip.Prefix
+	LenLo  int
+	LenHi  int
+}
+
+// String renders the constraint in the spec's "A.B.C.D/L:lo-hi" notation.
+func (pc PrefixConstraint) String() string {
+	return fmt.Sprintf("%s:%d-%d", pc.Prefix, pc.LenLo, pc.LenHi)
+}
+
+// RouteMapIntent describes one route-map stanza: match conditions plus
+// transformations.
+type RouteMapIntent struct {
+	Permit bool
+
+	Prefixes  []PrefixConstraint
+	Community string // Cisco regex, or exact community literal
+	// CommunityExact marks Community as a literal rather than a regex.
+	CommunityExact bool
+	ASPathRegex    string
+	LocalPref      *uint32
+	Metric         *uint32
+	Tag            *uint32
+
+	SetMetric      *uint32
+	SetLocalPref   *uint32
+	SetWeight      *uint16
+	SetTag         *uint32
+	SetCommunities []string
+	SetAdditive    bool
+	SetNextHop     string
+}
+
+// ACLIntent describes one access-list entry.
+type ACLIntent struct {
+	Permit      bool
+	Protocol    string // ip, tcp, udp, icmp
+	Src, Dst    string // "any", host address, or CIDR
+	SrcPort     string // IOS port phrase: "eq 80", "range 1 10", ...
+	DstPort     string
+	Established bool
+	// ICMP is an IOS icmp-type phrase ("echo", "unreachable 1") when the
+	// intent names a specific ICMP message kind.
+	ICMP string
+}
+
+// Intent is the tagged union handed to the synthesis pipeline.
+type Intent struct {
+	Kind     Kind
+	RouteMap *RouteMapIntent
+	ACL      *ACLIntent
+}
+
+// ---------- English parsing ----------
+
+var (
+	reCIDR       = regexp.MustCompile(`\b(\d+\.\d+\.\d+\.\d+/\d+)\b`)
+	reHost       = regexp.MustCompile(`\b(\d+\.\d+\.\d+\.\d+)\b`)
+	reCommunity  = regexp.MustCompile(`communit(?:y|ies)\s+(?:matching\s+)?(/[^/]+/|\d+:\d+)`)
+	reASRegex    = regexp.MustCompile(`as-?path\s+(?:matching\s+)?/([^/]+)/`)
+	reOriginAS   = regexp.MustCompile(`originat(?:e|es|ing)\s+(?:from\s+)?(?:asn?\s+)?(\d+)`)
+	reThroughAS  = regexp.MustCompile(`(?:passing|pass|going)\s+through\s+(?:asn?\s+)?(\d+)`)
+	reNeighborAS = regexp.MustCompile(`(?:from|received from)\s+neighbor\s+(?:asn?\s+)?(\d+)`)
+	reEmptyPath  = regexp.MustCompile(`\b(?:locally originated|empty as-?path)\b`)
+	reLocalPref  = regexp.MustCompile(`local[- ]preference\s+(?:value\s+)?(?:of\s+)?(\d+)`)
+	reMedMatch   = regexp.MustCompile(`(?:med|metric)\s+(?:value\s+)?(?:of\s+)?(\d+)`)
+	reTagMatch   = regexp.MustCompile(`\btag\s+(?:value\s+)?(?:of\s+)?(\d+)`)
+
+	reSetMetric  = regexp.MustCompile(`(?:med|metric)(?:\s+value)?\s+(?:should\s+be\s+|must\s+be\s+)?set\s+to\s+(\d+)|set\s+(?:the\s+)?(?:med|metric)\s+to\s+(\d+)`)
+	reSetLP      = regexp.MustCompile(`local[- ]preference(?:\s+value)?\s+(?:should\s+be\s+|must\s+be\s+)?set\s+to\s+(\d+)|set\s+(?:the\s+)?local[- ]preference\s+to\s+(\d+)`)
+	reSetWeight  = regexp.MustCompile(`weight(?:\s+value)?\s+(?:should\s+be\s+|must\s+be\s+)?set\s+to\s+(\d+)|set\s+(?:the\s+)?weight\s+to\s+(\d+)`)
+	reSetTag     = regexp.MustCompile(`tag(?:\s+value)?\s+(?:should\s+be\s+|must\s+be\s+)?set\s+to\s+(\d+)|set\s+(?:the\s+)?tag\s+to\s+(\d+)`)
+	reSetComm    = regexp.MustCompile(`(?:add|attach|set)\s+(?:the\s+)?community\s+(\d+:\d+)`)
+	reSetNextHop = regexp.MustCompile(`next[- ]hop\s+(?:should\s+be\s+|must\s+be\s+)?(?:set\s+)?(?:to\s+)?(\d+\.\d+\.\d+\.\d+)`)
+
+	reMaskLE      = regexp.MustCompile(`mask length\s+(?:less than or equal to|at most|<=|up to)\s+(\d+)`)
+	reMaskGE      = regexp.MustCompile(`mask length\s+(?:greater than or equal to|at least|>=)\s+(\d+)`)
+	reMaskBetween = regexp.MustCompile(`mask length\s+between\s+(\d+)\s+and\s+(\d+)`)
+
+	rePortEq    = regexp.MustCompile(`(?:on\s+|to\s+|destination\s+)?port\s+(\d+)`)
+	rePortRange = regexp.MustCompile(`ports?\s+(\d+)\s*(?:-|to|through)\s*(\d+)`)
+	reSrcPort   = regexp.MustCompile(`(?:from|source)\s+port\s+(\d+)`)
+)
+
+// ParseError reports unparseable or self-contradictory intent text.
+type ParseError struct{ Msg string }
+
+func (e *ParseError) Error() string { return "intent: " + e.Msg }
+
+// ClassifyText decides which pipeline an English query belongs to, the
+// classification step (1) of Figure 1.
+func ClassifyText(text string) Kind {
+	t := strings.ToLower(text)
+	aclScore, rmScore := 0, 0
+	for _, kw := range []string{"acl", "access-list", "access list", "traffic", "packet", "packets", " tcp ", " udp ", " icmp ", "port ", "established", "host "} {
+		if strings.Contains(t, kw) {
+			aclScore++
+		}
+	}
+	for _, kw := range []string{"route-map", "route map", "routes", "route ", "prefix", "as-path", "as path", "community", "local-preference", "local preference", "med", "metric", "advertis"} {
+		if strings.Contains(t, kw) {
+			rmScore++
+		}
+	}
+	if aclScore > rmScore {
+		return KindACL
+	}
+	return KindRouteMap
+}
+
+// ParseText parses an English intent into its structured form, classifying
+// it first.
+func ParseText(text string) (*Intent, error) {
+	switch ClassifyText(text) {
+	case KindACL:
+		a, err := ParseACLText(text)
+		if err != nil {
+			return nil, err
+		}
+		return &Intent{Kind: KindACL, ACL: a}, nil
+	default:
+		rm, err := ParseRouteMapText(text)
+		if err != nil {
+			return nil, err
+		}
+		return &Intent{Kind: KindRouteMap, RouteMap: rm}, nil
+	}
+}
+
+func parseAction(t string) (bool, error) {
+	permitIdx := earliest(t, "permit", "allow", "accept")
+	denyIdx := earliest(t, "deny", "denies", "block", "reject", "drop", "filter out")
+	switch {
+	case permitIdx < 0 && denyIdx < 0:
+		return false, &ParseError{Msg: "no permit/deny action found"}
+	case denyIdx < 0:
+		return true, nil
+	case permitIdx < 0:
+		return false, nil
+	default:
+		return permitIdx < denyIdx, nil
+	}
+}
+
+func earliest(t string, words ...string) int {
+	best := -1
+	for _, w := range words {
+		if i := strings.Index(t, w); i >= 0 && (best < 0 || i < best) {
+			best = i
+		}
+	}
+	return best
+}
+
+// ParseRouteMapText parses a route-map stanza intent.
+func ParseRouteMapText(text string) (*RouteMapIntent, error) {
+	t := strings.ToLower(text)
+	permit, err := parseAction(t)
+	if err != nil {
+		return nil, err
+	}
+	out := &RouteMapIntent{Permit: permit}
+
+	if m := reCIDR.FindStringSubmatch(t); m != nil {
+		pfx, err := netip.ParsePrefix(m[1])
+		if err != nil {
+			return nil, &ParseError{Msg: "bad prefix " + m[1]}
+		}
+		pc := PrefixConstraint{Prefix: pfx.Masked(), LenLo: pfx.Bits(), LenHi: pfx.Bits()}
+		if mm := reMaskBetween.FindStringSubmatch(t); mm != nil {
+			pc.LenLo = int(atoi(mm[1]))
+			pc.LenHi = int(atoi(mm[2]))
+		} else {
+			if mm := reMaskLE.FindStringSubmatch(t); mm != nil {
+				pc.LenHi = int(atoi(mm[1]))
+			}
+			if mm := reMaskGE.FindStringSubmatch(t); mm != nil {
+				pc.LenLo = int(atoi(mm[1]))
+			}
+			if strings.Contains(t, "or longer") || strings.Contains(t, "and longer") || strings.Contains(t, "more specific") {
+				pc.LenHi = 32
+			}
+		}
+		if pc.LenLo < pfx.Bits() || pc.LenLo > pc.LenHi || pc.LenHi > 32 {
+			return nil, &ParseError{Msg: fmt.Sprintf("inconsistent mask bounds [%d,%d] for %s", pc.LenLo, pc.LenHi, pfx)}
+		}
+		out.Prefixes = append(out.Prefixes, pc)
+	}
+
+	if m := reCommunity.FindStringSubmatch(t); m != nil {
+		// Exclude "set/add community" phrasing handled below.
+		if !reSetComm.MatchString(t) || !strings.Contains(reSetComm.FindString(t), m[1]) {
+			val := m[1]
+			if strings.HasPrefix(val, "/") {
+				out.Community = strings.Trim(val, "/")
+			} else {
+				out.Community = val
+				out.CommunityExact = true
+			}
+		}
+	}
+
+	switch {
+	case reASRegex.MatchString(t):
+		out.ASPathRegex = reASRegex.FindStringSubmatch(t)[1]
+	case reEmptyPath.MatchString(t):
+		out.ASPathRegex = "^$"
+	case reOriginAS.MatchString(t):
+		out.ASPathRegex = "_" + reOriginAS.FindStringSubmatch(t)[1] + "$"
+	case reNeighborAS.MatchString(t):
+		out.ASPathRegex = "^" + reNeighborAS.FindStringSubmatch(t)[1] + "_"
+	case reThroughAS.MatchString(t):
+		out.ASPathRegex = "_" + reThroughAS.FindStringSubmatch(t)[1] + "_"
+	}
+
+	// Scalar matches: only when not part of a "set to" phrase.
+	withoutSets := reSetMetric.ReplaceAllString(t, "")
+	withoutSets = reSetLP.ReplaceAllString(withoutSets, "")
+	withoutSets = reSetTag.ReplaceAllString(withoutSets, "")
+	if m := reLocalPref.FindStringSubmatch(withoutSets); m != nil {
+		out.LocalPref = u32ptr(atoi(m[1]))
+	}
+	if m := reMedMatch.FindStringSubmatch(withoutSets); m != nil {
+		out.Metric = u32ptr(atoi(m[1]))
+	}
+	if m := reTagMatch.FindStringSubmatch(withoutSets); m != nil {
+		out.Tag = u32ptr(atoi(m[1]))
+	}
+
+	if m := firstGroup(reSetMetric, t); m != "" {
+		out.SetMetric = u32ptr(atoi(m))
+	}
+	if m := firstGroup(reSetLP, t); m != "" {
+		out.SetLocalPref = u32ptr(atoi(m))
+	}
+	if m := firstGroup(reSetWeight, t); m != "" {
+		v := uint16(atoi(m))
+		out.SetWeight = &v
+	}
+	if m := firstGroup(reSetTag, t); m != "" {
+		out.SetTag = u32ptr(atoi(m))
+	}
+	for _, m := range reSetComm.FindAllStringSubmatch(t, -1) {
+		out.SetCommunities = append(out.SetCommunities, m[1])
+	}
+	if len(out.SetCommunities) > 0 && (strings.Contains(t, "additive") || strings.Contains(t, "keeping existing") || strings.Contains(t, "in addition")) {
+		out.SetAdditive = true
+	}
+	if m := reSetNextHop.FindStringSubmatch(t); m != nil {
+		out.SetNextHop = m[1]
+	}
+
+	if !out.hasMatch() {
+		return nil, &ParseError{Msg: "no match condition recognized in route-map intent"}
+	}
+	if !permit && out.hasSet() {
+		return nil, &ParseError{Msg: "deny stanzas cannot carry set actions"}
+	}
+	return out, nil
+}
+
+func (i *RouteMapIntent) hasMatch() bool {
+	return len(i.Prefixes) > 0 || i.Community != "" || i.ASPathRegex != "" ||
+		i.LocalPref != nil || i.Metric != nil || i.Tag != nil
+}
+
+func (i *RouteMapIntent) hasSet() bool {
+	return i.SetMetric != nil || i.SetLocalPref != nil || i.SetWeight != nil ||
+		i.SetTag != nil || len(i.SetCommunities) > 0 || i.SetNextHop != ""
+}
+
+// ParseACLText parses an ACL entry intent such as "permit tcp traffic from
+// 10.0.0.0/24 to host 8.8.8.8 on port 443".
+func ParseACLText(text string) (*ACLIntent, error) {
+	t := strings.ToLower(text)
+	permit, err := parseAction(t)
+	if err != nil {
+		return nil, err
+	}
+	out := &ACLIntent{Permit: permit, Protocol: "ip", Src: "any", Dst: "any"}
+	for _, proto := range []string{"tcp", "udp", "icmp"} {
+		if strings.Contains(t, proto) {
+			out.Protocol = proto
+			break
+		}
+	}
+	// from X ... to Y
+	fromIdx := strings.Index(t, "from ")
+	toIdx := strings.Index(t, " to ")
+	srcPart, dstPart := "", ""
+	if fromIdx >= 0 {
+		if toIdx > fromIdx {
+			srcPart = t[fromIdx:toIdx]
+			dstPart = t[toIdx:]
+		} else {
+			srcPart = t[fromIdx:]
+		}
+	} else if toIdx >= 0 {
+		dstPart = t[toIdx:]
+	}
+	out.Src = pickAddr(srcPart)
+	out.Dst = pickAddr(dstPart)
+
+	if m := reSrcPort.FindStringSubmatch(t); m != nil {
+		out.SrcPort = "eq " + m[1]
+	}
+	if m := rePortRange.FindStringSubmatch(t); m != nil {
+		out.DstPort = "range " + m[1] + " " + m[2]
+	} else if m := rePortEq.FindStringSubmatch(t); m != nil && out.SrcPort == "" {
+		out.DstPort = "eq " + m[1]
+	} else if m != nil && !strings.Contains(reSrcPort.FindString(t), m[1]) {
+		out.DstPort = "eq " + m[1]
+	}
+	if strings.Contains(t, "established") {
+		out.Established = true
+	}
+	switch {
+	case strings.Contains(t, "ping") || strings.Contains(t, "echo request"):
+		out.Protocol, out.ICMP = "icmp", "echo"
+	case strings.Contains(t, "echo repl"):
+		out.Protocol, out.ICMP = "icmp", "echo-reply"
+	case strings.Contains(t, "unreachable"):
+		out.Protocol, out.ICMP = "icmp", "unreachable"
+	case strings.Contains(t, "time exceeded") || strings.Contains(t, "ttl exceeded"):
+		out.Protocol, out.ICMP = "icmp", "time-exceeded"
+	}
+	if out.Protocol == "ip" && (out.SrcPort != "" || out.DstPort != "") {
+		out.Protocol = "tcp"
+	}
+	return out, nil
+}
+
+func pickAddr(part string) string {
+	if part == "" {
+		return "any"
+	}
+	if m := reCIDR.FindStringSubmatch(part); m != nil {
+		return m[1]
+	}
+	if m := reHost.FindStringSubmatch(part); m != nil {
+		return m[1] + "/32"
+	}
+	return "any"
+}
+
+func firstGroup(re *regexp.Regexp, t string) string {
+	m := re.FindStringSubmatch(t)
+	if m == nil {
+		return ""
+	}
+	for _, g := range m[1:] {
+		if g != "" {
+			return g
+		}
+	}
+	return ""
+}
+
+func atoi(s string) uint32 {
+	v, _ := strconv.ParseUint(s, 10, 32)
+	return uint32(v)
+}
+
+func u32ptr(v uint32) *uint32 { return &v }

@@ -1,0 +1,213 @@
+package intent
+
+import (
+	"testing"
+)
+
+// The paper's §2.1 prompt, verbatim.
+const paperPrompt = `Write a route-map stanza that permits routes containing the prefix 100.0.0.0/16 with mask length less than or equal to 23 and tagged with the community 300:3. Their MED value should be set to 55.`
+
+func TestClassifyText(t *testing.T) {
+	cases := []struct {
+		text string
+		want Kind
+	}{
+		{paperPrompt, KindRouteMap},
+		{"Write an ACL entry that permits tcp traffic from 10.0.0.0/24 to any host on port 80", KindACL},
+		{"deny udp packets from host 1.2.3.4", KindACL},
+		{"permit routes originating from ASN 32", KindRouteMap},
+		{"block traffic to port 22", KindACL},
+		{"deny any route with local-preference 300", KindRouteMap},
+	}
+	for _, c := range cases {
+		if got := ClassifyText(c.text); got != c.want {
+			t.Errorf("ClassifyText(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+func TestParsePaperPrompt(t *testing.T) {
+	in, err := ParseRouteMapText(paperPrompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Permit {
+		t.Error("should permit")
+	}
+	if len(in.Prefixes) != 1 {
+		t.Fatalf("prefixes = %v", in.Prefixes)
+	}
+	pc := in.Prefixes[0]
+	if pc.Prefix.String() != "100.0.0.0/16" || pc.LenLo != 16 || pc.LenHi != 23 {
+		t.Errorf("prefix constraint = %+v", pc)
+	}
+	if in.Community != "300:3" || !in.CommunityExact {
+		t.Errorf("community = %q exact=%v", in.Community, in.CommunityExact)
+	}
+	if in.SetMetric == nil || *in.SetMetric != 55 {
+		t.Errorf("set metric = %v", in.SetMetric)
+	}
+	if in.Metric != nil {
+		t.Error("MED 55 is a set action, not a match")
+	}
+}
+
+func TestParseRouteMapVariants(t *testing.T) {
+	in, err := ParseRouteMapText("Deny routes originating from ASN 32.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Permit || in.ASPathRegex != "_32$" {
+		t.Errorf("%+v", in)
+	}
+
+	in, err = ParseRouteMapText("Permit routes received from neighbor AS 65000 and set the local-preference to 200.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.ASPathRegex != "^65000_" || in.SetLocalPref == nil || *in.SetLocalPref != 200 {
+		t.Errorf("%+v", in)
+	}
+
+	in, err = ParseRouteMapText("Permit routes passing through AS 7018.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.ASPathRegex != "_7018_" {
+		t.Errorf("%+v", in)
+	}
+
+	in, err = ParseRouteMapText("Permit locally originated routes and add the community 100:1.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.ASPathRegex != "^$" || len(in.SetCommunities) != 1 || in.SetCommunities[0] != "100:1" {
+		t.Errorf("%+v", in)
+	}
+
+	in, err = ParseRouteMapText("Permit routes with a community matching /_65000:[0-9]+_/ and local-preference 300.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Community != "_65000:[0-9]+_" || in.CommunityExact {
+		t.Errorf("community = %q", in.Community)
+	}
+	if in.LocalPref == nil || *in.LocalPref != 300 {
+		t.Errorf("local-pref = %v", in.LocalPref)
+	}
+
+	in, err = ParseRouteMapText("Permit routes with the prefix 10.0.0.0/8 with mask length between 9 and 24, setting the next-hop to 192.0.2.1.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Prefixes[0].LenLo != 9 || in.Prefixes[0].LenHi != 24 || in.SetNextHop != "192.0.2.1" {
+		t.Errorf("%+v", in)
+	}
+
+	in, err = ParseRouteMapText("Permit routes for 192.168.0.0/16 or longer prefixes.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Prefixes[0].LenHi != 32 {
+		t.Errorf("or-longer should widen to 32: %+v", in.Prefixes[0])
+	}
+
+	in, err = ParseRouteMapText("Permit routes tagged with community 9:9, keeping existing communities, and add community 8:8.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.SetAdditive {
+		t.Errorf("%+v", in)
+	}
+}
+
+func TestParseRouteMapErrors(t *testing.T) {
+	for _, text := range []string{
+		"Write a route-map stanza.", // no action
+		"Permit routes.",            // no match condition
+		"Deny routes with prefix 10.0.0.0/8; set metric to 5.",                           // set on deny
+		"Permit routes with prefix 10.0.0.0/8 with mask length less than or equal to 4.", // bad bounds
+	} {
+		if _, err := ParseRouteMapText(text); err == nil {
+			t.Errorf("ParseRouteMapText(%q) should fail", text)
+		}
+	}
+}
+
+func TestParseACLText(t *testing.T) {
+	in, err := ParseACLText("Write an ACL entry that permits tcp traffic from 10.0.0.0/24 to host 8.8.8.8 on port 443.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Permit || in.Protocol != "tcp" || in.Src != "10.0.0.0/24" || in.Dst != "8.8.8.8/32" || in.DstPort != "eq 443" {
+		t.Errorf("%+v", in)
+	}
+
+	in, err = ParseACLText("Deny udp packets from host 1.2.3.4.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Permit || in.Protocol != "udp" || in.Src != "1.2.3.4/32" || in.Dst != "any" {
+		t.Errorf("%+v", in)
+	}
+
+	in, err = ParseACLText("Permit established tcp traffic to 172.16.0.0/12.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Established || in.Dst != "172.16.0.0/12" || in.Src != "any" {
+		t.Errorf("%+v", in)
+	}
+
+	in, err = ParseACLText("Block traffic to ports 5000 through 5100.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Permit || in.DstPort != "range 5000 5100" {
+		t.Errorf("%+v", in)
+	}
+	if in.Protocol != "tcp" {
+		t.Errorf("port constraints should force tcp, got %s", in.Protocol)
+	}
+}
+
+func TestParseTextDispatch(t *testing.T) {
+	in, err := ParseText(paperPrompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Kind != KindRouteMap || in.RouteMap == nil || in.ACL != nil {
+		t.Errorf("%+v", in)
+	}
+	in, err = ParseText("permit tcp traffic from any to any port 80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Kind != KindACL || in.ACL == nil {
+		t.Errorf("%+v", in)
+	}
+}
+
+func TestPrefixConstraintString(t *testing.T) {
+	in, _ := ParseRouteMapText(paperPrompt)
+	if got := in.Prefixes[0].String(); got != "100.0.0.0/16:16-23" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseICMPIntents(t *testing.T) {
+	in, err := ParseACLText("Permit ping traffic from 10.0.0.0/24 to host 8.8.8.8.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Protocol != "icmp" || in.ICMP != "echo" {
+		t.Errorf("%+v", in)
+	}
+	in, err = ParseACLText("Block icmp unreachable packets from any host.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Permit || in.ICMP != "unreachable" {
+		t.Errorf("%+v", in)
+	}
+}

@@ -1,0 +1,200 @@
+package ios
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the configuration in canonical IOS syntax. The output parses
+// back to an equal configuration (round-trip property, tested).
+func (c *Config) Print() string {
+	var sb strings.Builder
+	for i, r := range c.order {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		switch r.kind {
+		case refASPath:
+			printASPathList(&sb, c.ASPathLists[r.name])
+		case refPrefix:
+			printPrefixList(&sb, c.PrefixLists[r.name])
+		case refCommunity:
+			printCommunityList(&sb, c.CommunityLists[r.name])
+		case refRouteMap:
+			printRouteMap(&sb, c.RouteMaps[r.name])
+		case refACL:
+			printACL(&sb, c.ACLs[r.name])
+		}
+	}
+	return sb.String()
+}
+
+func action(permit bool) string {
+	if permit {
+		return "permit"
+	}
+	return "deny"
+}
+
+func printASPathList(sb *strings.Builder, l *ASPathList) {
+	for _, e := range l.Entries {
+		fmt.Fprintf(sb, "ip as-path access-list %s %s %s\n", l.Name, action(e.Permit), e.Regex)
+	}
+}
+
+func printPrefixList(sb *strings.Builder, l *PrefixList) {
+	for _, e := range l.Entries {
+		fmt.Fprintf(sb, "ip prefix-list %s seq %d %s %s", l.Name, e.Seq, action(e.Permit), e.Prefix)
+		if e.Ge != 0 {
+			fmt.Fprintf(sb, " ge %d", e.Ge)
+		}
+		if e.Le != 0 {
+			fmt.Fprintf(sb, " le %d", e.Le)
+		}
+		sb.WriteByte('\n')
+	}
+}
+
+func printCommunityList(sb *strings.Builder, l *CommunityList) {
+	kind := "standard"
+	if l.Expanded {
+		kind = "expanded"
+	}
+	for _, e := range l.Entries {
+		fmt.Fprintf(sb, "ip community-list %s %s %s %s\n", kind, l.Name, action(e.Permit), strings.Join(e.Values, " "))
+	}
+}
+
+func printRouteMap(sb *strings.Builder, rm *RouteMap) {
+	for _, st := range rm.Stanzas {
+		fmt.Fprintf(sb, "route-map %s %s %d\n", rm.Name, action(st.Permit), st.Seq)
+		for _, m := range st.Matches {
+			fmt.Fprintf(sb, " %s\n", m.String())
+		}
+		for _, s := range st.Sets {
+			fmt.Fprintf(sb, " %s\n", s.String())
+		}
+		if st.Continue != nil {
+			if st.Continue.Target > 0 {
+				fmt.Fprintf(sb, " continue %d\n", st.Continue.Target)
+			} else {
+				fmt.Fprintf(sb, " continue\n")
+			}
+		}
+	}
+}
+
+func printACL(sb *strings.Builder, a *ACL) {
+	fmt.Fprintf(sb, "ip access-list extended %s\n", a.Name)
+	for _, e := range a.Entries {
+		fmt.Fprintf(sb, " %s\n", e.String())
+	}
+}
+
+// String renders the ACE body (without the leading indent), including its
+// sequence number.
+func (e *ACE) String() string {
+	var sb strings.Builder
+	if e.Seq > 0 {
+		fmt.Fprintf(&sb, "%d ", e.Seq)
+	}
+	sb.WriteString(action(e.Permit))
+	sb.WriteByte(' ')
+	sb.WriteString(e.Protocol.String())
+	sb.WriteByte(' ')
+	sb.WriteString(e.Src.String())
+	if s := e.SrcPort.String(); s != "" {
+		sb.WriteByte(' ')
+		sb.WriteString(s)
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(e.Dst.String())
+	if s := e.DstPort.String(); s != "" {
+		sb.WriteByte(' ')
+		sb.WriteString(s)
+	}
+	if e.ICMP != nil {
+		sb.WriteByte(' ')
+		sb.WriteString(icmpTypeWord(e.ICMP.Type))
+		if e.ICMP.HasCode {
+			fmt.Fprintf(&sb, " %d", e.ICMP.Code)
+		}
+	}
+	if e.Established {
+		sb.WriteString(" established")
+	}
+	return sb.String()
+}
+
+// icmpTypeWord renders known ICMP types as their IOS keyword; unknown types
+// print numerically. The mapping is the inverse of icmpTypeNames.
+func icmpTypeWord(t uint8) string {
+	switch t {
+	case 0:
+		return "echo-reply"
+	case 3:
+		return "unreachable"
+	case 5:
+		return "redirect"
+	case 8:
+		return "echo"
+	case 11:
+		return "time-exceeded"
+	case 12:
+		return "parameter-problem"
+	case 13:
+		return "timestamp-request"
+	case 14:
+		return "timestamp-reply"
+	default:
+		return fmt.Sprintf("%d", t)
+	}
+}
+
+// String renders the protocol in IOS keyword form.
+func (ps ProtoSpec) String() string {
+	if ps.Any {
+		return "ip"
+	}
+	switch ps.Value {
+	case 1:
+		return "icmp"
+	case 6:
+		return "tcp"
+	case 17:
+		return "udp"
+	default:
+		return fmt.Sprintf("%d", ps.Value)
+	}
+}
+
+// String renders the address spec in IOS form (any / host A / A WILDCARD).
+func (as AddrSpec) String() string {
+	switch {
+	case as.Any:
+		return "any"
+	case as.Wildcard == 0:
+		return "host " + as.Addr.String()
+	default:
+		return as.Addr.String() + " " + U32ToAddr(as.Wildcard).String()
+	}
+}
+
+// String renders the port spec; empty when unconstrained.
+func (ps PortSpec) String() string {
+	switch ps.Op {
+	case PortNone:
+		return ""
+	case PortEq:
+		return fmt.Sprintf("eq %d", ps.Lo)
+	case PortNeq:
+		return fmt.Sprintf("neq %d", ps.Lo)
+	case PortLt:
+		return fmt.Sprintf("lt %d", ps.Lo)
+	case PortGt:
+		return fmt.Sprintf("gt %d", ps.Lo)
+	case PortRange:
+		return fmt.Sprintf("range %d %d", ps.Lo, ps.Hi)
+	}
+	return ""
+}

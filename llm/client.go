@@ -1,0 +1,73 @@
+// Package llm provides the language-model substrate of the Clarify pipeline:
+// a provider-neutral Client interface, the prompt database of Figure 1 step
+// (2), a deterministic simulated LLM with an injectable error model (the
+// offline stand-in for GPT-4 documented in DESIGN.md), and an
+// OpenAI-compatible HTTP client for users with a real endpoint.
+package llm
+
+import (
+	"context"
+	"fmt"
+)
+
+// Role values for chat messages.
+const (
+	RoleSystem    = "system"
+	RoleUser      = "user"
+	RoleAssistant = "assistant"
+)
+
+// Message is one chat turn.
+type Message struct {
+	Role    string `json:"role"`
+	Content string `json:"content"`
+}
+
+// Task identifies which pipeline step a request serves. The task is implicit
+// in the system prompt text for a real LLM; carrying it explicitly lets the
+// simulated LLM dispatch without natural-language understanding of its own
+// instructions.
+type Task int
+
+// Pipeline tasks, in Figure 1 order.
+const (
+	TaskClassify Task = iota
+	TaskSynthRouteMap
+	TaskSynthACL
+	TaskSpecRouteMap
+	TaskSpecACL
+)
+
+func (t Task) String() string {
+	switch t {
+	case TaskClassify:
+		return "classify"
+	case TaskSynthRouteMap:
+		return "synth-route-map"
+	case TaskSynthACL:
+		return "synth-acl"
+	case TaskSpecRouteMap:
+		return "spec-route-map"
+	case TaskSpecACL:
+		return "spec-acl"
+	default:
+		return fmt.Sprintf("task(%d)", int(t))
+	}
+}
+
+// Request is one completion request.
+type Request struct {
+	Task     Task
+	System   string
+	Messages []Message
+}
+
+// Response is the model's reply.
+type Response struct {
+	Content string
+}
+
+// Client is a chat-completion provider.
+type Client interface {
+	Complete(ctx context.Context, req Request) (Response, error)
+}

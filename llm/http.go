@@ -1,0 +1,100 @@
+package llm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// HTTPClient talks to an OpenAI-compatible chat-completions endpoint
+// (POST {BaseURL}/chat/completions). It exists so the pipeline can run
+// against a real model; the repository's experiments all use SimLLM.
+type HTTPClient struct {
+	// BaseURL is the API root, e.g. "https://api.openai.com/v1".
+	BaseURL string
+	// Model is the model identifier, e.g. "gpt-4".
+	Model string
+	// APIKey, when non-empty, is sent as a Bearer token.
+	APIKey string
+	// HTTP is the underlying client; a 60-second-timeout client is used when
+	// nil.
+	HTTP *http.Client
+	// Temperature defaults to 0 for reproducible synthesis.
+	Temperature float64
+}
+
+type chatRequest struct {
+	Model       string    `json:"model"`
+	Messages    []Message `json:"messages"`
+	Temperature float64   `json:"temperature"`
+}
+
+type chatResponse struct {
+	Choices []struct {
+		Message Message `json:"message"`
+	} `json:"choices"`
+	Error *struct {
+		Message string `json:"message"`
+	} `json:"error,omitempty"`
+}
+
+// Complete implements Client.
+func (c *HTTPClient) Complete(ctx context.Context, req Request) (Response, error) {
+	msgs := make([]Message, 0, len(req.Messages)+1)
+	if req.System != "" {
+		msgs = append(msgs, Message{Role: RoleSystem, Content: req.System})
+	}
+	msgs = append(msgs, req.Messages...)
+	body, err := json.Marshal(chatRequest{Model: c.Model, Messages: msgs, Temperature: c.Temperature})
+	if err != nil {
+		return Response{}, fmt.Errorf("llm: marshal request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/chat/completions", bytes.NewReader(body))
+	if err != nil {
+		return Response{}, fmt.Errorf("llm: build request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if c.APIKey != "" {
+		httpReq.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
+	client := c.HTTP
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	resp, err := client.Do(httpReq)
+	if err != nil {
+		return Response{}, fmt.Errorf("llm: request failed: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return Response{}, fmt.Errorf("llm: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Response{}, fmt.Errorf("llm: endpoint returned %s: %s", resp.Status, truncate(data, 200))
+	}
+	var out chatResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return Response{}, fmt.Errorf("llm: decode response: %w", err)
+	}
+	if out.Error != nil {
+		return Response{}, fmt.Errorf("llm: endpoint error: %s", out.Error.Message)
+	}
+	if len(out.Choices) == 0 {
+		return Response{}, fmt.Errorf("llm: endpoint returned no choices")
+	}
+	return Response{Content: out.Choices[0].Message.Content}, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}
+
+var _ Client = (*HTTPClient)(nil)

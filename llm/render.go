@@ -1,0 +1,178 @@
+package llm
+
+import (
+	"fmt"
+
+	"github.com/clarifynet/clarify/intent"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/spec"
+)
+
+// RenderRouteMapSnippet renders a structured route-map intent as the IOS
+// snippet a well-behaved LLM would produce: one stanza plus the ancillary
+// lists it references, using the paper's naming style (COM_LIST, PREFIX_100,
+// SET_METRIC).
+func RenderRouteMapSnippet(in *intent.RouteMapIntent) (*ios.Config, string) {
+	cfg := ios.NewConfig()
+	st := &ios.Stanza{Seq: 10, Permit: in.Permit}
+
+	if in.Community != "" {
+		name := "COM_LIST"
+		if in.CommunityExact {
+			cfg.AddCommunityList(name, true, ios.CommunityListEntry{
+				Permit: true, Values: []string{"_" + in.Community + "_"},
+			})
+		} else {
+			cfg.AddCommunityList(name, true, ios.CommunityListEntry{
+				Permit: true, Values: []string{in.Community},
+			})
+		}
+		st.Matches = append(st.Matches, ios.MatchCommunity{List: name})
+	}
+	if len(in.Prefixes) > 0 {
+		name := fmt.Sprintf("PREFIX_%d", in.Prefixes[0].Prefix.Addr().As4()[0])
+		var entries []ios.PrefixListEntry
+		for i, pc := range in.Prefixes {
+			e := ios.PrefixListEntry{Seq: (i + 1) * 10, Permit: true, Prefix: pc.Prefix}
+			bits := pc.Prefix.Bits()
+			switch {
+			case pc.LenLo == bits && pc.LenHi == bits:
+				// exact length: no ge/le
+			case pc.LenLo == bits:
+				e.Le = pc.LenHi
+			case pc.LenHi == 32:
+				e.Ge = pc.LenLo
+			default:
+				e.Ge, e.Le = pc.LenLo, pc.LenHi
+			}
+			entries = append(entries, e)
+		}
+		cfg.AddPrefixList(name, entries...)
+		st.Matches = append(st.Matches, ios.MatchPrefixList{List: name})
+	}
+	if in.ASPathRegex != "" {
+		cfg.AddASPathList("AS_LIST", ios.ASPathEntry{Permit: true, Regex: in.ASPathRegex})
+		st.Matches = append(st.Matches, ios.MatchASPath{List: "AS_LIST"})
+	}
+	if in.LocalPref != nil {
+		st.Matches = append(st.Matches, ios.MatchLocalPref{Value: *in.LocalPref})
+	}
+	if in.Metric != nil {
+		st.Matches = append(st.Matches, ios.MatchMetric{Value: *in.Metric})
+	}
+	if in.Tag != nil {
+		st.Matches = append(st.Matches, ios.MatchTag{Value: *in.Tag})
+	}
+
+	if in.SetMetric != nil {
+		st.Sets = append(st.Sets, ios.SetMetric{Value: *in.SetMetric})
+	}
+	if in.SetLocalPref != nil {
+		st.Sets = append(st.Sets, ios.SetLocalPref{Value: *in.SetLocalPref})
+	}
+	if len(in.SetCommunities) > 0 {
+		st.Sets = append(st.Sets, ios.SetCommunity{Communities: in.SetCommunities, Additive: in.SetAdditive})
+	}
+	if in.SetWeight != nil {
+		st.Sets = append(st.Sets, ios.SetWeight{Value: *in.SetWeight})
+	}
+	if in.SetTag != nil {
+		st.Sets = append(st.Sets, ios.SetTag{Value: *in.SetTag})
+	}
+	if in.SetNextHop != "" {
+		cfgAddNextHop(st, in.SetNextHop)
+	}
+
+	name := mapName(in)
+	rm := cfg.AddRouteMap(name)
+	rm.Stanzas = append(rm.Stanzas, st)
+	return cfg, name
+}
+
+func cfgAddNextHop(st *ios.Stanza, addr string) {
+	// Rendering through the parser keeps address validation in one place.
+	tmp := ios.MustParse("route-map T permit 10\n set ip next-hop " + addr + "\n")
+	st.Sets = append(st.Sets, tmp.RouteMaps["T"].Stanzas[0].Sets[0])
+}
+
+// mapName chooses the paper-style route-map name from the dominant action.
+func mapName(in *intent.RouteMapIntent) string {
+	switch {
+	case in.SetMetric != nil:
+		return "SET_METRIC"
+	case in.SetLocalPref != nil:
+		return "SET_LOCAL_PREF"
+	case len(in.SetCommunities) > 0:
+		return "SET_COMMUNITY"
+	case in.SetNextHop != "":
+		return "SET_NEXT_HOP"
+	case !in.Permit:
+		return "DENY_ROUTES"
+	default:
+		return "NEW_STANZA"
+	}
+}
+
+// RenderACLSnippet renders a structured ACL intent as a one-entry named ACL.
+func RenderACLSnippet(in *intent.ACLIntent) (*ios.Config, string, error) {
+	s := aclIntentSpec(in)
+	ace, err := s.ToACE()
+	if err != nil {
+		return nil, "", err
+	}
+	cfg := ios.NewConfig()
+	acl := cfg.AddACL("NEW_ENTRY")
+	ace.Seq = 10
+	acl.Entries = append(acl.Entries, ace)
+	return cfg, "NEW_ENTRY", nil
+}
+
+// RenderRouteMapSpec renders the JSON behavioural specification for a
+// route-map intent (Figure 1 step 3, second LLM call).
+func RenderRouteMapSpec(in *intent.RouteMapIntent) *spec.RouteMapSpec {
+	s := &spec.RouteMapSpec{Permit: in.Permit}
+	for _, pc := range in.Prefixes {
+		s.Prefix = append(s.Prefix, pc.String())
+	}
+	if in.Community != "" {
+		if in.CommunityExact {
+			s.Community = in.Community
+		} else {
+			s.Community = "/" + in.Community + "/"
+		}
+	}
+	if in.ASPathRegex != "" {
+		s.ASPath = "/" + in.ASPathRegex + "/"
+	}
+	s.LocalPref = in.LocalPref
+	s.Metric = in.Metric
+	s.Tag = in.Tag
+	s.Set = spec.SetSpec{
+		Metric:      in.SetMetric,
+		LocalPref:   in.SetLocalPref,
+		Weight:      in.SetWeight,
+		Tag:         in.SetTag,
+		Communities: append([]string(nil), in.SetCommunities...),
+		Additive:    in.SetAdditive,
+		NextHop:     in.SetNextHop,
+	}
+	return s
+}
+
+// aclIntentSpec converts an ACL intent to its spec (the two structures are
+// intentionally parallel).
+func aclIntentSpec(in *intent.ACLIntent) *spec.ACLSpec {
+	return &spec.ACLSpec{
+		Permit:      in.Permit,
+		Protocol:    in.Protocol,
+		Src:         in.Src,
+		Dst:         in.Dst,
+		SrcPort:     in.SrcPort,
+		DstPort:     in.DstPort,
+		Established: in.Established,
+		ICMP:        in.ICMP,
+	}
+}
+
+// RenderACLSpec renders the JSON behavioural specification for an ACL intent.
+func RenderACLSpec(in *intent.ACLIntent) *spec.ACLSpec { return aclIntentSpec(in) }

@@ -1,0 +1,258 @@
+package llm
+
+import (
+	"context"
+	"strings"
+	"sync"
+
+	"github.com/clarifynet/clarify/intent"
+	"github.com/clarifynet/clarify/ios"
+)
+
+// Fault is one kind of realistic LLM synthesis error the simulator can
+// inject, so the verification loop of Figure 1 (steps 3–5) is exercised the
+// way a fallible model would exercise it.
+type Fault int
+
+// Fault kinds.
+const (
+	// FaultNone produces a correct output (explicit no-op plan slot).
+	FaultNone Fault = iota
+	// FaultWrongValue perturbs a numeric set/match value by one.
+	FaultWrongValue
+	// FaultWidenMask loosens a prefix length bound by one bit.
+	FaultWidenMask
+	// FaultDropMatch omits one match clause, widening the stanza.
+	FaultDropMatch
+	// FaultFlipAction swaps permit and deny.
+	FaultFlipAction
+	// FaultSyntax emits malformed IOS text.
+	FaultSyntax
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultWrongValue:
+		return "wrong-value"
+	case FaultWidenMask:
+		return "widen-mask"
+	case FaultDropMatch:
+		return "drop-match"
+	case FaultFlipAction:
+		return "flip-action"
+	case FaultSyntax:
+		return "syntax"
+	default:
+		return "unknown"
+	}
+}
+
+// SimLLM is the deterministic offline stand-in for GPT-4: it parses the
+// restricted-English intent in the last user turn and renders the
+// corresponding artifact for the request's task. A fault plan makes
+// individual synthesis calls produce realistic wrong outputs; once the plan
+// is exhausted every output is correct (modelling the LLM converging under
+// counterexample feedback).
+type SimLLM struct {
+	mu    sync.Mutex
+	plan  []Fault
+	calls map[Task]int
+}
+
+// NewSimLLM returns a correct-by-default simulator.
+func NewSimLLM(faultPlan ...Fault) *SimLLM {
+	return &SimLLM{plan: faultPlan, calls: map[Task]int{}}
+}
+
+// Calls reports how many completions have been served for a task.
+func (s *SimLLM) Calls(task Task) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls[task]
+}
+
+// TotalCalls reports all completions served (the paper's "#LLM calls").
+func (s *SimLLM) TotalCalls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range s.calls {
+		n += c
+	}
+	return n
+}
+
+// nextFault consumes the next planned fault for a synthesis call.
+func (s *SimLLM) nextFault() Fault {
+	if len(s.plan) == 0 {
+		return FaultNone
+	}
+	f := s.plan[0]
+	s.plan = s.plan[1:]
+	return f
+}
+
+// Complete implements Client.
+func (s *SimLLM) Complete(_ context.Context, req Request) (Response, error) {
+	s.mu.Lock()
+	s.calls[req.Task]++
+	s.mu.Unlock()
+
+	userText := lastUserMessage(req.Messages)
+	switch req.Task {
+	case TaskClassify:
+		return Response{Content: intent.ClassifyText(userText).String()}, nil
+
+	case TaskSynthRouteMap:
+		in, err := intent.ParseRouteMapText(userText)
+		if err != nil {
+			return Response{}, err
+		}
+		s.mu.Lock()
+		fault := s.nextFault()
+		s.mu.Unlock()
+		if fault == FaultSyntax {
+			return Response{Content: "route-map BROKEN permit\n match ip address prefix-list\n"}, nil
+		}
+		applyRouteMapFault(in, fault)
+		cfg, _ := RenderRouteMapSnippet(in)
+		return Response{Content: cfg.Print()}, nil
+
+	case TaskSynthACL:
+		in, err := intent.ParseACLText(userText)
+		if err != nil {
+			return Response{}, err
+		}
+		s.mu.Lock()
+		fault := s.nextFault()
+		s.mu.Unlock()
+		if fault == FaultSyntax {
+			return Response{Content: "ip access-list extended BROKEN\n permit tcp\n"}, nil
+		}
+		applyACLFault(in, fault)
+		cfg, _, err := RenderACLSnippet(in)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Content: cfg.Print()}, nil
+
+	case TaskSpecRouteMap:
+		in, err := intent.ParseRouteMapText(userText)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Content: RenderRouteMapSpec(in).JSON()}, nil
+
+	case TaskSpecACL:
+		in, err := intent.ParseACLText(userText)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Content: RenderACLSpec(in).JSON()}, nil
+	}
+	return Response{}, &UnsupportedTaskError{Task: req.Task}
+}
+
+// UnsupportedTaskError reports a request for a task the simulator does not
+// implement.
+type UnsupportedTaskError struct{ Task Task }
+
+func (e *UnsupportedTaskError) Error() string {
+	return "llm: unsupported task " + e.Task.String()
+}
+
+// lastUserMessage extracts the most recent user turn; retries append
+// feedback turns, and the simulator (like a real model) regenerates from the
+// original intent text, which the feedback turn quotes below a marker line.
+func lastUserMessage(msgs []Message) string {
+	for i := len(msgs) - 1; i >= 0; i-- {
+		if msgs[i].Role == RoleUser {
+			content := msgs[i].Content
+			if idx := strings.Index(content, FeedbackIntentMarker); idx >= 0 {
+				return content[idx+len(FeedbackIntentMarker):]
+			}
+			return content
+		}
+	}
+	return ""
+}
+
+// FeedbackIntentMarker separates verifier feedback from the restated intent
+// in retry turns (see clarify.Session).
+const FeedbackIntentMarker = "\nOriginal intent:\n"
+
+func applyRouteMapFault(in *intent.RouteMapIntent, f Fault) {
+	switch f {
+	case FaultWrongValue:
+		switch {
+		case in.SetMetric != nil:
+			*in.SetMetric++
+		case in.SetLocalPref != nil:
+			*in.SetLocalPref++
+		case in.LocalPref != nil:
+			*in.LocalPref++
+		case in.Metric != nil:
+			*in.Metric++
+		default:
+			in.Permit = !in.Permit
+		}
+	case FaultWidenMask:
+		if len(in.Prefixes) > 0 && in.Prefixes[0].LenHi < 32 {
+			in.Prefixes[0].LenHi++
+		} else if in.SetMetric != nil {
+			*in.SetMetric++
+		} else {
+			in.Permit = !in.Permit
+		}
+	case FaultDropMatch:
+		switch {
+		case in.Community != "":
+			in.Community = ""
+		case in.ASPathRegex != "":
+			in.ASPathRegex = ""
+		case in.LocalPref != nil:
+			in.LocalPref = nil
+		case len(in.Prefixes) > 0 && (in.Community != "" || in.ASPathRegex != ""):
+			in.Prefixes = nil
+		default:
+			in.Permit = !in.Permit
+		}
+	case FaultFlipAction:
+		in.Permit = !in.Permit
+		if !in.Permit {
+			// A deny stanza with set clauses is legal IOS but the sets are
+			// dead; models produce exactly this shape of error.
+		}
+	}
+}
+
+func applyACLFault(in *intent.ACLIntent, f Fault) {
+	switch f {
+	case FaultWrongValue:
+		if strings.HasPrefix(in.DstPort, "eq ") {
+			in.DstPort = "eq 8080"
+		} else {
+			in.Permit = !in.Permit
+		}
+	case FaultWidenMask, FaultDropMatch:
+		if in.Dst != "any" {
+			in.Dst = "any"
+		} else if in.Src != "any" {
+			in.Src = "any"
+		} else {
+			in.Permit = !in.Permit
+		}
+	case FaultFlipAction:
+		in.Permit = !in.Permit
+	}
+}
+
+var _ Client = (*SimLLM)(nil)
+
+// ParseSnippet is a convenience for turning a synthesis response back into a
+// configuration, shared by the workflow and tests.
+func ParseSnippet(resp Response) (*ios.Config, error) {
+	return ios.Parse(resp.Content)
+}

@@ -1,0 +1,61 @@
+// Package packet models IPv4 packet headers: the inputs over which access
+// control lists are evaluated, compared and disambiguated.
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Well-known IP protocol numbers used by the IOS ACL dialect.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// Packet is an IPv4 header five-tuple plus the TCP "established" bit that
+// Cisco extended ACLs can match on.
+type Packet struct {
+	Src, Dst         netip.Addr
+	Protocol         uint8
+	SrcPort, DstPort uint16
+	Established      bool
+	// ICMPType and ICMPCode are meaningful when Protocol is ProtoICMP.
+	ICMPType, ICMPCode uint8
+}
+
+// New returns a packet with the given addresses and protocol and zero ports.
+func New(src, dst string, proto uint8) Packet {
+	return Packet{
+		Src:      netip.MustParseAddr(src),
+		Dst:      netip.MustParseAddr(dst),
+		Protocol: proto,
+	}
+}
+
+// ProtocolName renders the protocol in IOS keyword form.
+func ProtocolName(p uint8) string {
+	switch p {
+	case ProtoICMP:
+		return "icmp"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("%d", p)
+	}
+}
+
+// String renders the packet compactly for witnesses and logs.
+func (p Packet) String() string {
+	if p.Protocol == ProtoICMP {
+		return fmt.Sprintf("icmp %s -> %s type %d code %d", p.Src, p.Dst, p.ICMPType, p.ICMPCode)
+	}
+	s := fmt.Sprintf("%s %s:%d -> %s:%d", ProtocolName(p.Protocol), p.Src, p.SrcPort, p.Dst, p.DstPort)
+	if p.Established {
+		s += " established"
+	}
+	return s
+}

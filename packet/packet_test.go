@@ -1,0 +1,24 @@
+package packet
+
+import "testing"
+
+func TestNewAndString(t *testing.T) {
+	p := New("1.1.1.1", "2.2.2.2", ProtoTCP)
+	p.DstPort = 80
+	if got := p.String(); got != "tcp 1.1.1.1:0 -> 2.2.2.2:80" {
+		t.Errorf("String = %q", got)
+	}
+	p.Established = true
+	if got := p.String(); got != "tcp 1.1.1.1:0 -> 2.2.2.2:80 established" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestProtocolName(t *testing.T) {
+	cases := map[uint8]string{1: "icmp", 6: "tcp", 17: "udp", 47: "47"}
+	for p, want := range cases {
+		if got := ProtocolName(p); got != want {
+			t.Errorf("ProtocolName(%d) = %q, want %q", p, got, want)
+		}
+	}
+}

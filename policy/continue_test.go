@@ -1,0 +1,144 @@
+package policy
+
+import (
+	"testing"
+
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/route"
+)
+
+// A route map exercising Cisco continue semantics: stanza 10 tags and
+// continues, stanza 20 sets the metric for D-prefixed routes, stanza 30
+// denies routes that (now) carry the tag community, stanza 40 permits the
+// rest.
+const continueMap = `ip prefix-list TEN seq 10 permit 10.0.0.0/8 le 32
+ip prefix-list TWENTY seq 10 permit 20.0.0.0/8 le 32
+ip community-list standard TAGGED permit 9:9
+route-map RM permit 10
+ match ip address prefix-list TEN
+ set community 9:9 additive
+ continue
+route-map RM permit 20
+ match ip address prefix-list TWENTY
+ set metric 200
+route-map RM deny 30
+ match community TAGGED
+route-map RM permit 40
+`
+
+func evalContinue(t *testing.T, cidr string) RouteVerdict {
+	t.Helper()
+	cfg := ios.MustParse(continueMap)
+	v, err := NewEvaluator(cfg).EvalRouteMap(cfg.RouteMaps["RM"], route.New(cidr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestContinueAccumulatesThenDenies(t *testing.T) {
+	// 10/8 route: stanza 10 matches, tags 9:9, continues; stanza 20 does not
+	// match; stanza 30 matches the freshly added tag → denied.
+	v := evalContinue(t, "10.1.0.0/16")
+	if v.Permit || v.Index != 2 {
+		t.Errorf("verdict = %+v, want deny at stanza index 2", v)
+	}
+}
+
+func TestContinueFallThroughPermits(t *testing.T) {
+	// 20/8 route: stanza 10 no; stanza 20 matches without continue → permit
+	// with metric 200.
+	v := evalContinue(t, "20.5.0.0/16")
+	if !v.Permit || v.Index != 1 || v.Output.MED != 200 {
+		t.Errorf("verdict = %+v", v)
+	}
+	// Other routes: stanzas 10-30 no, stanza 40 permit-all.
+	v = evalContinue(t, "50.0.0.0/8")
+	if !v.Permit || v.Index != 3 {
+		t.Errorf("verdict = %+v", v)
+	}
+}
+
+func TestContinueTargetSkipsStanzas(t *testing.T) {
+	cfg := ios.MustParse(`ip prefix-list ALL seq 10 permit 0.0.0.0/0 le 32
+route-map RM permit 10
+ match ip address prefix-list ALL
+ set metric 1
+ continue 40
+route-map RM permit 20
+ set metric 99
+route-map RM deny 30
+route-map RM permit 40
+ set local-preference 777
+`)
+	v, err := NewEvaluator(cfg).EvalRouteMap(cfg.RouteMaps["RM"], route.New("10.0.0.0/8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stanzas 20 and 30 are skipped: metric stays 1, lp becomes 777.
+	if !v.Permit || v.Output.MED != 1 || v.Output.LocalPref != 777 || v.Index != 3 {
+		t.Errorf("verdict = %+v output=%+v", v, v.Output)
+	}
+}
+
+func TestContinueOffTheEndPermitsAccumulated(t *testing.T) {
+	cfg := ios.MustParse(`ip prefix-list ALL seq 10 permit 0.0.0.0/0 le 32
+route-map RM permit 10
+ match ip address prefix-list ALL
+ set metric 42
+ continue
+route-map RM deny 20
+ match ip address prefix-list BLUE
+`)
+	cfg.AddPrefixList("BLUE", ios.PrefixListEntry{Seq: 10, Permit: true,
+		Prefix: route.New("99.0.0.0/8").Network})
+	v, err := NewEvaluator(cfg).EvalRouteMap(cfg.RouteMaps["RM"], route.New("10.0.0.0/8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Permit || v.Output.MED != 42 || v.Index != 0 {
+		t.Errorf("fall-off-end verdict = %+v", v)
+	}
+}
+
+func TestContinueOnDenyIgnored(t *testing.T) {
+	cfg := ios.MustParse(`ip prefix-list ALL seq 10 permit 0.0.0.0/0 le 32
+route-map RM deny 10
+ match ip address prefix-list ALL
+ continue
+route-map RM permit 20
+`)
+	v, err := NewEvaluator(cfg).EvalRouteMap(cfg.RouteMaps["RM"], route.New("10.0.0.0/8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Permit || v.Index != 0 {
+		t.Errorf("deny with continue must terminate: %+v", v)
+	}
+}
+
+func TestContinueRoundTrip(t *testing.T) {
+	cfg := ios.MustParse(continueMap)
+	printed := cfg.Print()
+	back := ios.MustParse(printed)
+	if back.Print() != printed {
+		t.Error("continue not round-trip stable")
+	}
+	if !cfg.RouteMaps["RM"].HasContinue() {
+		t.Error("HasContinue false")
+	}
+}
+
+func TestContinueParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"continue\n",                                     // outside stanza
+		"route-map RM permit 10\n continue 5\n",          // target ≤ own seq
+		"route-map RM permit 10\n continue x\n",          // non-numeric
+		"route-map RM permit 10\n continue\n continue\n", // duplicate
+		"route-map RM permit 10\n continue 20 30\n",      // too many args
+	} {
+		if _, err := ios.Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package rx
+
+// EnumerateStrings invokes fn on accepted strings in order of nondecreasing
+// length (breadth-first, alphabet order within a length), stopping when fn
+// returns false or when maxLen is exceeded. It is used to find witnesses
+// satisfying side conditions the automaton itself does not encode (for
+// example numeric bounds on decoded fields).
+func (d *DFA) EnumerateStrings(maxLen int, fn func(s string) bool) {
+	type item struct {
+		state int32
+		s     string
+	}
+	frontier := []item{{state: d.start}}
+	for depth := 0; depth <= maxLen; depth++ {
+		var next []item
+		for _, it := range frontier {
+			if d.accept[it.state] {
+				if !fn(it.s) {
+					return
+				}
+			}
+		}
+		if depth == maxLen {
+			return
+		}
+		// Expand, pruning states that cannot reach acceptance cheaply is
+		// unnecessary at the small witness lengths used here.
+		for _, it := range frontier {
+			for ai, b := range d.alphabet {
+				next = append(next, item{state: d.trans[it.state][ai], s: it.s + string(b)})
+			}
+		}
+		// Deduplicate (state, length) pairs keeping the lexicographically
+		// first string, to bound the frontier by the state count.
+		seen := make(map[int32]bool, len(next))
+		dedup := next[:0]
+		for _, it := range next {
+			if !seen[it.state] {
+				seen[it.state] = true
+				dedup = append(dedup, it)
+			}
+		}
+		frontier = dedup
+	}
+}

@@ -1,0 +1,150 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/clarifynet/clarify/bdd"
+	"github.com/clarifynet/clarify/internal/testgen"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/packet"
+	"github.com/clarifynet/clarify/policy"
+)
+
+const testACL = `ip access-list extended EDGE
+ permit tcp host 1.1.1.1 host 2.2.2.2 eq 80
+ deny udp 10.0.0.0 0.0.0.255 any
+ permit tcp any any established
+ deny ip any any
+`
+
+func TestACEPredWitness(t *testing.T) {
+	cfg := ios.MustParse(testACL)
+	acl := cfg.ACLs["EDGE"]
+	s := NewACLSpace()
+	for i, e := range acl.Entries {
+		pred := s.ACEPred(e)
+		pk, ok := s.Witness(pred)
+		if !ok {
+			t.Fatalf("entry %d unsatisfiable", i)
+		}
+		if !policy.ACEMatches(e, pk) {
+			t.Errorf("entry %d witness %s does not match concretely", i, pk)
+		}
+	}
+}
+
+func TestACLFirstMatchPartition(t *testing.T) {
+	cfg := ios.MustParse(testACL)
+	s := NewACLSpace()
+	regions := s.FirstMatch(cfg.ACLs["EDGE"])
+	p := s.Pool
+	all := bdd.False
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			if p.And(regions[i], regions[j]) != bdd.False {
+				t.Errorf("regions %d,%d overlap", i, j)
+			}
+		}
+		all = p.Or(all, regions[i])
+	}
+	if all != bdd.True {
+		t.Error("regions do not cover header space")
+	}
+	// The catch-all deny makes the implicit-deny region empty.
+	if regions[len(regions)-1] != bdd.False {
+		t.Error("implicit deny should be unreachable behind deny ip any any")
+	}
+}
+
+func TestPermitSetMatchesEvaluator(t *testing.T) {
+	cfg := ios.MustParse(testACL)
+	acl := cfg.ACLs["EDGE"]
+	s := NewACLSpace()
+	permit := s.PermitSet(acl)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		pk := testgen.Packet(rng)
+		want := policy.EvalACL(acl, pk).Permit
+		if got := s.Pool.Eval(permit, s.EncodePacket(pk)); got != want {
+			t.Fatalf("packet %s: symbolic=%v concrete=%v", pk, got, want)
+		}
+	}
+}
+
+// TestQuickACLAgreement: random ACLs, random packets — first-match region
+// chosen symbolically equals the evaluator's verdict index.
+func TestQuickACLAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		cfg := testgen.ACL(rng, "A", 6)
+		acl := cfg.ACLs["A"]
+		s := NewACLSpace()
+		regions := s.FirstMatch(acl)
+		for i := 0; i < 60; i++ {
+			pk := testgen.Packet(rng)
+			v := policy.EvalACL(acl, pk)
+			want := v.Index
+			if want == policy.ImplicitDeny {
+				want = len(regions) - 1
+			}
+			vec := s.EncodePacket(pk)
+			for ri, reg := range regions {
+				if got := s.Pool.Eval(reg, vec); got != (ri == want) {
+					t.Fatalf("trial %d packet %s: region %d=%v, want index %d\nACL:\n%s",
+						trial, pk, ri, got, v.Index, cfg.Print())
+				}
+			}
+		}
+	}
+}
+
+func TestACLWitnessRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		cfg := testgen.ACL(rng, "A", 5)
+		acl := cfg.ACLs["A"]
+		s := NewACLSpace()
+		for i, reg := range s.FirstMatch(acl) {
+			pk, ok := s.Witness(reg)
+			if !ok {
+				continue // region genuinely empty (shadowed entry)
+			}
+			v := policy.EvalACL(acl, pk)
+			want := i
+			if i == len(acl.Entries) {
+				want = policy.ImplicitDeny
+			}
+			if v.Index != want {
+				t.Fatalf("trial %d: witness %s of region %d evaluates to %d\nACL:\n%s",
+					trial, pk, i, v.Index, cfg.Print())
+			}
+		}
+	}
+}
+
+func TestPortEdgeCases(t *testing.T) {
+	s := NewACLSpace()
+	// lt 0 and gt 65535 are unsatisfiable.
+	lt0 := &ios.ACE{Permit: true, Protocol: ios.ProtoSpec{Value: 6},
+		Src: ios.AddrSpec{Any: true}, Dst: ios.AddrSpec{Any: true},
+		SrcPort: ios.PortSpec{Op: ios.PortLt, Lo: 0}}
+	if s.ACEPred(lt0) != bdd.False {
+		t.Error("lt 0 should be unsatisfiable")
+	}
+	gtMax := &ios.ACE{Permit: true, Protocol: ios.ProtoSpec{Value: 6},
+		Src: ios.AddrSpec{Any: true}, Dst: ios.AddrSpec{Any: true},
+		DstPort: ios.PortSpec{Op: ios.PortGt, Lo: 0xFFFF}}
+	if s.ACEPred(gtMax) != bdd.False {
+		t.Error("gt 65535 should be unsatisfiable")
+	}
+}
+
+func TestEstablishedWitness(t *testing.T) {
+	cfg := ios.MustParse("ip access-list extended A\n permit tcp any any established\n")
+	s := NewACLSpace()
+	pk, ok := s.Witness(s.ACEPred(cfg.ACLs["A"].Entries[0]))
+	if !ok || !pk.Established || pk.Protocol != packet.ProtoTCP {
+		t.Errorf("witness = %s, ok=%v", pk, ok)
+	}
+}

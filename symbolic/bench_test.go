@@ -1,0 +1,108 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/clarifynet/clarify/internal/testgen"
+	"github.com/clarifynet/clarify/ios"
+)
+
+func benchConfig() *ios.Config {
+	return ios.MustParse(`ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+ip community-list expanded D2 permit _300:3_
+ip prefix-list D3 seq 10 permit 100.0.0.0/16 le 23
+route-map ISP_OUT permit 10
+ match community D2
+ match ip address prefix-list D3
+ set metric 55
+route-map ISP_OUT deny 20
+ match as-path D0
+route-map ISP_OUT deny 30
+ match ip address prefix-list D1
+route-map ISP_OUT permit 40
+ match local-preference 300
+`)
+}
+
+// BenchmarkNewRouteSpace measures universe construction (atomic predicates +
+// variable allocation).
+func BenchmarkNewRouteSpace(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewRouteSpace(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFirstMatch measures first-match region computation for a 4-stanza
+// route map.
+func BenchmarkFirstMatch(b *testing.B) {
+	cfg := benchConfig()
+	s, err := NewRouteSpace(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm := cfg.RouteMaps["ISP_OUT"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.FirstMatch(cfg, rm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeRoute measures concrete-route encoding (used by the
+// lockstep property tests and witness confirmation).
+func BenchmarkEncodeRoute(b *testing.B) {
+	cfg := benchConfig()
+	s, err := NewRouteSpace(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	r := testgen.Route(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.EncodeRoute(r)
+	}
+}
+
+// BenchmarkWitness measures model extraction + decoding to a concrete route.
+func BenchmarkWitness(b *testing.B) {
+	cfg := benchConfig()
+	s, err := NewRouteSpace(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred, err := s.StanzaPred(cfg, cfg.RouteMaps["ISP_OUT"].Stanzas[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := s.Witness(pred); err != nil || !ok {
+			b.Fatal("witness failed")
+		}
+	}
+}
+
+// BenchmarkACLFirstMatch measures header-space region computation for ACLs.
+func BenchmarkACLFirstMatch(b *testing.B) {
+	cfg := ios.MustParse(`ip access-list extended EDGE
+ permit tcp host 1.1.1.1 host 2.2.2.2 eq 80
+ deny udp 10.0.0.0 0.0.0.255 any
+ permit tcp any any established
+ deny ip any any
+`)
+	acl := cfg.ACLs["EDGE"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewACLSpace()
+		_ = s.FirstMatch(acl)
+	}
+}

@@ -1,0 +1,172 @@
+package symbolic
+
+import (
+	"github.com/clarifynet/clarify/bdd"
+	"github.com/clarifynet/clarify/ios"
+)
+
+// OutputEqual returns the BDD of input routes on which the visible behaviour
+// of stanza a equals that of stanza b: both deny, or both permit and produce
+// attribute-equal output routes. A nil stanza stands for the implicit deny.
+//
+// Communities are compared at the atomic-predicate abstraction (which atom
+// classes are inhabited); callers confirm candidate differences with the
+// concrete evaluator, so the abstraction can only cost extra search, never
+// wrong answers.
+func (s *RouteSpace) OutputEqual(a, b *ios.Stanza) (bdd.Node, error) {
+	aDenies := a == nil || !a.Permit
+	bDenies := b == nil || !b.Permit
+	switch {
+	case aDenies && bDenies:
+		return bdd.True, nil
+	case aDenies != bDenies:
+		return bdd.False, nil
+	}
+	p := s.Pool
+	eq := bdd.True
+	eq = p.And(eq, s.attrEqual(attrOut(a.Sets, attrMED), attrOut(b.Sets, attrMED), s.med))
+	eq = p.And(eq, s.attrEqual(attrOut(a.Sets, attrLP), attrOut(b.Sets, attrLP), s.lp))
+	eq = p.And(eq, s.attrEqual(attrOut(a.Sets, attrTag), attrOut(b.Sets, attrTag), s.tag))
+	eq = p.And(eq, s.attrEqual(attrOut(a.Sets, attrWeight), attrOut(b.Sets, attrWeight), s.weight))
+	eq = p.And(eq, s.attrEqual(attrOut(a.Sets, attrNH), attrOut(b.Sets, attrNH), s.nh))
+	commEq, err := s.communitiesEqual(a.Sets, b.Sets)
+	if err != nil {
+		return bdd.False, err
+	}
+	return p.And(eq, commEq), nil
+}
+
+type attrKind int
+
+const (
+	attrMED attrKind = iota
+	attrLP
+	attrTag
+	attrWeight
+	attrNH
+)
+
+// attrVal is the symbolic output value of one scalar attribute: either a
+// constant (some set clause assigned it) or the input field unchanged.
+type attrVal struct {
+	isConst bool
+	c       uint64
+}
+
+// attrOut folds the set clauses for one attribute; the last assignment wins.
+func attrOut(sets []ios.SetClause, kind attrKind) attrVal {
+	out := attrVal{}
+	for _, s := range sets {
+		switch s := s.(type) {
+		case ios.SetMetric:
+			if kind == attrMED {
+				out = attrVal{isConst: true, c: uint64(s.Value)}
+			}
+		case ios.SetLocalPref:
+			if kind == attrLP {
+				out = attrVal{isConst: true, c: uint64(s.Value)}
+			}
+		case ios.SetTag:
+			if kind == attrTag {
+				out = attrVal{isConst: true, c: uint64(s.Value)}
+			}
+		case ios.SetWeight:
+			if kind == attrWeight {
+				out = attrVal{isConst: true, c: uint64(s.Value)}
+			}
+		case ios.SetNextHop:
+			if kind == attrNH {
+				out = attrVal{isConst: true, c: uint64(ios.AddrU32(s.Addr))}
+			}
+		}
+	}
+	return out
+}
+
+// attrEqual returns the BDD of inputs on which the two symbolic outputs
+// coincide.
+func (s *RouteSpace) attrEqual(a, b attrVal, vec bdd.Vec) bdd.Node {
+	switch {
+	case a.isConst && b.isConst:
+		if a.c == b.c {
+			return bdd.True
+		}
+		return bdd.False
+	case a.isConst:
+		return vec.EqConst(a.c)
+	case b.isConst:
+		return vec.EqConst(b.c)
+	default:
+		return bdd.True // both pass the input through
+	}
+}
+
+// communitiesEqual compares the output community sets at the atom level.
+// Each side's output inhabitation of atom i is one of: the input variable
+// (no set clause), a constant (replace), or input ∨ constant (additive).
+func (s *RouteSpace) communitiesEqual(a, b []ios.SetClause) (bdd.Node, error) {
+	p := s.Pool
+	eq := bdd.True
+	for i := 0; i < s.commAtoms.NumAtoms(); i++ {
+		av, err := s.commAtomOut(a, i)
+		if err != nil {
+			return bdd.False, err
+		}
+		bv, err := s.commAtomOut(b, i)
+		if err != nil {
+			return bdd.False, err
+		}
+		eq = p.And(eq, p.Iff(av, bv))
+	}
+	return eq, nil
+}
+
+// commAtomOut returns the BDD-valued output inhabitation of community atom
+// ai after applying the stanza's set clauses in order.
+func (s *RouteSpace) commAtomOut(sets []ios.SetClause, ai int) (bdd.Node, error) {
+	p := s.Pool
+	cur := p.Var(s.offCommAtoms + ai) // input inhabitation
+	for _, sc := range sets {
+		set, ok := sc.(ios.SetCommunity)
+		if !ok {
+			continue
+		}
+		inSet, err := s.atomInLiterals(ai, set.Communities)
+		if err != nil {
+			return bdd.False, err
+		}
+		if set.Additive {
+			if inSet {
+				cur = bdd.True
+			}
+		} else {
+			if inSet {
+				cur = bdd.True
+			} else {
+				cur = bdd.False
+			}
+		}
+	}
+	return cur, nil
+}
+
+// atomInLiterals reports whether atom ai is one of the singleton atoms of the
+// given community literals.
+func (s *RouteSpace) atomInLiterals(ai int, lits []string) (bool, error) {
+	for _, lit := range lits {
+		pi := s.commAtoms.PatternIndex(exactCommunityPattern(lit))
+		if pi < 0 {
+			return false, &missingLiteralError{lit}
+		}
+		if s.commAtoms.Atoms[ai].InLang[pi] {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+type missingLiteralError struct{ lit string }
+
+func (e *missingLiteralError) Error() string {
+	return "symbolic: set-community literal " + e.lit + " not in universe (config not passed to NewRouteSpace?)"
+}

@@ -1,0 +1,562 @@
+// Package symbolic encodes routes, packets, and the policies that match them
+// as BDD predicates, and decodes BDD models back into concrete witnesses.
+//
+// It is the replacement for Batfish's symbolic route/filter analysis: route
+// attributes become bit vectors, community and AS-path matching become
+// atomic-predicate variables (internal/atoms), match clauses become BDDs,
+// and first-match semantics becomes the usual ¬earlier ∧ this chain. The
+// concrete evaluator (internal/policy) and this encoder are kept in lockstep
+// by property tests.
+package symbolic
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"github.com/clarifynet/clarify/atoms"
+	"github.com/clarifynet/clarify/bdd"
+	"github.com/clarifynet/clarify/ciscorx"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/route"
+)
+
+// Route attribute field widths (bits).
+const (
+	widthPlen   = 6
+	widthAddr   = 32
+	widthLP     = 32
+	widthMED    = 32
+	widthTag    = 32
+	widthWeight = 16
+	widthNH     = 32
+)
+
+// RouteSpace encodes the BGP route universe for a fixed set of
+// configurations. All configurations whose policies will be compared must be
+// passed to NewRouteSpace together so their regexes share one atomic
+// partition.
+type RouteSpace struct {
+	Pool *bdd.Pool
+
+	offPlen, offAddr, offLP, offMED, offTag, offWeight, offNH int
+	offPathAtoms, offCommAtoms                                int
+
+	plen, addr, lp, med, tag, weight, nh bdd.Vec
+
+	pathAtoms *atoms.Universe
+	commAtoms *atoms.Universe
+
+	// Valid constrains models to decodable routes: prefix length ≤ 32 and
+	// exactly one AS-path atom inhabited.
+	Valid bdd.Node
+
+	cfgs []*ios.Config
+}
+
+// NewRouteSpace builds the route universe covering every as-path regex,
+// community regex and community literal appearing in the given configs.
+func NewRouteSpace(cfgs ...*ios.Config) (*RouteSpace, error) {
+	var pathPatterns, commPatterns []string
+	for _, cfg := range cfgs {
+		for _, l := range cfg.ASPathLists {
+			for _, e := range l.Entries {
+				pathPatterns = append(pathPatterns, e.Regex)
+			}
+		}
+		for _, l := range cfg.CommunityLists {
+			for _, e := range l.Entries {
+				if l.Expanded {
+					commPatterns = append(commPatterns, e.Values[0])
+				} else {
+					for _, lit := range e.Values {
+						commPatterns = append(commPatterns, exactCommunityPattern(lit))
+					}
+				}
+			}
+		}
+		// Set clauses introduce communities the comparison logic must be able
+		// to express exactly.
+		for _, rm := range cfg.RouteMaps {
+			for _, st := range rm.Stanzas {
+				for _, s := range st.Sets {
+					if sc, ok := s.(ios.SetCommunity); ok {
+						for _, lit := range sc.Communities {
+							commPatterns = append(commPatterns, exactCommunityPattern(lit))
+						}
+					}
+				}
+			}
+		}
+	}
+	pathU, err := atoms.Build(pathPatterns, ciscorx.CompilePath, ciscorx.ValidPath())
+	if err != nil {
+		return nil, err
+	}
+	commU, err := atoms.Build(commPatterns, ciscorx.CompileCommunity, ciscorx.ValidCommunity())
+	if err != nil {
+		return nil, err
+	}
+
+	s := &RouteSpace{pathAtoms: pathU, commAtoms: commU, cfgs: cfgs}
+	off := 0
+	next := func(w int) int {
+		o := off
+		off += w
+		return o
+	}
+	s.offPlen = next(widthPlen)
+	s.offAddr = next(widthAddr)
+	s.offLP = next(widthLP)
+	s.offMED = next(widthMED)
+	s.offTag = next(widthTag)
+	s.offWeight = next(widthWeight)
+	s.offNH = next(widthNH)
+	s.offPathAtoms = next(pathU.NumAtoms())
+	s.offCommAtoms = next(commU.NumAtoms())
+
+	s.Pool = bdd.NewPool(off)
+	s.plen = bdd.NewVec(s.Pool, s.offPlen, widthPlen)
+	s.addr = bdd.NewVec(s.Pool, s.offAddr, widthAddr)
+	s.lp = bdd.NewVec(s.Pool, s.offLP, widthLP)
+	s.med = bdd.NewVec(s.Pool, s.offMED, widthMED)
+	s.tag = bdd.NewVec(s.Pool, s.offTag, widthTag)
+	s.weight = bdd.NewVec(s.Pool, s.offWeight, widthWeight)
+	s.nh = bdd.NewVec(s.Pool, s.offNH, widthNH)
+
+	s.Valid = s.Pool.And(s.plen.LeqConst(32), s.exactlyOnePathAtom())
+	return s, nil
+}
+
+func exactCommunityPattern(lit string) string { return "^" + lit + "$" }
+
+func (s *RouteSpace) exactlyOnePathAtom() bdd.Node {
+	k := s.pathAtoms.NumAtoms()
+	p := s.Pool
+	atLeastOne := bdd.False
+	atMostOne := bdd.True
+	for i := 0; i < k; i++ {
+		vi := p.Var(s.offPathAtoms + i)
+		atLeastOne = p.Or(atLeastOne, vi)
+		for j := i + 1; j < k; j++ {
+			atMostOne = p.And(atMostOne, p.Not(p.And(vi, p.Var(s.offPathAtoms+j))))
+		}
+	}
+	return p.And(atLeastOne, atMostOne)
+}
+
+// NumVars reports the universe's variable count (for sizing diagnostics).
+func (s *RouteSpace) NumVars() int { return s.Pool.NumVars() }
+
+// PathAtomCount and CommAtomCount expose partition sizes (ablation benches).
+func (s *RouteSpace) PathAtomCount() int { return s.pathAtoms.NumAtoms() }
+
+// CommAtomCount reports the community partition size.
+func (s *RouteSpace) CommAtomCount() int { return s.commAtoms.NumAtoms() }
+
+// ---------- Clause encodings ----------
+
+// StanzaPred returns the BDD for "every match clause of st holds".
+func (s *RouteSpace) StanzaPred(cfg *ios.Config, st *ios.Stanza) (bdd.Node, error) {
+	pred := bdd.True
+	for _, m := range st.Matches {
+		mp, err := s.MatchPred(cfg, m)
+		if err != nil {
+			return bdd.False, err
+		}
+		pred = s.Pool.And(pred, mp)
+	}
+	return pred, nil
+}
+
+// MatchPred encodes one match clause.
+func (s *RouteSpace) MatchPred(cfg *ios.Config, m ios.Match) (bdd.Node, error) {
+	switch m := m.(type) {
+	case ios.MatchASPath:
+		l, ok := cfg.ASPathLists[m.List]
+		if !ok {
+			return bdd.False, fmt.Errorf("symbolic: undefined as-path list %q", m.List)
+		}
+		return s.asPathListPred(l)
+	case ios.MatchPrefixList:
+		l, ok := cfg.PrefixLists[m.List]
+		if !ok {
+			return bdd.False, fmt.Errorf("symbolic: undefined prefix-list %q", m.List)
+		}
+		return s.PrefixListPred(l), nil
+	case ios.MatchCommunity:
+		l, ok := cfg.CommunityLists[m.List]
+		if !ok {
+			return bdd.False, fmt.Errorf("symbolic: undefined community-list %q", m.List)
+		}
+		return s.communityListPred(l)
+	case ios.MatchNextHop:
+		l, ok := cfg.PrefixLists[m.List]
+		if !ok {
+			return bdd.False, fmt.Errorf("symbolic: undefined next-hop prefix-list %q", m.List)
+		}
+		return s.nextHopListPred(l), nil
+	case ios.MatchLocalPref:
+		return s.lp.EqConst(uint64(m.Value)), nil
+	case ios.MatchMetric:
+		return s.med.EqConst(uint64(m.Value)), nil
+	case ios.MatchTag:
+		return s.tag.EqConst(uint64(m.Value)), nil
+	default:
+		return bdd.False, fmt.Errorf("symbolic: unsupported match clause %T", m)
+	}
+}
+
+// PrefixListPred encodes first-match permit/deny entry semantics.
+func (s *RouteSpace) PrefixListPred(l *ios.PrefixList) bdd.Node {
+	p := s.Pool
+	entries := append([]ios.PrefixListEntry(nil), l.Entries...)
+	// Stable insertion sort by sequence number (mirrors the evaluator).
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j-1].Seq > entries[j].Seq; j-- {
+			entries[j-1], entries[j] = entries[j], entries[j-1]
+		}
+	}
+	permitted := bdd.False
+	notPrev := bdd.True
+	for _, e := range entries {
+		m := s.prefixEntryPred(e)
+		if e.Permit {
+			permitted = p.Or(permitted, p.And(notPrev, m))
+		}
+		notPrev = p.And(notPrev, p.Not(m))
+	}
+	return permitted
+}
+
+func (s *RouteSpace) prefixEntryPred(e ios.PrefixListEntry) bdd.Node {
+	lo, hi := e.LenRange()
+	addr := uint64(ios.AddrU32(e.Prefix.Addr()))
+	return s.Pool.And(
+		s.addr.PrefixEq(addr, e.Prefix.Bits()),
+		s.plen.InRange(uint64(lo), uint64(hi)),
+	)
+}
+
+// nextHopListPred applies prefix-list first-match chaining to the next-hop
+// vector (the address is a /32, so only entries whose length range includes
+// 32 can match).
+func (s *RouteSpace) nextHopListPred(l *ios.PrefixList) bdd.Node {
+	p := s.Pool
+	entries := append([]ios.PrefixListEntry(nil), l.Entries...)
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j-1].Seq > entries[j].Seq; j-- {
+			entries[j-1], entries[j] = entries[j], entries[j-1]
+		}
+	}
+	permitted := bdd.False
+	notPrev := bdd.True
+	for _, e := range entries {
+		lo, hi := e.LenRange()
+		var m bdd.Node = bdd.False
+		if lo <= 32 && 32 <= hi {
+			m = s.nh.PrefixEq(uint64(ios.AddrU32(e.Prefix.Addr())), e.Prefix.Bits())
+		}
+		if e.Permit {
+			permitted = p.Or(permitted, p.And(notPrev, m))
+		}
+		notPrev = p.And(notPrev, p.Not(m))
+	}
+	return permitted
+}
+
+// PrefixEntryPred exposes the match region of a single prefix-list entry
+// (used by list-level disambiguation).
+func (s *RouteSpace) PrefixEntryPred(e ios.PrefixListEntry) bdd.Node {
+	return s.prefixEntryPred(e)
+}
+
+// ASPathEntryPred returns the set of routes whose AS path matches the
+// entry's regex. The regex must be in the universe (include a config
+// defining it when constructing the space).
+func (s *RouteSpace) ASPathEntryPred(e ios.ASPathEntry) (bdd.Node, error) {
+	pi := s.pathAtoms.PatternIndex(e.Regex)
+	if pi < 0 {
+		return bdd.False, fmt.Errorf("symbolic: as-path regex %q not in universe", e.Regex)
+	}
+	m := bdd.False
+	for _, ai := range s.pathAtoms.MatchingAtoms(pi) {
+		m = s.Pool.Or(m, s.Pool.Var(s.offPathAtoms+ai))
+	}
+	return m, nil
+}
+
+// CommunityEntryPred returns the set of routes matched by a single
+// community-list entry: for expanded lists, some community matches the
+// regex; for standard lists, every listed literal is present.
+func (s *RouteSpace) CommunityEntryPred(expanded bool, e ios.CommunityListEntry) (bdd.Node, error) {
+	p := s.Pool
+	if expanded {
+		pi := s.commAtoms.PatternIndex(e.Values[0])
+		if pi < 0 {
+			return bdd.False, fmt.Errorf("symbolic: community regex %q not in universe", e.Values[0])
+		}
+		m := bdd.False
+		for _, ai := range s.commAtoms.MatchingAtoms(pi) {
+			m = p.Or(m, p.Var(s.offCommAtoms+ai))
+		}
+		return m, nil
+	}
+	m := bdd.True
+	for _, lit := range e.Values {
+		av, err := s.literalCommunityVar(lit)
+		if err != nil {
+			return bdd.False, err
+		}
+		m = p.And(m, av)
+	}
+	return m, nil
+}
+
+func (s *RouteSpace) asPathListPred(l *ios.ASPathList) (bdd.Node, error) {
+	p := s.Pool
+	permitted := bdd.False
+	notPrev := bdd.True
+	for _, e := range l.Entries {
+		pi := s.pathAtoms.PatternIndex(e.Regex)
+		if pi < 0 {
+			return bdd.False, fmt.Errorf("symbolic: as-path regex %q not in universe (config not passed to NewRouteSpace?)", e.Regex)
+		}
+		m := bdd.False
+		for _, ai := range s.pathAtoms.MatchingAtoms(pi) {
+			m = p.Or(m, p.Var(s.offPathAtoms+ai))
+		}
+		if e.Permit {
+			permitted = p.Or(permitted, p.And(notPrev, m))
+		}
+		notPrev = p.And(notPrev, p.Not(m))
+	}
+	return permitted, nil
+}
+
+func (s *RouteSpace) communityListPred(l *ios.CommunityList) (bdd.Node, error) {
+	p := s.Pool
+	permitted := bdd.False
+	notPrev := bdd.True
+	for _, e := range l.Entries {
+		var m bdd.Node
+		if l.Expanded {
+			pi := s.commAtoms.PatternIndex(e.Values[0])
+			if pi < 0 {
+				return bdd.False, fmt.Errorf("symbolic: community regex %q not in universe", e.Values[0])
+			}
+			m = bdd.False
+			for _, ai := range s.commAtoms.MatchingAtoms(pi) {
+				m = p.Or(m, p.Var(s.offCommAtoms+ai))
+			}
+		} else {
+			m = bdd.True
+			for _, lit := range e.Values {
+				av, err := s.literalCommunityVar(lit)
+				if err != nil {
+					return bdd.False, err
+				}
+				m = p.And(m, av)
+			}
+		}
+		if e.Permit {
+			permitted = p.Or(permitted, p.And(notPrev, m))
+		}
+		notPrev = p.And(notPrev, p.Not(m))
+	}
+	return permitted, nil
+}
+
+// literalCommunityVar returns the atom variable for the singleton atom {lit}.
+func (s *RouteSpace) literalCommunityVar(lit string) (bdd.Node, error) {
+	pi := s.commAtoms.PatternIndex(exactCommunityPattern(lit))
+	if pi < 0 {
+		return bdd.False, fmt.Errorf("symbolic: community literal %q not in universe", lit)
+	}
+	matching := s.commAtoms.MatchingAtoms(pi)
+	if len(matching) != 1 {
+		return bdd.False, fmt.Errorf("symbolic: literal %q atom not singleton (%d atoms)", lit, len(matching))
+	}
+	return s.Pool.Var(s.offCommAtoms + matching[0]), nil
+}
+
+// FirstMatch returns, for each stanza, the BDD of routes first-matched by it,
+// plus a final region for routes matching no stanza (the implicit deny).
+//
+// Route maps using `continue` are rejected: with continue, the first
+// matching stanza no longer decides the verdict, so every analysis built on
+// these regions (comparison, placement) would be unsound. Overlap analysis
+// does not use FirstMatch and accepts continue, exactly as the paper's §3
+// measurement does ("we ignore actions for route maps because a route-map
+// stanza may be linked ... using goto, continue and call statements").
+func (s *RouteSpace) FirstMatch(cfg *ios.Config, rm *ios.RouteMap) ([]bdd.Node, error) {
+	if rm.HasContinue() {
+		return nil, fmt.Errorf("symbolic: route-map %s uses continue; first-match analyses are unsupported", rm.Name)
+	}
+	p := s.Pool
+	out := make([]bdd.Node, 0, len(rm.Stanzas)+1)
+	notPrev := bdd.True
+	for _, st := range rm.Stanzas {
+		pred, err := s.StanzaPred(cfg, st)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p.And(notPrev, pred))
+		notPrev = p.And(notPrev, p.Not(pred))
+	}
+	out = append(out, notPrev)
+	return out, nil
+}
+
+// ---------- Concrete ↔ symbolic ----------
+
+// EncodeRoute renders a concrete route as a total assignment vector suitable
+// for bdd.Pool.Eval.
+func (s *RouteSpace) EncodeRoute(r route.Route) []bool {
+	v := make([]bool, s.Pool.NumVars())
+	asg := map[int]bool{}
+	bdd.EncodeVec(asg, s.offPlen, widthPlen, uint64(r.Network.Bits()))
+	bdd.EncodeVec(asg, s.offAddr, widthAddr, uint64(ios.AddrU32(r.Network.Addr())))
+	bdd.EncodeVec(asg, s.offLP, widthLP, uint64(r.LocalPref))
+	bdd.EncodeVec(asg, s.offMED, widthMED, uint64(r.MED))
+	bdd.EncodeVec(asg, s.offTag, widthTag, uint64(r.Tag))
+	bdd.EncodeVec(asg, s.offWeight, widthWeight, uint64(r.Weight))
+	nh := uint64(0)
+	if r.NextHop.IsValid() {
+		nh = uint64(ios.AddrU32(r.NextHop))
+	}
+	bdd.EncodeVec(asg, s.offNH, widthNH, nh)
+	for lvl, val := range asg {
+		v[lvl] = val
+	}
+	if ai := s.pathAtoms.Classify(ciscorx.PathSubject(r.FlatASPath())); ai >= 0 {
+		v[s.offPathAtoms+ai] = true
+	}
+	for _, c := range r.Communities {
+		if ai := s.commAtoms.Classify(ciscorx.CommunitySubject(c.String())); ai >= 0 {
+			v[s.offCommAtoms+ai] = true
+		}
+	}
+	return v
+}
+
+// Decode converts a (possibly partial) satisfying assignment into a concrete
+// route. Unconstrained fields take Cisco-flavoured defaults (local preference
+// 100, next hop 0.0.0.1), mirroring the defaults in the paper's examples.
+func (s *RouteSpace) Decode(asg map[int]bool) (route.Route, error) {
+	plen := bdd.DecodeVec(asg, s.offPlen, widthPlen)
+	if plen > 32 {
+		return route.Route{}, fmt.Errorf("symbolic: model has prefix length %d", plen)
+	}
+	addr := uint32(bdd.DecodeVec(asg, s.offAddr, widthAddr))
+	pfx := netip.PrefixFrom(ios.U32ToAddr(addr), int(plen)).Masked()
+
+	r := route.Route{Network: pfx}
+	if fieldPresent(asg, s.offLP, widthLP) {
+		r.LocalPref = uint32(bdd.DecodeVec(asg, s.offLP, widthLP))
+	} else {
+		r.LocalPref = 100
+	}
+	r.MED = uint32(bdd.DecodeVec(asg, s.offMED, widthMED))
+	r.Tag = uint32(bdd.DecodeVec(asg, s.offTag, widthTag))
+	r.Weight = uint16(bdd.DecodeVec(asg, s.offWeight, widthWeight))
+	if fieldPresent(asg, s.offNH, widthNH) {
+		r.NextHop = ios.U32ToAddr(uint32(bdd.DecodeVec(asg, s.offNH, widthNH)))
+	} else {
+		r.NextHop = netip.MustParseAddr("0.0.0.1")
+	}
+
+	// AS path: the inhabited atom's witness. With Valid conjoined exactly one
+	// atom variable is true; a fully unconstrained assignment decodes to the
+	// empty path.
+	for i := 0; i < s.pathAtoms.NumAtoms(); i++ {
+		if asg[s.offPathAtoms+i] {
+			asns, err := parsePathSubject(s.pathAtoms.Atoms[i].Witness)
+			if err != nil {
+				return route.Route{}, err
+			}
+			if len(asns) > 0 {
+				r.ASPath = []route.ASPathSegment{{ASNs: asns}}
+			}
+			break
+		}
+	}
+
+	// Communities: one witness per inhabited atom.
+	for i := 0; i < s.commAtoms.NumAtoms(); i++ {
+		if asg[s.offCommAtoms+i] {
+			lit, ok := s.commAtoms.WitnessWhere(i, 16, func(w string) bool {
+				_, err := parseCommunitySubject(w)
+				return err == nil
+			})
+			if !ok {
+				return route.Route{}, fmt.Errorf("symbolic: community atom %d has no decodable witness", i)
+			}
+			c, _ := parseCommunitySubject(lit)
+			r = r.AddCommunity(c)
+		}
+	}
+	return r, nil
+}
+
+func fieldPresent(asg map[int]bool, off, width int) bool {
+	for i := 0; i < width; i++ {
+		if _, ok := asg[off+i]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func parsePathSubject(w string) ([]uint32, error) {
+	body := strings.TrimSuffix(strings.TrimPrefix(w, "^"), "$")
+	if body == "" {
+		return nil, nil
+	}
+	fields := strings.Fields(body)
+	out := make([]uint32, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseUint(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("symbolic: bad path witness %q: %v", w, err)
+		}
+		out[i] = uint32(v)
+	}
+	return out, nil
+}
+
+func parseCommunitySubject(w string) (route.Community, error) {
+	body := strings.TrimSuffix(strings.TrimPrefix(w, "^"), "$")
+	return route.ParseCommunity(body)
+}
+
+// Witness returns a concrete route satisfying f (after conjoining the
+// validity constraint); ok is false when f ∧ Valid is unsatisfiable.
+func (s *RouteSpace) Witness(f bdd.Node) (route.Route, bool, error) {
+	asg, ok := s.Pool.AnySat(s.Pool.And(f, s.Valid))
+	if !ok {
+		return route.Route{}, false, nil
+	}
+	r, err := s.Decode(asg)
+	if err != nil {
+		return route.Route{}, false, err
+	}
+	return r, true, nil
+}
+
+// Witnesses returns up to max distinct concrete routes satisfying f.
+func (s *RouteSpace) Witnesses(f bdd.Node, max int) ([]route.Route, error) {
+	var out []route.Route
+	var decodeErr error
+	s.Pool.AllSat(s.Pool.And(f, s.Valid), func(cube map[int]bool) bool {
+		r, err := s.Decode(cube)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		out = append(out, r)
+		return len(out) < max
+	})
+	return out, decodeErr
+}

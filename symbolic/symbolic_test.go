@@ -1,0 +1,332 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/clarifynet/clarify/bdd"
+	"github.com/clarifynet/clarify/internal/testgen"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/policy"
+	"github.com/clarifynet/clarify/route"
+)
+
+const paperISPOut = `ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+`
+
+func newPaperSpace(t *testing.T) (*RouteSpace, *ios.Config) {
+	t.Helper()
+	cfg := ios.MustParse(paperISPOut)
+	s, err := NewRouteSpace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, cfg
+}
+
+func TestStanzaPredWitness(t *testing.T) {
+	s, cfg := newPaperSpace(t)
+	rm := cfg.RouteMaps["ISP_OUT"]
+	ev := policy.NewEvaluator(cfg)
+	for i, st := range rm.Stanzas {
+		pred, err := s.StanzaPred(cfg, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, ok, err := s.Witness(pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("stanza %d unsatisfiable", i)
+		}
+		matches, err := ev.StanzaMatches(st, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matches {
+			t.Errorf("stanza %d witness %s does not match concretely", i, r.Network)
+		}
+	}
+}
+
+func TestFirstMatchPartition(t *testing.T) {
+	s, cfg := newPaperSpace(t)
+	rm := cfg.RouteMaps["ISP_OUT"]
+	regions, err := s.FirstMatch(cfg, rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != len(rm.Stanzas)+1 {
+		t.Fatalf("got %d regions", len(regions))
+	}
+	p := s.Pool
+	// Disjoint.
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			if p.And(regions[i], regions[j]) != bdd.False {
+				t.Errorf("regions %d and %d overlap", i, j)
+			}
+		}
+	}
+	// Exhaustive.
+	all := bdd.False
+	for _, r := range regions {
+		all = p.Or(all, r)
+	}
+	if all != bdd.True {
+		t.Error("regions do not cover the space")
+	}
+}
+
+func TestFirstMatchAgreesWithEvaluator(t *testing.T) {
+	s, cfg := newPaperSpace(t)
+	rm := cfg.RouteMaps["ISP_OUT"]
+	regions, err := s.FirstMatch(cfg, rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := policy.NewEvaluator(cfg)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		r := testgen.Route(rng)
+		v, err := ev.EvalRouteMap(rm, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRegion := v.Index
+		if wantRegion == policy.ImplicitDeny {
+			wantRegion = len(regions) - 1
+		}
+		vec := s.EncodeRoute(r)
+		for ri, reg := range regions {
+			got := s.Pool.Eval(reg, vec)
+			if got != (ri == wantRegion) {
+				t.Fatalf("route %s: region %d = %v, evaluator chose %d", r.Network, ri, got, v.Index)
+			}
+		}
+	}
+}
+
+// TestQuickConcreteSymbolicAgreement is the central lockstep property:
+// random configs, random routes, StanzaMatches ⇔ StanzaPred.
+func TestQuickConcreteSymbolicAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		cfg := testgen.Config(rng, "RM", 4)
+		s, err := NewRouteSpace(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := policy.NewEvaluator(cfg)
+		rm := cfg.RouteMaps["RM"]
+		for i := 0; i < 40; i++ {
+			r := testgen.Route(rng)
+			vec := s.EncodeRoute(r)
+			for si, st := range rm.Stanzas {
+				concrete, err := ev.StanzaMatches(st, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pred, err := s.StanzaPred(cfg, st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sym := s.Pool.Eval(pred, vec); sym != concrete {
+					t.Fatalf("trial %d stanza %d route %s:\nconcrete=%v symbolic=%v\nconfig:\n%s\nroute:\n%s",
+						trial, si, r.Network, concrete, sym, cfg.Print(), r)
+				}
+			}
+		}
+	}
+}
+
+func TestWitnessRoundTrip(t *testing.T) {
+	s, cfg := newPaperSpace(t)
+	// Witness of (matches D1 prefix list) decodes to a route that concretely
+	// matches, and re-encodes to satisfy the predicate.
+	pred := s.PrefixListPred(cfg.PrefixLists["D1"])
+	r, ok, err := s.Witness(pred)
+	if err != nil || !ok {
+		t.Fatalf("witness: %v %v", ok, err)
+	}
+	if !policy.PrefixListPermits(cfg.PrefixLists["D1"], r) {
+		t.Errorf("witness %s not permitted concretely", r.Network)
+	}
+	if !s.Pool.Eval(pred, s.EncodeRoute(r)) {
+		t.Error("witness does not re-encode into predicate")
+	}
+}
+
+func TestWitnessesDistinctAndBounded(t *testing.T) {
+	s, cfg := newPaperSpace(t)
+	pred := s.PrefixListPred(cfg.PrefixLists["D1"])
+	ws, err := s.Witnesses(pred, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) == 0 || len(ws) > 5 {
+		t.Fatalf("got %d witnesses", len(ws))
+	}
+	for _, w := range ws {
+		if !policy.PrefixListPermits(cfg.PrefixLists["D1"], w) {
+			t.Errorf("witness %s not permitted", w.Network)
+		}
+	}
+}
+
+func TestDefaultsInDecode(t *testing.T) {
+	s, _ := newPaperSpace(t)
+	// A predicate placing no constraint on local-pref or next-hop should
+	// decode with Cisco defaults.
+	r, ok, err := s.Witness(bdd.True)
+	if err != nil || !ok {
+		t.Fatal("trivial witness failed")
+	}
+	if r.LocalPref != 100 {
+		t.Errorf("default local-pref = %d, want 100", r.LocalPref)
+	}
+	if r.NextHop.String() != "0.0.0.1" {
+		t.Errorf("default next-hop = %s", r.NextHop)
+	}
+}
+
+func TestOutputEqualDenyCases(t *testing.T) {
+	s, cfg := newPaperSpace(t)
+	denySt := cfg.RouteMaps["ISP_OUT"].Stanzas[0]   // deny
+	permitSt := cfg.RouteMaps["ISP_OUT"].Stanzas[2] // permit
+	eq, err := s.OutputEqual(nil, nil)
+	if err != nil || eq != bdd.True {
+		t.Error("implicit-deny vs implicit-deny should be True")
+	}
+	eq, err = s.OutputEqual(denySt, nil)
+	if err != nil || eq != bdd.True {
+		t.Error("deny vs implicit-deny should be True")
+	}
+	eq, err = s.OutputEqual(permitSt, nil)
+	if err != nil || eq != bdd.False {
+		t.Error("permit vs deny should be False")
+	}
+}
+
+func TestOutputEqualSetMetric(t *testing.T) {
+	cfg := ios.MustParse(`route-map A permit 10
+ set metric 55
+route-map B permit 10
+`)
+	s, err := NewRouteSpace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cfg.RouteMaps["A"].Stanzas[0]
+	b := cfg.RouteMaps["B"].Stanzas[0]
+	eq, err := s.OutputEqual(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outputs differ exactly where input MED != 55.
+	r55 := route.New("9.0.0.0/8")
+	r55.MED = 55
+	if !s.Pool.Eval(eq, s.EncodeRoute(r55)) {
+		t.Error("routes with MED 55 should be equal under both stanzas")
+	}
+	r0 := route.New("9.0.0.0/8")
+	if s.Pool.Eval(eq, s.EncodeRoute(r0)) {
+		t.Error("routes with MED 0 should differ")
+	}
+	// Same constant on both sides → True.
+	eq2, _ := s.OutputEqual(a, a)
+	if eq2 != bdd.True {
+		t.Error("stanza vs itself should be identically equal")
+	}
+}
+
+func TestOutputEqualCommunities(t *testing.T) {
+	cfg := ios.MustParse(`route-map A permit 10
+ set community 9:9 additive
+route-map B permit 10
+route-map C permit 10
+ set community 9:9
+`)
+	s, err := NewRouteSpace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cfg.RouteMaps["A"].Stanzas[0] // additive 9:9
+	b := cfg.RouteMaps["B"].Stanzas[0] // no-op
+	c := cfg.RouteMaps["C"].Stanzas[0] // replace with {9:9}
+	eqAB, err := s.OutputEqual(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := route.New("9.0.0.0/8").WithCommunities("9:9")
+	hasNot := route.New("9.0.0.0/8").WithCommunities("300:3")
+	if !s.Pool.Eval(eqAB, s.EncodeRoute(has)) {
+		t.Error("route already tagged 9:9: additive vs no-op should agree")
+	}
+	if s.Pool.Eval(eqAB, s.EncodeRoute(hasNot)) {
+		t.Error("route without 9:9: additive vs no-op should differ")
+	}
+	eqAC, err := s.OutputEqual(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	only99 := route.New("9.0.0.0/8").WithCommunities("9:9")
+	if !s.Pool.Eval(eqAC, s.EncodeRoute(only99)) {
+		t.Error("input {9:9}: additive and replace agree")
+	}
+	extra := route.New("9.0.0.0/8").WithCommunities("9:9", "300:3")
+	if s.Pool.Eval(eqAC, s.EncodeRoute(extra)) {
+		t.Error("input {9:9,300:3}: additive keeps 300:3, replace drops it")
+	}
+}
+
+// TestQuickOutputEqualAgreesWithConcrete: whenever OutputEqual says equal at
+// the abstraction, concrete application of the two set lists to the route
+// produces attribute-identical results (soundness of the abstraction for
+// equality claims over routes representable in the universe).
+func TestQuickOutputEqualAgreesWithConcrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		cfg := testgen.Config(rng, "RM", 3)
+		s, err := NewRouteSpace(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm := cfg.RouteMaps["RM"]
+		var permits []*ios.Stanza
+		for _, st := range rm.Stanzas {
+			if st.Permit {
+				permits = append(permits, st)
+			}
+		}
+		if len(permits) < 2 {
+			continue
+		}
+		a, b := permits[0], permits[1]
+		eq, err := s.OutputEqual(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			r := testgen.Route(rng)
+			outA := policy.ApplySets(a.Sets, r)
+			outB := policy.ApplySets(b.Sets, r)
+			symEq := s.Pool.Eval(eq, s.EncodeRoute(r))
+			conEq := outA.Equal(outB)
+			if symEq != conEq {
+				t.Fatalf("trial %d: symbolic eq=%v concrete eq=%v\nroute:\n%s\nsetsA=%v setsB=%v",
+					trial, symEq, conEq, r, a.Sets, b.Sets)
+			}
+		}
+	}
+}

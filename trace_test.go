@@ -1,0 +1,70 @@
+package clarify
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/clarifynet/clarify/disambig"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/llm"
+)
+
+func TestTraceRecordsPipelineSteps(t *testing.T) {
+	var trace strings.Builder
+	s := &Session{
+		Client: llm.NewSimLLM(llm.FaultWrongValue),
+		Config: ios.MustParse(paperISPOut),
+		RouteOracle: disambig.FuncRouteOracle(func(disambig.RouteQuestion) (bool, error) {
+			return true, nil
+		}),
+		Trace: &trace,
+	}
+	if _, err := s.Submit(context.Background(), paperPrompt, "ISP_OUT"); err != nil {
+		t.Fatal(err)
+	}
+	text := trace.String()
+	for _, want := range []string{
+		"classified intent as route-map",
+		"attempt 1 rejected",
+		"attempt 2 verified",
+		"disambiguated ISP_OUT: 2 distinguishing overlap(s), 2 question(s), inserted at position 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTraceRecordsReuse(t *testing.T) {
+	var trace strings.Builder
+	s := &Session{
+		Client:      llm.NewSimLLM(),
+		Config:      ios.MustParse("route-map A permit 10\nroute-map B permit 10\n"),
+		RouteOracle: disambig.FuncRouteOracle(func(disambig.RouteQuestion) (bool, error) { return true, nil }),
+		EnableReuse: true,
+		Trace:       &trace,
+	}
+	const text = "Write a route-map stanza that denies routes passing through AS 666."
+	if _, err := s.Submit(context.Background(), text, "A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(context.Background(), text, "B"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trace.String(), "reusing verified snippet") {
+		t.Errorf("trace missing reuse line:\n%s", trace.String())
+	}
+}
+
+func TestNoTraceByDefault(t *testing.T) {
+	s := &Session{
+		Client:      llm.NewSimLLM(),
+		Config:      ios.MustParse(paperISPOut),
+		RouteOracle: disambig.FuncRouteOracle(func(disambig.RouteQuestion) (bool, error) { return true, nil }),
+	}
+	// Just exercising the nil-Trace path; must not panic.
+	if _, err := s.Submit(context.Background(), paperPrompt, "ISP_OUT"); err != nil {
+		t.Fatal(err)
+	}
+}

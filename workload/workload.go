@@ -1,0 +1,352 @@
+// Package workload generates the synthetic configuration corpora standing in
+// for the proprietary networks of the paper's Section 3 (a large cloud WAN
+// and a university campus). The generators are seeded and deterministic, and
+// their archetype mix is calibrated so the overlap analyzer reproduces the
+// aggregate shape the paper reports:
+//
+//	cloud:  237 ACLs — 69 with a conflicting overlap, 48 of those with >20,
+//	        one edge ACL with >100 overlapping pairs; 800 route-maps — 140
+//	        with overlaps, 3 with >20.
+//	campus: 11,088 ACLs — 37.7% with conflicting overlaps (27% of those
+//	        >20); 18.6% non-trivial after discarding proper-subset pairs
+//	        (16.3% of those >20); 169 route-maps — 2 with overlapping
+//	        stanzas, one with 3 overlapping pairs of which 2 conflict.
+//
+// Corpus sizes scale: pass the paper's full counts to regenerate §3, or
+// smaller counts for tests and benchmarks; the archetype fractions are
+// preserved under scaling.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"github.com/clarifynet/clarify/ios"
+)
+
+// Corpus is one generated network's analyzable configuration set. Each ACL
+// and each route-map lives in its own Config so analyses are independent.
+type Corpus struct {
+	Name    string
+	Devices int // informational: the paper's device count for the network
+	// ACLConfigs each contain exactly one ACL named "ACL<i>".
+	ACLConfigs []*ios.Config
+	// RouteMapConfigs each contain exactly one route-map named "RM<i>" plus
+	// its ancillary lists.
+	RouteMapConfigs []*ios.Config
+}
+
+// Paper-reported corpus sizes (§3.1, §3.2).
+const (
+	CloudACLCount       = 237
+	CloudRouteMapCount  = 800
+	CampusACLCount      = 11088
+	CampusRouteMapCount = 169
+	CampusDeviceCount   = 1421
+)
+
+// Cloud generates the cloud-WAN corpus at the given scale.
+func Cloud(seed int64, nACLs, nRouteMaps int) *Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Corpus{Name: "cloud", Devices: 0}
+
+	// ACL archetypes: one giant edge ACL (>100 overlapping pairs), heavy
+	// (>20), light (1..20), clean. Fractions from 237/69/48.
+	nHeavy := scale(nACLs, 48, CloudACLCount)
+	nLight := scale(nACLs, 69, CloudACLCount) - nHeavy
+	giant := 0
+	if nACLs >= 10 {
+		giant = 1
+		if nHeavy > 0 {
+			nHeavy--
+		}
+	}
+	idx := 0
+	for i := 0; i < giant; i++ {
+		c.ACLConfigs = append(c.ACLConfigs, messyACL(rng, aclName(&idx), 32)) // ~2×(k/2)² ≈ 250 pairs
+	}
+	for i := 0; i < nHeavy; i++ {
+		c.ACLConfigs = append(c.ACLConfigs, messyACL(rng, aclName(&idx), 12+rng.Intn(6)))
+	}
+	for i := 0; i < nLight; i++ {
+		c.ACLConfigs = append(c.ACLConfigs, lightOverlapACL(rng, aclName(&idx)))
+	}
+	for len(c.ACLConfigs) < nACLs {
+		c.ACLConfigs = append(c.ACLConfigs, cleanACL(rng, aclName(&idx)))
+	}
+
+	// Route maps: 3 heavy (>20 overlaps), (140-3) moderate, rest clean.
+	rmHeavy := scale(nRouteMaps, 3, CloudRouteMapCount)
+	if nRouteMaps >= 20 && rmHeavy == 0 {
+		rmHeavy = 1
+	}
+	rmModerate := scale(nRouteMaps, 140, CloudRouteMapCount) - rmHeavy
+	ridx := 0
+	for i := 0; i < rmHeavy; i++ {
+		c.RouteMapConfigs = append(c.RouteMapConfigs, communityHeavyRouteMap(rng, rmName(&ridx), 8+rng.Intn(3)))
+	}
+	for i := 0; i < rmModerate; i++ {
+		c.RouteMapConfigs = append(c.RouteMapConfigs, moderateRouteMap(rng, rmName(&ridx)))
+	}
+	for len(c.RouteMapConfigs) < nRouteMaps {
+		c.RouteMapConfigs = append(c.RouteMapConfigs, cleanRouteMap(rng, rmName(&ridx), 2+rng.Intn(4)))
+	}
+	return c
+}
+
+// Campus generates the university-campus corpus at the given scale.
+func Campus(seed int64, nACLs, nRouteMaps int) *Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Corpus{Name: "campus", Devices: CampusDeviceCount}
+
+	// From the paper: 37.7% conflicting; 18.6% non-trivial; 27% of
+	// conflicting >20 conflicts; 16.3% of non-trivial >20.
+	nNonTrivial := scale(nACLs, 186, 1000)
+	nNonTrivialLarge := scale(nNonTrivial, 163, 1000)
+	nConflicting := scale(nACLs, 377, 1000)
+	nConflictingLarge := scale(nConflicting, 270, 1000)
+	nGuardLarge := maxInt(0, nConflictingLarge-nNonTrivialLarge)
+	nGuardSmall := maxInt(0, nConflicting-nNonTrivial-nGuardLarge)
+
+	idx := 0
+	for i := 0; i < nNonTrivialLarge; i++ {
+		c.ACLConfigs = append(c.ACLConfigs, messyACL(rng, aclName(&idx), 12+rng.Intn(4)))
+	}
+	for i := 0; i < nNonTrivial-nNonTrivialLarge; i++ {
+		c.ACLConfigs = append(c.ACLConfigs, smallMessyACL(rng, aclName(&idx)))
+	}
+	for i := 0; i < nGuardLarge; i++ {
+		c.ACLConfigs = append(c.ACLConfigs, guardedACL(rng, aclName(&idx), 22+rng.Intn(8)))
+	}
+	for i := 0; i < nGuardSmall; i++ {
+		c.ACLConfigs = append(c.ACLConfigs, guardedACL(rng, aclName(&idx), 2+rng.Intn(8)))
+	}
+	for len(c.ACLConfigs) < nACLs {
+		c.ACLConfigs = append(c.ACLConfigs, cleanACL(rng, aclName(&idx)))
+	}
+
+	// Route maps: two special overlapping maps, the rest clean.
+	ridx := 0
+	if nRouteMaps >= 2 {
+		c.RouteMapConfigs = append(c.RouteMapConfigs, campusTriplet(rmName(&ridx)))
+		c.RouteMapConfigs = append(c.RouteMapConfigs, campusPair(rmName(&ridx)))
+	}
+	for len(c.RouteMapConfigs) < nRouteMaps {
+		c.RouteMapConfigs = append(c.RouteMapConfigs, cleanRouteMap(rng, rmName(&ridx), 1+rng.Intn(3)))
+	}
+	return c
+}
+
+func aclName(i *int) string { n := fmt.Sprintf("ACL%d", *i); *i++; return n }
+func rmName(i *int) string  { n := fmt.Sprintf("RM%d", *i); *i++; return n }
+
+func scale(n, num, den int) int { return (n*num + den/2) / den }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------- ACL archetypes ----------
+
+// messyACL produces quadratically many non-trivial conflicting overlaps:
+// alternating permit/deny entries whose destination port ranges partially
+// overlap pairwise (neither contains the other).
+func messyACL(rng *rand.Rand, name string, k int) *ios.Config {
+	cfg := ios.NewConfig()
+	acl := cfg.AddACL(name)
+	for i := 0; i < k; i++ {
+		lo := uint16(i * 10)
+		span := uint16(500)
+		e := &ios.ACE{
+			Seq:      (i + 1) * 10,
+			Permit:   i%2 == 0,
+			Protocol: ios.ProtoSpec{Value: 6},
+			Src:      ios.AddrSpec{Any: true},
+			Dst:      ios.AddrSpec{Any: true},
+			DstPort:  ios.PortSpec{Op: ios.PortRange, Lo: lo + uint16(i%2)*5, Hi: lo + span + uint16(i%2)*5},
+		}
+		acl.Entries = append(acl.Entries, e)
+	}
+	_ = rng
+	return cfg
+}
+
+// smallMessyACL yields a handful (1..20) of non-trivial conflicts.
+func smallMessyACL(rng *rand.Rand, name string) *ios.Config {
+	cfg := ios.NewConfig()
+	acl := cfg.AddACL(name)
+	k := 3 + rng.Intn(4)
+	// One destination block per ACL so adjacent port ranges genuinely share
+	// packets.
+	dst := ios.AddrSpec{Addr: netip.AddrFrom4([4]byte{10, byte(rng.Intn(4)), 0, 0}), Wildcard: 0xFFFF}
+	for i := 0; i < k; i++ {
+		lo := uint16(i * 200)
+		e := &ios.ACE{
+			Seq:      (i + 1) * 10,
+			Permit:   i%2 == 0,
+			Protocol: ios.ProtoSpec{Value: 17},
+			Src:      ios.AddrSpec{Any: true},
+			Dst:      dst,
+			DstPort:  ios.PortSpec{Op: ios.PortRange, Lo: lo, Hi: lo + 300},
+		}
+		acl.Entries = append(acl.Entries, e)
+	}
+	return cfg
+}
+
+// guardedACL is the "trivial overlap" archetype: k-1 specific permits under
+// a final deny ip any any; every conflict is a proper-subset pair.
+func guardedACL(rng *rand.Rand, name string, k int) *ios.Config {
+	cfg := ios.NewConfig()
+	acl := cfg.AddACL(name)
+	for i := 0; i < k-1; i++ {
+		e := &ios.ACE{
+			Seq:      (i + 1) * 10,
+			Permit:   true,
+			Protocol: ios.ProtoSpec{Value: 6},
+			Src:      ios.AddrSpec{Addr: netip.AddrFrom4([4]byte{10, byte(i / 250), byte(i % 250), 1})},
+			Dst:      ios.AddrSpec{Addr: netip.AddrFrom4([4]byte{192, 168, byte(i % 250), byte(rng.Intn(250))})},
+			DstPort:  ios.PortSpec{Op: ios.PortEq, Lo: uint16(1000 + i)},
+		}
+		acl.Entries = append(acl.Entries, e)
+	}
+	acl.Entries = append(acl.Entries, &ios.ACE{
+		Seq: k * 10, Permit: false,
+		Protocol: ios.ProtoSpec{Any: true},
+		Src:      ios.AddrSpec{Any: true},
+		Dst:      ios.AddrSpec{Any: true},
+	})
+	return cfg
+}
+
+// lightOverlapACL has a small number (1..20) of conflicts of mixed kinds.
+func lightOverlapACL(rng *rand.Rand, name string) *ios.Config {
+	if rng.Intn(2) == 0 {
+		return guardedACL(rng, name, 2+rng.Intn(10))
+	}
+	return smallMessyACL(rng, name)
+}
+
+// cleanACL has no overlapping entries at all: disjoint host/port pairs with
+// a uniform action.
+func cleanACL(rng *rand.Rand, name string) *ios.Config {
+	cfg := ios.NewConfig()
+	acl := cfg.AddACL(name)
+	k := 2 + rng.Intn(6)
+	base := rng.Intn(120)
+	for i := 0; i < k; i++ {
+		e := &ios.ACE{
+			Seq:      (i + 1) * 10,
+			Permit:   true,
+			Protocol: ios.ProtoSpec{Value: 6},
+			Src:      ios.AddrSpec{Addr: netip.AddrFrom4([4]byte{10, byte(base), byte(i), 1})},
+			Dst:      ios.AddrSpec{Addr: netip.AddrFrom4([4]byte{10, byte(base), byte(i), 2})},
+			DstPort:  ios.PortSpec{Op: ios.PortEq, Lo: uint16(2000 + i)},
+		}
+		acl.Entries = append(acl.Entries, e)
+	}
+	return cfg
+}
+
+// ---------- Route-map archetypes ----------
+
+// communityHeavyRouteMap models the cloud's complex external policies: k
+// stanzas each matching a different community list. Any route can carry
+// several communities, so every stanza pair overlaps: k(k-1)/2 pairs.
+func communityHeavyRouteMap(rng *rand.Rand, name string, k int) *ios.Config {
+	cfg := ios.NewConfig()
+	rm := cfg.AddRouteMap(name)
+	for i := 0; i < k; i++ {
+		list := fmt.Sprintf("%s_C%d", name, i)
+		cfg.AddCommunityList(list, true, ios.CommunityListEntry{
+			Permit: true, Values: []string{fmt.Sprintf("_65000:%d_", 100+i)},
+		})
+		st := &ios.Stanza{
+			Seq:     (i + 1) * 10,
+			Permit:  rng.Intn(3) != 0,
+			Matches: []ios.Match{ios.MatchCommunity{List: list}},
+		}
+		if st.Permit && rng.Intn(2) == 0 {
+			st.Sets = []ios.SetClause{ios.SetLocalPref{Value: uint32(100 + 10*i)}}
+		}
+		rm.Stanzas = append(rm.Stanzas, st)
+	}
+	return cfg
+}
+
+// moderateRouteMap has a handful of stanzas of which exactly one pair
+// overlaps (an as-path stanza and a community stanza, both unconstrained in
+// prefix space).
+func moderateRouteMap(rng *rand.Rand, name string) *ios.Config {
+	cfg := ios.NewConfig()
+	rm := cfg.AddRouteMap(name)
+	asList := name + "_AS"
+	cfg.AddASPathList(asList, ios.ASPathEntry{Permit: true, Regex: fmt.Sprintf("_%d$", 64500+rng.Intn(100))})
+	commList := name + "_C"
+	cfg.AddCommunityList(commList, true, ios.CommunityListEntry{
+		Permit: true, Values: []string{fmt.Sprintf("_65000:%d_", rng.Intn(100))},
+	})
+	rm.Stanzas = append(rm.Stanzas,
+		&ios.Stanza{Seq: 10, Permit: false, Matches: []ios.Match{ios.MatchASPath{List: asList}}},
+		&ios.Stanza{Seq: 20, Permit: true, Matches: []ios.Match{ios.MatchCommunity{List: commList}},
+			Sets: []ios.SetClause{ios.SetMetric{Value: uint32(rng.Intn(100))}}},
+	)
+	// Plus disjoint prefix stanzas that overlap nothing.
+	appendDisjointPrefixStanzas(cfg, rm, name, 1+rng.Intn(3), rng)
+	return cfg
+}
+
+// cleanRouteMap's stanzas match pairwise-disjoint prefix spaces.
+func cleanRouteMap(rng *rand.Rand, name string, k int) *ios.Config {
+	cfg := ios.NewConfig()
+	rm := cfg.AddRouteMap(name)
+	appendDisjointPrefixStanzas(cfg, rm, name, k, rng)
+	return cfg
+}
+
+func appendDisjointPrefixStanzas(cfg *ios.Config, rm *ios.RouteMap, name string, k int, rng *rand.Rand) {
+	start := len(rm.Stanzas)
+	for i := 0; i < k; i++ {
+		list := fmt.Sprintf("%s_P%d", name, i)
+		// Disjoint /16s under distinct /8s.
+		pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(20 + i), byte(rng.Intn(250)), 0, 0}), 16)
+		cfg.AddPrefixList(list, ios.PrefixListEntry{Seq: 10, Permit: true, Prefix: pfx, Le: 24})
+		rm.Stanzas = append(rm.Stanzas, &ios.Stanza{
+			Seq:     (start + i + 1) * 10,
+			Permit:  rng.Intn(4) != 0,
+			Matches: []ios.Match{ios.MatchPrefixList{List: list}},
+		})
+	}
+}
+
+// campusTriplet is the paper's special campus route-map: three overlapping
+// stanza pairs, two of them conflicting (permit, permit, deny over one
+// shared prefix space).
+func campusTriplet(name string) *ios.Config {
+	cfg := ios.MustParse(fmt.Sprintf(`ip prefix-list %[1]s_P seq 10 permit 172.16.0.0/12 le 24
+route-map %[1]s permit 10
+ match ip address prefix-list %[1]s_P
+route-map %[1]s permit 20
+ match ip address prefix-list %[1]s_P
+ set local-preference 200
+route-map %[1]s deny 30
+ match ip address prefix-list %[1]s_P
+`, name))
+	return cfg
+}
+
+// campusPair has exactly one overlapping (non-conflicting) stanza pair.
+func campusPair(name string) *ios.Config {
+	return ios.MustParse(fmt.Sprintf(`ip prefix-list %[1]s_A seq 10 permit 10.10.0.0/16 le 24
+ip prefix-list %[1]s_B seq 10 permit 10.10.0.0/16 le 20
+route-map %[1]s permit 10
+ match ip address prefix-list %[1]s_A
+route-map %[1]s permit 20
+ match ip address prefix-list %[1]s_B
+ set metric 50
+`, name))
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/clarifynet/clarify/analysis"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/symbolic"
+)
+
+func TestCorpusSizes(t *testing.T) {
+	c := Cloud(1, 50, 60)
+	if len(c.ACLConfigs) != 50 || len(c.RouteMapConfigs) != 60 {
+		t.Fatalf("cloud sizes = %d/%d", len(c.ACLConfigs), len(c.RouteMapConfigs))
+	}
+	k := Campus(1, 70, 30)
+	if len(k.ACLConfigs) != 70 || len(k.RouteMapConfigs) != 30 {
+		t.Fatalf("campus sizes = %d/%d", len(k.ACLConfigs), len(k.RouteMapConfigs))
+	}
+	if k.Devices != CampusDeviceCount {
+		t.Errorf("campus devices = %d", k.Devices)
+	}
+}
+
+func TestGeneratedConfigsRoundTrip(t *testing.T) {
+	// Every generated config prints to valid IOS that reparses equal.
+	c := Cloud(3, 20, 20)
+	all := append(append([]*ios.Config{}, c.ACLConfigs...), c.RouteMapConfigs...)
+	k := Campus(3, 20, 10)
+	all = append(append(all, k.ACLConfigs...), k.RouteMapConfigs...)
+	for i, cfg := range all {
+		text := cfg.Print()
+		back, err := ios.Parse(text)
+		if err != nil {
+			t.Fatalf("config %d does not reparse: %v\n%s", i, err, text)
+		}
+		if back.Print() != text {
+			t.Fatalf("config %d not round-trip stable", i)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("config %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Cloud(42, 15, 15)
+	b := Cloud(42, 15, 15)
+	for i := range a.ACLConfigs {
+		if a.ACLConfigs[i].Print() != b.ACLConfigs[i].Print() {
+			t.Fatalf("ACL %d differs across runs with the same seed", i)
+		}
+	}
+	for i := range a.RouteMapConfigs {
+		if a.RouteMapConfigs[i].Print() != b.RouteMapConfigs[i].Print() {
+			t.Fatalf("route-map %d differs across runs with the same seed", i)
+		}
+	}
+}
+
+func TestArchetypeProperties(t *testing.T) {
+	space := symbolic.NewACLSpace()
+	// messy: non-trivial conflicts, quadratic-ish.
+	messy := messyACL(nil, "M", 12)
+	st := analysis.AnalyzeACL(space, messy.ACLs["M"])
+	if st.NonTrivial == 0 || st.NonTrivial != st.Conflicting {
+		t.Errorf("messy: %+v, want all conflicts non-trivial", st)
+	}
+	if st.Conflicting <= 20 {
+		t.Errorf("messy(12) conflicts = %d, want > 20", st.Conflicting)
+	}
+	// guarded: conflicts are all proper-subset pairs.
+	g := guardedACL(newRng(), "G", 10)
+	st = analysis.AnalyzeACL(space, g.ACLs["G"])
+	if st.Conflicting == 0 || st.NonTrivial != 0 {
+		t.Errorf("guarded: %+v, want subset-only conflicts", st)
+	}
+	// clean: no overlaps at all.
+	cl := cleanACL(newRng(), "C")
+	st = analysis.AnalyzeACL(space, cl.ACLs["C"])
+	if st.Overlaps != 0 {
+		t.Errorf("clean: %+v, want no overlaps", st)
+	}
+}
+
+func TestRouteMapArchetypes(t *testing.T) {
+	heavy := communityHeavyRouteMap(newRng(), "H", 8)
+	space, err := symbolic.NewRouteSpace(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := analysis.AnalyzeRouteMap(space, heavy, heavy.RouteMaps["H"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Overlaps != 8*7/2 {
+		t.Errorf("heavy overlaps = %d, want %d", st.Overlaps, 8*7/2)
+	}
+
+	clean := cleanRouteMap(newRng(), "C", 4)
+	space2, err := symbolic.NewRouteSpace(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = analysis.AnalyzeRouteMap(space2, clean, clean.RouteMaps["C"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Overlaps != 0 {
+		t.Errorf("clean overlaps = %d", st.Overlaps)
+	}
+
+	trip := campusTriplet("T")
+	space3, err := symbolic.NewRouteSpace(trip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = analysis.AnalyzeRouteMap(space3, trip, trip.RouteMaps["T"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Overlaps != 3 || st.Conflicting != 2 {
+		t.Errorf("triplet = %+v, want 3 pairs / 2 conflicting", st)
+	}
+
+	pair := campusPair("P")
+	space4, err := symbolic.NewRouteSpace(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = analysis.AnalyzeRouteMap(space4, pair, pair.RouteMaps["P"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Overlaps != 1 || st.Conflicting != 0 {
+		t.Errorf("pair = %+v, want 1 pair / 0 conflicting", st)
+	}
+}
+
+func newRng() *rand.Rand { return rand.New(rand.NewSource(1)) }
