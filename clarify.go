@@ -109,6 +109,8 @@ type UpdateResult struct {
 }
 
 func (s *Session) store() *llm.PromptStore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.Store == nil {
 		s.Store = llm.NewPromptStore()
 	}

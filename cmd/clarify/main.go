@@ -10,6 +10,11 @@
 // With -llm sim (the default) the deterministic simulated LLM is used and no
 // network access is needed. With -llm http, -base-url and -model select an
 // OpenAI-compatible endpoint; the API key is read from $CLARIFY_API_KEY.
+//
+// With -remote http://host:port the pipeline runs inside a clarifyd daemon
+// instead of in-process: the CLI creates a remote session from the config,
+// submits each intent over HTTP, and relays the daemon's disambiguation
+// questions to the interactive prompt.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"github.com/clarifynet/clarify/disambig"
 	"github.com/clarifynet/clarify/ios"
 	"github.com/clarifynet/clarify/llm"
+	"github.com/clarifynet/clarify/server"
 )
 
 func main() {
@@ -35,6 +41,7 @@ func main() {
 		baseURL    = flag.String("base-url", "https://api.openai.com/v1", "OpenAI-compatible API root (http backend)")
 		model      = flag.String("model", "gpt-4", "model identifier (http backend)")
 		outPath    = flag.String("o", "", "write the updated configuration here (default: stdout)")
+		remote     = flag.String("remote", "", "drive a running clarifyd at this base URL instead of an in-process session")
 		verbose    = flag.Bool("v", false, "trace pipeline steps to stderr")
 	)
 	flag.Parse()
@@ -46,7 +53,13 @@ func main() {
 	if *verbose {
 		trace = os.Stderr
 	}
-	if err := run(*configPath, *target, *llmKind, *baseURL, *model, *outPath, os.Stdin, os.Stdout, trace); err != nil {
+	var err error
+	if *remote != "" {
+		err = runRemote(*remote, *configPath, *target, *outPath, os.Stdin, os.Stdout)
+	} else {
+		err = run(*configPath, *target, *llmKind, *baseURL, *model, *outPath, os.Stdin, os.Stdout, trace)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "clarify:", err)
 		os.Exit(1)
 	}
@@ -155,6 +168,87 @@ func (o *consoleOracle) ask() (bool, error) {
 		}
 		fmt.Fprintln(o.out, "Please answer 1 (new rule applies) or 2 (keep existing behaviour).")
 	}
+}
+
+// runRemote drives a running clarifyd through the server client package,
+// keeping the same interactive intent and question/answer loop as the
+// in-process mode.
+func runRemote(remoteURL, configPath, target, outPath string, stdin io.Reader, out io.Writer) error {
+	data, err := os.ReadFile(configPath)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	client := &server.Client{BaseURL: strings.TrimRight(remoteURL, "/")}
+	sid, err := client.CreateSession(ctx, server.CreateSessionRequest{Config: string(data)})
+	if err != nil {
+		return err
+	}
+	defer client.DeleteSession(ctx, sid)
+	fmt.Fprintf(out, "Connected to %s (session %s).\n", remoteURL, sid)
+
+	in := bufio.NewScanner(stdin)
+	answer := func(q server.Question) (int, error) {
+		fmt.Fprintf(out, "\n%s\n", q.Text)
+		for {
+			fmt.Fprint(out, "Choose behaviour [1/2]: ")
+			if !in.Scan() {
+				return 0, fmt.Errorf("input closed during disambiguation")
+			}
+			switch strings.TrimSpace(in.Text()) {
+			case "1":
+				return 1, nil
+			case "2":
+				return 2, nil
+			}
+			fmt.Fprintln(out, "Please answer 1 (new rule applies) or 2 (keep existing behaviour).")
+		}
+	}
+
+	fmt.Fprintln(out, "Enter one intent per line (empty line to finish):")
+	for {
+		fmt.Fprint(out, "> ")
+		if !in.Scan() {
+			break
+		}
+		text := strings.TrimSpace(in.Text())
+		if text == "" {
+			break
+		}
+		res, err := client.RunUpdate(ctx, sid, text, target, answer)
+		if err != nil {
+			fmt.Fprintln(out, "  error:", err)
+			continue
+		}
+		if res.Status != server.StatusDone {
+			fmt.Fprintln(out, "  error:", res.Error)
+			continue
+		}
+		fmt.Fprintf(out, "\nSynthesized snippet (%d attempt(s)):\n%s\n", res.Result.Attempts, indent(res.Result.SnippetText))
+		fmt.Fprintf(out, "Behavioural specification:\n%s\n\n", indent(res.Result.SpecJSON))
+		fmt.Fprintf(out, "Inserted at position %d after %d question(s).\n\n",
+			res.Result.Position, res.Result.Questions)
+	}
+
+	final, err := client.Config(ctx, sid)
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(final), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Updated configuration written to %s\n", outPath)
+	} else {
+		fmt.Fprintf(out, "\nFinal configuration:\n%s", final)
+	}
+	st, err := client.Stats(ctx, sid)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nSession: %d LLM calls, %d disambiguation questions, %d retries, %d updates\n",
+		st.LLMCalls, st.Disambiguations, st.Retries, st.Updates)
+	return nil
 }
 
 func indent(s string) string {

@@ -1,10 +1,15 @@
 package main
 
 import (
+	"context"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"github.com/clarifynet/clarify/server"
 )
 
 const testConfig = `ip as-path access-list D0 permit _32$
@@ -85,6 +90,57 @@ func TestInteractiveSessionAnswerValidation(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Inserted at position 3") {
 		t.Errorf("keep-existing answers should land at the bottom:\n%s", out.String())
+	}
+}
+
+// TestRemoteSession replays the interactive walkthrough against a clarifyd
+// served in-process, through the -remote client path.
+func TestRemoteSession(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "isp.cfg")
+	if err := os.WriteFile(cfgPath, []byte(testConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.cfg")
+
+	srv := server.New(server.Options{Workers: 2})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	script := strings.Join([]string{
+		"Write a route-map stanza that permits routes containing the prefix 100.0.0.0/16 with mask length less than or equal to 23 and tagged with the community 300:3. Their MED value should be set to 55.",
+		"1",
+		"1",
+		"",
+	}, "\n") + "\n"
+
+	var out strings.Builder
+	if err := runRemote(hs.URL, cfgPath, "ISP_OUT", outPath, strings.NewReader(script), &out); err != nil {
+		t.Fatalf("runRemote: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"OPTION 1", "OPTION 2", "route-map SET_METRIC permit 10",
+		`"metric": 55`, "Inserted at position 0 after 2 question(s)",
+		"3 LLM calls, 2 disambiguation questions",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	final, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ip community-list expanded D2 permit _300:3_", "ip prefix-list D3 seq 10 permit 100.0.0.0/16 le 23"} {
+		if !strings.Contains(string(final), want) {
+			t.Errorf("final config missing %q:\n%s", want, final)
+		}
 	}
 }
 

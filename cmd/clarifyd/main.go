@@ -1,0 +1,140 @@
+// Command clarifyd serves the Clarify pipeline (Figure 1 of the paper) as a
+// concurrent JSON HTTP API: many sessions, each owning one configuration,
+// with intent submissions scheduled on a bounded worker pool and
+// disambiguation questions answered asynchronously over HTTP.
+//
+// Usage:
+//
+//	clarifyd [-addr :8080] [-workers 8] [-queue 32] [-llm sim|http] [flags]
+//
+// Endpoints (see the server package for the wire types):
+//
+//	POST   /v1/sessions                     create a session from a config
+//	GET    /v1/sessions                     list sessions
+//	GET    /v1/sessions/{id}                session info
+//	DELETE /v1/sessions/{id}                delete a session
+//	POST   /v1/sessions/{id}/updates        submit an intent (?async=1 to poll)
+//	GET    /v1/sessions/{id}/updates/{uid}  poll an update
+//	GET    /v1/sessions/{id}/question       pending disambiguation question
+//	POST   /v1/sessions/{id}/answer         answer it (OPTION 1 or 2)
+//	GET    /v1/sessions/{id}/config         current configuration text
+//	GET    /v1/sessions/{id}/stats          per-session pipeline counters
+//	GET    /healthz                         liveness (503 while draining)
+//	GET    /metrics                         expvar-style JSON metrics
+//
+// With -llm sim (the default) every session uses the deterministic simulated
+// LLM; with -llm http, sessions share an OpenAI-compatible endpoint
+// configured by -base-url/-model and $CLARIFY_API_KEY, with retry/backoff
+// handled by llm.HTTPClient.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/clarifynet/clarify/llm"
+	"github.com/clarifynet/clarify/server"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", ":8080", "listen address")
+		workers         = flag.Int("workers", 8, "pipeline worker count")
+		queue           = flag.Int("queue", 0, "submission queue bound (default 2×workers)")
+		maxSessions     = flag.Int("max-sessions", 1024, "live session cap")
+		idleTTL         = flag.Duration("idle-ttl", 30*time.Minute, "evict sessions idle this long")
+		questionTimeout = flag.Duration("question-timeout", time.Minute, "abort updates whose question goes unanswered this long")
+		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight updates")
+		llmKind         = flag.String("llm", "sim", "LLM backend: sim or http")
+		baseURL         = flag.String("base-url", "https://api.openai.com/v1", "OpenAI-compatible API root (http backend)")
+		model           = flag.String("model", "gpt-4", "model identifier (http backend)")
+		retries         = flag.Int("llm-retries", 3, "HTTP LLM retry budget for 429/5xx (http backend)")
+		quiet           = flag.Bool("quiet", false, "disable request logging")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *maxSessions, *idleTTL, *questionTimeout,
+		*drainTimeout, *llmKind, *baseURL, *model, *retries, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "clarifyd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue, maxSessions int, idleTTL, questionTimeout,
+	drainTimeout time.Duration, llmKind, baseURL, model string, retries int, quiet bool) error {
+	logger := log.New(os.Stderr, "clarifyd: ", log.LstdFlags|log.Lmicroseconds)
+
+	var newClient func() llm.Client
+	switch llmKind {
+	case "sim":
+		newClient = func() llm.Client { return llm.NewSimLLM() }
+	case "http":
+		// One shared client: it is stateless and safe for concurrent use,
+		// and its retry/backoff absorbs transient endpoint failures.
+		shared := &llm.HTTPClient{
+			BaseURL:    baseURL,
+			Model:      model,
+			APIKey:     os.Getenv("CLARIFY_API_KEY"),
+			MaxRetries: retries,
+		}
+		newClient = func() llm.Client { return shared }
+	default:
+		return fmt.Errorf("unknown -llm backend %q", llmKind)
+	}
+
+	opts := server.Options{
+		Workers:         workers,
+		QueueSize:       queue,
+		MaxSessions:     maxSessions,
+		IdleTTL:         idleTTL,
+		QuestionTimeout: questionTimeout,
+		NewClient:       newClient,
+	}
+	if !quiet {
+		opts.Logger = logger
+	}
+	srv := server.New(opts)
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (%d workers, llm=%s)", addr, workers, llmKind)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		logger.Printf("received %s; draining (budget %s)", sig, drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Stop accepting HTTP first so no new submissions arrive, then drain
+	// the worker pool; Shutdown force-cancels parked questions once the
+	// budget expires.
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain incomplete: %v (in-flight updates cancelled)", err)
+	} else {
+		logger.Printf("drained cleanly")
+	}
+	return nil
+}

@@ -6,13 +6,20 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 )
 
 // HTTPClient talks to an OpenAI-compatible chat-completions endpoint
 // (POST {BaseURL}/chat/completions). It exists so the pipeline can run
 // against a real model; the repository's experiments all use SimLLM.
+//
+// Transient endpoint failures (429 and 5xx) are retried with exponential
+// backoff and jitter so a daemon serving many sessions does not fail whole
+// updates on one flaky response. The client is stateless and safe for
+// concurrent use.
 type HTTPClient struct {
 	// BaseURL is the API root, e.g. "https://api.openai.com/v1".
 	BaseURL string
@@ -25,6 +32,13 @@ type HTTPClient struct {
 	HTTP *http.Client
 	// Temperature defaults to 0 for reproducible synthesis.
 	Temperature float64
+	// MaxRetries is the number of re-attempts after a retryable failure
+	// (429 or 5xx status, or a transport error); 0 disables retries.
+	MaxRetries int
+	// RetryBaseDelay seeds the exponential backoff (default 500 ms; the
+	// delay doubles per attempt, ±50% jitter, capped at 30 s). A
+	// Retry-After header from the endpoint overrides the computed delay.
+	RetryBaseDelay time.Duration
 }
 
 type chatRequest struct {
@@ -42,6 +56,16 @@ type chatResponse struct {
 	} `json:"error,omitempty"`
 }
 
+// retryableError marks a failure worth re-attempting.
+type retryableError struct {
+	err           error
+	retryAfter    time.Duration
+	hasRetryAfter bool // the endpoint sent an explicit Retry-After hint
+}
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
 // Complete implements Client.
 func (c *HTTPClient) Complete(ctx context.Context, req Request) (Response, error) {
 	msgs := make([]Message, 0, len(req.Messages)+1)
@@ -53,6 +77,31 @@ func (c *HTTPClient) Complete(ctx context.Context, req Request) (Response, error
 	if err != nil {
 		return Response{}, fmt.Errorf("llm: marshal request: %w", err)
 	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.doOnce(ctx, body)
+		if err == nil {
+			return resp, nil
+		}
+		rerr, retryable := err.(*retryableError)
+		if !retryable || attempt >= c.MaxRetries {
+			return Response{}, err
+		}
+		lastErr = err
+		delay := c.backoff(attempt)
+		if rerr.hasRetryAfter {
+			delay = rerr.retryAfter
+		}
+		if err := sleepCtx(ctx, delay); err != nil {
+			return Response{}, fmt.Errorf("llm: giving up after %d attempt(s): %w (last error: %v)",
+				attempt+1, err, lastErr)
+		}
+	}
+}
+
+// doOnce issues one request; retryable failures are wrapped in
+// *retryableError.
+func (c *HTTPClient) doOnce(ctx context.Context, body []byte) (Response, error) {
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/chat/completions", bytes.NewReader(body))
 	if err != nil {
 		return Response{}, fmt.Errorf("llm: build request: %w", err)
@@ -67,15 +116,25 @@ func (c *HTTPClient) Complete(ctx context.Context, req Request) (Response, error
 	}
 	resp, err := client.Do(httpReq)
 	if err != nil {
-		return Response{}, fmt.Errorf("llm: request failed: %w", err)
+		if ctx.Err() != nil {
+			return Response{}, fmt.Errorf("llm: request failed: %w", err)
+		}
+		// Transport-level failures (connection reset, DNS blip) are
+		// transient by nature.
+		return Response{}, &retryableError{err: fmt.Errorf("llm: request failed: %w", err)}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 	if err != nil {
-		return Response{}, fmt.Errorf("llm: read response: %w", err)
+		return Response{}, &retryableError{err: fmt.Errorf("llm: read response: %w", err)}
 	}
 	if resp.StatusCode != http.StatusOK {
-		return Response{}, fmt.Errorf("llm: endpoint returned %s: %s", resp.Status, truncate(data, 200))
+		serr := fmt.Errorf("llm: endpoint returned %s: %s", resp.Status, truncate(data, 200))
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+			after, ok := parseRetryAfter(resp.Header.Get("Retry-After"))
+			return Response{}, &retryableError{err: serr, retryAfter: after, hasRetryAfter: ok}
+		}
+		return Response{}, serr
 	}
 	var out chatResponse
 	if err := json.Unmarshal(data, &out); err != nil {
@@ -88,6 +147,49 @@ func (c *HTTPClient) Complete(ctx context.Context, req Request) (Response, error
 		return Response{}, fmt.Errorf("llm: endpoint returned no choices")
 	}
 	return Response{Content: out.Choices[0].Message.Content}, nil
+}
+
+// backoff computes the delay before re-attempt attempt+1: exponential with
+// ±50% jitter, capped at 30 s.
+func (c *HTTPClient) backoff(attempt int) time.Duration {
+	base := c.RetryBaseDelay
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	const maxDelay = 30 * time.Second
+	if d > maxDelay || d <= 0 {
+		d = maxDelay
+	}
+	// Jitter in [0.5, 1.5): decorrelates retry storms across concurrent
+	// workers hitting the same rate-limited endpoint.
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// parseRetryAfter handles the delay-seconds form of the header (the HTTP
+// date form is rare on API endpoints and falls back to the computed
+// backoff). An explicit "0" means retry immediately.
+func parseRetryAfter(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// sleepCtx waits d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func truncate(b []byte, n int) string {

@@ -1,0 +1,122 @@
+package llm
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const chatOK = `{"choices":[{"message":{"role":"assistant","content":"route-map X permit 10\n"}}]}`
+
+// retryServer fails the first n requests with the given status, then
+// succeeds.
+func retryServer(t *testing.T, failures int, status int, count *atomic.Int64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := count.Add(1)
+		if n <= int64(failures) {
+			w.WriteHeader(status)
+			w.Write([]byte(`{"error":{"message":"overloaded"}}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(chatOK))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHTTPClientRetriesTransientFailures(t *testing.T) {
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusInternalServerError, http.StatusServiceUnavailable} {
+		var count atomic.Int64
+		srv := retryServer(t, 2, status, &count)
+		c := &HTTPClient{BaseURL: srv.URL, Model: "m", MaxRetries: 3, RetryBaseDelay: time.Millisecond}
+		resp, err := c.Complete(context.Background(), Request{Task: TaskSynthRouteMap,
+			Messages: []Message{{Role: RoleUser, Content: "x"}}})
+		if err != nil {
+			t.Fatalf("status %d: %v after %d attempts", status, err, count.Load())
+		}
+		if !strings.Contains(resp.Content, "route-map X") {
+			t.Errorf("status %d: unexpected content %q", status, resp.Content)
+		}
+		if count.Load() != 3 {
+			t.Errorf("status %d: %d attempts, want 3", status, count.Load())
+		}
+	}
+}
+
+func TestHTTPClientRetryBudgetExhausted(t *testing.T) {
+	var count atomic.Int64
+	srv := retryServer(t, 1000, http.StatusInternalServerError, &count)
+	c := &HTTPClient{BaseURL: srv.URL, Model: "m", MaxRetries: 2, RetryBaseDelay: time.Millisecond}
+	_, err := c.Complete(context.Background(), Request{Task: TaskSynthRouteMap,
+		Messages: []Message{{Role: RoleUser, Content: "x"}}})
+	if err == nil {
+		t.Fatal("want error after exhausting retries")
+	}
+	if count.Load() != 3 { // initial attempt + 2 retries
+		t.Errorf("%d attempts, want 3", count.Load())
+	}
+}
+
+func TestHTTPClientDoesNotRetryClientErrors(t *testing.T) {
+	var count atomic.Int64
+	srv := retryServer(t, 1000, http.StatusBadRequest, &count)
+	c := &HTTPClient{BaseURL: srv.URL, Model: "m", MaxRetries: 3, RetryBaseDelay: time.Millisecond}
+	_, err := c.Complete(context.Background(), Request{Task: TaskSynthRouteMap,
+		Messages: []Message{{Role: RoleUser, Content: "x"}}})
+	if err == nil {
+		t.Fatal("want error on 400")
+	}
+	if count.Load() != 1 {
+		t.Errorf("%d attempts, want 1 (4xx is not retryable)", count.Load())
+	}
+}
+
+func TestHTTPClientHonorsRetryAfter(t *testing.T) {
+	var count atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if count.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(chatOK))
+	}))
+	defer srv.Close()
+	// A huge base delay would stall the test; the Retry-After: 0 hint must
+	// override it.
+	c := &HTTPClient{BaseURL: srv.URL, Model: "m", MaxRetries: 1, RetryBaseDelay: time.Hour}
+	start := time.Now()
+	if _, err := c.Complete(context.Background(), Request{Task: TaskSynthRouteMap,
+		Messages: []Message{{Role: RoleUser, Content: "x"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("retry took %s; Retry-After hint ignored", elapsed)
+	}
+}
+
+func TestHTTPClientRetrySleepIsContextAware(t *testing.T) {
+	var count atomic.Int64
+	srv := retryServer(t, 1000, http.StatusTooManyRequests, &count)
+	c := &HTTPClient{BaseURL: srv.URL, Model: "m", MaxRetries: 5, RetryBaseDelay: 10 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Complete(ctx, Request{Task: TaskSynthRouteMap,
+		Messages: []Message{{Role: RoleUser, Content: "x"}}})
+	if err == nil {
+		t.Fatal("want error when context expires mid-backoff")
+	}
+	if !strings.Contains(err.Error(), "giving up") {
+		t.Errorf("error should report abandoned retries: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("backoff ignored context cancellation (%s)", elapsed)
+	}
+}

@@ -1,0 +1,67 @@
+package llm
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestSimLLMConcurrentComplete hammers one SimLLM from many goroutines
+// across every task kind; run under -race it proves the simulator (shared
+// call counters and the fault-injection plan) is safe for the clarifyd
+// worker pool, where many pipelines share a client.
+func TestSimLLMConcurrentComplete(t *testing.T) {
+	const (
+		workers = 16
+		rounds  = 25
+	)
+	// Enough planned faults that consumption of the shared plan overlaps
+	// across goroutines.
+	plan := make([]Fault, 0, workers*rounds)
+	for i := 0; i < workers*rounds/2; i++ {
+		plan = append(plan, Fault(1+i%5))
+	}
+	sim := NewSimLLM(plan...)
+
+	const rmIntent = "Write a route-map stanza that permits routes containing the prefix " +
+		"100.0.0.0/16 with mask length less than or equal to 23 and tagged " +
+		"with the community 300:3. Their MED value should be set to 55."
+	const aclIntent = "Write an ACL entry that permits tcp traffic from 10.0.0.0/24 to any host on port 22."
+
+	reqs := []Request{
+		{Task: TaskClassify, Messages: []Message{{Role: RoleUser, Content: rmIntent}}},
+		{Task: TaskSynthRouteMap, Messages: []Message{{Role: RoleUser, Content: rmIntent}}},
+		{Task: TaskSynthACL, Messages: []Message{{Role: RoleUser, Content: aclIntent}}},
+		{Task: TaskSpecRouteMap, Messages: []Message{{Role: RoleUser, Content: rmIntent}}},
+		{Task: TaskSpecACL, Messages: []Message{{Role: RoleUser, Content: aclIntent}}},
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				req := reqs[(w+i)%len(reqs)]
+				resp, err := sim.Complete(context.Background(), req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Content == "" {
+					errs <- &UnsupportedTaskError{Task: req.Task}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := sim.TotalCalls(); got != workers*rounds {
+		t.Errorf("TotalCalls = %d, want %d", got, workers*rounds)
+	}
+}

@@ -241,3 +241,50 @@ func (r Route) MarshalJSON() ([]byte, error) {
 		Weight:      r.Weight,
 	})
 }
+
+// UnmarshalJSON is the inverse of MarshalJSON, so routes survive a JSON
+// round trip (the clarifyd wire format carries witness routes in
+// disambiguation questions).
+func (r *Route) UnmarshalJSON(data []byte) error {
+	var in struct {
+		Network     string          `json:"network"`
+		ASPath      []ASPathSegment `json:"asPath"`
+		Communities []string        `json:"communities"`
+		LocalPref   uint32          `json:"localPreference"`
+		Metric      uint32          `json:"metric"`
+		NextHop     string          `json:"nextHopIp"`
+		Tag         uint32          `json:"tag"`
+		Weight      uint16          `json:"weight"`
+	}
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	network, err := netip.ParsePrefix(in.Network)
+	if err != nil {
+		return fmt.Errorf("route: network: %w", err)
+	}
+	nextHop, err := netip.ParseAddr(in.NextHop)
+	if err != nil {
+		return fmt.Errorf("route: next hop: %w", err)
+	}
+	comms := make([]Community, len(in.Communities))
+	for i, s := range in.Communities {
+		if comms[i], err = ParseCommunity(s); err != nil {
+			return err
+		}
+	}
+	if len(comms) == 0 {
+		comms = nil
+	}
+	*r = Route{
+		Network:     network,
+		ASPath:      in.ASPath,
+		Communities: comms,
+		LocalPref:   in.LocalPref,
+		MED:         in.Metric,
+		NextHop:     nextHop,
+		Tag:         in.Tag,
+		Weight:      in.Weight,
+	}
+	return nil
+}

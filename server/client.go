@@ -1,0 +1,261 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"github.com/clarifynet/clarify"
+)
+
+// Client is the Go client for a running clarifyd. It is safe for concurrent
+// use by multiple goroutines.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the underlying client; a 30-second-timeout client is used
+	// when nil.
+	HTTP *http.Client
+	// PollInterval paces RunUpdate's question/status polling (default
+	// 25 ms).
+	PollInterval time.Duration
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) pollEvery() time.Duration {
+	if c.PollInterval > 0 {
+		return c.PollInterval
+	}
+	return 25 * time.Millisecond
+}
+
+// do issues one JSON request; out may be nil for responses without a body.
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("clarifyd client: marshal: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("clarifyd client: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("clarifyd client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("clarifyd client: read response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: string(data)}
+		var e ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			apiErr.Message = e.Error
+			apiErr.RetryAfterSeconds = e.RetryAfterSeconds
+		}
+		return apiErr
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("clarifyd client: decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+// CreateSession uploads a base configuration and returns the session ID.
+func (c *Client) CreateSession(ctx context.Context, req CreateSessionRequest) (string, error) {
+	var resp CreateSessionResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// DeleteSession removes a session.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+// Session fetches one session's info.
+func (c *Client) Session(ctx context.Context, id string) (SessionInfo, error) {
+	var out SessionInfo
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// Submit runs one intent synchronously: the call returns when the update has
+// finished. Disambiguation questions must be answered concurrently (another
+// goroutine polling Question/Answer) or the update times out; most callers
+// want RunUpdate instead.
+func (c *Client) Submit(ctx context.Context, id, intentText, target string) (UpdateInfo, error) {
+	var out UpdateInfo
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/updates",
+		SubmitRequest{Intent: intentText, Target: target}, &out)
+	return out, err
+}
+
+// SubmitAsync enqueues one intent and returns immediately with the update to
+// poll.
+func (c *Client) SubmitAsync(ctx context.Context, id, intentText, target string) (UpdateInfo, error) {
+	var out UpdateInfo
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/updates?async=1",
+		SubmitRequest{Intent: intentText, Target: target, Async: true}, &out)
+	return out, err
+}
+
+// Update polls one update's status.
+func (c *Client) Update(ctx context.Context, id, updateID string) (UpdateInfo, error) {
+	var out UpdateInfo
+	err := c.do(ctx, http.MethodGet,
+		"/v1/sessions/"+url.PathEscape(id)+"/updates/"+url.PathEscape(updateID), nil, &out)
+	return out, err
+}
+
+// Question fetches the pending disambiguation question, or nil when the
+// pipeline is not waiting on one.
+func (c *Client) Question(ctx context.Context, id string) (*Question, error) {
+	var out QuestionResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/question", nil, &out); err != nil {
+		return nil, err
+	}
+	if !out.Pending {
+		return nil, nil
+	}
+	return out.Question, nil
+}
+
+// Answer delivers the operator's choice (1 or 2) for question seq.
+func (c *Client) Answer(ctx context.Context, id string, seq, option int) error {
+	return c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/answer",
+		AnswerRequest{Seq: seq, Option: option}, nil)
+}
+
+// Config fetches the session's current configuration text.
+func (c *Client) Config(ctx context.Context, id string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/sessions/"+url.PathEscape(id)+"/config", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", fmt.Errorf("clarifyd client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", fmt.Errorf("clarifyd client: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Message: string(data)}
+	}
+	return string(data), nil
+}
+
+// Stats fetches the session's pipeline counters.
+func (c *Client) Stats(ctx context.Context, id string) (clarify.Stats, error) {
+	var out StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/stats", nil, &out)
+	return out.Stats, err
+}
+
+// Metrics fetches the daemon-wide metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
+	var out MetricsSnapshot
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &out)
+	return out, err
+}
+
+// AnswerFunc chooses OPTION 1 or 2 for one differential question; it is the
+// client-side analogue of the disambig oracle interfaces.
+type AnswerFunc func(q Question) (option int, err error)
+
+// RunUpdate drives one intent end to end: submit asynchronously, poll for
+// disambiguation questions and answer them via fn, and return the terminal
+// update. 429 backpressure rejections are retried after the server's
+// Retry-After hint until ctx expires.
+func (c *Client) RunUpdate(ctx context.Context, id, intentText, target string, fn AnswerFunc) (UpdateInfo, error) {
+	var u UpdateInfo
+	for {
+		var err error
+		u, err = c.SubmitAsync(ctx, id, intentText, target)
+		if err == nil {
+			break
+		}
+		apiErr, ok := err.(*APIError)
+		if !ok || apiErr.StatusCode != http.StatusTooManyRequests {
+			return UpdateInfo{}, err
+		}
+		wait := time.Duration(apiErr.RetryAfterSeconds) * time.Second
+		if wait <= 0 {
+			wait = time.Second
+		}
+		if err := sleepCtx(ctx, wait); err != nil {
+			return UpdateInfo{}, err
+		}
+	}
+	answered := -1
+	for {
+		cur, err := c.Update(ctx, id, u.ID)
+		if err != nil {
+			return UpdateInfo{}, err
+		}
+		if cur.Terminal() {
+			return cur, nil
+		}
+		q, err := c.Question(ctx, id)
+		if err != nil {
+			return UpdateInfo{}, err
+		}
+		if q != nil && q.Seq != answered {
+			option, err := fn(*q)
+			if err != nil {
+				return UpdateInfo{}, err
+			}
+			if err := c.Answer(ctx, id, q.Seq, option); err != nil {
+				// A conflict means the question moved on (answered
+				// elsewhere or timed out); keep polling.
+				if apiErr, ok := err.(*APIError); !ok || apiErr.StatusCode != http.StatusConflict {
+					return UpdateInfo{}, err
+				}
+			}
+			answered = q.Seq
+			continue
+		}
+		if err := sleepCtx(ctx, c.pollEvery()); err != nil {
+			return UpdateInfo{}, err
+		}
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in milliseconds; the last
+// implicit bucket is +Inf.
+var latencyBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// histogram is a fixed-bucket latency histogram. It is guarded by the owning
+// metrics mutex.
+type histogram struct {
+	counts []int64 // len(latencyBuckets)+1, last bucket is +Inf
+	sumMs  float64
+	n      int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := sort.SearchFloat64s(latencyBuckets, ms)
+	h.counts[i]++
+	h.sumMs += ms
+	h.n++
+}
+
+// HistogramSnapshot is the JSON view of one latency histogram.
+type HistogramSnapshot struct {
+	// BucketsMs are the upper bounds; Counts has one extra entry for +Inf.
+	BucketsMs []float64 `json:"bucketsMs"`
+	Counts    []int64   `json:"counts"`
+	Count     int64     `json:"count"`
+	SumMs     float64   `json:"sumMs"`
+	MeanMs    float64   `json:"meanMs"`
+}
+
+// metrics aggregates the server's observable state: per-endpoint request and
+// status counters, an in-flight gauge, backpressure rejections, and
+// per-endpoint latency histograms. All methods are safe for concurrent use.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]int64
+	statuses map[int]int64
+	latency  map[string]*histogram
+	inFlight int64
+	rejected int64 // 429 backpressure rejections
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: map[string]int64{},
+		statuses: map[int]int64{},
+		latency:  map[string]*histogram{},
+	}
+}
+
+// begin records an arriving request and returns the completion callback.
+func (m *metrics) begin(endpoint string) func(status int) {
+	start := time.Now()
+	m.mu.Lock()
+	m.requests[endpoint]++
+	m.inFlight++
+	m.mu.Unlock()
+	return func(status int) {
+		d := time.Since(start)
+		m.mu.Lock()
+		m.inFlight--
+		m.statuses[status]++
+		h := m.latency[endpoint]
+		if h == nil {
+			h = newHistogram()
+			m.latency[endpoint] = h
+		}
+		h.observe(d)
+		if status == 429 {
+			m.rejected++
+		}
+		m.mu.Unlock()
+	}
+}
+
+// MetricsSnapshot is the body of GET /metrics (expvar-style JSON).
+type MetricsSnapshot struct {
+	// Requests counts requests per endpoint pattern.
+	Requests map[string]int64 `json:"requests"`
+	// Statuses counts responses per HTTP status code.
+	Statuses map[int]int64 `json:"statuses"`
+	// InFlight is the number of HTTP requests currently being served.
+	InFlight int64 `json:"inFlight"`
+	// Rejected counts 429 backpressure rejections.
+	Rejected int64 `json:"rejected"`
+	// LatencyMs holds one histogram per endpoint pattern.
+	LatencyMs map[string]HistogramSnapshot `json:"latencyMs"`
+	// QueueDepth is the number of updates waiting for a worker.
+	QueueDepth int `json:"queueDepth"`
+	// QueueCapacity is the bounded queue's size.
+	QueueCapacity int `json:"queueCapacity"`
+	// Workers is the worker pool size.
+	Workers int `json:"workers"`
+	// ActiveUpdates is the number of updates currently executing or parked
+	// on a question.
+	ActiveUpdates int64 `json:"activeUpdates"`
+	// Sessions is the number of live sessions.
+	Sessions int `json:"sessions"`
+	// EvictedSessions counts sessions removed by TTL eviction.
+	EvictedSessions int64 `json:"evictedSessions"`
+	// Pipeline is the cumulative clarify.Stats over all sessions, including
+	// deleted and evicted ones.
+	Pipeline PipelineStats `json:"pipeline"`
+}
+
+// PipelineStats mirrors clarify.Stats with JSON tags.
+type PipelineStats struct {
+	LLMCalls        int `json:"llmCalls"`
+	Disambiguations int `json:"disambiguations"`
+	Retries         int `json:"retries"`
+	Punts           int `json:"punts"`
+	Updates         int `json:"updates"`
+}
+
+// snapshot copies the counters; pool/session fields are filled by the server.
+func (m *metrics) snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := MetricsSnapshot{
+		Requests:  make(map[string]int64, len(m.requests)),
+		Statuses:  make(map[int]int64, len(m.statuses)),
+		LatencyMs: make(map[string]HistogramSnapshot, len(m.latency)),
+		InFlight:  m.inFlight,
+		Rejected:  m.rejected,
+	}
+	for k, v := range m.requests {
+		out.Requests[k] = v
+	}
+	for k, v := range m.statuses {
+		out.Statuses[k] = v
+	}
+	for k, h := range m.latency {
+		snap := HistogramSnapshot{
+			BucketsMs: latencyBuckets,
+			Counts:    append([]int64(nil), h.counts...),
+			Count:     h.n,
+			SumMs:     h.sumMs,
+		}
+		if h.n > 0 {
+			snap.MeanMs = h.sumMs / float64(h.n)
+		}
+		out.LatencyMs[k] = snap
+	}
+	return out
+}

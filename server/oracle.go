@@ -1,0 +1,120 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/clarifynet/clarify/disambig"
+)
+
+// ErrQuestionTimeout aborts an update whose disambiguation question was not
+// answered within the configured window.
+var ErrQuestionTimeout = errors.New("server: disambiguation question timed out without an answer")
+
+// errStaleAnswer reports an answer whose sequence number does not match the
+// pending question (a duplicate or a race with a newer question).
+var errStaleAnswer = errors.New("server: answer does not match the pending question")
+
+// asyncOracle bridges the synchronous disambig oracle interfaces onto the
+// HTTP question/answer endpoints. The pipeline goroutine (a pool worker)
+// calls ChooseRoute/ChooseACL, which parks it: the question becomes visible
+// at GET /v1/sessions/{id}/question and the goroutine resumes when an
+// operator POSTs the matching answer — or errors out on timeout or server
+// shutdown, cancelling the whole update.
+type asyncOracle struct {
+	timeout time.Duration
+	ctx     context.Context // cancelled on forced shutdown
+
+	mu      sync.Mutex
+	seq     int
+	pending *Question
+	answer  chan bool
+}
+
+func newAsyncOracle(ctx context.Context, timeout time.Duration) *asyncOracle {
+	if timeout <= 0 {
+		timeout = time.Minute
+	}
+	return &asyncOracle{ctx: ctx, timeout: timeout}
+}
+
+// ChooseRoute implements disambig.RouteOracle.
+func (o *asyncOracle) ChooseRoute(q disambig.RouteQuestion) (bool, error) {
+	o.mu.Lock()
+	o.seq++
+	o.pending = newRouteQuestion(o.seq, q)
+	o.answer = make(chan bool, 1)
+	ch := o.answer
+	o.mu.Unlock()
+	return o.wait(ch)
+}
+
+// ChooseACL implements disambig.ACLOracle.
+func (o *asyncOracle) ChooseACL(q disambig.ACLQuestion) (bool, error) {
+	o.mu.Lock()
+	o.seq++
+	o.pending = newACLQuestion(o.seq, q)
+	o.answer = make(chan bool, 1)
+	ch := o.answer
+	o.mu.Unlock()
+	return o.wait(ch)
+}
+
+// wait parks the pipeline goroutine until an answer, a timeout, or shutdown.
+func (o *asyncOracle) wait(ch chan bool) (bool, error) {
+	timer := time.NewTimer(o.timeout)
+	defer timer.Stop()
+	defer func() {
+		o.mu.Lock()
+		o.pending, o.answer = nil, nil
+		o.mu.Unlock()
+	}()
+	select {
+	case preferNew := <-ch:
+		return preferNew, nil
+	case <-timer.C:
+		return false, ErrQuestionTimeout
+	case <-o.ctx.Done():
+		return false, fmt.Errorf("server: update cancelled: %w", o.ctx.Err())
+	}
+}
+
+// Pending returns the currently displayed question, or nil.
+func (o *asyncOracle) Pending() *Question {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.pending == nil {
+		return nil
+	}
+	q := *o.pending
+	return &q
+}
+
+// Answer delivers the operator's choice for question seq; option is 1 (the
+// new rule applies) or 2 (keep existing behaviour).
+func (o *asyncOracle) Answer(seq, option int) error {
+	if option != 1 && option != 2 {
+		return fmt.Errorf("server: option must be 1 or 2, got %d", option)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.pending == nil || o.answer == nil {
+		return errStaleAnswer
+	}
+	if o.pending.Seq != seq {
+		return errStaleAnswer
+	}
+	// The buffered send cannot block: each question allocates a fresh
+	// channel and the pending clear below prevents a second delivery.
+	o.answer <- (option == 1)
+	o.pending, o.answer = nil, nil
+	return nil
+}
+
+var (
+	_ disambig.RouteOracle = (*asyncOracle)(nil)
+	_ disambig.ACLOracle   = (*asyncOracle)(nil)
+)

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// pool is a bounded worker pool: N workers drain a bounded queue of jobs.
+// When the queue is full, TrySubmit fails immediately so the HTTP layer can
+// shed load with 429 instead of accumulating goroutines — the backpressure
+// contract of the serving layer.
+type pool struct {
+	queue   chan func()
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	workers int
+}
+
+func newPool(workers, queueSize int) *pool {
+	if workers <= 0 {
+		workers = 4
+	}
+	if queueSize <= 0 {
+		queueSize = 2 * workers
+	}
+	p := &pool{queue: make(chan func(), queueSize), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.queue {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues a job without blocking; it reports false when the queue
+// is full or the pool is draining.
+func (p *pool) TrySubmit(job func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// Depth is the number of queued (not yet running) jobs.
+func (p *pool) Depth() int { return len(p.queue) }
+
+// Capacity is the bounded queue size.
+func (p *pool) Capacity() int { return cap(p.queue) }
+
+// Workers is the pool size.
+func (p *pool) Workers() int { return p.workers }
+
+// Close stops accepting jobs and waits for the queue to drain and all
+// running jobs to finish, or for ctx to expire (the workers keep draining in
+// the background in that case).
+func (p *pool) Close(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Wait blocks until all workers have exited; call only after Close.
+func (p *pool) Wait() { p.wg.Wait() }

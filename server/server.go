@@ -1,0 +1,403 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/clarifynet/clarify"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/llm"
+)
+
+// Options configures a Server. The zero value is usable: 4 workers, a
+// queue of 8, 1024 sessions, 30-minute idle TTL, 1-minute question timeout,
+// SimLLM sessions, and discarded logs.
+type Options struct {
+	// Workers is the number of pipeline workers (default 4).
+	Workers int
+	// QueueSize bounds the submission queue (default 2×Workers). Beyond it,
+	// submits are rejected with 429 + Retry-After.
+	QueueSize int
+	// MaxSessions caps live sessions (default 1024); creates beyond it get
+	// 503.
+	MaxSessions int
+	// IdleTTL evicts sessions with no traffic for this long (default 30m).
+	IdleTTL time.Duration
+	// SweepInterval is the janitor period (default IdleTTL/4, capped at 1m).
+	SweepInterval time.Duration
+	// QuestionTimeout aborts an update whose disambiguation question goes
+	// unanswered for this long (default 1m).
+	QuestionTimeout time.Duration
+	// NewClient builds the LLM client for each new session (default
+	// llm.NewSimLLM). A shared stateless client may be returned.
+	NewClient func() llm.Client
+	// Logger receives one structured line per request; nil disables logging.
+	Logger *log.Logger
+	// MaxConfigBytes bounds uploaded configurations (default 4 MiB).
+	MaxConfigBytes int64
+}
+
+// Server hosts concurrent clarify.Sessions behind a JSON HTTP API. It
+// implements http.Handler; wire it into an http.Server (or httptest) and
+// call Shutdown to drain.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+	pool *pool
+	mgr  *manager
+	met  *metrics
+
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	draining atomic.Bool
+	active   atomic.Int64 // updates executing or parked on a question
+}
+
+// New builds a Server from opts.
+func New(opts Options) *Server {
+	if opts.NewClient == nil {
+		opts.NewClient = func() llm.Client { return llm.NewSimLLM() }
+	}
+	if opts.QuestionTimeout <= 0 {
+		opts.QuestionTimeout = time.Minute
+	}
+	if opts.MaxConfigBytes <= 0 {
+		opts.MaxConfigBytes = 4 << 20
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		pool:    newPool(opts.Workers, opts.QueueSize),
+		mgr:     newManager(opts.MaxSessions, opts.IdleTTL, opts.SweepInterval),
+		met:     newMetrics(),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("POST /v1/sessions", s.handleCreateSession)
+	s.route("GET /v1/sessions", s.handleListSessions)
+	s.route("GET /v1/sessions/{id}", s.handleGetSession)
+	s.route("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	s.route("POST /v1/sessions/{id}/updates", s.handleSubmit)
+	s.route("GET /v1/sessions/{id}/updates/{uid}", s.handleGetUpdate)
+	s.route("GET /v1/sessions/{id}/question", s.handleQuestion)
+	s.route("POST /v1/sessions/{id}/answer", s.handleAnswer)
+	s.route("GET /v1/sessions/{id}/config", s.handleConfig)
+	s.route("GET /v1/sessions/{id}/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// route registers a handler wrapped with metrics and request logging, keyed
+// by the route pattern so per-endpoint counters aggregate across sessions.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		end := s.met.begin(pattern)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		end(rec.status)
+		if s.opts.Logger != nil {
+			s.opts.Logger.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+		}
+	})
+}
+
+// statusRecorder captures the response code for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Shutdown drains the server: new submissions are rejected, queued and
+// running updates are given until ctx expires to finish, then any still
+// parked on questions are force-cancelled. Always returns after the pool has
+// fully stopped.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.pool.Close(ctx)
+	if err != nil {
+		// Grace period exhausted: release goroutines parked on answers or
+		// LLM calls, then wait for the drain to complete.
+		s.cancel()
+		s.pool.Wait()
+	}
+	s.cancel()
+	s.mgr.Stop()
+	return err
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	body := map[string]interface{}{"status": "ok", "sessions": s.mgr.Len()}
+	if s.draining.Load() {
+		status = http.StatusServiceUnavailable
+		body["status"] = "draining"
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.met.snapshot()
+	snap.QueueDepth = s.pool.Depth()
+	snap.QueueCapacity = s.pool.Capacity()
+	snap.Workers = s.pool.Workers()
+	snap.ActiveUpdates = s.active.Load()
+	snap.Sessions = s.mgr.Len()
+	snap.EvictedSessions = s.mgr.Evicted()
+	st := s.mgr.CumulativeStats()
+	snap.Pipeline = PipelineStats{
+		LLMCalls:        st.LLMCalls,
+		Disambiguations: st.Disambiguations,
+		Retries:         st.Retries,
+		Punts:           st.Punts,
+		Updates:         st.Updates,
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining", 0)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxConfigBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error(), 0)
+		return
+	}
+	var req CreateSessionRequest
+	if err := decodeStrict(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: "+err.Error(), 0)
+		return
+	}
+	cfg, err := ios.Parse(req.Config)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "parse config: "+err.Error(), 0)
+		return
+	}
+	sess := &clarify.Session{
+		Client:           s.opts.NewClient(),
+		Config:           cfg,
+		MaxAttempts:      req.MaxAttempts,
+		EnableReuse:      req.EnableReuse,
+		SkipVerification: req.SkipVerification,
+	}
+	sn, err := s.mgr.Create(sess)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error(), 0)
+		return
+	}
+	sn.setConfigText(cfg.Print())
+	writeJSON(w, http.StatusCreated, CreateSessionResponse{ID: sn.id})
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	sessions := s.mgr.List()
+	out := make([]SessionInfo, 0, len(sessions))
+	for _, sn := range sessions {
+		out = append(out, sn.info())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sn, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session", 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, sn.info())
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	if !s.mgr.Delete(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "no such session", 0)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleSubmit is the hot path: reserve the session, enqueue the pipeline on
+// the worker pool (shedding with 429 + Retry-After when the queue is full),
+// and either wait for completion (sync) or return the update ID (async).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining", 0)
+		return
+	}
+	sn, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session", 0)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error(), 0)
+		return
+	}
+	var req SubmitRequest
+	if err := decodeStrict(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: "+err.Error(), 0)
+		return
+	}
+	if req.Intent == "" || req.Target == "" {
+		writeError(w, http.StatusBadRequest, "intent and target are required", 0)
+		return
+	}
+	async := req.Async || r.URL.Query().Get("async") == "1"
+
+	oracle := newAsyncOracle(s.baseCtx, s.opts.QuestionTimeout)
+	u, err := sn.beginUpdate(oracle)
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error(), 0)
+		return
+	}
+	job := func() {
+		s.active.Add(1)
+		defer s.active.Add(-1)
+		u.setRunning()
+		cs := sn.sess
+		cs.RouteOracle = oracle
+		cs.ACLOracle = oracle
+		res, rerr := cs.Submit(s.baseCtx, req.Intent, req.Target)
+		if rerr == nil {
+			sn.setConfigText(res.Config.Print())
+		}
+		u.finish(res, rerr)
+		sn.endUpdate()
+	}
+	if !s.pool.TrySubmit(job) {
+		u.finish(nil, fmt.Errorf("rejected: submission queue full"))
+		sn.endUpdate()
+		writeError(w, http.StatusTooManyRequests, "submission queue full; retry later", 1)
+		return
+	}
+	if async {
+		writeJSON(w, http.StatusAccepted, u.info())
+		return
+	}
+	select {
+	case <-u.done:
+	case <-r.Context().Done():
+		// The client went away; the update keeps running and remains
+		// pollable at its update ID.
+	}
+	writeJSON(w, http.StatusOK, u.info())
+}
+
+func (s *Server) handleGetUpdate(w http.ResponseWriter, r *http.Request) {
+	sn, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session", 0)
+		return
+	}
+	u := sn.getUpdate(r.PathValue("uid"))
+	if u == nil {
+		writeError(w, http.StatusNotFound, "no such update", 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, u.info())
+}
+
+func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) {
+	sn, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session", 0)
+		return
+	}
+	resp := QuestionResponse{}
+	if oracle := sn.pendingOracle(); oracle != nil {
+		if q := oracle.Pending(); q != nil {
+			resp.Pending = true
+			resp.Question = q
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	sn, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session", 0)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error(), 0)
+		return
+	}
+	var req AnswerRequest
+	if err := decodeStrict(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: "+err.Error(), 0)
+		return
+	}
+	oracle := sn.pendingOracle()
+	if oracle == nil {
+		writeError(w, http.StatusConflict, "no update awaiting an answer", 0)
+		return
+	}
+	if err := oracle.Answer(req.Seq, req.Option); err != nil {
+		code := http.StatusConflict
+		if req.Option != 1 && req.Option != 2 {
+			code = http.StatusBadRequest
+		}
+		writeError(w, code, err.Error(), 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "answered"})
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	sn, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session", 0)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, sn.configText())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sn, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session", 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{Stats: sn.sess.Stats()})
+}
+
+// --- response helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string, retryAfter int) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	writeJSON(w, status, ErrorResponse{Error: msg, RetryAfterSeconds: retryAfter})
+}
