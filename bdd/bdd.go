@@ -10,11 +10,19 @@
 // Variables are identified by their level (0 is the topmost level in the
 // ordering). Node handles are plain int32 indices into the pool and are only
 // meaningful relative to the pool that produced them.
+//
+// Both the unique table and the ITE cache are open-addressed, linear-probed
+// hash tables sized to powers of two, growing at 3/4 load. The unique table
+// stores bare node handles and compares keys against the node array (handle 0
+// is the False terminal, which is never hash-consed, so 0 doubles as the
+// empty-slot sentinel); the ITE cache stores packed (f,g,h,result) quadruples
+// (f is never a terminal at the cache, so f==0 marks an empty slot).
 package bdd
 
 import (
 	"fmt"
 	"math/big"
+	"sort"
 )
 
 // Node is a handle to a BDD node within a Pool.
@@ -31,25 +39,44 @@ type node struct {
 	lo, hi Node  // cofactors for var=false / var=true
 }
 
-type nodeKey struct {
-	level  int32
-	lo, hi Node
-}
-
-type iteKey struct {
-	f, g, h Node
-}
-
 const terminalLevel = int32(1<<31 - 1)
+
+// hashTriple mixes a (level,lo,hi) or (f,g,h) key into a table index seed.
+// All three components are non-negative int32s, so the packing is injective
+// on the low 64 bits before mixing.
+func hashTriple(a, b, c int32) uint64 {
+	h := uint64(uint32(a))*0x9e3779b97f4a7c15 ^
+		uint64(uint32(b))*0xc2b2ae3d27d4eb4f ^
+		uint64(uint32(c))*0x165667b19e3779f9
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+// iteEntry is one memoized ITE result; f == 0 marks an empty slot.
+type iteEntry struct {
+	f, g, h, r Node
+}
 
 // Pool owns the node storage and operation caches for one BDD universe.
 // A Pool is not safe for concurrent use.
 type Pool struct {
-	nodes    []node
-	unique   map[nodeKey]Node
-	iteCache map[iteKey]Node
-	numVars  int
+	nodes []node
+
+	// unique is the open-addressed hash-consing table: slots hold node
+	// handles (0 = empty), keys live in the nodes array.
+	unique      []Node
+	uniqueCount int
+
+	// ite is the open-addressed operation cache.
+	ite      []iteEntry
+	iteCount int
+
+	numVars int
 }
+
+const initialTableSize = 1024 // power of two
 
 // NewPool creates a pool over numVars variables, levels 0..numVars-1.
 func NewPool(numVars int) *Pool {
@@ -57,10 +84,10 @@ func NewPool(numVars int) *Pool {
 		panic("bdd: negative variable count")
 	}
 	p := &Pool{
-		nodes:    make([]node, 2, 1024),
-		unique:   make(map[nodeKey]Node, 1024),
-		iteCache: make(map[iteKey]Node, 1024),
-		numVars:  numVars,
+		nodes:   make([]node, 2, 1024),
+		unique:  make([]Node, initialTableSize),
+		ite:     make([]iteEntry, initialTableSize),
+		numVars: numVars,
 	}
 	p.nodes[False] = node{level: terminalLevel}
 	p.nodes[True] = node{level: terminalLevel}
@@ -95,14 +122,45 @@ func (p *Pool) mk(level int32, lo, hi Node) Node {
 	if lo == hi {
 		return lo
 	}
-	k := nodeKey{level, lo, hi}
-	if n, ok := p.unique[k]; ok {
-		return n
+	mask := uint64(len(p.unique) - 1)
+	i := hashTriple(level, int32(lo), int32(hi)) & mask
+	for {
+		s := p.unique[i]
+		if s == 0 {
+			break
+		}
+		nd := &p.nodes[s]
+		if nd.level == level && nd.lo == lo && nd.hi == hi {
+			return s
+		}
+		i = (i + 1) & mask
 	}
 	n := Node(len(p.nodes))
 	p.nodes = append(p.nodes, node{level: level, lo: lo, hi: hi})
-	p.unique[k] = n
+	p.unique[i] = n
+	p.uniqueCount++
+	if p.uniqueCount*4 >= len(p.unique)*3 {
+		p.growUnique()
+	}
 	return n
+}
+
+// growUnique doubles the unique table and reinserts every live handle.
+func (p *Pool) growUnique() {
+	next := make([]Node, len(p.unique)*2)
+	mask := uint64(len(next) - 1)
+	for _, s := range p.unique {
+		if s == 0 {
+			continue
+		}
+		nd := &p.nodes[s]
+		i := hashTriple(nd.level, int32(nd.lo), int32(nd.hi)) & mask
+		for next[i] != 0 {
+			i = (i + 1) & mask
+		}
+		next[i] = s
+	}
+	p.unique = next
 }
 
 // Var returns the BDD for the single variable at the given level.
@@ -121,6 +179,52 @@ func (p *Pool) NVar(level int) Node {
 	return p.mk(int32(level), True, False)
 }
 
+// iteLookup probes the operation cache for (f,g,h).
+func (p *Pool) iteLookup(f, g, h Node) (Node, bool) {
+	mask := uint64(len(p.ite) - 1)
+	i := hashTriple(int32(f), int32(g), int32(h)) & mask
+	for {
+		e := &p.ite[i]
+		if e.f == 0 {
+			return 0, false
+		}
+		if e.f == f && e.g == g && e.h == h {
+			return e.r, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// iteInsert memoizes ITE(f,g,h) = r, growing the cache at 3/4 load.
+func (p *Pool) iteInsert(f, g, h, r Node) {
+	mask := uint64(len(p.ite) - 1)
+	i := hashTriple(int32(f), int32(g), int32(h)) & mask
+	for p.ite[i].f != 0 {
+		i = (i + 1) & mask
+	}
+	p.ite[i] = iteEntry{f: f, g: g, h: h, r: r}
+	p.iteCount++
+	if p.iteCount*4 >= len(p.ite)*3 {
+		p.growITE()
+	}
+}
+
+func (p *Pool) growITE() {
+	next := make([]iteEntry, len(p.ite)*2)
+	mask := uint64(len(next) - 1)
+	for _, e := range p.ite {
+		if e.f == 0 {
+			continue
+		}
+		i := hashTriple(int32(e.f), int32(e.g), int32(e.h)) & mask
+		for next[i].f != 0 {
+			i = (i + 1) & mask
+		}
+		next[i] = e
+	}
+	p.ite = next
+}
+
 // ITE computes if-then-else: f ? g : h.
 func (p *Pool) ITE(f, g, h Node) Node {
 	// Terminal cases.
@@ -134,8 +238,7 @@ func (p *Pool) ITE(f, g, h Node) Node {
 	case g == True && h == False:
 		return f
 	}
-	k := iteKey{f, g, h}
-	if r, ok := p.iteCache[k]; ok {
+	if r, ok := p.iteLookup(f, g, h); ok {
 		return r
 	}
 	top := p.level(f)
@@ -151,7 +254,7 @@ func (p *Pool) ITE(f, g, h Node) Node {
 	lo := p.ITE(f0, g0, h0)
 	hi := p.ITE(f1, g1, h1)
 	r := p.mk(top, lo, hi)
-	p.iteCache[k] = r
+	p.iteInsert(f, g, h, r)
 	return r
 }
 
@@ -208,22 +311,43 @@ func (p *Pool) OrN(ns ...Node) Node {
 	return r
 }
 
+// nodeMemo is a per-call memo table indexed by node handle. Results are
+// stored shifted by one so the zero value means "unset" and the make()
+// memclr replaces an explicit sentinel fill. Only nodes reachable from the
+// operation's input are memoized, and those all exist when the memo is
+// allocated, so handles created mid-operation never index the memo.
+type nodeMemo []Node
+
+func newNodeMemo(p *Pool) nodeMemo { return make(nodeMemo, len(p.nodes)) }
+
+func (m nodeMemo) get(n Node) (Node, bool) {
+	v := m[n]
+	if v == 0 {
+		return 0, false
+	}
+	return v - 1, true
+}
+
+func (m nodeMemo) put(n, r Node) { m[n] = r + 1 }
+
 // Exists existentially quantifies the variables whose levels are in vars.
 func (p *Pool) Exists(f Node, vars []int) Node {
-	if len(vars) == 0 {
+	if len(vars) == 0 || f == True || f == False {
 		return f
 	}
-	set := make(map[int32]bool, len(vars))
+	set := make([]bool, p.numVars)
 	for _, v := range vars {
-		set[int32(v)] = true
+		if v >= 0 && v < len(set) {
+			set[v] = true
+		}
 	}
-	memo := make(map[Node]Node)
+	memo := newNodeMemo(p)
 	var rec func(n Node) Node
 	rec = func(n Node) Node {
 		if n == True || n == False {
 			return n
 		}
-		if r, ok := memo[n]; ok {
+		if r, ok := memo.get(n); ok {
 			return r
 		}
 		nd := p.nodes[n]
@@ -235,7 +359,7 @@ func (p *Pool) Exists(f Node, vars []int) Node {
 		} else {
 			r = p.mk(nd.level, lo, hi)
 		}
-		memo[n] = r
+		memo.put(n, r)
 		return r
 	}
 	return rec(f)
@@ -244,34 +368,41 @@ func (p *Pool) Exists(f Node, vars []int) Node {
 // Restrict substitutes constant values for variables: assignment maps a
 // variable level to its value.
 func (p *Pool) Restrict(f Node, assignment map[int]bool) Node {
-	if len(assignment) == 0 {
+	if len(assignment) == 0 || f == True || f == False {
 		return f
 	}
-	set := make(map[int32]bool, len(assignment))
+	// values[level]: 0 unconstrained, 1 false, 2 true.
+	values := make([]uint8, p.numVars)
 	for v, b := range assignment {
-		set[int32(v)] = b
+		if v < 0 || v >= len(values) {
+			continue
+		}
+		if b {
+			values[v] = 2
+		} else {
+			values[v] = 1
+		}
 	}
-	memo := make(map[Node]Node)
+	memo := newNodeMemo(p)
 	var rec func(n Node) Node
 	rec = func(n Node) Node {
 		if n == True || n == False {
 			return n
 		}
-		if r, ok := memo[n]; ok {
+		if r, ok := memo.get(n); ok {
 			return r
 		}
 		nd := p.nodes[n]
 		var r Node
-		if b, ok := set[nd.level]; ok {
-			if b {
-				r = rec(nd.hi)
-			} else {
-				r = rec(nd.lo)
-			}
-		} else {
+		switch values[nd.level] {
+		case 2:
+			r = rec(nd.hi)
+		case 1:
+			r = rec(nd.lo)
+		default:
 			r = p.mk(nd.level, rec(nd.lo), rec(nd.hi))
 		}
-		memo[n] = r
+		memo.put(n, r)
 		return r
 	}
 	return rec(f)
@@ -317,7 +448,7 @@ func (p *Pool) AnySat(f Node) (assignment map[int]bool, ok bool) {
 // SatCount returns the number of total assignments over the pool's universe
 // satisfying f.
 func (p *Pool) SatCount(f Node) *big.Int {
-	memo := make(map[Node]*big.Int)
+	memo := make([]*big.Int, len(p.nodes))
 	var rec func(n Node) *big.Int // count over variables strictly below n's level
 	rec = func(n Node) *big.Int {
 		if n == False {
@@ -326,7 +457,7 @@ func (p *Pool) SatCount(f Node) *big.Int {
 		if n == True {
 			return big.NewInt(1)
 		}
-		if c, ok := memo[n]; ok {
+		if c := memo[n]; c != nil {
 			return c
 		}
 		nd := p.nodes[n]
@@ -393,8 +524,8 @@ func (p *Pool) AllSat(f Node, fn func(cube map[int]bool) bool) {
 
 // Support returns the sorted levels of the variables f depends on.
 func (p *Pool) Support(f Node) []int {
-	seen := make(map[Node]bool)
-	levels := make(map[int32]bool)
+	seen := make([]bool, len(p.nodes))
+	levels := make([]bool, p.numVars)
 	var rec func(n Node)
 	rec = func(n Node) {
 		if n == True || n == False || seen[n] {
@@ -407,18 +538,12 @@ func (p *Pool) Support(f Node) []int {
 		rec(nd.hi)
 	}
 	rec(f)
-	out := make([]int, 0, len(levels))
-	for l := range levels {
-		out = append(out, int(l))
-	}
-	sortInts(out)
-	return out
-}
-
-func sortInts(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j-1] > s[j]; j-- {
-			s[j-1], s[j] = s[j], s[j-1]
+	var out []int
+	for l, in := range levels {
+		if in {
+			out = append(out, l)
 		}
 	}
+	sort.Ints(out)
+	return out
 }

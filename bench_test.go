@@ -70,6 +70,38 @@ func BenchmarkPaperWalkthrough(b *testing.B) {
 	b.ReportMetric(float64(questions), "questions/update")
 }
 
+// BenchmarkRepeatedUpdates measures the steady state the daemon serves:
+// update after update against configurations whose regex/community universe
+// is unchanged. The cached variant shares one SpaceCache across updates
+// (as the server does), so every symbolic universe after the first is a
+// cache hit; the uncached variant rebuilds each universe from scratch.
+func BenchmarkRepeatedUpdates(b *testing.B) {
+	run := func(b *testing.B, cache *symbolic.SpaceCache) {
+		var hits, misses int64
+		for i := 0; i < b.N; i++ {
+			session := &clarify.Session{
+				Client: llm.NewSimLLM(),
+				Config: ios.MustParse(paperISPOut),
+				RouteOracle: disambig.FuncRouteOracle(func(disambig.RouteQuestion) (bool, error) {
+					return true, nil
+				}),
+				SpaceCache: cache,
+			}
+			if _, err := session.Submit(context.Background(), paperPrompt, "ISP_OUT"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if cache != nil {
+			st := cache.Stats()
+			hits, misses = st.Hits, st.Misses
+		}
+		b.ReportMetric(float64(hits), "space-hits")
+		b.ReportMetric(float64(misses), "space-misses")
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, nil) })
+	b.Run("cached", func(b *testing.B) { run(b, symbolic.NewSpaceCache()) })
+}
+
 // BenchmarkFigure2Insertion measures the disambiguator alone (Figure 2):
 // locating the insertion point of the verified snippet within ISP_OUT.
 func BenchmarkFigure2Insertion(b *testing.B) {

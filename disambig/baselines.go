@@ -46,18 +46,24 @@ func (s Strategy) String() string {
 // from the top, placing the new stanza immediately before the first overlap
 // the user assigns to it.
 func InsertRouteMapStanzaLinear(orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle) (*RouteResult, error) {
-	return insertWithSearch(orig, mapName, snippet, snippetMap, oracle, linearSearch)
+	return insertWithSearch(nil, orig, mapName, snippet, snippetMap, oracle, linearSearch)
 }
 
 // InsertRouteMapStanzaStrategy dispatches on strategy.
 func InsertRouteMapStanzaStrategy(strategy Strategy, orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle) (*RouteResult, error) {
+	return InsertRouteMapStanzaStrategyCached(strategy, nil, orig, mapName, snippet, snippetMap, oracle)
+}
+
+// InsertRouteMapStanzaStrategyCached dispatches on strategy, drawing the
+// symbolic universe from cache (which may be nil).
+func InsertRouteMapStanzaStrategyCached(strategy Strategy, cache *symbolic.SpaceCache, orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle) (*RouteResult, error) {
 	switch strategy {
 	case StrategyLinear:
-		return InsertRouteMapStanzaLinear(orig, mapName, snippet, snippetMap, oracle)
+		return insertWithSearch(cache, orig, mapName, snippet, snippetMap, oracle, linearSearch)
 	case StrategyTopBottom:
-		return InsertRouteMapStanzaTopBottom(orig, mapName, snippet, snippetMap, oracle)
+		return insertTopBottom(cache, orig, mapName, snippet, snippetMap, oracle)
 	default:
-		return InsertRouteMapStanza(orig, mapName, snippet, snippetMap, oracle)
+		return insertWithSearch(cache, orig, mapName, snippet, snippetMap, oracle, binarySearch)
 	}
 }
 
@@ -99,6 +105,10 @@ func binarySearch(probes []probeQ, oracle RouteOracle, record func(RouteQuestion
 // *neither* extreme consistently, the restriction simply cannot express the
 // intent — exactly the limitation §7 lists as future work.
 func InsertRouteMapStanzaTopBottom(orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle) (*RouteResult, error) {
+	return insertTopBottom(nil, orig, mapName, snippet, snippetMap, oracle)
+}
+
+func insertTopBottom(cache *symbolic.SpaceCache, orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle) (*RouteResult, error) {
 	prep, err := prepare(orig, mapName, snippet, snippetMap)
 	if err != nil {
 		return nil, err
@@ -110,10 +120,11 @@ func InsertRouteMapStanzaTopBottom(orig *ios.Config, mapName string, snippet *io
 	bottom := work.Clone()
 	bottom.RouteMaps[mapName].InsertStanza(len(rm.Stanzas), newStanza.Clone())
 
-	space, err := symbolic.NewRouteSpace(top, bottom)
+	space, err := cache.Acquire(top, bottom)
 	if err != nil {
 		return nil, err
 	}
+	defer cache.Release(space)
 	diffs, err := analysis.CompareRouteMaps(space, top, top.RouteMaps[mapName], bottom, bottom.RouteMaps[mapName], 1)
 	if err != nil {
 		return nil, err
@@ -192,14 +203,14 @@ func prepare(orig *ios.Config, mapName string, snippet *ios.Config, snippetMap s
 }
 
 // insertWithSearch is the generic flow parameterized by gap-search strategy.
-func insertWithSearch(orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle,
+func insertWithSearch(cache *symbolic.SpaceCache, orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle,
 	search func([]probeQ, RouteOracle, func(RouteQuestion)) (int, error)) (*RouteResult, error) {
 	prep, err := prepare(orig, mapName, snippet, snippetMap)
 	if err != nil {
 		return nil, err
 	}
 	work, rm, newStanza := prep.work, prep.rm, prep.stanza
-	probes, err := collectProbes(work, rm, newStanza)
+	probes, err := collectProbes(cache, work, rm, newStanza)
 	if err != nil {
 		return nil, err
 	}
@@ -228,16 +239,17 @@ func insertWithSearch(orig *ios.Config, mapName string, snippet *ios.Config, sni
 
 // collectProbes finds the distinguishing overlaps with a confirmed
 // differential example each.
-func collectProbes(work *ios.Config, rm *ios.RouteMap, newStanza *ios.Stanza) ([]probeQ, error) {
+func collectProbes(cache *symbolic.SpaceCache, work *ios.Config, rm *ios.RouteMap, newStanza *ios.Stanza) ([]probeQ, error) {
 	// The new stanza is not part of any route-map in work yet; wrap it in a
-	// throwaway config so NewRouteSpace collects its set-community literals
-	// into the atomic-predicate universe.
+	// throwaway config so the route-space construction collects its
+	// set-community literals into the atomic-predicate universe.
 	wrapper := ios.NewConfig()
 	wrapper.AddRouteMap("__NEW__").Stanzas = []*ios.Stanza{newStanza}
-	space, err := symbolic.NewRouteSpace(work, wrapper)
+	space, err := cache.Acquire(work, wrapper)
 	if err != nil {
 		return nil, err
 	}
+	defer cache.Release(space)
 	regions, err := space.FirstMatch(work, rm)
 	if err != nil {
 		return nil, err

@@ -97,16 +97,23 @@ type listProblem struct {
 // entry. Entries are considered in sequence-number order and renumbered
 // 10, 20, ... after insertion.
 func InsertPrefixListEntry(orig *ios.Config, listName string, entry ios.PrefixListEntry, oracle ListOracle) (*ListResult, error) {
+	return InsertPrefixListEntryCached(nil, orig, listName, entry, oracle)
+}
+
+// InsertPrefixListEntryCached is InsertPrefixListEntry drawing its symbolic
+// universe from cache (which may be nil).
+func InsertPrefixListEntryCached(cache *symbolic.SpaceCache, orig *ios.Config, listName string, entry ios.PrefixListEntry, oracle ListOracle) (*ListResult, error) {
 	work := orig.Clone()
 	l, ok := work.PrefixLists[listName]
 	if !ok {
 		return nil, fmt.Errorf("disambig: prefix-list %q not in configuration", listName)
 	}
 	sort.SliceStable(l.Entries, func(i, j int) bool { return l.Entries[i].Seq < l.Entries[j].Seq })
-	space, err := symbolic.NewRouteSpace(work)
+	space, err := cache.Acquire(work)
 	if err != nil {
 		return nil, err
 	}
+	defer cache.Release(space)
 	p := &listProblem{
 		kind:    KindPrefixList,
 		name:    listName,
@@ -133,6 +140,12 @@ func InsertPrefixListEntry(orig *ios.Config, listName string, entry ios.PrefixLi
 // InsertCommunityListEntry disambiguates the placement of a new
 // community-list entry (standard or expanded must match the target list).
 func InsertCommunityListEntry(orig *ios.Config, listName string, entry ios.CommunityListEntry, oracle ListOracle) (*ListResult, error) {
+	return InsertCommunityListEntryCached(nil, orig, listName, entry, oracle)
+}
+
+// InsertCommunityListEntryCached is InsertCommunityListEntry drawing its
+// symbolic universe from cache (which may be nil).
+func InsertCommunityListEntryCached(cache *symbolic.SpaceCache, orig *ios.Config, listName string, entry ios.CommunityListEntry, oracle ListOracle) (*ListResult, error) {
 	work := orig.Clone()
 	l, ok := work.CommunityLists[listName]
 	if !ok {
@@ -142,10 +155,11 @@ func InsertCommunityListEntry(orig *ios.Config, listName string, entry ios.Commu
 	// in a throwaway config.
 	wrapper := ios.NewConfig()
 	wrapper.AddCommunityList("__NEW__", l.Expanded, entry)
-	space, err := symbolic.NewRouteSpace(work, wrapper)
+	space, err := cache.Acquire(work, wrapper)
 	if err != nil {
 		return nil, err
 	}
+	defer cache.Release(space)
 	newPred, err := space.CommunityEntryPred(l.Expanded, entry)
 	if err != nil {
 		return nil, err
@@ -176,6 +190,12 @@ func InsertCommunityListEntry(orig *ios.Config, listName string, entry ios.Commu
 
 // InsertASPathEntry disambiguates the placement of a new as-path list entry.
 func InsertASPathEntry(orig *ios.Config, listName string, entry ios.ASPathEntry, oracle ListOracle) (*ListResult, error) {
+	return InsertASPathEntryCached(nil, orig, listName, entry, oracle)
+}
+
+// InsertASPathEntryCached is InsertASPathEntry drawing its symbolic universe
+// from cache (which may be nil).
+func InsertASPathEntryCached(cache *symbolic.SpaceCache, orig *ios.Config, listName string, entry ios.ASPathEntry, oracle ListOracle) (*ListResult, error) {
 	work := orig.Clone()
 	l, ok := work.ASPathLists[listName]
 	if !ok {
@@ -183,10 +203,11 @@ func InsertASPathEntry(orig *ios.Config, listName string, entry ios.ASPathEntry,
 	}
 	wrapper := ios.NewConfig()
 	wrapper.AddASPathList("__NEW__", entry)
-	space, err := symbolic.NewRouteSpace(work, wrapper)
+	space, err := cache.Acquire(work, wrapper)
 	if err != nil {
 		return nil, err
 	}
+	defer cache.Release(space)
 	newPred, err := space.ASPathEntryPred(entry)
 	if err != nil {
 		return nil, err

@@ -48,12 +48,13 @@ func (s *session) configText() string {
 type update struct {
 	id string
 
-	mu     sync.Mutex
-	status string
-	errMsg string
-	result *UpdateResultInfo
-	oracle *asyncOracle
-	done   chan struct{}
+	mu       sync.Mutex
+	status   string
+	errMsg   string
+	result   *UpdateResultInfo
+	oracle   *asyncOracle
+	finished bool
+	done     chan struct{}
 }
 
 func (u *update) info() UpdateInfo {
@@ -72,8 +73,16 @@ func (u *update) setRunning() {
 	u.mu.Unlock()
 }
 
+// finish records the terminal state and releases waiters. It is idempotent:
+// only the first call wins (a late second finisher — e.g. a shed submission
+// racing its own worker — must not double-close done or clobber the result).
 func (u *update) finish(res *clarify.UpdateResult, err error) {
 	u.mu.Lock()
+	if u.finished {
+		u.mu.Unlock()
+		return
+	}
+	u.finished = true
 	if err != nil {
 		u.status, u.errMsg = StatusFailed, err.Error()
 	} else {

@@ -1,0 +1,30 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/clarifynet/clarify"
+)
+
+// TestUpdateFinishIdempotent: finishing an update twice must neither panic
+// (double close of done) nor overwrite the first terminal state. Regression
+// test for the shed-submission/worker race on finish.
+func TestUpdateFinishIdempotent(t *testing.T) {
+	u := &update{id: "u1", status: StatusQueued, done: make(chan struct{})}
+	u.finish(nil, errors.New("queue full"))
+	// Second finish with a different outcome must be a no-op.
+	u.finish(&clarify.UpdateResult{}, nil)
+	select {
+	case <-u.done:
+	default:
+		t.Fatal("done channel not closed")
+	}
+	info := u.info()
+	if info.Status != StatusFailed || info.Error != "queue full" {
+		t.Errorf("second finish overwrote the first: %+v", info)
+	}
+	if info.Result != nil {
+		t.Errorf("second finish attached a result: %+v", info.Result)
+	}
+}

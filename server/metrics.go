@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/clarifynet/clarify/symbolic"
 )
 
 // latencyBuckets are the histogram upper bounds in milliseconds; the last
@@ -113,6 +115,9 @@ type MetricsSnapshot struct {
 	// Pipeline is the cumulative clarify.Stats over all sessions, including
 	// deleted and evicted ones.
 	Pipeline PipelineStats `json:"pipeline"`
+	// SpaceCache reports the shared symbolic route-space cache: hits avoid
+	// rebuilding a BDD universe from scratch.
+	SpaceCache symbolic.SpaceCacheStats `json:"spaceCache"`
 }
 
 // PipelineStats mirrors clarify.Stats with JSON tags.

@@ -14,6 +14,7 @@ import (
 	"github.com/clarifynet/clarify"
 	"github.com/clarifynet/clarify/ios"
 	"github.com/clarifynet/clarify/llm"
+	"github.com/clarifynet/clarify/symbolic"
 )
 
 // Options configures a Server. The zero value is usable: 4 workers, a
@@ -48,11 +49,12 @@ type Options struct {
 // implements http.Handler; wire it into an http.Server (or httptest) and
 // call Shutdown to drain.
 type Server struct {
-	opts Options
-	mux  *http.ServeMux
-	pool *pool
-	mgr  *manager
-	met  *metrics
+	opts   Options
+	mux    *http.ServeMux
+	pool   *pool
+	mgr    *manager
+	met    *metrics
+	spaces *symbolic.SpaceCache // shared across all hosted sessions
 
 	baseCtx  context.Context
 	cancel   context.CancelFunc
@@ -78,6 +80,7 @@ func New(opts Options) *Server {
 		pool:    newPool(opts.Workers, opts.QueueSize),
 		mgr:     newManager(opts.MaxSessions, opts.IdleTTL, opts.SweepInterval),
 		met:     newMetrics(),
+		spaces:  symbolic.NewSpaceCache(),
 		baseCtx: ctx,
 		cancel:  cancel,
 	}
@@ -171,6 +174,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Punts:           st.Punts,
 		Updates:         st.Updates,
 	}
+	snap.SpaceCache = s.spaces.Stats()
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -200,6 +204,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		MaxAttempts:      req.MaxAttempts,
 		EnableReuse:      req.EnableReuse,
 		SkipVerification: req.SkipVerification,
+		SpaceCache:       s.spaces,
 	}
 	sn, err := s.mgr.Create(sess)
 	if err != nil {

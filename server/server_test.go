@@ -166,6 +166,9 @@ func TestWalkthroughOverHTTP(t *testing.T) {
 	if m.Requests["POST /v1/sessions/{id}/updates"] == 0 {
 		t.Errorf("per-endpoint request counters missing: %+v", m.Requests)
 	}
+	if m.SpaceCache.Hits+m.SpaceCache.Misses == 0 {
+		t.Errorf("route-space cache counters missing from /metrics: %+v", m.SpaceCache)
+	}
 }
 
 // TestACLUpdateOverHTTP exercises the ACL pipeline and packet-witness

@@ -236,6 +236,15 @@ func (k ViolationKind) String() string {
 //
 // Returns nil when the snippet is behaviourally exactly the spec.
 func VerifyRouteMapSnippet(snippet *ios.Config, mapName string, s *RouteMapSpec) ([]Violation, error) {
+	return VerifyRouteMapSnippetCached(nil, snippet, mapName, s)
+}
+
+// VerifyRouteMapSnippetCached is VerifyRouteMapSnippet drawing its symbolic
+// universe from cache (which may be nil). Repeated verifications whose
+// snippet + spec regexes are unchanged — every synthesis retry, and every
+// re-verification of a reused intent — hit the cache and skip universe
+// construction entirely.
+func VerifyRouteMapSnippetCached(cache *symbolic.SpaceCache, snippet *ios.Config, mapName string, s *RouteMapSpec) ([]Violation, error) {
 	rm, ok := snippet.RouteMaps[mapName]
 	if !ok {
 		return nil, fmt.Errorf("spec: snippet lacks route-map %q", mapName)
@@ -247,10 +256,11 @@ func VerifyRouteMapSnippet(snippet *ios.Config, mapName string, s *RouteMapSpec)
 	if err != nil {
 		return nil, err
 	}
-	space, err := symbolic.NewRouteSpace(snippet, specCfg)
+	space, err := cache.Acquire(snippet, specCfg)
 	if err != nil {
 		return nil, err
 	}
+	defer cache.Release(space)
 	p := space.Pool
 	actualSt := rm.Stanzas[0]
 	expectSt := specRM.Stanzas[0]

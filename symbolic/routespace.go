@@ -12,6 +12,7 @@ package symbolic
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -52,20 +53,28 @@ type RouteSpace struct {
 	// exactly one AS-path atom inhabited.
 	Valid bdd.Node
 
-	cfgs []*ios.Config
+	// fp is the content fingerprint of the inputs that determined this
+	// universe; set by SpaceCache.Acquire so Release can file the space back.
+	fp string
 }
 
-// NewRouteSpace builds the route universe covering every as-path regex,
-// community regex and community literal appearing in the given configs.
-func NewRouteSpace(cfgs ...*ios.Config) (*RouteSpace, error) {
-	var pathPatterns, commPatterns []string
+// spacePatterns collects, in deterministic order, exactly the inputs that
+// determine a RouteSpace: every as-path regex, community regex and community
+// literal (including set-community literals) appearing in the given configs.
+// Two config sets with identical pattern sequences produce structurally
+// identical universes, which is what makes SpaceCache sound.
+//
+// Iteration over the config maps is order-sensitive, so patterns are gathered
+// per list in name-sorted order.
+func spacePatterns(cfgs []*ios.Config) (pathPatterns, commPatterns []string) {
 	for _, cfg := range cfgs {
-		for _, l := range cfg.ASPathLists {
-			for _, e := range l.Entries {
+		for _, name := range sortedKeys(cfg.ASPathLists) {
+			for _, e := range cfg.ASPathLists[name].Entries {
 				pathPatterns = append(pathPatterns, e.Regex)
 			}
 		}
-		for _, l := range cfg.CommunityLists {
+		for _, name := range sortedKeys(cfg.CommunityLists) {
+			l := cfg.CommunityLists[name]
 			for _, e := range l.Entries {
 				if l.Expanded {
 					commPatterns = append(commPatterns, e.Values[0])
@@ -78,8 +87,8 @@ func NewRouteSpace(cfgs ...*ios.Config) (*RouteSpace, error) {
 		}
 		// Set clauses introduce communities the comparison logic must be able
 		// to express exactly.
-		for _, rm := range cfg.RouteMaps {
-			for _, st := range rm.Stanzas {
+		for _, name := range sortedKeys(cfg.RouteMaps) {
+			for _, st := range cfg.RouteMaps[name].Stanzas {
 				for _, s := range st.Sets {
 					if sc, ok := s.(ios.SetCommunity); ok {
 						for _, lit := range sc.Communities {
@@ -90,6 +99,22 @@ func NewRouteSpace(cfgs ...*ios.Config) (*RouteSpace, error) {
 			}
 		}
 	}
+	return pathPatterns, commPatterns
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewRouteSpace builds the route universe covering every as-path regex,
+// community regex and community literal appearing in the given configs.
+func NewRouteSpace(cfgs ...*ios.Config) (*RouteSpace, error) {
+	pathPatterns, commPatterns := spacePatterns(cfgs)
 	pathU, err := atoms.Build(pathPatterns, ciscorx.CompilePath, ciscorx.ValidPath())
 	if err != nil {
 		return nil, err
@@ -99,7 +124,7 @@ func NewRouteSpace(cfgs ...*ios.Config) (*RouteSpace, error) {
 		return nil, err
 	}
 
-	s := &RouteSpace{pathAtoms: pathU, commAtoms: commU, cfgs: cfgs}
+	s := &RouteSpace{pathAtoms: pathU, commAtoms: commU}
 	off := 0
 	next := func(w int) int {
 		o := off
