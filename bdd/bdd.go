@@ -74,7 +74,48 @@ type Pool struct {
 	iteCount int
 
 	numVars int
+
+	stats Counters
 }
+
+// Counters is a snapshot of a pool's cumulative workload: how much symbolic
+// computation it has performed since creation. Snapshots taken before and
+// after an operation (see Sub) attribute BDD work to individual pipeline
+// stages in the obs span tracing.
+type Counters struct {
+	// ITECalls counts entries into ITE, including recursive ones — the
+	// engine's fundamental unit of work.
+	ITECalls int64 `json:"iteCalls"`
+	// UniqueHits counts hash-cons lookups that found an existing node.
+	UniqueHits int64 `json:"uniqueHits"`
+	// UniqueMisses counts nodes created (hash-cons lookups that missed).
+	UniqueMisses int64 `json:"uniqueMisses"`
+	// Growths counts unique-table and ITE-cache doublings.
+	Growths int64 `json:"growths"`
+}
+
+// Sub returns the counter deltas accumulated since the prev snapshot.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		ITECalls:     c.ITECalls - prev.ITECalls,
+		UniqueHits:   c.UniqueHits - prev.UniqueHits,
+		UniqueMisses: c.UniqueMisses - prev.UniqueMisses,
+		Growths:      c.Growths - prev.Growths,
+	}
+}
+
+// Add returns the element-wise sum of two snapshots.
+func (c Counters) Add(other Counters) Counters {
+	return Counters{
+		ITECalls:     c.ITECalls + other.ITECalls,
+		UniqueHits:   c.UniqueHits + other.UniqueHits,
+		UniqueMisses: c.UniqueMisses + other.UniqueMisses,
+		Growths:      c.Growths + other.Growths,
+	}
+}
+
+// Counters returns the pool's cumulative workload counters.
+func (p *Pool) Counters() Counters { return p.stats }
 
 const initialTableSize = 1024 // power of two
 
@@ -131,6 +172,7 @@ func (p *Pool) mk(level int32, lo, hi Node) Node {
 		}
 		nd := &p.nodes[s]
 		if nd.level == level && nd.lo == lo && nd.hi == hi {
+			p.stats.UniqueHits++
 			return s
 		}
 		i = (i + 1) & mask
@@ -139,6 +181,7 @@ func (p *Pool) mk(level int32, lo, hi Node) Node {
 	p.nodes = append(p.nodes, node{level: level, lo: lo, hi: hi})
 	p.unique[i] = n
 	p.uniqueCount++
+	p.stats.UniqueMisses++
 	if p.uniqueCount*4 >= len(p.unique)*3 {
 		p.growUnique()
 	}
@@ -147,6 +190,7 @@ func (p *Pool) mk(level int32, lo, hi Node) Node {
 
 // growUnique doubles the unique table and reinserts every live handle.
 func (p *Pool) growUnique() {
+	p.stats.Growths++
 	next := make([]Node, len(p.unique)*2)
 	mask := uint64(len(next) - 1)
 	for _, s := range p.unique {
@@ -210,6 +254,7 @@ func (p *Pool) iteInsert(f, g, h, r Node) {
 }
 
 func (p *Pool) growITE() {
+	p.stats.Growths++
 	next := make([]iteEntry, len(p.ite)*2)
 	mask := uint64(len(next) - 1)
 	for _, e := range p.ite {
@@ -227,6 +272,7 @@ func (p *Pool) growITE() {
 
 // ITE computes if-then-else: f ? g : h.
 func (p *Pool) ITE(f, g, h Node) Node {
+	p.stats.ITECalls++
 	// Terminal cases.
 	switch {
 	case f == True:

@@ -1,0 +1,74 @@
+package bdd
+
+import "testing"
+
+// TestCountersTrackWorkload checks that the pool's workload counters move
+// with the operations they name, and that Sub/Add give windowed deltas.
+func TestCountersTrackWorkload(t *testing.T) {
+	p := NewPool(8)
+	if c := p.Counters(); c != (Counters{}) {
+		t.Fatalf("fresh pool has non-zero counters: %+v", c)
+	}
+
+	a, b := p.Var(0), p.Var(1)
+	before := p.Counters()
+	x := p.And(a, b)
+	afterFirst := p.Counters()
+	d := afterFirst.Sub(before)
+	if d.ITECalls <= 0 {
+		t.Fatalf("And must go through ITE: delta %+v", d)
+	}
+	if d.UniqueMisses <= 0 {
+		t.Fatalf("a fresh conjunction builds at least one node: delta %+v", d)
+	}
+
+	// The identical operation replays from the caches: no new node builds.
+	y := p.And(a, b)
+	if y != x {
+		t.Fatal("identical operation must be canonical")
+	}
+	d2 := p.Counters().Sub(afterFirst)
+	if d2.UniqueMisses != 0 {
+		t.Fatalf("replayed operation must not build nodes: delta %+v", d2)
+	}
+	if d2.ITECalls <= 0 {
+		t.Fatalf("replayed operation still counts its ITE call: delta %+v", d2)
+	}
+
+	// Unique-table hits happen when mk rediscovers an existing node.
+	p.Or(a, b)
+	total := p.Counters()
+	if total.ITECalls < d.ITECalls+d2.ITECalls {
+		t.Fatalf("counters must be monotone: %+v", total)
+	}
+
+	sum := d.Add(d2)
+	if sum.ITECalls != d.ITECalls+d2.ITECalls || sum.UniqueMisses != d.UniqueMisses+d2.UniqueMisses {
+		t.Fatalf("Add is not componentwise: %+v", sum)
+	}
+}
+
+// TestCountersGrowth forces a unique-table growth and checks it registers.
+func TestCountersGrowth(t *testing.T) {
+	p := NewPool(24)
+	// Build well over initialTableSize distinct nodes (growth triggers at a
+	// 3/4 load factor) by accumulating pairwise conjunctions into a parity
+	// chain.
+	acc := p.Var(0)
+	for i := 1; i < 24; i++ {
+		acc = p.Xor(acc, p.Var(i))
+	}
+	for i := 0; i < 23; i++ {
+		for j := i + 1; j < 24; j++ {
+			acc = p.Or(acc, p.And(p.Var(i), p.Var(j)))
+		}
+	}
+	c := p.Counters()
+	if c.Growths <= 0 {
+		t.Fatalf("workload of %d misses must trigger growth past the initial %d-slot table: %+v",
+			c.UniqueMisses, initialTableSize, c)
+	}
+	if c.UniqueMisses < int64(p.Size()-2) {
+		t.Fatalf("every live node beyond the terminals was a miss once: %+v vs size %d", c, p.Size())
+	}
+}

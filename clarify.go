@@ -12,11 +12,13 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/clarifynet/clarify/disambig"
 	"github.com/clarifynet/clarify/intent"
 	"github.com/clarifynet/clarify/ios"
 	"github.com/clarifynet/clarify/llm"
+	"github.com/clarifynet/clarify/obs"
 	"github.com/clarifynet/clarify/spec"
 	"github.com/clarifynet/clarify/symbolic"
 )
@@ -61,8 +63,14 @@ type Session struct {
 	SpaceCache *symbolic.SpaceCache
 	// Trace, when non-nil, receives a line per pipeline step (classification
 	// outcome, synthesis attempts, verification feedback, disambiguation
-	// summary) — the workflow's observability hook.
+	// summary) — the workflow's legacy observability hook, preserved as a
+	// live rendering of the span tree's Logf events.
 	Trace io.Writer
+	// Observer, when non-nil, receives the completed obs.Trace for every
+	// Submit call, successful or not. When both Observer and Trace are nil
+	// no spans are created at all: every stage runs against a nil *obs.Span,
+	// whose methods are allocation-free no-ops.
+	Observer obs.Sink
 
 	mu    sync.Mutex
 	stats Stats
@@ -78,19 +86,21 @@ type reuseEntry struct {
 	name        string
 }
 
-// Stats aggregates the counters reported in the paper's Figure 4.
+// Stats aggregates the counters reported in the paper's Figure 4. The JSON
+// tags are the wire form used by the clarifyd /metrics and /sessions
+// endpoints.
 type Stats struct {
 	// LLMCalls counts completions requested (classification + synthesis +
 	// spec extraction + retries).
-	LLMCalls int
+	LLMCalls int `json:"llmCalls"`
 	// Disambiguations counts questions answered by the user.
-	Disambiguations int
+	Disambiguations int `json:"disambiguations"`
 	// Retries counts synthesis attempts beyond the first.
-	Retries int
+	Retries int `json:"retries"`
 	// Punts counts updates abandoned at the retry threshold.
-	Punts int
+	Punts int `json:"punts"`
 	// Updates counts successful insertions.
-	Updates int
+	Updates int `json:"updates"`
 }
 
 // Stats returns a snapshot of the session counters.
@@ -146,18 +156,48 @@ func (s *Session) maxAttempts() int {
 	return s.MaxAttempts
 }
 
-// tracef emits one trace line when tracing is enabled.
-func (s *Session) tracef(format string, args ...interface{}) {
-	if s.Trace != nil {
-		fmt.Fprintf(s.Trace, "clarify: "+format+"\n", args...)
+// beginTrace starts the span tree for one Submit call, or returns nil when
+// observability is disabled (Observer and Trace both nil) — every obs.Span
+// method no-ops on a nil receiver, so the disabled pipeline pays nothing.
+func (s *Session) beginTrace() *obs.Trace {
+	if s.Observer == nil && s.Trace == nil {
+		return nil
+	}
+	t := obs.NewTrace("update")
+	t.LineWriter = s.Trace
+	t.LinePrefix = "clarify: "
+	return t
+}
+
+// endTrace closes the trace, stamps a terminal error if any, and hands the
+// finished tree to the Observer. Safe on a nil trace.
+func (s *Session) endTrace(t *obs.Trace, errp *error) {
+	if t == nil {
+		return
+	}
+	if *errp != nil {
+		t.Root.SetStr("error", (*errp).Error())
+	}
+	t.Finish()
+	if s.Observer != nil {
+		s.Observer.TraceDone(t)
 	}
 }
 
-func (s *Session) complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+// complete issues one LLM call, charging its latency to sp and exposing sp
+// through the context so transport-level retries can annotate it.
+func (s *Session) complete(ctx context.Context, sp *obs.Span, req llm.Request) (llm.Response, error) {
 	s.mu.Lock()
 	s.stats.LLMCalls++
 	s.mu.Unlock()
-	return s.Client.Complete(ctx, req)
+	if sp == nil {
+		return s.Client.Complete(ctx, req)
+	}
+	ctx = obs.ContextWithSpan(ctx, sp)
+	start := time.Now()
+	resp, err := s.Client.Complete(ctx, req)
+	sp.SetDur("llm-ms", time.Since(start))
+	return resp, err
 }
 
 // Submit runs the full pipeline for one natural-language intent against the
@@ -165,38 +205,50 @@ func (s *Session) complete(ctx context.Context, req llm.Request) (llm.Response, 
 // concurrent use: each call works against a snapshot of the configuration
 // taken at entry and installs its result when it completes (last writer
 // wins, as with any concurrent updates against one config).
-func (s *Session) Submit(ctx context.Context, intentText, targetName string) (*UpdateResult, error) {
+func (s *Session) Submit(ctx context.Context, intentText, targetName string) (res *UpdateResult, err error) {
 	cfg := s.CurrentConfig()
 	if cfg == nil {
 		return nil, fmt.Errorf("clarify: session has no configuration")
+	}
+	tr := s.beginTrace()
+	defer s.endTrace(tr, &err)
+	var root *obs.Span
+	if tr != nil {
+		root = tr.Root
+		root.SetStr("target", targetName)
 	}
 	if s.EnableReuse {
 		s.mu.Lock()
 		entry := s.reuse[intentText]
 		s.mu.Unlock()
 		if entry != nil {
-			s.tracef("reusing verified snippet for identical intent (0 LLM calls)")
+			root.Logf("reusing verified snippet for identical intent (0 LLM calls)")
+			root.SetBool("reused", true)
 			switch entry.kind {
 			case intent.KindRouteMap:
-				return s.insertRouteSnippet(cfg, entry.snippet, entry.name, targetName, entry.snippetText, entry.specJSON, 0)
+				return s.insertRouteSnippet(root, cfg, entry.snippet, entry.name, targetName, entry.snippetText, entry.specJSON, 0)
 			case intent.KindACL:
-				return s.insertACLSnippet(cfg, entry.snippet, entry.name, targetName, entry.snippetText, entry.specJSON, 0)
+				return s.insertACLSnippet(root, cfg, entry.snippet, entry.name, targetName, entry.snippetText, entry.specJSON, 0)
 			}
 		}
 	}
 	// Step 1: classification call.
-	resp, err := s.complete(ctx, s.store().BuildRequest(llm.TaskClassify,
+	csp := root.Child("classify")
+	resp, err := s.complete(ctx, csp, s.store().BuildRequest(llm.TaskClassify,
 		llm.Message{Role: llm.RoleUser, Content: intentText}))
 	if err != nil {
+		csp.End()
 		return nil, fmt.Errorf("clarify: classification: %w", err)
 	}
 	kind := strings.TrimSpace(resp.Content)
-	s.tracef("classified intent as %s", kind)
+	csp.SetStr("kind", kind)
+	csp.End()
+	root.Logf("classified intent as %s", kind)
 	switch kind {
 	case "acl":
-		return s.submitACL(ctx, cfg, intentText, targetName)
+		return s.submitACL(ctx, root, cfg, intentText, targetName)
 	case "route-map":
-		return s.submitRouteMap(ctx, cfg, intentText, targetName)
+		return s.submitRouteMap(ctx, root, cfg, intentText, targetName)
 	default:
 		return nil, fmt.Errorf("clarify: classifier returned %q", kind)
 	}
@@ -204,13 +256,15 @@ func (s *Session) Submit(ctx context.Context, intentText, targetName string) (*U
 
 // submitRouteMap is the route-map pipeline: synthesize → spec → verify loop
 // → disambiguate. cfg is the configuration snapshot the update applies to.
-func (s *Session) submitRouteMap(ctx context.Context, cfg *ios.Config, intentText, mapName string) (*UpdateResult, error) {
+func (s *Session) submitRouteMap(ctx context.Context, root *obs.Span, cfg *ios.Config, intentText, mapName string) (*UpdateResult, error) {
 	store := s.store()
 
 	// Step 3 (second half): one spec-extraction call; the spec is stable
 	// across retries because it is derived from the unchanged intent.
-	specResp, err := s.complete(ctx, store.BuildRequest(llm.TaskSpecRouteMap,
+	ssp := root.Child("spec-extract")
+	specResp, err := s.complete(ctx, ssp, store.BuildRequest(llm.TaskSpecRouteMap,
 		llm.Message{Role: llm.RoleUser, Content: intentText}))
+	ssp.End()
 	if err != nil {
 		return nil, fmt.Errorf("clarify: spec extraction: %w", err)
 	}
@@ -228,6 +282,7 @@ func (s *Session) submitRouteMap(ctx context.Context, cfg *ios.Config, intentTex
 			s.mu.Lock()
 			s.stats.Punts++
 			s.mu.Unlock()
+			root.SetBool("punted", true)
 			return nil, ErrPunt
 		}
 		attempts++
@@ -236,24 +291,34 @@ func (s *Session) submitRouteMap(ctx context.Context, cfg *ios.Config, intentTex
 			s.stats.Retries++
 			s.mu.Unlock()
 		}
-		resp, err := s.complete(ctx, store.BuildRequest(llm.TaskSynthRouteMap, turns...))
+		asp := root.ChildN("synthesize-attempt", attempts)
+		asp.SetInt("attempt", int64(attempts))
+		resp, err := s.complete(ctx, asp, store.BuildRequest(llm.TaskSynthRouteMap, turns...))
 		if err != nil {
+			asp.End()
 			return nil, fmt.Errorf("clarify: synthesis: %w", err)
 		}
 		snippetText = resp.Content
 		feedback := ""
-		parsed, err := ios.Parse(snippetText)
-		if err != nil {
-			feedback = fmt.Sprintf("The previous output was not valid Cisco IOS syntax: %v.", err)
+		psp := asp.Child("parse")
+		parsed, perr := ios.Parse(snippetText)
+		psp.End()
+		if perr != nil {
+			feedback = fmt.Sprintf("The previous output was not valid Cisco IOS syntax: %v.", perr)
 		} else if name, err2 := soleRouteMap(parsed); err2 != nil {
 			feedback = fmt.Sprintf("The previous output was malformed: %v.", err2)
 		} else if err3 := parsed.Validate(); err3 != nil {
 			feedback = fmt.Sprintf("The previous output references undefined data structures: %v.", err3)
 		} else if !s.SkipVerification {
-			violations, err4 := spec.VerifyRouteMapSnippetCached(s.SpaceCache, parsed, name, rmSpec)
+			vsp := asp.Child("verify")
+			violations, err4 := spec.VerifyRouteMapSnippetTraced(s.SpaceCache, parsed, name, rmSpec, vsp)
 			if err4 != nil {
+				vsp.End()
+				asp.End()
 				return nil, fmt.Errorf("clarify: verification: %w", err4)
 			}
+			vsp.SetInt("violations", int64(len(violations)))
+			vsp.End()
 			if len(violations) > 0 {
 				feedback = "The previous stanza does not meet the specification: " + describeViolations(violations)
 			} else {
@@ -263,10 +328,14 @@ func (s *Session) submitRouteMap(ctx context.Context, cfg *ios.Config, intentTex
 			snippet, snippetMap = parsed, name
 		}
 		if snippet != nil {
-			s.tracef("attempt %d verified", attempts)
+			asp.SetBool("verified", true)
+			asp.End()
+			root.Logf("attempt %d verified", attempts)
 			break
 		}
-		s.tracef("attempt %d rejected: %s", attempts, feedback)
+		asp.SetStr("fault-feedback", feedback)
+		asp.End()
+		root.Logf("attempt %d rejected: %s", attempts, feedback)
 		turns = append(turns,
 			llm.Message{Role: llm.RoleAssistant, Content: snippetText},
 			llm.Message{Role: llm.RoleUser, Content: feedback + llm.FeedbackIntentMarker + intentText},
@@ -284,17 +353,24 @@ func (s *Session) submitRouteMap(ctx context.Context, cfg *ios.Config, intentTex
 		}
 		s.mu.Unlock()
 	}
-	return s.insertRouteSnippet(cfg, snippet, snippetMap, mapName, snippetText, specResp.Content, attempts)
+	root.SetInt("attempts", int64(attempts))
+	return s.insertRouteSnippet(root, cfg, snippet, snippetMap, mapName, snippetText, specResp.Content, attempts)
 }
 
 // insertRouteSnippet is step 6 for route maps: disambiguation and insertion
 // of an already-verified snippet into the cfg snapshot.
-func (s *Session) insertRouteSnippet(cfg, snippet *ios.Config, snippetMap, mapName, snippetText, specJSON string, attempts int) (*UpdateResult, error) {
-	res, err := disambig.InsertRouteMapStanzaStrategyCached(s.Strategy, s.SpaceCache, cfg, mapName, snippet, snippetMap, s.RouteOracle)
+func (s *Session) insertRouteSnippet(root *obs.Span, cfg, snippet *ios.Config, snippetMap, mapName, snippetText, specJSON string, attempts int) (*UpdateResult, error) {
+	dsp := root.Child("disambiguate")
+	res, err := disambig.InsertRouteMapStanzaStrategyTraced(s.Strategy, s.SpaceCache, cfg, mapName, snippet, snippetMap, s.RouteOracle, dsp)
 	if err != nil {
+		dsp.End()
 		return nil, err
 	}
-	s.tracef("disambiguated %s: %d distinguishing overlap(s), %d question(s), inserted at position %d",
+	dsp.SetInt("overlaps", int64(len(res.Overlaps)))
+	dsp.SetInt("questions", int64(len(res.Questions)))
+	dsp.SetInt("position", int64(res.Position))
+	dsp.End()
+	root.Logf("disambiguated %s: %d distinguishing overlap(s), %d question(s), inserted at position %d",
 		mapName, len(res.Overlaps), len(res.Questions), res.Position)
 	s.mu.Lock()
 	s.stats.Disambiguations += len(res.Questions)
@@ -313,10 +389,12 @@ func (s *Session) insertRouteSnippet(cfg, snippet *ios.Config, snippetMap, mapNa
 
 // submitACL is the ACL pipeline. cfg is the configuration snapshot the
 // update applies to.
-func (s *Session) submitACL(ctx context.Context, cfg *ios.Config, intentText, aclName string) (*UpdateResult, error) {
+func (s *Session) submitACL(ctx context.Context, root *obs.Span, cfg *ios.Config, intentText, aclName string) (*UpdateResult, error) {
 	store := s.store()
-	specResp, err := s.complete(ctx, store.BuildRequest(llm.TaskSpecACL,
+	ssp := root.Child("spec-extract")
+	specResp, err := s.complete(ctx, ssp, store.BuildRequest(llm.TaskSpecACL,
 		llm.Message{Role: llm.RoleUser, Content: intentText}))
+	ssp.End()
 	if err != nil {
 		return nil, fmt.Errorf("clarify: spec extraction: %w", err)
 	}
@@ -334,6 +412,7 @@ func (s *Session) submitACL(ctx context.Context, cfg *ios.Config, intentText, ac
 			s.mu.Lock()
 			s.stats.Punts++
 			s.mu.Unlock()
+			root.SetBool("punted", true)
 			return nil, ErrPunt
 		}
 		attempts++
@@ -342,22 +421,32 @@ func (s *Session) submitACL(ctx context.Context, cfg *ios.Config, intentText, ac
 			s.stats.Retries++
 			s.mu.Unlock()
 		}
-		resp, err := s.complete(ctx, store.BuildRequest(llm.TaskSynthACL, turns...))
+		asp := root.ChildN("synthesize-attempt", attempts)
+		asp.SetInt("attempt", int64(attempts))
+		resp, err := s.complete(ctx, asp, store.BuildRequest(llm.TaskSynthACL, turns...))
 		if err != nil {
+			asp.End()
 			return nil, fmt.Errorf("clarify: synthesis: %w", err)
 		}
 		snippetText = resp.Content
 		feedback := ""
-		parsed, err := ios.Parse(snippetText)
-		if err != nil {
-			feedback = fmt.Sprintf("The previous output was not valid Cisco IOS syntax: %v.", err)
+		psp := asp.Child("parse")
+		parsed, perr := ios.Parse(snippetText)
+		psp.End()
+		if perr != nil {
+			feedback = fmt.Sprintf("The previous output was not valid Cisco IOS syntax: %v.", perr)
 		} else if name, err2 := soleACL(parsed); err2 != nil {
 			feedback = fmt.Sprintf("The previous output was malformed: %v.", err2)
 		} else if !s.SkipVerification {
-			violations, err3 := spec.VerifyACLSnippet(parsed, name, aclSpec)
+			vsp := asp.Child("verify")
+			violations, err3 := spec.VerifyACLSnippetTraced(parsed, name, aclSpec, vsp)
 			if err3 != nil {
+				vsp.End()
+				asp.End()
 				return nil, fmt.Errorf("clarify: verification: %w", err3)
 			}
+			vsp.SetInt("violations", int64(len(violations)))
+			vsp.End()
 			if len(violations) > 0 {
 				feedback = "The previous entry does not meet the specification: " + describeViolations(violations)
 			} else {
@@ -367,10 +456,14 @@ func (s *Session) submitACL(ctx context.Context, cfg *ios.Config, intentText, ac
 			snippet, snippetACL = parsed, name
 		}
 		if snippet != nil {
-			s.tracef("attempt %d verified", attempts)
+			asp.SetBool("verified", true)
+			asp.End()
+			root.Logf("attempt %d verified", attempts)
 			break
 		}
-		s.tracef("attempt %d rejected: %s", attempts, feedback)
+		asp.SetStr("fault-feedback", feedback)
+		asp.End()
+		root.Logf("attempt %d rejected: %s", attempts, feedback)
 		turns = append(turns,
 			llm.Message{Role: llm.RoleAssistant, Content: snippetText},
 			llm.Message{Role: llm.RoleUser, Content: feedback + llm.FeedbackIntentMarker + intentText},
@@ -388,17 +481,24 @@ func (s *Session) submitACL(ctx context.Context, cfg *ios.Config, intentText, ac
 		}
 		s.mu.Unlock()
 	}
-	return s.insertACLSnippet(cfg, snippet, snippetACL, aclName, snippetText, specResp.Content, attempts)
+	root.SetInt("attempts", int64(attempts))
+	return s.insertACLSnippet(root, cfg, snippet, snippetACL, aclName, snippetText, specResp.Content, attempts)
 }
 
 // insertACLSnippet is step 6 for ACLs, against the cfg snapshot. (ACL spaces
 // are fixed-shape and cheap to build, so no symbolic cache is involved.)
-func (s *Session) insertACLSnippet(cfg, snippet *ios.Config, snippetACL, aclName, snippetText, specJSON string, attempts int) (*UpdateResult, error) {
-	res, err := disambig.InsertACLEntry(cfg, aclName, snippet, snippetACL, s.ACLOracle)
+func (s *Session) insertACLSnippet(root *obs.Span, cfg, snippet *ios.Config, snippetACL, aclName, snippetText, specJSON string, attempts int) (*UpdateResult, error) {
+	dsp := root.Child("disambiguate")
+	res, err := disambig.InsertACLEntryTraced(cfg, aclName, snippet, snippetACL, s.ACLOracle, dsp)
 	if err != nil {
+		dsp.End()
 		return nil, err
 	}
-	s.tracef("disambiguated %s: %d distinguishing overlap(s), %d question(s), inserted at position %d",
+	dsp.SetInt("overlaps", int64(len(res.Overlaps)))
+	dsp.SetInt("questions", int64(len(res.Questions)))
+	dsp.SetInt("position", int64(res.Position))
+	dsp.End()
+	root.Logf("disambiguated %s: %d distinguishing overlap(s), %d question(s), inserted at position %d",
 		aclName, len(res.Overlaps), len(res.Questions), res.Position)
 	s.mu.Lock()
 	s.stats.Disambiguations += len(res.Questions)

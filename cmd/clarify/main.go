@@ -30,8 +30,27 @@ import (
 	"github.com/clarifynet/clarify/disambig"
 	"github.com/clarifynet/clarify/ios"
 	"github.com/clarifynet/clarify/llm"
+	"github.com/clarifynet/clarify/obs"
 	"github.com/clarifynet/clarify/server"
 )
+
+// cliOptions collects the in-process run's configuration.
+type cliOptions struct {
+	configPath string
+	target     string
+	llmKind    string
+	baseURL    string
+	model      string
+	outPath    string
+	// trace receives the legacy line-per-step rendering (-v).
+	trace io.Writer
+	// traceJSON, when non-empty, is a file that receives one JSON span tree
+	// per update (JSONL).
+	traceJSON string
+	// simFaults is a comma-separated fault plan for the simulated LLM, e.g.
+	// "wrong-value,syntax" — each synthesis call consumes one entry.
+	simFaults string
+}
 
 func main() {
 	var (
@@ -42,6 +61,8 @@ func main() {
 		model      = flag.String("model", "gpt-4", "model identifier (http backend)")
 		outPath    = flag.String("o", "", "write the updated configuration here (default: stdout)")
 		remote     = flag.String("remote", "", "drive a running clarifyd at this base URL instead of an in-process session")
+		traceJSON  = flag.String("trace-json", "", "append one JSON span tree per update to this file")
+		simFaults  = flag.String("sim-faults", "", "comma-separated fault plan for the sim LLM (wrong-value, widen-mask, drop-match, flip-action, syntax, none)")
 		verbose    = flag.Bool("v", false, "trace pipeline steps to stderr")
 	)
 	flag.Parse()
@@ -57,7 +78,17 @@ func main() {
 	if *remote != "" {
 		err = runRemote(*remote, *configPath, *target, *outPath, os.Stdin, os.Stdout)
 	} else {
-		err = run(*configPath, *target, *llmKind, *baseURL, *model, *outPath, os.Stdin, os.Stdout, trace)
+		err = run(cliOptions{
+			configPath: *configPath,
+			target:     *target,
+			llmKind:    *llmKind,
+			baseURL:    *baseURL,
+			model:      *model,
+			outPath:    *outPath,
+			trace:      trace,
+			traceJSON:  *traceJSON,
+			simFaults:  *simFaults,
+		}, os.Stdin, os.Stdout)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clarify:", err)
@@ -65,8 +96,30 @@ func main() {
 	}
 }
 
-func run(configPath, target, llmKind, baseURL, model, outPath string, stdin io.Reader, out io.Writer, trace io.Writer) error {
-	data, err := os.ReadFile(configPath)
+// parseFaults turns a comma-separated plan ("wrong-value,syntax") into the
+// simulator's fault sequence.
+func parseFaults(plan string) ([]llm.Fault, error) {
+	if strings.TrimSpace(plan) == "" {
+		return nil, nil
+	}
+	byName := map[string]llm.Fault{}
+	for _, f := range []llm.Fault{llm.FaultNone, llm.FaultWrongValue, llm.FaultWidenMask,
+		llm.FaultDropMatch, llm.FaultFlipAction, llm.FaultSyntax} {
+		byName[f.String()] = f
+	}
+	var out []llm.Fault
+	for _, name := range strings.Split(plan, ",") {
+		f, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown fault %q in -sim-faults", strings.TrimSpace(name))
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func run(opts cliOptions, stdin io.Reader, out io.Writer) error {
+	data, err := os.ReadFile(opts.configPath)
 	if err != nil {
 		return err
 	}
@@ -74,15 +127,29 @@ func run(configPath, target, llmKind, baseURL, model, outPath string, stdin io.R
 	if err != nil {
 		return err
 	}
+	faults, err := parseFaults(opts.simFaults)
+	if err != nil {
+		return err
+	}
 
 	var client llm.Client
-	switch llmKind {
+	switch opts.llmKind {
 	case "sim":
-		client = llm.NewSimLLM()
+		client = llm.NewSimLLM(faults...)
 	case "http":
-		client = &llm.HTTPClient{BaseURL: baseURL, Model: model, APIKey: os.Getenv("CLARIFY_API_KEY")}
+		client = &llm.HTTPClient{BaseURL: opts.baseURL, Model: opts.model, APIKey: os.Getenv("CLARIFY_API_KEY")}
 	default:
-		return fmt.Errorf("unknown -llm backend %q", llmKind)
+		return fmt.Errorf("unknown -llm backend %q", opts.llmKind)
+	}
+
+	var observer obs.Sink
+	if opts.traceJSON != "" {
+		f, err := os.OpenFile(opts.traceJSON, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		observer = obs.NewJSONWriter(f)
 	}
 
 	in := bufio.NewScanner(stdin)
@@ -92,7 +159,8 @@ func run(configPath, target, llmKind, baseURL, model, outPath string, stdin io.R
 		Config:      cfg,
 		RouteOracle: oracle,
 		ACLOracle:   oracle,
-		Trace:       trace,
+		Trace:       opts.trace,
+		Observer:    observer,
 	}
 
 	fmt.Fprintln(out, "Enter one intent per line (empty line to finish):")
@@ -105,7 +173,7 @@ func run(configPath, target, llmKind, baseURL, model, outPath string, stdin io.R
 		if text == "" {
 			break
 		}
-		res, err := session.Submit(context.Background(), text, target)
+		res, err := session.Submit(context.Background(), text, opts.target)
 		if err != nil {
 			fmt.Fprintln(out, "  error:", err)
 			continue
@@ -120,20 +188,25 @@ func run(configPath, target, llmKind, baseURL, model, outPath string, stdin io.R
 			fmt.Fprintf(out, "Inserted at position %d after %d question(s).\n\n",
 				res.ACLInsert.Position, len(res.ACLInsert.Questions))
 		}
+		if opts.trace != nil {
+			st := session.Stats()
+			fmt.Fprintf(opts.trace, "clarify: stats so far: %d LLM calls, %d disambiguations, %d retries, %d punts, %d updates\n",
+				st.LLMCalls, st.Disambiguations, st.Retries, st.Punts, st.Updates)
+		}
 	}
 
 	final := session.Config.Print()
-	if outPath != "" {
-		if err := os.WriteFile(outPath, []byte(final), 0o644); err != nil {
+	if opts.outPath != "" {
+		if err := os.WriteFile(opts.outPath, []byte(final), 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "Updated configuration written to %s\n", outPath)
+		fmt.Fprintf(out, "Updated configuration written to %s\n", opts.outPath)
 	} else {
 		fmt.Fprintf(out, "\nFinal configuration:\n%s", final)
 	}
 	st := session.Stats()
-	fmt.Fprintf(out, "\nSession: %d LLM calls, %d disambiguation questions, %d retries, %d updates\n",
-		st.LLMCalls, st.Disambiguations, st.Retries, st.Updates)
+	fmt.Fprintf(out, "\nSession: %d LLM calls, %d disambiguation questions, %d retries, %d punts, %d updates\n",
+		st.LLMCalls, st.Disambiguations, st.Retries, st.Punts, st.Updates)
 	return nil
 }
 
@@ -246,8 +319,8 @@ func runRemote(remoteURL, configPath, target, outPath string, stdin io.Reader, o
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "\nSession: %d LLM calls, %d disambiguation questions, %d retries, %d updates\n",
-		st.LLMCalls, st.Disambiguations, st.Retries, st.Updates)
+	fmt.Fprintf(out, "\nSession: %d LLM calls, %d disambiguation questions, %d retries, %d punts, %d updates\n",
+		st.LLMCalls, st.Disambiguations, st.Retries, st.Punts, st.Updates)
 	return nil
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/clarifynet/clarify/obs"
 	"github.com/clarifynet/clarify/server"
 )
 
@@ -42,7 +44,7 @@ func TestInteractiveSession(t *testing.T) {
 	}, "\n") + "\n"
 
 	var out strings.Builder
-	err := run(cfgPath, "ISP_OUT", "sim", "", "", outPath, strings.NewReader(script), &out, &out)
+	err := run(cliOptions{configPath: cfgPath, target: "ISP_OUT", llmKind: "sim", outPath: outPath, trace: &out}, strings.NewReader(script), &out)
 	if err != nil {
 		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
 	}
@@ -82,7 +84,7 @@ func TestInteractiveSessionAnswerValidation(t *testing.T) {
 		"",
 	}, "\n") + "\n"
 	var out strings.Builder
-	if err := run(cfgPath, "ISP_OUT", "sim", "", "", "", strings.NewReader(script), &out, nil); err != nil {
+	if err := run(cliOptions{configPath: cfgPath, target: "ISP_OUT", llmKind: "sim"}, strings.NewReader(script), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Please answer 1") {
@@ -146,18 +148,98 @@ func TestRemoteSession(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run("/nonexistent.cfg", "X", "sim", "", "", "", strings.NewReader(""), &out, nil); err == nil {
+	if err := run(cliOptions{configPath: "/nonexistent.cfg", target: "X", llmKind: "sim"}, strings.NewReader(""), &out); err == nil {
 		t.Error("missing config file should fail")
 	}
 	dir := t.TempDir()
 	cfgPath := filepath.Join(dir, "bad.cfg")
 	_ = os.WriteFile(cfgPath, []byte("frobnicate\n"), 0o644)
-	if err := run(cfgPath, "X", "sim", "", "", "", strings.NewReader(""), &out, nil); err == nil {
+	if err := run(cliOptions{configPath: cfgPath, target: "X", llmKind: "sim"}, strings.NewReader(""), &out); err == nil {
 		t.Error("unparseable config should fail")
 	}
 	good := filepath.Join(dir, "good.cfg")
 	_ = os.WriteFile(good, []byte(testConfig), 0o644)
-	if err := run(good, "ISP_OUT", "martian", "", "", "", strings.NewReader(""), &out, nil); err == nil {
+	if err := run(cliOptions{configPath: good, target: "ISP_OUT", llmKind: "martian"}, strings.NewReader(""), &out); err == nil {
 		t.Error("unknown backend should fail")
+	}
+}
+
+// TestTraceJSON replays the paper walkthrough with one injected synthesis
+// fault and checks the emitted span tree: a single trace whose stages cover
+// classification, two synthesis attempts (the first rejected by the
+// verifier), verification, and disambiguation, all with non-zero durations
+// and BDD workload counters attributed to the symbolic stages.
+func TestTraceJSON(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "isp.cfg")
+	if err := os.WriteFile(cfgPath, []byte(testConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "trace.jsonl")
+
+	script := strings.Join([]string{
+		"Write a route-map stanza that permits routes containing the prefix 100.0.0.0/16 with mask length less than or equal to 23 and tagged with the community 300:3. Their MED value should be set to 55.",
+		"1",
+		"1",
+		"",
+	}, "\n") + "\n"
+
+	var out strings.Builder
+	err := run(cliOptions{
+		configPath: cfgPath, target: "ISP_OUT", llmKind: "sim",
+		traceJSON: tracePath, simFaults: "wrong-value",
+	}, strings.NewReader(script), &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly 1 trace line, got %d", len(lines))
+	}
+	var tr obs.Trace
+	if err := json.Unmarshal([]byte(lines[0]), &tr); err != nil {
+		t.Fatalf("trace line is not valid JSON: %v", err)
+	}
+	if tr.ID == "" || tr.Root == nil || tr.Root.Name != "update" {
+		t.Fatalf("malformed trace root: %+v", tr)
+	}
+
+	spans := map[string]*obs.Span{}
+	tr.Walk(func(sp *obs.Span, _ int) { spans[sp.Name] = sp })
+	for _, name := range []string{"classify", "synthesize-attempt-1", "synthesize-attempt-2", "verify", "disambiguate", "question-wait", "insert"} {
+		sp, ok := spans[name]
+		if !ok {
+			t.Errorf("trace missing span %q", name)
+			continue
+		}
+		if sp.Duration <= 0 {
+			t.Errorf("span %q has non-positive duration %v", name, sp.Duration)
+		}
+	}
+	if t.Failed() {
+		t.Logf("trace:\n%s", lines[0])
+		t.FailNow()
+	}
+	if a, ok := spans["synthesize-attempt-1"].Attr("fault-feedback"); !ok || a.Str == "" {
+		t.Error("first attempt should carry the verifier's fault feedback")
+	}
+	if _, ok := spans["synthesize-attempt-2"].Attr("verified"); !ok {
+		t.Error("second attempt should be marked verified")
+	}
+	// The verify and disambiguate stages do symbolic work: their BDD
+	// counters must be attributed.
+	for _, name := range []string{"verify", "disambiguate"} {
+		a, ok := spans[name].Attr("bdd-ite-calls")
+		if !ok || a.Int <= 0 {
+			t.Errorf("span %q missing positive bdd-ite-calls counter (got %+v, ok=%v)", name, a, ok)
+		}
+	}
+	if a, ok := spans["classify"].Attr("llm-ms"); !ok || a.Dur <= 0 {
+		t.Errorf("classify span missing llm-ms latency (got %+v, ok=%v)", a, ok)
 	}
 }

@@ -20,7 +20,14 @@
 //	GET    /v1/sessions/{id}/config         current configuration text
 //	GET    /v1/sessions/{id}/stats          per-session pipeline counters
 //	GET    /healthz                         liveness (503 while draining)
-//	GET    /metrics                         expvar-style JSON metrics
+//	GET    /metrics                         JSON metrics (?format=prometheus
+//	                                        for text exposition)
+//	GET    /debug/traces                    recent pipeline traces
+//	GET    /debug/traces/{id}               one trace's full span tree
+//	GET    /debug/pprof/...                 Go profiler (with -pprof)
+//
+// Logs are structured (log/slog), text by default; -log-format json switches
+// to JSON lines for machine ingestion.
 //
 // With -llm sim (the default) every session uses the deterministic simulated
 // LLM; with -llm http, sessions share an OpenAI-compatible endpoint
@@ -33,8 +40,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,19 +65,38 @@ func main() {
 		baseURL         = flag.String("base-url", "https://api.openai.com/v1", "OpenAI-compatible API root (http backend)")
 		model           = flag.String("model", "gpt-4", "model identifier (http backend)")
 		retries         = flag.Int("llm-retries", 3, "HTTP LLM retry budget for 429/5xx (http backend)")
+		traceBuf        = flag.Int("trace-buffer", server.DefaultTraceBufferSize, "recent traces retained for /debug/traces")
+		logFormat       = flag.String("log-format", "text", "log output format: text or json")
+		pprofOn         = flag.Bool("pprof", false, "expose the Go profiler at /debug/pprof/")
 		quiet           = flag.Bool("quiet", false, "disable request logging")
 	)
 	flag.Parse()
 	if err := run(*addr, *workers, *queue, *maxSessions, *idleTTL, *questionTimeout,
-		*drainTimeout, *llmKind, *baseURL, *model, *retries, *quiet); err != nil {
+		*drainTimeout, *llmKind, *baseURL, *model, *retries, *traceBuf, *logFormat, *pprofOn, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "clarifyd:", err)
 		os.Exit(1)
 	}
 }
 
+// newLogger builds the process-wide structured logger.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
 func run(addr string, workers, queue, maxSessions int, idleTTL, questionTimeout,
-	drainTimeout time.Duration, llmKind, baseURL, model string, retries int, quiet bool) error {
-	logger := log.New(os.Stderr, "clarifyd: ", log.LstdFlags|log.Lmicroseconds)
+	drainTimeout time.Duration, llmKind, baseURL, model string, retries, traceBuf int,
+	logFormat string, pprofOn, quiet bool) error {
+	logger, err := newLogger(logFormat)
+	if err != nil {
+		return err
+	}
 
 	var newClient func() llm.Client
 	switch llmKind {
@@ -96,21 +123,38 @@ func run(addr string, workers, queue, maxSessions int, idleTTL, questionTimeout,
 		IdleTTL:         idleTTL,
 		QuestionTimeout: questionTimeout,
 		NewClient:       newClient,
+		TraceBufferSize: traceBuf,
 	}
 	if !quiet {
-		opts.Logger = logger
+		// The server's per-request log line flows through the structured
+		// logger at info level.
+		opts.Logger = slog.NewLogLogger(logger.Handler(), slog.LevelInfo)
 	}
 	srv := server.New(opts)
 
+	handler := http.Handler(srv)
+	if pprofOn {
+		// Mount the profiler next to the API. The API mux never registers
+		// /debug/pprof/, so the wrapper only diverts profiler traffic.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+	}
+
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (%d workers, llm=%s)", addr, workers, llmKind)
+		logger.Info("listening", "addr", addr, "workers", workers, "llm", llmKind, "pprof", pprofOn)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -120,7 +164,7 @@ func run(addr string, workers, queue, maxSessions int, idleTTL, questionTimeout,
 	case err := <-errCh:
 		return err
 	case sig := <-sigCh:
-		logger.Printf("received %s; draining (budget %s)", sig, drainTimeout)
+		logger.Info("draining", "signal", sig.String(), "budget", drainTimeout.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
@@ -129,12 +173,12 @@ func run(addr string, workers, queue, maxSessions int, idleTTL, questionTimeout,
 	// the worker pool; Shutdown force-cancels parked questions once the
 	// budget expires.
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		logger.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown", "err", err)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
-		logger.Printf("drain incomplete: %v (in-flight updates cancelled)", err)
+		logger.Warn("drain incomplete; in-flight updates cancelled", "err", err)
 	} else {
-		logger.Printf("drained cleanly")
+		logger.Info("drained cleanly")
 	}
 	return nil
 }

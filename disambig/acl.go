@@ -5,6 +5,7 @@ import (
 
 	"github.com/clarifynet/clarify/bdd"
 	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/obs"
 	"github.com/clarifynet/clarify/policy"
 	"github.com/clarifynet/clarify/symbolic"
 )
@@ -21,6 +22,15 @@ type ACLResult struct {
 // entries whose first-match regions intersect the new entry with a different
 // action, binary-search the insertion gap, insert and renumber.
 func InsertACLEntry(orig *ios.Config, aclName string, snippet *ios.Config, snippetACL string, oracle ACLOracle) (*ACLResult, error) {
+	return insertACLEntry(orig, aclName, snippet, snippetACL, oracle, nil)
+}
+
+// insertACLEntry is the shared implementation, charging the symbolic work
+// and oracle waits to sp (which may be nil).
+func insertACLEntry(orig *ios.Config, aclName string, snippet *ios.Config, snippetACL string, oracle ACLOracle, sp *obs.Span) (*ACLResult, error) {
+	if sp != nil {
+		oracle = &tracedACLOracle{oracle: oracle, sp: sp}
+	}
 	if _, ok := orig.ACLs[aclName]; !ok {
 		return nil, fmt.Errorf("disambig: ACL %q not in configuration", aclName)
 	}
@@ -36,6 +46,7 @@ func InsertACLEntry(orig *ios.Config, aclName string, snippet *ios.Config, snipp
 	newEntry := snipACL.Entries[0].Clone()
 
 	space := symbolic.NewACLSpace()
+	defer space.ObserveInto(sp, space.Pool.Counters())
 	regions := space.FirstMatch(acl)
 	predNew := space.ACEPred(newEntry)
 
@@ -93,7 +104,10 @@ func InsertACLEntry(orig *ios.Config, aclName string, snippet *ios.Config, snipp
 	if lo > 0 {
 		pos = probes[lo-1].entry + 1
 	}
+	insSp := sp.Child("insert")
 	acl.InsertEntry(pos, newEntry)
+	insSp.SetInt("position", int64(pos))
+	insSp.End()
 	result.Config = work
 	result.Position = pos
 	return result, nil

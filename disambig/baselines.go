@@ -5,6 +5,7 @@ import (
 
 	"github.com/clarifynet/clarify/analysis"
 	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/obs"
 	"github.com/clarifynet/clarify/policy"
 	"github.com/clarifynet/clarify/symbolic"
 )
@@ -46,7 +47,7 @@ func (s Strategy) String() string {
 // from the top, placing the new stanza immediately before the first overlap
 // the user assigns to it.
 func InsertRouteMapStanzaLinear(orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle) (*RouteResult, error) {
-	return insertWithSearch(nil, orig, mapName, snippet, snippetMap, oracle, linearSearch)
+	return insertWithSearch(nil, nil, orig, mapName, snippet, snippetMap, oracle, linearSearch)
 }
 
 // InsertRouteMapStanzaStrategy dispatches on strategy.
@@ -57,14 +58,7 @@ func InsertRouteMapStanzaStrategy(strategy Strategy, orig *ios.Config, mapName s
 // InsertRouteMapStanzaStrategyCached dispatches on strategy, drawing the
 // symbolic universe from cache (which may be nil).
 func InsertRouteMapStanzaStrategyCached(strategy Strategy, cache *symbolic.SpaceCache, orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle) (*RouteResult, error) {
-	switch strategy {
-	case StrategyLinear:
-		return insertWithSearch(cache, orig, mapName, snippet, snippetMap, oracle, linearSearch)
-	case StrategyTopBottom:
-		return insertTopBottom(cache, orig, mapName, snippet, snippetMap, oracle)
-	default:
-		return insertWithSearch(cache, orig, mapName, snippet, snippetMap, oracle, binarySearch)
-	}
+	return InsertRouteMapStanzaStrategyTraced(strategy, cache, orig, mapName, snippet, snippetMap, oracle, nil)
 }
 
 func linearSearch(probes []probeQ, oracle RouteOracle, record func(RouteQuestion)) (int, error) {
@@ -105,10 +99,13 @@ func binarySearch(probes []probeQ, oracle RouteOracle, record func(RouteQuestion
 // *neither* extreme consistently, the restriction simply cannot express the
 // intent — exactly the limitation §7 lists as future work.
 func InsertRouteMapStanzaTopBottom(orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle) (*RouteResult, error) {
-	return insertTopBottom(nil, orig, mapName, snippet, snippetMap, oracle)
+	return insertTopBottom(nil, nil, orig, mapName, snippet, snippetMap, oracle)
 }
 
-func insertTopBottom(cache *symbolic.SpaceCache, orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle) (*RouteResult, error) {
+func insertTopBottom(cache *symbolic.SpaceCache, sp *obs.Span, orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle) (*RouteResult, error) {
+	if sp != nil {
+		oracle = &tracedRouteOracle{oracle: oracle, sp: sp}
+	}
 	prep, err := prepare(orig, mapName, snippet, snippetMap)
 	if err != nil {
 		return nil, err
@@ -125,6 +122,7 @@ func insertTopBottom(cache *symbolic.SpaceCache, orig *ios.Config, mapName strin
 		return nil, err
 	}
 	defer cache.Release(space)
+	defer space.ObserveInto(sp, space.Pool.Counters())
 	diffs, err := analysis.CompareRouteMaps(space, top, top.RouteMaps[mapName], bottom, bottom.RouteMaps[mapName], 1)
 	if err != nil {
 		return nil, err
@@ -203,14 +201,17 @@ func prepare(orig *ios.Config, mapName string, snippet *ios.Config, snippetMap s
 }
 
 // insertWithSearch is the generic flow parameterized by gap-search strategy.
-func insertWithSearch(cache *symbolic.SpaceCache, orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle,
+func insertWithSearch(cache *symbolic.SpaceCache, sp *obs.Span, orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle,
 	search func([]probeQ, RouteOracle, func(RouteQuestion)) (int, error)) (*RouteResult, error) {
+	if sp != nil {
+		oracle = &tracedRouteOracle{oracle: oracle, sp: sp}
+	}
 	prep, err := prepare(orig, mapName, snippet, snippetMap)
 	if err != nil {
 		return nil, err
 	}
 	work, rm, newStanza := prep.work, prep.rm, prep.stanza
-	probes, err := collectProbes(cache, work, rm, newStanza)
+	probes, err := collectProbes(cache, sp, work, rm, newStanza)
 	if err != nil {
 		return nil, err
 	}
@@ -228,18 +229,22 @@ func insertWithSearch(cache *symbolic.SpaceCache, orig *ios.Config, mapName stri
 	if gap > 0 {
 		pos = probes[gap-1].stanza + 1
 	}
+	insSp := sp.Child("insert")
 	rm.InsertStanza(pos, newStanza)
 	if err := work.Validate(); err != nil {
+		insSp.End()
 		return nil, fmt.Errorf("disambig: post-insertion validation: %w", err)
 	}
+	insSp.SetInt("position", int64(pos))
+	insSp.End()
 	result.Config = work
 	result.Position = pos
 	return result, nil
 }
 
 // collectProbes finds the distinguishing overlaps with a confirmed
-// differential example each.
-func collectProbes(cache *symbolic.SpaceCache, work *ios.Config, rm *ios.RouteMap, newStanza *ios.Stanza) ([]probeQ, error) {
+// differential example each, charging the symbolic work to sp.
+func collectProbes(cache *symbolic.SpaceCache, sp *obs.Span, work *ios.Config, rm *ios.RouteMap, newStanza *ios.Stanza) ([]probeQ, error) {
 	// The new stanza is not part of any route-map in work yet; wrap it in a
 	// throwaway config so the route-space construction collects its
 	// set-community literals into the atomic-predicate universe.
@@ -250,6 +255,7 @@ func collectProbes(cache *symbolic.SpaceCache, work *ios.Config, rm *ios.RouteMa
 		return nil, err
 	}
 	defer cache.Release(space)
+	defer space.ObserveInto(sp, space.Pool.Counters())
 	regions, err := space.FirstMatch(work, rm)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,59 @@
+package disambig
+
+import (
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/obs"
+	"github.com/clarifynet/clarify/symbolic"
+)
+
+// InsertRouteMapStanzaStrategyTraced is InsertRouteMapStanzaStrategyCached
+// recording the disambiguation workload under sp (which may be nil): BDD
+// counters for the overlap analysis, one "question-wait" child span per
+// oracle round trip, and an "insert" child span for the final placement.
+func InsertRouteMapStanzaStrategyTraced(strategy Strategy, cache *symbolic.SpaceCache, orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle, sp *obs.Span) (*RouteResult, error) {
+	switch strategy {
+	case StrategyLinear:
+		return insertWithSearch(cache, sp, orig, mapName, snippet, snippetMap, oracle, linearSearch)
+	case StrategyTopBottom:
+		return insertTopBottom(cache, sp, orig, mapName, snippet, snippetMap, oracle)
+	default:
+		return insertWithSearch(cache, sp, orig, mapName, snippet, snippetMap, oracle, binarySearch)
+	}
+}
+
+// InsertACLEntryTraced is InsertACLEntry recording the disambiguation
+// workload under sp (which may be nil).
+func InsertACLEntryTraced(orig *ios.Config, aclName string, snippet *ios.Config, snippetACL string, oracle ACLOracle, sp *obs.Span) (*ACLResult, error) {
+	return insertACLEntry(orig, aclName, snippet, snippetACL, oracle, sp)
+}
+
+// tracedRouteOracle times each oracle round trip as a "question-wait" child
+// span — for the daemon's async oracle this is the operator's think time.
+type tracedRouteOracle struct {
+	oracle RouteOracle
+	sp     *obs.Span
+}
+
+func (o *tracedRouteOracle) ChooseRoute(q RouteQuestion) (bool, error) {
+	qsp := o.sp.Child("question-wait")
+	qsp.SetInt("probed-stanza", int64(q.ProbedStanza))
+	preferNew, err := o.oracle.ChooseRoute(q)
+	qsp.SetBool("prefer-new", preferNew)
+	qsp.End()
+	return preferNew, err
+}
+
+// tracedACLOracle is tracedRouteOracle for ACL questions.
+type tracedACLOracle struct {
+	oracle ACLOracle
+	sp     *obs.Span
+}
+
+func (o *tracedACLOracle) ChooseACL(q ACLQuestion) (bool, error) {
+	qsp := o.sp.Child("question-wait")
+	qsp.SetInt("probed-entry", int64(q.ProbedEntry))
+	preferNew, err := o.oracle.ChooseACL(q)
+	qsp.SetBool("prefer-new", preferNew)
+	qsp.End()
+	return preferNew, err
+}

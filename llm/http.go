@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"github.com/clarifynet/clarify/obs"
 )
 
 // HTTPClient talks to an OpenAI-compatible chat-completions endpoint
@@ -77,14 +79,26 @@ func (c *HTTPClient) Complete(ctx context.Context, req Request) (Response, error
 	if err != nil {
 		return Response{}, fmt.Errorf("llm: marshal request: %w", err)
 	}
+	sp := obs.SpanFromContext(ctx)
 	var lastErr error
+	var totalBackoff time.Duration
 	for attempt := 0; ; attempt++ {
 		resp, err := c.doOnce(ctx, body)
 		if err == nil {
+			if attempt > 0 {
+				sp.SetInt("llm-retries", int64(attempt))
+				sp.SetDur("llm-backoff", totalBackoff)
+			}
 			return resp, nil
 		}
 		rerr, retryable := err.(*retryableError)
 		if !retryable || attempt >= c.MaxRetries {
+			if attempt > 0 {
+				sp.SetInt("llm-retries", int64(attempt))
+				sp.SetDur("llm-backoff", totalBackoff)
+				err = fmt.Errorf("llm: giving up after %d attempt(s) and %s of backoff: %w",
+					attempt+1, totalBackoff.Round(time.Millisecond), err)
+			}
 			return Response{}, err
 		}
 		lastErr = err
@@ -93,9 +107,12 @@ func (c *HTTPClient) Complete(ctx context.Context, req Request) (Response, error
 			delay = rerr.retryAfter
 		}
 		if err := sleepCtx(ctx, delay); err != nil {
+			sp.SetInt("llm-retries", int64(attempt))
+			sp.SetDur("llm-backoff", totalBackoff)
 			return Response{}, fmt.Errorf("llm: giving up after %d attempt(s): %w (last error: %v)",
 				attempt+1, err, lastErr)
 		}
+		totalBackoff += delay
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"github.com/clarifynet/clarify/intent"
 	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/obs"
 )
 
 // Fault is one kind of realistic LLM synthesis error the simulator can
@@ -95,10 +96,12 @@ func (s *SimLLM) nextFault() Fault {
 }
 
 // Complete implements Client.
-func (s *SimLLM) Complete(_ context.Context, req Request) (Response, error) {
+func (s *SimLLM) Complete(ctx context.Context, req Request) (Response, error) {
 	s.mu.Lock()
 	s.calls[req.Task]++
 	s.mu.Unlock()
+	sp := obs.SpanFromContext(ctx)
+	sp.SetStr("llm-task", req.Task.String())
 
 	userText := lastUserMessage(req.Messages)
 	switch req.Task {
@@ -113,6 +116,9 @@ func (s *SimLLM) Complete(_ context.Context, req Request) (Response, error) {
 		s.mu.Lock()
 		fault := s.nextFault()
 		s.mu.Unlock()
+		if fault != FaultNone {
+			sp.SetStr("sim-fault", fault.String())
+		}
 		if fault == FaultSyntax {
 			return Response{Content: "route-map BROKEN permit\n match ip address prefix-list\n"}, nil
 		}
@@ -128,6 +134,9 @@ func (s *SimLLM) Complete(_ context.Context, req Request) (Response, error) {
 		s.mu.Lock()
 		fault := s.nextFault()
 		s.mu.Unlock()
+		if fault != FaultNone {
+			sp.SetStr("sim-fault", fault.String())
+		}
 		if fault == FaultSyntax {
 			return Response{Content: "ip access-list extended BROKEN\n permit tcp\n"}, nil
 		}

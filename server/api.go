@@ -73,6 +73,9 @@ type UpdateInfo struct {
 	ID     string `json:"id"`
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
+	// TraceID identifies the pipeline trace recorded for this update; fetch
+	// its span tree at GET /debug/traces/{traceID} while retained.
+	TraceID string `json:"traceId,omitempty"`
 	// Result is set once Status is "done".
 	Result *UpdateResultInfo `json:"result,omitempty"`
 }

@@ -51,6 +51,7 @@ type update struct {
 	mu       sync.Mutex
 	status   string
 	errMsg   string
+	traceID  string
 	result   *UpdateResultInfo
 	oracle   *asyncOracle
 	finished bool
@@ -64,7 +65,15 @@ func (u *update) info() UpdateInfo {
 	if status == StatusRunning && u.oracle != nil && u.oracle.Pending() != nil {
 		status = StatusWaiting
 	}
-	return UpdateInfo{ID: u.id, Status: status, Error: u.errMsg, Result: u.result}
+	return UpdateInfo{ID: u.id, Status: status, Error: u.errMsg, TraceID: u.traceID, Result: u.result}
+}
+
+// setTrace stamps the pipeline trace recorded for this update; the trace's
+// span tree is retrievable at GET /debug/traces/{traceID} while retained.
+func (u *update) setTrace(id string) {
+	u.mu.Lock()
+	u.traceID = id
+	u.mu.Unlock()
 }
 
 func (u *update) setRunning() {

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"time"
 
+	"github.com/clarifynet/clarify"
+	"github.com/clarifynet/clarify/obs"
 	"github.com/clarifynet/clarify/symbolic"
 )
 
@@ -50,6 +52,7 @@ type metrics struct {
 	requests map[string]int64
 	statuses map[int]int64
 	latency  map[string]*histogram
+	stages   map[string]*histogram // pipeline stage durations from completed traces
 	inFlight int64
 	rejected int64 // 429 backpressure rejections
 }
@@ -59,7 +62,28 @@ func newMetrics() *metrics {
 		requests: map[string]int64{},
 		statuses: map[int]int64{},
 		latency:  map[string]*histogram{},
+		stages:   map[string]*histogram{},
 	}
+}
+
+// observeTrace folds one completed span tree into the per-stage latency
+// histograms, aggregating numbered spans (synthesize-attempt-2, ...) under
+// their canonical stage name.
+func (m *metrics) observeTrace(t *obs.Trace) {
+	if t == nil || t.Root == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t.Walk(func(sp *obs.Span, _ int) {
+		stage := obs.CanonicalStage(sp.Name)
+		h := m.stages[stage]
+		if h == nil {
+			h = newHistogram()
+			m.stages[stage] = h
+		}
+		h.observe(sp.Duration)
+	})
 }
 
 // begin records an arriving request and returns the completion callback.
@@ -114,19 +138,17 @@ type MetricsSnapshot struct {
 	EvictedSessions int64 `json:"evictedSessions"`
 	// Pipeline is the cumulative clarify.Stats over all sessions, including
 	// deleted and evicted ones.
-	Pipeline PipelineStats `json:"pipeline"`
+	Pipeline clarify.Stats `json:"pipeline"`
 	// SpaceCache reports the shared symbolic route-space cache: hits avoid
 	// rebuilding a BDD universe from scratch.
 	SpaceCache symbolic.SpaceCacheStats `json:"spaceCache"`
-}
-
-// PipelineStats mirrors clarify.Stats with JSON tags.
-type PipelineStats struct {
-	LLMCalls        int `json:"llmCalls"`
-	Disambiguations int `json:"disambiguations"`
-	Retries         int `json:"retries"`
-	Punts           int `json:"punts"`
-	Updates         int `json:"updates"`
+	// StagesMs holds one duration histogram per pipeline stage (classify,
+	// synthesize-attempt, verify, disambiguate, ...), built from completed
+	// traces.
+	StagesMs map[string]HistogramSnapshot `json:"stagesMs"`
+	// Traces counts completed traces recorded since start (the debug ring
+	// retains only the most recent).
+	Traces int64 `json:"traces"`
 }
 
 // snapshot copies the counters; pool/session fields are filled by the server.
@@ -137,6 +159,7 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		Requests:  make(map[string]int64, len(m.requests)),
 		Statuses:  make(map[int]int64, len(m.statuses)),
 		LatencyMs: make(map[string]HistogramSnapshot, len(m.latency)),
+		StagesMs:  make(map[string]HistogramSnapshot, len(m.stages)),
 		InFlight:  m.inFlight,
 		Rejected:  m.rejected,
 	}
@@ -147,16 +170,24 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		out.Statuses[k] = v
 	}
 	for k, h := range m.latency {
-		snap := HistogramSnapshot{
-			BucketsMs: latencyBuckets,
-			Counts:    append([]int64(nil), h.counts...),
-			Count:     h.n,
-			SumMs:     h.sumMs,
-		}
-		if h.n > 0 {
-			snap.MeanMs = h.sumMs / float64(h.n)
-		}
-		out.LatencyMs[k] = snap
+		out.LatencyMs[k] = h.snapshot()
+	}
+	for k, h := range m.stages {
+		out.StagesMs[k] = h.snapshot()
 	}
 	return out
+}
+
+// snapshot copies one histogram; callers hold the metrics mutex.
+func (h *histogram) snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		BucketsMs: latencyBuckets,
+		Counts:    append([]int64(nil), h.counts...),
+		Count:     h.n,
+		SumMs:     h.sumMs,
+	}
+	if h.n > 0 {
+		snap.MeanMs = h.sumMs / float64(h.n)
+	}
+	return snap
 }

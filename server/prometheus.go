@@ -1,0 +1,131 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// writePrometheus renders a MetricsSnapshot in the Prometheus text exposition
+// format (version 0.0.4). Durations are exposed in milliseconds, matching the
+// JSON view; metric names carry the _ms suffix so the unit is explicit.
+func writePrometheus(w io.Writer, snap MetricsSnapshot) {
+	writeHeader(w, "clarifyd_requests_total", "counter", "HTTP requests received per endpoint pattern.")
+	for _, k := range sortedKeys(snap.Requests) {
+		fmt.Fprintf(w, "clarifyd_requests_total{endpoint=%s} %d\n", quoteLabel(k), snap.Requests[k])
+	}
+
+	writeHeader(w, "clarifyd_responses_total", "counter", "HTTP responses sent per status code.")
+	codes := make([]int, 0, len(snap.Statuses))
+	for c := range snap.Statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "clarifyd_responses_total{code=\"%d\"} %d\n", c, snap.Statuses[c])
+	}
+
+	writeGauge(w, "clarifyd_in_flight_requests", "HTTP requests currently being served.", float64(snap.InFlight))
+	writeCounter(w, "clarifyd_rejected_total", "Submissions shed with 429 backpressure.", float64(snap.Rejected))
+	writeGauge(w, "clarifyd_queue_depth", "Updates waiting for a worker.", float64(snap.QueueDepth))
+	writeGauge(w, "clarifyd_queue_capacity", "Bounded submission queue size.", float64(snap.QueueCapacity))
+	writeGauge(w, "clarifyd_workers", "Worker pool size.", float64(snap.Workers))
+	writeGauge(w, "clarifyd_active_updates", "Updates executing or parked on a question.", float64(snap.ActiveUpdates))
+	writeGauge(w, "clarifyd_sessions", "Live sessions.", float64(snap.Sessions))
+	writeCounter(w, "clarifyd_evicted_sessions_total", "Sessions removed by TTL eviction.", float64(snap.EvictedSessions))
+	writeCounter(w, "clarifyd_traces_total", "Completed pipeline traces recorded.", float64(snap.Traces))
+
+	writeCounter(w, "clarifyd_pipeline_llm_calls_total", "LLM completions requested across all sessions.", float64(snap.Pipeline.LLMCalls))
+	writeCounter(w, "clarifyd_pipeline_disambiguations_total", "Disambiguation questions answered.", float64(snap.Pipeline.Disambiguations))
+	writeCounter(w, "clarifyd_pipeline_retries_total", "Synthesis attempts beyond the first.", float64(snap.Pipeline.Retries))
+	writeCounter(w, "clarifyd_pipeline_punts_total", "Updates abandoned at the retry threshold.", float64(snap.Pipeline.Punts))
+	writeCounter(w, "clarifyd_pipeline_updates_total", "Successful insertions.", float64(snap.Pipeline.Updates))
+
+	writeCounter(w, "clarifyd_space_cache_hits_total", "Symbolic route-space cache hits.", float64(snap.SpaceCache.Hits))
+	writeCounter(w, "clarifyd_space_cache_misses_total", "Symbolic route-space cache misses (universe rebuilds).", float64(snap.SpaceCache.Misses))
+	writeGauge(w, "clarifyd_space_cache_idle", "Symbolic route spaces parked in the cache.", float64(snap.SpaceCache.Idle))
+
+	writeHeader(w, "clarifyd_request_duration_ms", "histogram", "HTTP request latency per endpoint pattern, in milliseconds.")
+	for _, k := range sortedHistKeys(snap.LatencyMs) {
+		writeHistogram(w, "clarifyd_request_duration_ms", "endpoint", k, snap.LatencyMs[k])
+	}
+
+	writeHeader(w, "clarifyd_stage_duration_ms", "histogram", "Pipeline stage latency from completed traces, in milliseconds.")
+	for _, k := range sortedHistKeys(snap.StagesMs) {
+		writeHistogram(w, "clarifyd_stage_duration_ms", "stage", k, snap.StagesMs[k])
+	}
+}
+
+func writeHeader(w io.Writer, name, kind, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
+func writeCounter(w io.Writer, name, help string, v float64) {
+	writeHeader(w, name, "counter", help)
+	fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+}
+
+func writeGauge(w io.Writer, name, help string, v float64) {
+	writeHeader(w, name, "gauge", help)
+	fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+}
+
+// writeHistogram renders one labelled histogram series: cumulative le
+// buckets, an explicit +Inf bucket, then _sum and _count.
+func writeHistogram(w io.Writer, name, labelKey, labelVal string, h HistogramSnapshot) {
+	label := labelKey + "=" + quoteLabel(labelVal)
+	var cum int64
+	for i, ub := range h.BucketsMs {
+		cum += h.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s,le=%s} %d\n", name, label, quoteLabel(formatFloat(ub)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, h.Count)
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, label, formatFloat(h.SumMs))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, h.Count)
+}
+
+// formatFloat renders a sample value the way Prometheus expects: no
+// exponent for typical magnitudes, no trailing zeros.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// quoteLabel escapes a label value per the exposition format.
+func quoteLabel(v string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedHistKeys(m map[string]HistogramSnapshot) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/clarifynet/clarify"
 	"github.com/clarifynet/clarify/ios"
 	"github.com/clarifynet/clarify/llm"
+	"github.com/clarifynet/clarify/obs"
 	"github.com/clarifynet/clarify/symbolic"
 )
 
@@ -43,6 +44,9 @@ type Options struct {
 	Logger *log.Logger
 	// MaxConfigBytes bounds uploaded configurations (default 4 MiB).
 	MaxConfigBytes int64
+	// TraceBufferSize bounds the /debug/traces ring of recent completed
+	// traces (default DefaultTraceBufferSize).
+	TraceBufferSize int
 }
 
 // Server hosts concurrent clarify.Sessions behind a JSON HTTP API. It
@@ -54,6 +58,7 @@ type Server struct {
 	pool   *pool
 	mgr    *manager
 	met    *metrics
+	traces *traceRing
 	spaces *symbolic.SpaceCache // shared across all hosted sessions
 
 	baseCtx  context.Context
@@ -80,6 +85,7 @@ func New(opts Options) *Server {
 		pool:    newPool(opts.Workers, opts.QueueSize),
 		mgr:     newManager(opts.MaxSessions, opts.IdleTTL, opts.SweepInterval),
 		met:     newMetrics(),
+		traces:  newTraceRing(opts.TraceBufferSize),
 		spaces:  symbolic.NewSpaceCache(),
 		baseCtx: ctx,
 		cancel:  cancel,
@@ -96,6 +102,8 @@ func New(opts Options) *Server {
 	s.route("POST /v1/sessions/{id}/answer", s.handleAnswer)
 	s.route("GET /v1/sessions/{id}/config", s.handleConfig)
 	s.route("GET /v1/sessions/{id}/stats", s.handleStats)
+	s.route("GET /debug/traces", s.handleDebugTraces)
+	s.route("GET /debug/traces/{tid}", s.handleDebugTrace)
 	return s
 }
 
@@ -166,15 +174,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.ActiveUpdates = s.active.Load()
 	snap.Sessions = s.mgr.Len()
 	snap.EvictedSessions = s.mgr.Evicted()
-	st := s.mgr.CumulativeStats()
-	snap.Pipeline = PipelineStats{
-		LLMCalls:        st.LLMCalls,
-		Disambiguations: st.Disambiguations,
-		Retries:         st.Retries,
-		Punts:           st.Punts,
-		Updates:         st.Updates,
-	}
+	snap.Pipeline = s.mgr.CumulativeStats()
 	snap.SpaceCache = s.spaces.Stats()
+	snap.Traces = s.traces.Total()
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, snap)
+		return
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -283,6 +290,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		cs := sn.sess
 		cs.RouteOracle = oracle
 		cs.ACLOracle = oracle
+		// Per-update sink: stamps the trace ID onto the update record, feeds
+		// the per-stage histograms, and retains the trace for /debug/traces.
+		// Updates are serialized per session, so reassigning the observer
+		// here is as safe as the oracle assignment above.
+		cs.Observer = obs.SinkFunc(func(t *obs.Trace) {
+			u.setTrace(t.ID)
+			s.met.observeTrace(t)
+			s.traces.Add(t)
+		})
 		res, rerr := cs.Submit(s.baseCtx, req.Intent, req.Target)
 		if rerr == nil {
 			sn.setConfigText(res.Config.Print())

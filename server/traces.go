@@ -1,0 +1,126 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+
+	"github.com/clarifynet/clarify/obs"
+)
+
+// DefaultTraceBufferSize is the debug ring's capacity when
+// Options.TraceBufferSize is zero.
+const DefaultTraceBufferSize = 256
+
+// traceRing retains the most recent completed traces for the /debug/traces
+// endpoints. It is a fixed-size ring: the oldest trace is evicted (and
+// becomes unresolvable by ID) when a new one arrives at capacity.
+type traceRing struct {
+	mu    sync.Mutex
+	buf   []*obs.Trace // circular, len == capacity
+	next  int          // slot the next trace lands in
+	byID  map[string]*obs.Trace
+	total int64 // traces ever recorded
+}
+
+func newTraceRing(capacity int) *traceRing {
+	if capacity <= 0 {
+		capacity = DefaultTraceBufferSize
+	}
+	return &traceRing{
+		buf:  make([]*obs.Trace, capacity),
+		byID: map[string]*obs.Trace{},
+	}
+}
+
+// Add records a completed trace, evicting the oldest at capacity.
+func (r *traceRing) Add(t *obs.Trace) {
+	if t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old := r.buf[r.next]; old != nil {
+		delete(r.byID, old.ID)
+	}
+	r.buf[r.next] = t
+	r.byID[t.ID] = t
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+}
+
+// Get resolves a retained trace by ID.
+func (r *traceRing) Get(id string) (*obs.Trace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.byID[id]
+	return t, ok
+}
+
+// Total is the number of traces ever recorded.
+func (r *traceRing) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// List snapshots the retained traces, newest first.
+func (r *traceRing) List() []*obs.Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*obs.Trace, 0, len(r.byID))
+	// Walk backwards from the most recently filled slot.
+	for i := 0; i < len(r.buf); i++ {
+		idx := (r.next - 1 - i + 2*len(r.buf)) % len(r.buf)
+		if t := r.buf[idx]; t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TraceSummary is one row of GET /debug/traces.
+type TraceSummary struct {
+	ID         string  `json:"id"`
+	Start      string  `json:"start"`
+	DurationMs float64 `json:"durationMs"`
+	Spans      int     `json:"spans"`
+	// Target and Error echo the root span's attributes when present.
+	Target string `json:"target,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+func summarize(t *obs.Trace) TraceSummary {
+	s := TraceSummary{
+		ID:         t.ID,
+		Start:      t.Start.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+		DurationMs: float64(t.Duration()) / 1e6,
+		Spans:      t.SpanCount(),
+	}
+	if a, ok := t.Root.Attr("target"); ok {
+		s.Target = a.Str
+	}
+	if a, ok := t.Root.Attr("error"); ok {
+		s.Error = a.Str
+	}
+	return s
+}
+
+// handleDebugTraces lists the retained traces, newest first.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	traces := s.traces.List()
+	out := make([]TraceSummary, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, summarize(t))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleDebugTrace returns one retained trace's full span tree.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.traces.Get(r.PathValue("tid"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such trace (evicted or never recorded)", 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/obs"
 	"github.com/clarifynet/clarify/symbolic"
 )
 
@@ -245,6 +246,12 @@ func VerifyRouteMapSnippet(snippet *ios.Config, mapName string, s *RouteMapSpec)
 // re-verification of a reused intent — hit the cache and skip universe
 // construction entirely.
 func VerifyRouteMapSnippetCached(cache *symbolic.SpaceCache, snippet *ios.Config, mapName string, s *RouteMapSpec) ([]Violation, error) {
+	return VerifyRouteMapSnippetTraced(cache, snippet, mapName, s, nil)
+}
+
+// VerifyRouteMapSnippetTraced is VerifyRouteMapSnippetCached annotating sp
+// (which may be nil) with the BDD workload the verification performed.
+func VerifyRouteMapSnippetTraced(cache *symbolic.SpaceCache, snippet *ios.Config, mapName string, s *RouteMapSpec, sp *obs.Span) ([]Violation, error) {
 	rm, ok := snippet.RouteMaps[mapName]
 	if !ok {
 		return nil, fmt.Errorf("spec: snippet lacks route-map %q", mapName)
@@ -260,7 +267,10 @@ func VerifyRouteMapSnippetCached(cache *symbolic.SpaceCache, snippet *ios.Config
 	if err != nil {
 		return nil, err
 	}
+	// Annotate before Release files the space back: a concurrent acquirer
+	// may advance its counters afterwards (defers run LIFO).
 	defer cache.Release(space)
+	defer space.ObserveInto(sp, space.Pool.Counters())
 	p := space.Pool
 	actualSt := rm.Stanzas[0]
 	expectSt := specRM.Stanzas[0]
@@ -396,6 +406,12 @@ func addrWords(s string) string {
 // same completeness/soundness decomposition as route maps. Transformations do
 // not exist for ACLs, so only the match region and action are compared.
 func VerifyACLSnippet(snippet *ios.Config, aclName string, s *ACLSpec) ([]Violation, error) {
+	return VerifyACLSnippetTraced(snippet, aclName, s, nil)
+}
+
+// VerifyACLSnippetTraced is VerifyACLSnippet annotating sp (which may be
+// nil) with the BDD workload the verification performed.
+func VerifyACLSnippetTraced(snippet *ios.Config, aclName string, s *ACLSpec, sp *obs.Span) ([]Violation, error) {
 	acl, ok := snippet.ACLs[aclName]
 	if !ok {
 		return nil, fmt.Errorf("spec: snippet lacks ACL %q", aclName)
@@ -408,6 +424,7 @@ func VerifyACLSnippet(snippet *ios.Config, aclName string, s *ACLSpec) ([]Violat
 		return nil, err
 	}
 	space := symbolic.NewACLSpace()
+	defer space.ObserveInto(sp, space.Pool.Counters())
 	actual := space.ACEPred(acl.Entries[0])
 	want := space.ACEPred(expected)
 	var out []Violation

@@ -1,0 +1,130 @@
+package clarify
+
+import (
+	"context"
+	"testing"
+
+	"github.com/clarifynet/clarify/disambig"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/llm"
+	"github.com/clarifynet/clarify/obs"
+)
+
+// TestTraceSpanShape runs the paper's §2.1 walkthrough with one injected
+// synthesis fault and checks the structured trace: the stage spans exist,
+// hang off the right parents, and carry durations and engine counters.
+func TestTraceSpanShape(t *testing.T) {
+	var captured *obs.Trace
+	s := &Session{
+		Client: llm.NewSimLLM(llm.FaultWrongValue),
+		Config: ios.MustParse(paperISPOut),
+		RouteOracle: disambig.FuncRouteOracle(func(disambig.RouteQuestion) (bool, error) {
+			return true, nil
+		}),
+		Observer: obs.SinkFunc(func(tr *obs.Trace) { captured = tr }),
+	}
+	if _, err := s.Submit(context.Background(), paperPrompt, "ISP_OUT"); err != nil {
+		t.Fatal(err)
+	}
+	if captured == nil {
+		t.Fatal("observer never received a trace")
+	}
+	if captured.Root == nil || captured.Root.Name != "update" {
+		t.Fatalf("root span = %+v, want name update", captured.Root)
+	}
+
+	// Parent lookup: map each span to the span it hangs off.
+	parent := map[*obs.Span]*obs.Span{}
+	var walk func(sp *obs.Span)
+	walk = func(sp *obs.Span) {
+		for _, c := range sp.Children {
+			parent[c] = sp
+			walk(c)
+		}
+	}
+	walk(captured.Root)
+
+	// The faulted walkthrough needs two synthesis attempts, so at least:
+	// classify, spec-extract, synthesize-attempt-1, synthesize-attempt-2,
+	// disambiguate — five stage spans beyond the root.
+	stages := []string{"classify", "spec-extract", "synthesize-attempt-1", "synthesize-attempt-2", "disambiguate"}
+	byName := map[string]*obs.Span{}
+	for _, name := range stages {
+		sp := captured.Find(name)
+		if sp == nil {
+			t.Fatalf("trace missing stage span %q", name)
+		}
+		byName[name] = sp
+		if parent[sp] != captured.Root {
+			t.Errorf("stage %q must hang off the root, got parent %v", name, parent[sp])
+		}
+		if sp.Duration <= 0 {
+			t.Errorf("stage %q has no duration", name)
+		}
+	}
+	if got := captured.SpanCount(); got < 6 {
+		t.Fatalf("SpanCount = %d, want at least 6 (root + 5 stages)", got)
+	}
+
+	// Each synthesis attempt parses its snippet and verifies it against the
+	// extracted specification.
+	for _, attempt := range []string{"synthesize-attempt-1", "synthesize-attempt-2"} {
+		asp := byName[attempt]
+		var parse, verify *obs.Span
+		for _, c := range asp.Children {
+			switch c.Name {
+			case "parse":
+				parse = c
+			case "verify":
+				verify = c
+			}
+		}
+		if parse == nil || verify == nil {
+			t.Fatalf("%s children = %v, want parse and verify", attempt, spanNames(asp.Children))
+		}
+		if a, ok := verify.Attr("bdd-ite-calls"); !ok || a.Int <= 0 {
+			t.Errorf("%s verify span lacks BDD counters: %+v ok=%v", attempt, a, ok)
+		}
+	}
+	// The first attempt is rejected with fault feedback; the second verifies.
+	if a, ok := byName["synthesize-attempt-1"].Attr("fault-feedback"); !ok || a.Str == "" {
+		t.Errorf("attempt 1 must record fault feedback, got %+v ok=%v", a, ok)
+	}
+	if a, ok := byName["synthesize-attempt-2"].Attr("verified"); !ok || !a.Bool {
+		t.Errorf("attempt 2 must be marked verified, got %+v ok=%v", a, ok)
+	}
+
+	// Disambiguation parks on the oracle and inserts the stanza: its
+	// question-wait and insert spans sit under the disambiguate span.
+	dsp := byName["disambiguate"]
+	var waits int
+	var insert *obs.Span
+	for _, c := range dsp.Children {
+		switch c.Name {
+		case "question-wait":
+			waits++
+		case "insert":
+			insert = c
+		}
+	}
+	if waits == 0 {
+		t.Error("disambiguate span has no question-wait children")
+	}
+	if insert == nil {
+		t.Fatalf("disambiguate children = %v, want an insert span", spanNames(dsp.Children))
+	}
+	if a, ok := insert.Attr("position"); !ok || a.Int != 0 {
+		t.Errorf("insert position attr = %+v ok=%v, want 0", a, ok)
+	}
+	if a, ok := dsp.Attr("bdd-ite-calls"); !ok || a.Int <= 0 {
+		t.Errorf("disambiguate span lacks BDD counters: %+v ok=%v", a, ok)
+	}
+}
+
+func spanNames(spans []*obs.Span) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
+}
