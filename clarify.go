@@ -278,6 +278,12 @@ func (s *Session) submitRouteMap(ctx context.Context, root *obs.Span, cfg *ios.C
 	var snippetMap, snippetText string
 	attempts := 0
 	for {
+		// The per-update deadline budget must stop the verify-and-retry loop
+		// between attempts, not just inside LLM calls — a wedged update can
+		// otherwise hold a worker across many local retries.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("clarify: update cancelled: %w", err)
+		}
 		if attempts >= s.maxAttempts() {
 			s.mu.Lock()
 			s.stats.Punts++
@@ -408,6 +414,10 @@ func (s *Session) submitACL(ctx context.Context, root *obs.Span, cfg *ios.Config
 	var snippetACL, snippetText string
 	attempts := 0
 	for {
+		// See submitRouteMap: honor the per-update deadline between attempts.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("clarify: update cancelled: %w", err)
+		}
 		if attempts >= s.maxAttempts() {
 			s.mu.Lock()
 			s.stats.Punts++

@@ -10,6 +10,9 @@
 // With -llm sim (the default) the deterministic simulated LLM is used and no
 // network access is needed. With -llm http, -base-url and -model select an
 // OpenAI-compatible endpoint; the API key is read from $CLARIFY_API_KEY.
+// -fallback-sim degrades to the simulated LLM when the endpoint fails
+// (updates that used it are flagged), and -chaos injects deterministic
+// transport faults for resilience drills.
 //
 // With -remote http://host:port the pipeline runs inside a clarifyd daemon
 // instead of in-process: the CLI creates a remote session from the config,
@@ -23,14 +26,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/clarifynet/clarify"
+	"github.com/clarifynet/clarify/chaoshttp"
 	"github.com/clarifynet/clarify/disambig"
 	"github.com/clarifynet/clarify/ios"
 	"github.com/clarifynet/clarify/llm"
 	"github.com/clarifynet/clarify/obs"
+	"github.com/clarifynet/clarify/resilience"
 	"github.com/clarifynet/clarify/server"
 )
 
@@ -50,6 +57,11 @@ type cliOptions struct {
 	// simFaults is a comma-separated fault plan for the simulated LLM, e.g.
 	// "wrong-value,syntax" — each synthesis call consumes one entry.
 	simFaults string
+	// chaosSpec is a chaoshttp fault plan applied to the http backend's
+	// transport (resilience drills).
+	chaosSpec string
+	// fallbackSim degrades http-backend failures onto the simulated LLM.
+	fallbackSim bool
 }
 
 func main() {
@@ -63,6 +75,8 @@ func main() {
 		remote     = flag.String("remote", "", "drive a running clarifyd at this base URL instead of an in-process session")
 		traceJSON  = flag.String("trace-json", "", "append one JSON span tree per update to this file")
 		simFaults  = flag.String("sim-faults", "", "comma-separated fault plan for the sim LLM (wrong-value, widen-mask, drop-match, flip-action, syntax, none)")
+		chaosSpec  = flag.String("chaos", "", "inject transport faults into the http backend, e.g. \"seed=42,reset=0.2\" or \"down\"")
+		fbSim      = flag.Bool("fallback-sim", false, "degrade to the simulated LLM when the http backend fails")
 		verbose    = flag.Bool("v", false, "trace pipeline steps to stderr")
 	)
 	flag.Parse()
@@ -79,15 +93,17 @@ func main() {
 		err = runRemote(*remote, *configPath, *target, *outPath, os.Stdin, os.Stdout)
 	} else {
 		err = run(cliOptions{
-			configPath: *configPath,
-			target:     *target,
-			llmKind:    *llmKind,
-			baseURL:    *baseURL,
-			model:      *model,
-			outPath:    *outPath,
-			trace:      trace,
-			traceJSON:  *traceJSON,
-			simFaults:  *simFaults,
+			configPath:  *configPath,
+			target:      *target,
+			llmKind:     *llmKind,
+			baseURL:     *baseURL,
+			model:       *model,
+			outPath:     *outPath,
+			trace:       trace,
+			traceJSON:   *traceJSON,
+			simFaults:   *simFaults,
+			chaosSpec:   *chaosSpec,
+			fallbackSim: *fbSim,
 		}, os.Stdin, os.Stdout)
 	}
 	if err != nil {
@@ -133,11 +149,28 @@ func run(opts cliOptions, stdin io.Reader, out io.Writer) error {
 	}
 
 	var client llm.Client
+	var stack *resilience.Stack
 	switch opts.llmKind {
 	case "sim":
+		if opts.chaosSpec != "" || opts.fallbackSim {
+			return fmt.Errorf("-chaos and -fallback-sim require -llm http")
+		}
 		client = llm.NewSimLLM(faults...)
 	case "http":
-		client = &llm.HTTPClient{BaseURL: opts.baseURL, Model: opts.model, APIKey: os.Getenv("CLARIFY_API_KEY")}
+		primary := &llm.HTTPClient{BaseURL: opts.baseURL, Model: opts.model, APIKey: os.Getenv("CLARIFY_API_KEY")}
+		if opts.chaosSpec != "" {
+			plan, err := chaoshttp.ParsePlan(opts.chaosSpec)
+			if err != nil {
+				return fmt.Errorf("-chaos: %w", err)
+			}
+			primary.HTTP = &http.Client{Transport: chaoshttp.New(plan, nil), Timeout: 60 * time.Second}
+		}
+		var fallback llm.Client
+		if opts.fallbackSim {
+			fallback = llm.NewSimLLM(faults...)
+		}
+		stack = resilience.NewStack(primary, "http", resilience.BreakerConfig{}, fallback, "sim")
+		client = stack.Client()
 	default:
 		return fmt.Errorf("unknown -llm backend %q", opts.llmKind)
 	}
@@ -173,10 +206,14 @@ func run(opts cliOptions, stdin io.Reader, out io.Writer) error {
 		if text == "" {
 			break
 		}
-		res, err := session.Submit(context.Background(), text, opts.target)
+		uctx, flags := resilience.WithFlags(context.Background())
+		res, err := session.Submit(uctx, text, opts.target)
 		if err != nil {
 			fmt.Fprintln(out, "  error:", err)
 			continue
+		}
+		if flags.Degraded() {
+			fmt.Fprintf(out, "\n  note: served in degraded mode by the %q fallback backend\n", flags.Backend())
 		}
 		fmt.Fprintf(out, "\nSynthesized snippet (%d attempt(s)):\n%s\n", res.Attempts, indent(res.SnippetText))
 		fmt.Fprintf(out, "Behavioural specification:\n%s\n\n", indent(res.SpecJSON))
@@ -296,6 +333,9 @@ func runRemote(remoteURL, configPath, target, outPath string, stdin io.Reader, o
 		if res.Status != server.StatusDone {
 			fmt.Fprintln(out, "  error:", res.Error)
 			continue
+		}
+		if res.Degraded {
+			fmt.Fprintln(out, "\n  note: served in degraded mode by a fallback LLM backend")
 		}
 		fmt.Fprintf(out, "\nSynthesized snippet (%d attempt(s)):\n%s\n", res.Result.Attempts, indent(res.Result.SnippetText))
 		fmt.Fprintf(out, "Behavioural specification:\n%s\n\n", indent(res.Result.SpecJSON))

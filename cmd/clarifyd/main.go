@@ -19,7 +19,10 @@
 //	POST   /v1/sessions/{id}/answer         answer it (OPTION 1 or 2)
 //	GET    /v1/sessions/{id}/config         current configuration text
 //	GET    /v1/sessions/{id}/stats          per-session pipeline counters
-//	GET    /healthz                         liveness (503 while draining)
+//	GET    /healthz                         liveness (503 only while draining;
+//	                                        200 "degraded" on the fallback LLM)
+//	GET    /readyz                          readiness (503 while draining or
+//	                                        when no LLM backend can serve)
 //	GET    /metrics                         JSON metrics (?format=prometheus
 //	                                        for text exposition)
 //	GET    /debug/traces                    recent pipeline traces
@@ -31,8 +34,12 @@
 //
 // With -llm sim (the default) every session uses the deterministic simulated
 // LLM; with -llm http, sessions share an OpenAI-compatible endpoint
-// configured by -base-url/-model and $CLARIFY_API_KEY, with retry/backoff
-// handled by llm.HTTPClient.
+// configured by -base-url/-model and $CLARIFY_API_KEY. The http backend runs
+// behind the resilience layer: retry/backoff (llm.HTTPClient), a circuit
+// breaker (-breaker-* flags), and — with -fallback-sim — a degraded-mode
+// fallback onto the simulated LLM, so a down endpoint stops hurting updates
+// instead of failing them. -chaos injects deterministic transport faults
+// (see chaoshttp.ParsePlan) for resilience drills against a live daemon.
 package main
 
 import (
@@ -48,31 +55,68 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/clarifynet/clarify/chaoshttp"
 	"github.com/clarifynet/clarify/llm"
+	"github.com/clarifynet/clarify/resilience"
 	"github.com/clarifynet/clarify/server"
 )
 
+// daemonConfig collects every flag so run() stays testable and the flag list
+// can grow without threading another positional parameter through.
+type daemonConfig struct {
+	addr            string
+	workers         int
+	queue           int
+	maxSessions     int
+	idleTTL         time.Duration
+	questionTimeout time.Duration
+	updateTimeout   time.Duration
+	drainTimeout    time.Duration
+
+	llmKind     string
+	baseURL     string
+	model       string
+	retries     int
+	fallbackSim bool
+	chaosSpec   string
+
+	breakerFailureRate float64
+	breakerMinRequests int
+	breakerWindow      time.Duration
+	breakerCooldown    time.Duration
+
+	traceBuf  int
+	logFormat string
+	pprofOn   bool
+	quiet     bool
+}
+
 func main() {
-	var (
-		addr            = flag.String("addr", ":8080", "listen address")
-		workers         = flag.Int("workers", 8, "pipeline worker count")
-		queue           = flag.Int("queue", 0, "submission queue bound (default 2×workers)")
-		maxSessions     = flag.Int("max-sessions", 1024, "live session cap")
-		idleTTL         = flag.Duration("idle-ttl", 30*time.Minute, "evict sessions idle this long")
-		questionTimeout = flag.Duration("question-timeout", time.Minute, "abort updates whose question goes unanswered this long")
-		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight updates")
-		llmKind         = flag.String("llm", "sim", "LLM backend: sim or http")
-		baseURL         = flag.String("base-url", "https://api.openai.com/v1", "OpenAI-compatible API root (http backend)")
-		model           = flag.String("model", "gpt-4", "model identifier (http backend)")
-		retries         = flag.Int("llm-retries", 3, "HTTP LLM retry budget for 429/5xx (http backend)")
-		traceBuf        = flag.Int("trace-buffer", server.DefaultTraceBufferSize, "recent traces retained for /debug/traces")
-		logFormat       = flag.String("log-format", "text", "log output format: text or json")
-		pprofOn         = flag.Bool("pprof", false, "expose the Go profiler at /debug/pprof/")
-		quiet           = flag.Bool("quiet", false, "disable request logging")
-	)
+	var cfg daemonConfig
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.workers, "workers", 8, "pipeline worker count")
+	flag.IntVar(&cfg.queue, "queue", 0, "submission queue bound (default 2×workers)")
+	flag.IntVar(&cfg.maxSessions, "max-sessions", 1024, "live session cap")
+	flag.DurationVar(&cfg.idleTTL, "idle-ttl", 30*time.Minute, "evict sessions idle this long")
+	flag.DurationVar(&cfg.questionTimeout, "question-timeout", time.Minute, "abort updates whose question goes unanswered this long")
+	flag.DurationVar(&cfg.updateTimeout, "update-timeout", server.DefaultUpdateTimeout, "per-update wall-clock budget once a worker picks it up (negative disables)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight updates")
+	flag.StringVar(&cfg.llmKind, "llm", "sim", "LLM backend: sim or http")
+	flag.StringVar(&cfg.baseURL, "base-url", "https://api.openai.com/v1", "OpenAI-compatible API root (http backend)")
+	flag.StringVar(&cfg.model, "model", "gpt-4", "model identifier (http backend)")
+	flag.IntVar(&cfg.retries, "llm-retries", 3, "HTTP LLM retry budget for 429/5xx (http backend)")
+	flag.BoolVar(&cfg.fallbackSim, "fallback-sim", false, "serve completions from the simulated LLM when the http backend fails (degraded mode)")
+	flag.StringVar(&cfg.chaosSpec, "chaos", "", "inject transport faults into the http backend, e.g. \"seed=42,reset=0.2,429=0.1\" or \"down\"")
+	flag.Float64Var(&cfg.breakerFailureRate, "breaker-failure-rate", 0.5, "rolling-window failure fraction that opens the circuit breaker (http backend)")
+	flag.IntVar(&cfg.breakerMinRequests, "breaker-min-requests", 5, "minimum window sample size before the breaker evaluates the rate")
+	flag.DurationVar(&cfg.breakerWindow, "breaker-window", 30*time.Second, "rolling failure-rate window")
+	flag.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", 10*time.Second, "how long an open breaker rejects calls before probing")
+	flag.IntVar(&cfg.traceBuf, "trace-buffer", server.DefaultTraceBufferSize, "recent traces retained for /debug/traces")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text or json")
+	flag.BoolVar(&cfg.pprofOn, "pprof", false, "expose the Go profiler at /debug/pprof/")
+	flag.BoolVar(&cfg.quiet, "quiet", false, "disable request logging")
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *maxSessions, *idleTTL, *questionTimeout,
-		*drainTimeout, *llmKind, *baseURL, *model, *retries, *traceBuf, *logFormat, *pprofOn, *quiet); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "clarifyd:", err)
 		os.Exit(1)
 	}
@@ -90,42 +134,77 @@ func newLogger(format string) (*slog.Logger, error) {
 	}
 }
 
-func run(addr string, workers, queue, maxSessions int, idleTTL, questionTimeout,
-	drainTimeout time.Duration, llmKind, baseURL, model string, retries, traceBuf int,
-	logFormat string, pprofOn, quiet bool) error {
-	logger, err := newLogger(logFormat)
+// buildLLM assembles the LLM backend path: the session client factory and,
+// for the http backend, the resilience stack the server reports on.
+func buildLLM(cfg daemonConfig, logger *slog.Logger) (func() llm.Client, *resilience.Stack, error) {
+	switch cfg.llmKind {
+	case "sim":
+		if cfg.chaosSpec != "" || cfg.fallbackSim {
+			return nil, nil, fmt.Errorf("-chaos and -fallback-sim require -llm http")
+		}
+		return func() llm.Client { return llm.NewSimLLM() }, nil, nil
+	case "http":
+		var transport http.RoundTripper
+		if cfg.chaosSpec != "" {
+			plan, err := chaoshttp.ParsePlan(cfg.chaosSpec)
+			if err != nil {
+				return nil, nil, fmt.Errorf("-chaos: %w", err)
+			}
+			logger.Warn("chaos transport active", "plan", cfg.chaosSpec, "fault-budget", plan.FaultBudget())
+			transport = chaoshttp.New(plan, nil)
+		}
+		// One shared client: it is stateless and safe for concurrent use,
+		// and its retry/backoff absorbs transient endpoint failures.
+		primary := &llm.HTTPClient{
+			BaseURL:    cfg.baseURL,
+			Model:      cfg.model,
+			APIKey:     os.Getenv("CLARIFY_API_KEY"),
+			MaxRetries: cfg.retries,
+		}
+		if transport != nil {
+			primary.HTTP = &http.Client{Transport: transport, Timeout: 60 * time.Second}
+		}
+		var fallback llm.Client
+		if cfg.fallbackSim {
+			fallback = llm.NewSimLLM()
+		}
+		stack := resilience.NewStack(primary, "http", resilience.BreakerConfig{
+			FailureRate: cfg.breakerFailureRate,
+			MinRequests: cfg.breakerMinRequests,
+			Window:      cfg.breakerWindow,
+			Cooldown:    cfg.breakerCooldown,
+			OnStateChange: func(from, to resilience.State) {
+				logger.Warn("llm circuit breaker transition", "from", from.String(), "to", to.String())
+			},
+		}, fallback, "sim")
+		return func() llm.Client { return stack.Client() }, stack, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown -llm backend %q", cfg.llmKind)
+	}
+}
+
+func run(cfg daemonConfig) error {
+	logger, err := newLogger(cfg.logFormat)
+	if err != nil {
+		return err
+	}
+	newClient, stack, err := buildLLM(cfg, logger)
 	if err != nil {
 		return err
 	}
 
-	var newClient func() llm.Client
-	switch llmKind {
-	case "sim":
-		newClient = func() llm.Client { return llm.NewSimLLM() }
-	case "http":
-		// One shared client: it is stateless and safe for concurrent use,
-		// and its retry/backoff absorbs transient endpoint failures.
-		shared := &llm.HTTPClient{
-			BaseURL:    baseURL,
-			Model:      model,
-			APIKey:     os.Getenv("CLARIFY_API_KEY"),
-			MaxRetries: retries,
-		}
-		newClient = func() llm.Client { return shared }
-	default:
-		return fmt.Errorf("unknown -llm backend %q", llmKind)
-	}
-
 	opts := server.Options{
-		Workers:         workers,
-		QueueSize:       queue,
-		MaxSessions:     maxSessions,
-		IdleTTL:         idleTTL,
-		QuestionTimeout: questionTimeout,
+		Workers:         cfg.workers,
+		QueueSize:       cfg.queue,
+		MaxSessions:     cfg.maxSessions,
+		IdleTTL:         cfg.idleTTL,
+		QuestionTimeout: cfg.questionTimeout,
+		UpdateTimeout:   cfg.updateTimeout,
 		NewClient:       newClient,
-		TraceBufferSize: traceBuf,
+		Resilience:      stack,
+		TraceBufferSize: cfg.traceBuf,
 	}
-	if !quiet {
+	if !cfg.quiet {
 		// The server's per-request log line flows through the structured
 		// logger at info level.
 		opts.Logger = slog.NewLogLogger(logger.Handler(), slog.LevelInfo)
@@ -133,7 +212,7 @@ func run(addr string, workers, queue, maxSessions int, idleTTL, questionTimeout,
 	srv := server.New(opts)
 
 	handler := http.Handler(srv)
-	if pprofOn {
+	if cfg.pprofOn {
 		// Mount the profiler next to the API. The API mux never registers
 		// /debug/pprof/, so the wrapper only diverts profiler traffic.
 		mux := http.NewServeMux()
@@ -147,14 +226,15 @@ func run(addr string, workers, queue, maxSessions int, idleTTL, questionTimeout,
 	}
 
 	httpSrv := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Info("listening", "addr", addr, "workers", workers, "llm", llmKind, "pprof", pprofOn)
+		logger.Info("listening", "addr", cfg.addr, "workers", cfg.workers,
+			"llm", cfg.llmKind, "fallback-sim", cfg.fallbackSim, "pprof", cfg.pprofOn)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -164,10 +244,10 @@ func run(addr string, workers, queue, maxSessions int, idleTTL, questionTimeout,
 	case err := <-errCh:
 		return err
 	case sig := <-sigCh:
-		logger.Info("draining", "signal", sig.String(), "budget", drainTimeout.String())
+		logger.Info("draining", "signal", sig.String(), "budget", cfg.drainTimeout.String())
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	// Stop accepting HTTP first so no new submissions arrive, then drain
 	// the worker pool; Shutdown force-cancels parked questions once the

@@ -39,9 +39,14 @@ type HTTPClient struct {
 	MaxRetries int
 	// RetryBaseDelay seeds the exponential backoff (default 500 ms; the
 	// delay doubles per attempt, ±50% jitter, capped at 30 s). A
-	// Retry-After header from the endpoint overrides the computed delay.
+	// Retry-After header from the endpoint overrides the computed delay but
+	// is clamped to the same 30 s cap, so a hostile or misconfigured
+	// endpoint cannot park a worker for an hour.
 	RetryBaseDelay time.Duration
 }
+
+// maxRetryDelay caps every backoff sleep — computed or header-supplied.
+const maxRetryDelay = 30 * time.Second
 
 type chatRequest struct {
 	Model       string    `json:"model"`
@@ -102,10 +107,7 @@ func (c *HTTPClient) Complete(ctx context.Context, req Request) (Response, error
 			return Response{}, err
 		}
 		lastErr = err
-		delay := c.backoff(attempt)
-		if rerr.hasRetryAfter {
-			delay = rerr.retryAfter
-		}
+		delay := c.retryDelay(attempt, rerr)
 		if err := sleepCtx(ctx, delay); err != nil {
 			sp.SetInt("llm-retries", int64(attempt))
 			sp.SetDur("llm-backoff", totalBackoff)
@@ -166,6 +168,19 @@ func (c *HTTPClient) doOnce(ctx context.Context, body []byte) (Response, error) 
 	return Response{Content: out.Choices[0].Message.Content}, nil
 }
 
+// retryDelay picks the sleep before re-attempt attempt+1: the endpoint's
+// Retry-After hint when present (clamped to maxRetryDelay), otherwise the
+// computed exponential backoff.
+func (c *HTTPClient) retryDelay(attempt int, rerr *retryableError) time.Duration {
+	if rerr.hasRetryAfter {
+		if rerr.retryAfter > maxRetryDelay {
+			return maxRetryDelay
+		}
+		return rerr.retryAfter
+	}
+	return c.backoff(attempt)
+}
+
 // backoff computes the delay before re-attempt attempt+1: exponential with
 // ±50% jitter, capped at 30 s.
 func (c *HTTPClient) backoff(attempt int) time.Duration {
@@ -174,9 +189,8 @@ func (c *HTTPClient) backoff(attempt int) time.Duration {
 		base = 500 * time.Millisecond
 	}
 	d := base << uint(attempt)
-	const maxDelay = 30 * time.Second
-	if d > maxDelay || d <= 0 {
-		d = maxDelay
+	if d > maxRetryDelay || d <= 0 {
+		d = maxRetryDelay
 	}
 	// Jitter in [0.5, 1.5): decorrelates retry storms across concurrent
 	// workers hitting the same rate-limited endpoint.

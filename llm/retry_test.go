@@ -120,3 +120,33 @@ func TestHTTPClientRetrySleepIsContextAware(t *testing.T) {
 		t.Errorf("backoff ignored context cancellation (%s)", elapsed)
 	}
 }
+
+func TestRetryDelayClampsRetryAfterHeader(t *testing.T) {
+	c := &HTTPClient{RetryBaseDelay: time.Millisecond}
+	cases := []struct {
+		name  string
+		rerr  *retryableError
+		want  time.Duration
+		exact bool
+	}{
+		{name: "hour-long-hint-clamped", exact: true, want: maxRetryDelay,
+			rerr: &retryableError{retryAfter: time.Hour, hasRetryAfter: true}},
+		{name: "zero-hint-immediate", exact: true, want: 0,
+			rerr: &retryableError{retryAfter: 0, hasRetryAfter: true}},
+		{name: "modest-hint-honored", exact: true, want: 2 * time.Second,
+			rerr: &retryableError{retryAfter: 2 * time.Second, hasRetryAfter: true}},
+		{name: "no-hint-uses-backoff", exact: false, want: maxRetryDelay,
+			rerr: &retryableError{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := c.retryDelay(0, tc.rerr)
+			if tc.exact && got != tc.want {
+				t.Errorf("retryDelay = %v, want %v", got, tc.want)
+			}
+			if got > maxRetryDelay {
+				t.Errorf("retryDelay = %v exceeds the %v cap", got, maxRetryDelay)
+			}
+		})
+	}
+}

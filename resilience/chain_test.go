@@ -1,0 +1,205 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/clarifynet/clarify/llm"
+	"github.com/clarifynet/clarify/obs"
+)
+
+func TestChainPrimaryServes(t *testing.T) {
+	ch := NewChain([]llm.Client{okClient{content: "primary"}, okClient{content: "fallback"}}, "http", "sim")
+	ctx, flags := WithFlags(context.Background())
+	resp, err := ch.Complete(ctx, llm.Request{})
+	if err != nil || resp.Content != "primary" {
+		t.Fatalf("Complete = %q, %v; want primary", resp.Content, err)
+	}
+	if flags.Degraded() || ch.Degraded() {
+		t.Error("primary success must not mark degraded")
+	}
+	st := ch.Stats()
+	if st.Backends[0].Served != 1 || st.Fallbacks != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestChainFallsBackAndMarksDegraded(t *testing.T) {
+	ch := NewChain([]llm.Client{errClient{err: errors.New("down")}, okClient{content: "fallback"}}, "http", "sim")
+	ctx, flags := WithFlags(context.Background())
+	resp, err := ch.Complete(ctx, llm.Request{})
+	if err != nil || resp.Content != "fallback" {
+		t.Fatalf("Complete = %q, %v; want fallback", resp.Content, err)
+	}
+	if !flags.Degraded() {
+		t.Error("fallback completion must mark the update degraded")
+	}
+	if flags.Backend() != "sim" {
+		t.Errorf("flags backend = %q, want sim", flags.Backend())
+	}
+	if !ch.Degraded() {
+		t.Error("chain must latch degraded")
+	}
+	st := ch.Stats()
+	if st.Fallbacks != 1 || st.Backends[0].Failures != 1 || st.Backends[1].Served != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestChainRecoveryClearsDegraded(t *testing.T) {
+	primary := &flippableClient{err: errors.New("down")}
+	ch := NewChain([]llm.Client{primary, okClient{content: "fallback"}})
+	ch.Complete(context.Background(), llm.Request{})
+	if !ch.Degraded() {
+		t.Fatal("expected degraded after fallback")
+	}
+	primary.setErr(nil)
+	ch.Complete(context.Background(), llm.Request{})
+	if ch.Degraded() {
+		t.Error("primary success must clear degraded")
+	}
+}
+
+// flippableClient fails until its error is cleared.
+type flippableClient struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (c *flippableClient) setErr(err error) {
+	c.mu.Lock()
+	c.err = err
+	c.mu.Unlock()
+}
+
+func (c *flippableClient) Complete(context.Context, llm.Request) (llm.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return llm.Response{}, c.err
+	}
+	return llm.Response{Content: "primary"}, nil
+}
+
+func TestChainExhausted(t *testing.T) {
+	ch := NewChain([]llm.Client{errClient{err: errors.New("a")}, errClient{err: errors.New("b")}}, "x", "y")
+	_, err := ch.Complete(context.Background(), llm.Request{})
+	if err == nil {
+		t.Fatal("want error when every backend fails")
+	}
+	if !strings.Contains(err.Error(), "all 2 backend(s) failed") {
+		t.Errorf("error = %v", err)
+	}
+	if got := ch.Stats().Exhausted; got != 1 {
+		t.Errorf("exhausted = %d, want 1", got)
+	}
+}
+
+func TestChainAbortsOnCallerCancellation(t *testing.T) {
+	fallbackCalls := 0
+	ch := NewChain([]llm.Client{
+		errClient{err: errors.New("down")},
+		countingClient{calls: &fallbackCalls, err: errors.New("unused")},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ch.Complete(ctx, llm.Request{})
+	if err == nil {
+		t.Fatal("want error on cancelled context")
+	}
+	if fallbackCalls != 0 {
+		t.Errorf("fallback called %d times on a cancelled update, want 0", fallbackCalls)
+	}
+}
+
+func TestChainRecordsSpanAttributes(t *testing.T) {
+	ch := NewChain([]llm.Client{errClient{err: errors.New("down")}, okClient{content: "ok"}}, "http", "sim")
+	tr := obs.NewTrace("update")
+	ctx := obs.ContextWithSpan(context.Background(), tr.Root)
+	if _, err := ch.Complete(ctx, llm.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := tr.Root.Attr("llm-backend"); !ok || a.Str != "sim" {
+		t.Errorf("llm-backend attr = %+v, %v", a, ok)
+	}
+	if a, ok := tr.Root.Attr("llm-fallback"); !ok || !a.Bool {
+		t.Errorf("llm-fallback attr = %+v, %v", a, ok)
+	}
+}
+
+func TestStackShortCircuitsPrimaryAfterTrip(t *testing.T) {
+	primaryCalls := 0
+	stack := NewStack(
+		countingClient{calls: &primaryCalls, err: errors.New("down")}, "http",
+		BreakerConfig{FailureRate: 0.5, MinRequests: 3, Window: time.Minute, Cooldown: time.Minute},
+		okClient{content: "sim"}, "sim",
+	)
+	for i := 0; i < 20; i++ {
+		resp, err := stack.Client().Complete(context.Background(), llm.Request{})
+		if err != nil || resp.Content != "sim" {
+			t.Fatalf("call %d: %q, %v", i, resp.Content, err)
+		}
+	}
+	if primaryCalls != 3 {
+		t.Errorf("primary calls = %d, want 3 (breaker trips, rest short-circuit)", primaryCalls)
+	}
+	if !stack.Degraded() {
+		t.Error("stack must report degraded while serving via fallback")
+	}
+	if stack.CanServe() != true {
+		t.Error("stack with a fallback can always serve")
+	}
+	st := stack.Stats()
+	if st == nil || st.Breaker == nil || st.Breaker.State != "open" {
+		t.Fatalf("stats = %+v, want open breaker", st)
+	}
+	if st.Chain.Fallbacks != 20 {
+		t.Errorf("fallbacks = %d, want 20", st.Chain.Fallbacks)
+	}
+}
+
+func TestStackNoFallbackCannotServeWhenOpen(t *testing.T) {
+	stack := NewStack(
+		errClient{err: errors.New("down")}, "http",
+		BreakerConfig{FailureRate: 0.5, MinRequests: 2, Window: time.Minute, Cooldown: time.Minute},
+		nil, "",
+	)
+	for i := 0; i < 4; i++ {
+		stack.Client().Complete(context.Background(), llm.Request{})
+	}
+	if stack.CanServe() {
+		t.Error("open breaker with no fallback cannot serve")
+	}
+	if !stack.Degraded() {
+		t.Error("open breaker is degraded")
+	}
+}
+
+func TestStackRecovers(t *testing.T) {
+	primary := &flippableClient{err: errors.New("down")}
+	stack := NewStack(primary, "http",
+		BreakerConfig{FailureRate: 0.5, MinRequests: 2, Window: time.Minute, Cooldown: time.Millisecond},
+		okClient{content: "sim"}, "sim")
+	for i := 0; i < 4; i++ {
+		stack.Client().Complete(context.Background(), llm.Request{})
+	}
+	if !stack.Degraded() {
+		t.Fatal("expected degraded during outage")
+	}
+	primary.setErr(nil)
+	time.Sleep(5 * time.Millisecond) // past the cooldown
+	resp, err := stack.Client().Complete(context.Background(), llm.Request{})
+	if err != nil || resp.Content != "primary" {
+		t.Fatalf("post-recovery call = %q, %v; want primary", resp.Content, err)
+	}
+	if stack.Degraded() {
+		t.Error("recovered stack must clear degraded")
+	}
+	if st := stack.Stats(); st.Breaker.State != "closed" {
+		t.Errorf("breaker state = %s, want closed", st.Breaker.State)
+	}
+}

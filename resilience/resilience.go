@@ -1,0 +1,91 @@
+// Package resilience contains the failure-containment layer between the
+// Clarify pipeline and an unreliable LLM endpoint: a circuit breaker that
+// stops hammering a down backend (Breaker), a fallback chain that degrades
+// to the next backend — typically the deterministic SimLLM — instead of
+// failing updates (Chain), and a Stack that bundles both behind one
+// llm.Client for the daemon to serve with.
+//
+// The paper's verify-and-retry loop (Figure 1, steps 3–5) already tolerates
+// *wrong* LLM output; this package makes the serving layer tolerate an
+// *absent* one. Every decision the layer takes — a short-circuited call, a
+// breaker transition, a completion served by a fallback backend — is
+// recorded on the active obs span and in counters the server exposes via
+// /metrics.
+package resilience
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Flags is the per-update resilience record threaded through the pipeline by
+// context: the chain marks it when a completion is served by a non-primary
+// backend, and the serving layer reads it back to stamp the update's
+// degraded flag. All methods are safe on a nil receiver and for concurrent
+// use.
+type Flags struct {
+	degraded atomic.Bool
+	mu       sync.Mutex
+	backend  string
+}
+
+// MarkDegraded records that backend (a non-primary client) served a
+// completion for this update.
+func (f *Flags) MarkDegraded(backend string) {
+	if f == nil {
+		return
+	}
+	f.degraded.Store(true)
+	f.mu.Lock()
+	f.backend = backend
+	f.mu.Unlock()
+}
+
+// Degraded reports whether any completion of this update came from a
+// fallback backend.
+func (f *Flags) Degraded() bool {
+	if f == nil {
+		return false
+	}
+	return f.degraded.Load()
+}
+
+// Backend returns the last fallback backend that served a completion, or "".
+func (f *Flags) Backend() string {
+	if f == nil {
+		return ""
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.backend
+}
+
+// flagsKey is the context key for the per-update Flags.
+type flagsKey struct{}
+
+// WithFlags returns ctx carrying a fresh Flags record for one update.
+func WithFlags(ctx context.Context) (context.Context, *Flags) {
+	f := &Flags{}
+	return context.WithValue(ctx, flagsKey{}, f), f
+}
+
+// FlagsFromContext returns the Flags carried by ctx, or nil (whose methods
+// no-op).
+func FlagsFromContext(ctx context.Context) *Flags {
+	f, _ := ctx.Value(flagsKey{}).(*Flags)
+	return f
+}
+
+// Stats is the snapshot of a Stack's resilience state, embedded in the
+// daemon's /metrics body.
+type Stats struct {
+	// Degraded reports whether the stack is currently serving through a
+	// fallback backend (or the primary breaker is open).
+	Degraded bool `json:"degraded"`
+	// Breaker is the primary backend's circuit breaker, nil when no breaker
+	// is configured.
+	Breaker *BreakerStats `json:"breaker,omitempty"`
+	// Chain is the fallback chain, nil when the stack serves one backend.
+	Chain *ChainStats `json:"chain,omitempty"`
+}

@@ -76,6 +76,9 @@ type UpdateInfo struct {
 	// TraceID identifies the pipeline trace recorded for this update; fetch
 	// its span tree at GET /debug/traces/{traceID} while retained.
 	TraceID string `json:"traceId,omitempty"`
+	// Degraded reports that at least one LLM completion of this update was
+	// served by a fallback backend rather than the primary.
+	Degraded bool `json:"degraded,omitempty"`
 	// Result is set once Status is "done".
 	Result *UpdateResultInfo `json:"result,omitempty"`
 }

@@ -52,6 +52,7 @@ type update struct {
 	status   string
 	errMsg   string
 	traceID  string
+	degraded bool
 	result   *UpdateResultInfo
 	oracle   *asyncOracle
 	finished bool
@@ -65,7 +66,8 @@ func (u *update) info() UpdateInfo {
 	if status == StatusRunning && u.oracle != nil && u.oracle.Pending() != nil {
 		status = StatusWaiting
 	}
-	return UpdateInfo{ID: u.id, Status: status, Error: u.errMsg, TraceID: u.traceID, Result: u.result}
+	return UpdateInfo{ID: u.id, Status: status, Error: u.errMsg, TraceID: u.traceID,
+		Degraded: u.degraded, Result: u.result}
 }
 
 // setTrace stamps the pipeline trace recorded for this update; the trace's
@@ -73,6 +75,14 @@ func (u *update) info() UpdateInfo {
 func (u *update) setTrace(id string) {
 	u.mu.Lock()
 	u.traceID = id
+	u.mu.Unlock()
+}
+
+// setDegraded stamps whether any LLM completion of this update was served by
+// a fallback backend.
+func (u *update) setDegraded(v bool) {
+	u.mu.Lock()
+	u.degraded = v
 	u.mu.Unlock()
 }
 

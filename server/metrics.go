@@ -7,6 +7,7 @@ import (
 
 	"github.com/clarifynet/clarify"
 	"github.com/clarifynet/clarify/obs"
+	"github.com/clarifynet/clarify/resilience"
 	"github.com/clarifynet/clarify/symbolic"
 )
 
@@ -55,6 +56,8 @@ type metrics struct {
 	stages   map[string]*histogram // pipeline stage durations from completed traces
 	inFlight int64
 	rejected int64 // 429 backpressure rejections
+	panics   int64 // worker panics contained by the pool
+	timeouts int64 // updates aborted by the per-update deadline
 }
 
 func newMetrics() *metrics {
@@ -84,6 +87,20 @@ func (m *metrics) observeTrace(t *obs.Trace) {
 		}
 		h.observe(sp.Duration)
 	})
+}
+
+// recordPanic counts one recovered worker panic.
+func (m *metrics) recordPanic() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+// recordUpdateTimeout counts one update aborted by its deadline budget.
+func (m *metrics) recordUpdateTimeout() {
+	m.mu.Lock()
+	m.timeouts++
+	m.mu.Unlock()
 }
 
 // begin records an arriving request and returns the completion callback.
@@ -149,6 +166,14 @@ type MetricsSnapshot struct {
 	// Traces counts completed traces recorded since start (the debug ring
 	// retains only the most recent).
 	Traces int64 `json:"traces"`
+	// PanicsRecovered counts pipeline-job panics contained by the worker
+	// pool; each one failed its update but left the daemon serving.
+	PanicsRecovered int64 `json:"panicsRecovered"`
+	// UpdateTimeouts counts updates aborted by the per-update deadline.
+	UpdateTimeouts int64 `json:"updateTimeouts"`
+	// Resilience reports the LLM backend path (circuit breaker + fallback
+	// chain) when the server was built with one; nil otherwise.
+	Resilience *resilience.Stats `json:"resilience,omitempty"`
 }
 
 // snapshot copies the counters; pool/session fields are filled by the server.
@@ -163,6 +188,8 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		InFlight:  m.inFlight,
 		Rejected:  m.rejected,
 	}
+	out.PanicsRecovered = m.panics
+	out.UpdateTimeouts = m.timeouts
 	for k, v := range m.requests {
 		out.Requests[k] = v
 	}

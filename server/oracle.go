@@ -26,9 +26,9 @@ var errStaleAnswer = errors.New("server: answer does not match the pending quest
 // shutdown, cancelling the whole update.
 type asyncOracle struct {
 	timeout time.Duration
-	ctx     context.Context // cancelled on forced shutdown
 
 	mu      sync.Mutex
+	ctx     context.Context // cancelled on forced shutdown or update deadline
 	seq     int
 	pending *Question
 	answer  chan bool
@@ -39,6 +39,15 @@ func newAsyncOracle(ctx context.Context, timeout time.Duration) *asyncOracle {
 		timeout = time.Minute
 	}
 	return &asyncOracle{ctx: ctx, timeout: timeout}
+}
+
+// bind replaces the oracle's cancellation context. The server binds the
+// per-update deadline context when the job starts running, so an unanswered
+// question cannot park a worker past the update budget.
+func (o *asyncOracle) bind(ctx context.Context) {
+	o.mu.Lock()
+	o.ctx = ctx
+	o.mu.Unlock()
 }
 
 // ChooseRoute implements disambig.RouteOracle.
@@ -63,8 +72,12 @@ func (o *asyncOracle) ChooseACL(q disambig.ACLQuestion) (bool, error) {
 	return o.wait(ch)
 }
 
-// wait parks the pipeline goroutine until an answer, a timeout, or shutdown.
+// wait parks the pipeline goroutine until an answer, a timeout, update
+// cancellation, or shutdown.
 func (o *asyncOracle) wait(ch chan bool) (bool, error) {
+	o.mu.Lock()
+	ctx := o.ctx
+	o.mu.Unlock()
 	timer := time.NewTimer(o.timeout)
 	defer timer.Stop()
 	defer func() {
@@ -77,8 +90,8 @@ func (o *asyncOracle) wait(ch chan bool) (bool, error) {
 		return preferNew, nil
 	case <-timer.C:
 		return false, ErrQuestionTimeout
-	case <-o.ctx.Done():
-		return false, fmt.Errorf("server: update cancelled: %w", o.ctx.Err())
+	case <-ctx.Done():
+		return false, fmt.Errorf("server: update cancelled: %w", ctx.Err())
 	}
 }
 

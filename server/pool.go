@@ -9,32 +9,50 @@ import (
 // When the queue is full, TrySubmit fails immediately so the HTTP layer can
 // shed load with 429 instead of accumulating goroutines — the backpressure
 // contract of the serving layer.
+//
+// Workers are panic-proof: a panicking job is contained (and reported via
+// onPanic) instead of killing the worker goroutine and, with it, the whole
+// daemon.
 type pool struct {
 	queue   chan func()
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	closed  bool
 	workers int
+	// onPanic, when non-nil, receives the recovered value of any job panic
+	// that escapes the job's own recovery. It runs on the worker goroutine;
+	// keep it non-blocking.
+	onPanic func(v interface{})
 }
 
-func newPool(workers, queueSize int) *pool {
+func newPool(workers, queueSize int, onPanic func(v interface{})) *pool {
 	if workers <= 0 {
 		workers = 4
 	}
 	if queueSize <= 0 {
 		queueSize = 2 * workers
 	}
-	p := &pool{queue: make(chan func(), queueSize), workers: workers}
+	p := &pool{queue: make(chan func(), queueSize), workers: workers, onPanic: onPanic}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer p.wg.Done()
 			for job := range p.queue {
-				job()
+				p.run(job)
 			}
 		}()
 	}
 	return p
+}
+
+// run executes one job, containing any panic so the worker survives.
+func (p *pool) run(job func()) {
+	defer func() {
+		if v := recover(); v != nil && p.onPanic != nil {
+			p.onPanic(v)
+		}
+	}()
+	job()
 }
 
 // TrySubmit enqueues a job without blocking; it reports false when the queue

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/clarifynet/clarify/resilience"
 )
 
 // writePrometheus renders a MetricsSnapshot in the Prometheus text exposition
@@ -47,6 +49,12 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) {
 	writeCounter(w, "clarifyd_space_cache_misses_total", "Symbolic route-space cache misses (universe rebuilds).", float64(snap.SpaceCache.Misses))
 	writeGauge(w, "clarifyd_space_cache_idle", "Symbolic route spaces parked in the cache.", float64(snap.SpaceCache.Idle))
 
+	writeCounter(w, "clarifyd_panics_recovered_total", "Pipeline-job panics contained by the worker pool.", float64(snap.PanicsRecovered))
+	writeCounter(w, "clarifyd_update_timeouts_total", "Updates aborted by the per-update deadline.", float64(snap.UpdateTimeouts))
+	if snap.Resilience != nil {
+		writeResilience(w, snap.Resilience)
+	}
+
 	writeHeader(w, "clarifyd_request_duration_ms", "histogram", "HTTP request latency per endpoint pattern, in milliseconds.")
 	for _, k := range sortedHistKeys(snap.LatencyMs) {
 		writeHistogram(w, "clarifyd_request_duration_ms", "endpoint", k, snap.LatencyMs[k])
@@ -55,6 +63,41 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) {
 	writeHeader(w, "clarifyd_stage_duration_ms", "histogram", "Pipeline stage latency from completed traces, in milliseconds.")
 	for _, k := range sortedHistKeys(snap.StagesMs) {
 		writeHistogram(w, "clarifyd_stage_duration_ms", "stage", k, snap.StagesMs[k])
+	}
+}
+
+// writeResilience renders the LLM backend-path series: degraded mode, the
+// primary breaker's state machine, and per-backend chain traffic.
+func writeResilience(w io.Writer, rs *resilience.Stats) {
+	degraded := 0.0
+	if rs.Degraded {
+		degraded = 1
+	}
+	writeGauge(w, "clarifyd_llm_degraded", "1 while completions are served by a fallback backend or the primary breaker is open.", degraded)
+	if b := rs.Breaker; b != nil {
+		state := 0.0
+		switch b.State {
+		case "open":
+			state = 1
+		case "half-open":
+			state = 2
+		}
+		writeGauge(w, "clarifyd_llm_breaker_state", "Primary breaker state: 0 closed, 1 open, 2 half-open.", state)
+		writeCounter(w, "clarifyd_llm_breaker_opens_total", "Breaker transitions into the open state.", float64(b.Opens))
+		writeCounter(w, "clarifyd_llm_breaker_short_circuits_total", "LLM calls rejected without reaching the primary backend.", float64(b.ShortCircuits))
+		writeCounter(w, "clarifyd_llm_breaker_probes_total", "Half-open probe calls admitted to the primary backend.", float64(b.Probes))
+	}
+	if c := rs.Chain; c != nil {
+		writeCounter(w, "clarifyd_llm_fallback_total", "Completions served by a non-primary backend.", float64(c.Fallbacks))
+		writeCounter(w, "clarifyd_llm_chain_exhausted_total", "Completions where every backend failed.", float64(c.Exhausted))
+		writeHeader(w, "clarifyd_llm_backend_served_total", "counter", "Completions served per backend.")
+		for _, b := range c.Backends {
+			fmt.Fprintf(w, "clarifyd_llm_backend_served_total{backend=%s} %d\n", quoteLabel(b.Name), b.Served)
+		}
+		writeHeader(w, "clarifyd_llm_backend_failures_total", "counter", "Failed attempts per backend.")
+		for _, b := range c.Backends {
+			fmt.Fprintf(w, "clarifyd_llm_backend_failures_total{backend=%s} %d\n", quoteLabel(b.Name), b.Failures)
+		}
 	}
 }
 

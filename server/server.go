@@ -15,6 +15,7 @@ import (
 	"github.com/clarifynet/clarify/ios"
 	"github.com/clarifynet/clarify/llm"
 	"github.com/clarifynet/clarify/obs"
+	"github.com/clarifynet/clarify/resilience"
 	"github.com/clarifynet/clarify/symbolic"
 )
 
@@ -47,7 +48,21 @@ type Options struct {
 	// TraceBufferSize bounds the /debug/traces ring of recent completed
 	// traces (default DefaultTraceBufferSize).
 	TraceBufferSize int
+	// UpdateTimeout bounds each update's wall-clock budget, measured from
+	// when a worker picks the job up (default 2m; negative disables). The
+	// budget covers LLM calls, retries, and time parked on an unanswered
+	// disambiguation question.
+	UpdateTimeout time.Duration
+	// Resilience, when non-nil, is the circuit-breaker + fallback stack the
+	// sessions' LLM clients are built around. The server only reads it — for
+	// degraded-mode health reporting and /metrics — so it must be the same
+	// stack NewClient wires into sessions.
+	Resilience *resilience.Stack
 }
+
+// DefaultUpdateTimeout is the per-update deadline when Options.UpdateTimeout
+// is zero.
+const DefaultUpdateTimeout = 2 * time.Minute
 
 // Server hosts concurrent clarify.Sessions behind a JSON HTTP API. It
 // implements http.Handler; wire it into an http.Server (or httptest) and
@@ -78,19 +93,24 @@ func New(opts Options) *Server {
 	if opts.MaxConfigBytes <= 0 {
 		opts.MaxConfigBytes = 4 << 20
 	}
+	if opts.UpdateTimeout == 0 {
+		opts.UpdateTimeout = DefaultUpdateTimeout
+	}
 	ctx, cancel := context.WithCancel(context.Background())
+	met := newMetrics()
 	s := &Server{
 		opts:    opts,
 		mux:     http.NewServeMux(),
-		pool:    newPool(opts.Workers, opts.QueueSize),
+		pool:    newPool(opts.Workers, opts.QueueSize, func(interface{}) { met.recordPanic() }),
 		mgr:     newManager(opts.MaxSessions, opts.IdleTTL, opts.SweepInterval),
-		met:     newMetrics(),
+		met:     met,
 		traces:  newTraceRing(opts.TraceBufferSize),
 		spaces:  symbolic.NewSpaceCache(),
 		baseCtx: ctx,
 		cancel:  cancel,
 	}
 	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /readyz", s.handleReadyz)
 	s.route("GET /metrics", s.handleMetrics)
 	s.route("POST /v1/sessions", s.handleCreateSession)
 	s.route("GET /v1/sessions", s.handleListSessions)
@@ -156,12 +176,39 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // --- handlers ---
 
+// handleHealthz is the liveness probe: 503 only while draining. A daemon
+// running on its fallback backend is alive — it reports 200 with a degraded
+// payload rather than getting restarted by an orchestrator.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	body := map[string]interface{}{"status": "ok", "sessions": s.mgr.Len()}
 	if s.draining.Load() {
 		status = http.StatusServiceUnavailable
 		body["status"] = "draining"
+	} else if s.opts.Resilience.Degraded() {
+		body["status"] = "degraded"
+		body["llm"] = "fallback"
+	}
+	writeJSON(w, status, body)
+}
+
+// handleReadyz is the readiness probe: 503 while draining or when the LLM
+// path cannot serve at all (breaker open with no fallback configured).
+// Degraded-but-serving still reports ready, flagged in the payload.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	body := map[string]interface{}{"status": "ready"}
+	switch {
+	case s.draining.Load():
+		status = http.StatusServiceUnavailable
+		body["status"] = "draining"
+	case !s.opts.Resilience.CanServe():
+		status = http.StatusServiceUnavailable
+		body["status"] = "unready"
+		body["llm"] = "breaker-open"
+	case s.opts.Resilience.Degraded():
+		body["status"] = "degraded"
+		body["llm"] = "fallback"
 	}
 	writeJSON(w, status, body)
 }
@@ -177,6 +224,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Pipeline = s.mgr.CumulativeStats()
 	snap.SpaceCache = s.spaces.Stats()
 	snap.Traces = s.traces.Total()
+	if s.opts.Resilience != nil {
+		snap.Resilience = s.opts.Resilience.Stats()
+	}
 	if r.URL.Query().Get("format") == "prometheus" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writePrometheus(w, snap)
@@ -286,7 +336,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job := func() {
 		s.active.Add(1)
 		defer s.active.Add(-1)
+		// A panicking pipeline must fail its own update and release the
+		// session; otherwise the session stays busy forever and sync
+		// submitters hang. The pool has a last-resort recover too, but by
+		// then the update record is unreachable.
+		defer func() {
+			if v := recover(); v != nil {
+				s.met.recordPanic()
+				u.finish(nil, fmt.Errorf("internal: update panicked: %v", v))
+				sn.endUpdate()
+			}
+		}()
 		u.setRunning()
+		// The deadline budget starts when a worker picks the job up, not
+		// while it sits in the queue — queue time is backpressure, not work.
+		uctx := s.baseCtx
+		cancel := func() {}
+		if s.opts.UpdateTimeout > 0 {
+			uctx, cancel = context.WithTimeout(s.baseCtx, s.opts.UpdateTimeout)
+		}
+		defer cancel()
+		oracle.bind(uctx)
+		uctx, flags := resilience.WithFlags(uctx)
 		cs := sn.sess
 		cs.RouteOracle = oracle
 		cs.ACLOracle = oracle
@@ -299,10 +370,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.met.observeTrace(t)
 			s.traces.Add(t)
 		})
-		res, rerr := cs.Submit(s.baseCtx, req.Intent, req.Target)
+		res, rerr := cs.Submit(uctx, req.Intent, req.Target)
+		if rerr != nil && uctx.Err() == context.DeadlineExceeded && s.baseCtx.Err() == nil {
+			s.met.recordUpdateTimeout()
+			rerr = fmt.Errorf("update exceeded its %s budget: %w", s.opts.UpdateTimeout, rerr)
+		}
 		if rerr == nil {
 			sn.setConfigText(res.Config.Print())
 		}
+		u.setDegraded(flags.Degraded())
 		u.finish(res, rerr)
 		sn.endUpdate()
 	}
