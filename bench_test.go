@@ -18,6 +18,7 @@ import (
 	"github.com/clarifynet/clarify/evaltopo"
 	"github.com/clarifynet/clarify/exper"
 	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/journal"
 	"github.com/clarifynet/clarify/llm"
 	"github.com/clarifynet/clarify/symbolic"
 )
@@ -100,6 +101,47 @@ func BenchmarkRepeatedUpdates(b *testing.B) {
 	}
 	b.Run("uncached", func(b *testing.B) { run(b, nil) })
 	b.Run("cached", func(b *testing.B) { run(b, symbolic.NewSpaceCache()) })
+}
+
+// BenchmarkJournalOverhead measures the flight recorder's cost on the Submit
+// path: the same cached walkthrough with journaling off, on with interval
+// fsync (the daemon default), and on with always-fsync. The journal-off
+// variant must stay within noise of BenchmarkRepeatedUpdates/cached.
+func BenchmarkJournalOverhead(b *testing.B) {
+	run := func(b *testing.B, jnl *journal.Journal) {
+		cache := symbolic.NewSpaceCache()
+		for i := 0; i < b.N; i++ {
+			session := &clarify.Session{
+				Client: llm.NewSimLLM(),
+				Config: ios.MustParse(paperISPOut),
+				RouteOracle: disambig.FuncRouteOracle(func(disambig.RouteQuestion) (bool, error) {
+					return true, nil
+				}),
+				SpaceCache:     cache,
+				Journal:        jnl,
+				JournalSession: "bench",
+			}
+			if _, err := session.Submit(context.Background(), paperPrompt, "ISP_OUT"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if jnl != nil {
+			st := jnl.Stats()
+			b.ReportMetric(float64(st.Bytes)/float64(b.N), "journal-bytes/update")
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	for _, policy := range []journal.FsyncPolicy{journal.FsyncInterval, journal.FsyncAlways} {
+		b.Run("fsync-"+string(policy), func(b *testing.B) {
+			jnl, err := journal.Open(journal.Options{Dir: b.TempDir(), Fsync: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer jnl.Close()
+			b.ResetTimer()
+			run(b, jnl)
+		})
+	}
 }
 
 // BenchmarkFigure2Insertion measures the disambiguator alone (Figure 2):

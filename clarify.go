@@ -17,8 +17,10 @@ import (
 	"github.com/clarifynet/clarify/disambig"
 	"github.com/clarifynet/clarify/intent"
 	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/journal"
 	"github.com/clarifynet/clarify/llm"
 	"github.com/clarifynet/clarify/obs"
+	"github.com/clarifynet/clarify/resilience"
 	"github.com/clarifynet/clarify/spec"
 	"github.com/clarifynet/clarify/symbolic"
 )
@@ -67,10 +69,19 @@ type Session struct {
 	// live rendering of the span tree's Logf events.
 	Trace io.Writer
 	// Observer, when non-nil, receives the completed obs.Trace for every
-	// Submit call, successful or not. When both Observer and Trace are nil
-	// no spans are created at all: every stage runs against a nil *obs.Span,
-	// whose methods are allocation-free no-ops.
+	// Submit call, successful or not. When Observer, Trace, and Journal are
+	// all nil no spans are created at all: every stage runs against a nil
+	// *obs.Span, whose methods are allocation-free no-ops.
 	Observer obs.Sink
+	// Journal, when non-nil, appends one flight-recorder record per Submit
+	// call — intent, config snapshot and fingerprint, oracle transcript,
+	// SimLLM fault plan, config diff, and the full span tree — durable raw
+	// material for postmortems and deterministic replay (cmd/clarify-replay).
+	// Journaling forces span collection even with Observer and Trace nil.
+	Journal *journal.Journal
+	// JournalSession labels this session's journal records (e.g. the daemon
+	// session ID); empty is fine for single-session CLIs.
+	JournalSession string
 
 	mu    sync.Mutex
 	stats Stats
@@ -157,10 +168,11 @@ func (s *Session) maxAttempts() int {
 }
 
 // beginTrace starts the span tree for one Submit call, or returns nil when
-// observability is disabled (Observer and Trace both nil) — every obs.Span
-// method no-ops on a nil receiver, so the disabled pipeline pays nothing.
+// observability is disabled (Observer, Trace, and Journal all nil) — every
+// obs.Span method no-ops on a nil receiver, so the disabled pipeline pays
+// nothing.
 func (s *Session) beginTrace() *obs.Trace {
-	if s.Observer == nil && s.Trace == nil {
+	if s.Observer == nil && s.Trace == nil && s.Journal == nil {
 		return nil
 	}
 	t := obs.NewTrace("update")
@@ -211,6 +223,18 @@ func (s *Session) Submit(ctx context.Context, intentText, targetName string) (re
 		return nil, fmt.Errorf("clarify: session has no configuration")
 	}
 	tr := s.beginTrace()
+	// The oracles the pipeline will consult for this update. When journaling,
+	// wrap them so every answered question lands in the record's transcript —
+	// the transcript is what lets clarify-replay re-run the update without an
+	// operator. Defers run LIFO: endTrace (registered last) finishes the span
+	// tree first, then endJournal records it.
+	routeOracle, aclOracle := s.RouteOracle, s.ACLOracle
+	if s.Journal != nil {
+		rec := &answerRecorder{}
+		routeOracle = recordingRouteOracle{inner: routeOracle, rec: rec}
+		aclOracle = recordingACLOracle{inner: aclOracle, rec: rec}
+		defer func() { s.endJournal(ctx, tr, cfg, intentText, targetName, rec, res, err) }()
+	}
 	defer s.endTrace(tr, &err)
 	var root *obs.Span
 	if tr != nil {
@@ -226,9 +250,9 @@ func (s *Session) Submit(ctx context.Context, intentText, targetName string) (re
 			root.SetBool("reused", true)
 			switch entry.kind {
 			case intent.KindRouteMap:
-				return s.insertRouteSnippet(root, cfg, entry.snippet, entry.name, targetName, entry.snippetText, entry.specJSON, 0)
+				return s.insertRouteSnippet(root, cfg, entry.snippet, entry.name, targetName, entry.snippetText, entry.specJSON, 0, routeOracle)
 			case intent.KindACL:
-				return s.insertACLSnippet(root, cfg, entry.snippet, entry.name, targetName, entry.snippetText, entry.specJSON, 0)
+				return s.insertACLSnippet(root, cfg, entry.snippet, entry.name, targetName, entry.snippetText, entry.specJSON, 0, aclOracle)
 			}
 		}
 	}
@@ -246,17 +270,135 @@ func (s *Session) Submit(ctx context.Context, intentText, targetName string) (re
 	root.Logf("classified intent as %s", kind)
 	switch kind {
 	case "acl":
-		return s.submitACL(ctx, root, cfg, intentText, targetName)
+		return s.submitACL(ctx, root, cfg, intentText, targetName, aclOracle)
 	case "route-map":
-		return s.submitRouteMap(ctx, root, cfg, intentText, targetName)
+		return s.submitRouteMap(ctx, root, cfg, intentText, targetName, routeOracle)
 	default:
 		return nil, fmt.Errorf("clarify: classifier returned %q", kind)
 	}
 }
 
+// answerRecorder accumulates the oracle Q&A transcript for one journaled
+// update. Its own lock keeps it safe even if a disambiguation strategy ever
+// asks questions concurrently.
+type answerRecorder struct {
+	mu      sync.Mutex
+	answers []journal.Answer
+}
+
+func (r *answerRecorder) add(a journal.Answer) {
+	r.mu.Lock()
+	r.answers = append(r.answers, a)
+	r.mu.Unlock()
+}
+
+func (r *answerRecorder) list() []journal.Answer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]journal.Answer(nil), r.answers...)
+}
+
+// recordingRouteOracle forwards to the real oracle and transcribes the
+// rendered question plus the chosen option.
+type recordingRouteOracle struct {
+	inner disambig.RouteOracle
+	rec   *answerRecorder
+}
+
+// ChooseRoute implements disambig.RouteOracle.
+func (o recordingRouteOracle) ChooseRoute(q disambig.RouteQuestion) (bool, error) {
+	preferNew, err := o.inner.ChooseRoute(q)
+	if err == nil {
+		o.rec.add(journal.Answer{Kind: "route-map", Question: q.String(), PreferNew: preferNew})
+	}
+	return preferNew, err
+}
+
+// recordingACLOracle is the ACL analogue of recordingRouteOracle.
+type recordingACLOracle struct {
+	inner disambig.ACLOracle
+	rec   *answerRecorder
+}
+
+// ChooseACL implements disambig.ACLOracle.
+func (o recordingACLOracle) ChooseACL(q disambig.ACLQuestion) (bool, error) {
+	preferNew, err := o.inner.ChooseACL(q)
+	if err == nil {
+		o.rec.add(journal.Answer{Kind: "acl", Question: q.String(), PreferNew: preferNew})
+	}
+	return preferNew, err
+}
+
+// endJournal assembles and appends the flight-recorder record for one Submit
+// call. It runs after endTrace, so tr is finished and carries the terminal
+// error attribute; append failures are counted by the journal itself rather
+// than failing the update.
+func (s *Session) endJournal(ctx context.Context, tr *obs.Trace, base *ios.Config, intentText, targetName string, rec *answerRecorder, res *UpdateResult, err error) {
+	baseText := base.Print()
+	r := &journal.Record{
+		Time:              time.Now(),
+		Session:           s.JournalSession,
+		Intent:            intentText,
+		Target:            targetName,
+		BaseConfig:        baseText,
+		ConfigFingerprint: symbolic.Fingerprint(base),
+		MaxAttempts:       s.MaxAttempts,
+		SkipVerification:  s.SkipVerification,
+		Answers:           rec.list(),
+		Degraded:          resilience.FlagsFromContext(ctx).Degraded(),
+		Trace:             tr,
+	}
+	if tr != nil {
+		r.TraceID = tr.ID
+		r.DurationMs = float64(tr.Duration()) / float64(time.Millisecond)
+		if a, ok := tr.Root.Attr("reused"); ok {
+			r.Reused = a.Bool
+		}
+		r.SimFaults = simFaults(tr)
+	}
+	if err != nil {
+		r.Error = err.Error()
+	}
+	if res != nil {
+		r.Attempts = res.Attempts
+		if res.Config != nil {
+			r.FinalConfig = res.Config.Print()
+			r.ConfigDiff = journal.Diff(baseText, r.FinalConfig)
+		}
+	}
+	_ = s.Journal.Append(r)
+}
+
+// simFaults recovers the SimLLM fault plan an update consumed from its span
+// tree: synthesis-attempt spans carry a "sim-fault" attribute for injected
+// faults and none for clean calls. Walk order is depth-first, i.e. call
+// order. Updates served by a non-simulated LLM yield all-"none" plans, which
+// are reported as nil (no plan to re-seed).
+func simFaults(tr *obs.Trace) []string {
+	var faults []string
+	injected := false
+	tr.Walk(func(sp *obs.Span, _ int) {
+		if obs.CanonicalStage(sp.Name) != "synthesize-attempt" {
+			return
+		}
+		if a, ok := sp.Attr("sim-fault"); ok {
+			faults = append(faults, a.Str)
+			injected = true
+		} else {
+			faults = append(faults, "none")
+		}
+	})
+	if !injected {
+		return nil
+	}
+	return faults
+}
+
 // submitRouteMap is the route-map pipeline: synthesize → spec → verify loop
-// → disambiguate. cfg is the configuration snapshot the update applies to.
-func (s *Session) submitRouteMap(ctx context.Context, root *obs.Span, cfg *ios.Config, intentText, mapName string) (*UpdateResult, error) {
+// → disambiguate. cfg is the configuration snapshot the update applies to;
+// oracle is the (possibly journal-recording) disambiguation oracle for this
+// update.
+func (s *Session) submitRouteMap(ctx context.Context, root *obs.Span, cfg *ios.Config, intentText, mapName string, oracle disambig.RouteOracle) (*UpdateResult, error) {
 	store := s.store()
 
 	// Step 3 (second half): one spec-extraction call; the spec is stable
@@ -360,14 +502,14 @@ func (s *Session) submitRouteMap(ctx context.Context, root *obs.Span, cfg *ios.C
 		s.mu.Unlock()
 	}
 	root.SetInt("attempts", int64(attempts))
-	return s.insertRouteSnippet(root, cfg, snippet, snippetMap, mapName, snippetText, specResp.Content, attempts)
+	return s.insertRouteSnippet(root, cfg, snippet, snippetMap, mapName, snippetText, specResp.Content, attempts, oracle)
 }
 
 // insertRouteSnippet is step 6 for route maps: disambiguation and insertion
 // of an already-verified snippet into the cfg snapshot.
-func (s *Session) insertRouteSnippet(root *obs.Span, cfg, snippet *ios.Config, snippetMap, mapName, snippetText, specJSON string, attempts int) (*UpdateResult, error) {
+func (s *Session) insertRouteSnippet(root *obs.Span, cfg, snippet *ios.Config, snippetMap, mapName, snippetText, specJSON string, attempts int, oracle disambig.RouteOracle) (*UpdateResult, error) {
 	dsp := root.Child("disambiguate")
-	res, err := disambig.InsertRouteMapStanzaStrategyTraced(s.Strategy, s.SpaceCache, cfg, mapName, snippet, snippetMap, s.RouteOracle, dsp)
+	res, err := disambig.InsertRouteMapStanzaStrategyTraced(s.Strategy, s.SpaceCache, cfg, mapName, snippet, snippetMap, oracle, dsp)
 	if err != nil {
 		dsp.End()
 		return nil, err
@@ -394,8 +536,8 @@ func (s *Session) insertRouteSnippet(root *obs.Span, cfg, snippet *ios.Config, s
 }
 
 // submitACL is the ACL pipeline. cfg is the configuration snapshot the
-// update applies to.
-func (s *Session) submitACL(ctx context.Context, root *obs.Span, cfg *ios.Config, intentText, aclName string) (*UpdateResult, error) {
+// update applies to; oracle is this update's disambiguation oracle.
+func (s *Session) submitACL(ctx context.Context, root *obs.Span, cfg *ios.Config, intentText, aclName string, oracle disambig.ACLOracle) (*UpdateResult, error) {
 	store := s.store()
 	ssp := root.Child("spec-extract")
 	specResp, err := s.complete(ctx, ssp, store.BuildRequest(llm.TaskSpecACL,
@@ -492,14 +634,14 @@ func (s *Session) submitACL(ctx context.Context, root *obs.Span, cfg *ios.Config
 		s.mu.Unlock()
 	}
 	root.SetInt("attempts", int64(attempts))
-	return s.insertACLSnippet(root, cfg, snippet, snippetACL, aclName, snippetText, specResp.Content, attempts)
+	return s.insertACLSnippet(root, cfg, snippet, snippetACL, aclName, snippetText, specResp.Content, attempts, oracle)
 }
 
 // insertACLSnippet is step 6 for ACLs, against the cfg snapshot. (ACL spaces
 // are fixed-shape and cheap to build, so no symbolic cache is involved.)
-func (s *Session) insertACLSnippet(root *obs.Span, cfg, snippet *ios.Config, snippetACL, aclName, snippetText, specJSON string, attempts int) (*UpdateResult, error) {
+func (s *Session) insertACLSnippet(root *obs.Span, cfg, snippet *ios.Config, snippetACL, aclName, snippetText, specJSON string, attempts int, oracle disambig.ACLOracle) (*UpdateResult, error) {
 	dsp := root.Child("disambiguate")
-	res, err := disambig.InsertACLEntryTraced(cfg, aclName, snippet, snippetACL, s.ACLOracle, dsp)
+	res, err := disambig.InsertACLEntryTraced(cfg, aclName, snippet, snippetACL, oracle, dsp)
 	if err != nil {
 		dsp.End()
 		return nil, err

@@ -1,0 +1,90 @@
+// Command clarify-load drives a running clarifyd with synthetic intent
+// traffic and emits a JSON latency/throughput/SLO report on stdout.
+//
+// Usage:
+//
+//	clarify-load -addr http://127.0.0.1:8080 [-workers 4] [-duration 10s]
+//	             [-rate 20] [-max-updates 100] [-acl-fraction 0.25]
+//	             [-corpus cloud] [-seed 1] [-out report.json]
+//
+// Exit status is 0 when the run completed and every client-side SLO window
+// is quiet, 1 when any burn-rate alert is firing, 2 on operational errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/clarifynet/clarify/loadgen"
+	"github.com/clarifynet/clarify/slo"
+)
+
+func main() {
+	var cfg loadgen.Config
+	flag.StringVar(&cfg.BaseURL, "addr", "http://127.0.0.1:8080", "clarifyd base URL")
+	flag.IntVar(&cfg.Workers, "workers", 4, "concurrent workers (one daemon session each)")
+	flag.Float64Var(&cfg.Rate, "rate", 0, "target updates/second across all workers (0 = flat out)")
+	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "run length")
+	flag.IntVar(&cfg.MaxUpdates, "max-updates", 0, "stop after this many updates (0 = until -duration)")
+	flag.Float64Var(&cfg.ACLFraction, "acl-fraction", 0.25, "fraction of workers driving ACL intents")
+	flag.StringVar(&cfg.Corpus, "corpus", "cloud", "base-config corpus: cloud or campus")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "deterministic seed for intents and answers")
+	flag.DurationVar(&cfg.UpdateTimeout, "update-timeout", 60*time.Second, "per-update timeout")
+	sloWindows := flag.String("slo-windows", "", "client-side alert windows long:short:burn:severity,... (default package windows)")
+	outPath := flag.String("out", "", "write the JSON report here instead of stdout")
+	quiet := flag.Bool("quiet", false, "suppress the summary line on stderr")
+	flag.Parse()
+
+	if *sloWindows != "" {
+		ws, err := slo.ParseWindows(*sloWindows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clarify-load: -slo-windows:", err)
+			os.Exit(2)
+		}
+		cfg.SLO = &slo.Config{Windows: ws}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clarify-load:", err)
+		os.Exit(2)
+	}
+
+	if !*quiet {
+		fmt.Fprintf(os.Stderr,
+			"clarify-load: %d updates (%d failed, %d degraded) in %.1fs; %.1f ok/s; p50 %.0fms p95 %.0fms p99 %.0fms\n",
+			rep.Updates, rep.Failures, rep.Degraded, rep.DurationSeconds,
+			rep.Throughput, rep.Latency.P50Ms, rep.Latency.P95Ms, rep.Latency.P99Ms)
+		if rep.ClientSLO.Firing() {
+			fmt.Fprintln(os.Stderr, "clarify-load: client-side SLO burn-rate alert FIRING")
+		}
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clarify-load:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "clarify-load:", err)
+		os.Exit(2)
+	}
+	if rep.ClientSLO.Firing() {
+		os.Exit(1)
+	}
+}

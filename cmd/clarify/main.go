@@ -35,6 +35,7 @@ import (
 	"github.com/clarifynet/clarify/chaoshttp"
 	"github.com/clarifynet/clarify/disambig"
 	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/journal"
 	"github.com/clarifynet/clarify/llm"
 	"github.com/clarifynet/clarify/obs"
 	"github.com/clarifynet/clarify/resilience"
@@ -62,6 +63,9 @@ type cliOptions struct {
 	chaosSpec string
 	// fallbackSim degrades http-backend failures onto the simulated LLM.
 	fallbackSim bool
+	// journalDir, when non-empty, appends one flight-recorder record per
+	// update there (see the journal package and cmd/clarify-replay).
+	journalDir string
 }
 
 func main() {
@@ -77,6 +81,7 @@ func main() {
 		simFaults  = flag.String("sim-faults", "", "comma-separated fault plan for the sim LLM (wrong-value, widen-mask, drop-match, flip-action, syntax, none)")
 		chaosSpec  = flag.String("chaos", "", "inject transport faults into the http backend, e.g. \"seed=42,reset=0.2\" or \"down\"")
 		fbSim      = flag.Bool("fallback-sim", false, "degrade to the simulated LLM when the http backend fails")
+		journalDir = flag.String("journal", "", "append one flight-recorder record per update to this directory (replayable with clarify-replay)")
 		verbose    = flag.Bool("v", false, "trace pipeline steps to stderr")
 	)
 	flag.Parse()
@@ -104,34 +109,13 @@ func main() {
 			simFaults:   *simFaults,
 			chaosSpec:   *chaosSpec,
 			fallbackSim: *fbSim,
+			journalDir:  *journalDir,
 		}, os.Stdin, os.Stdout)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clarify:", err)
 		os.Exit(1)
 	}
-}
-
-// parseFaults turns a comma-separated plan ("wrong-value,syntax") into the
-// simulator's fault sequence.
-func parseFaults(plan string) ([]llm.Fault, error) {
-	if strings.TrimSpace(plan) == "" {
-		return nil, nil
-	}
-	byName := map[string]llm.Fault{}
-	for _, f := range []llm.Fault{llm.FaultNone, llm.FaultWrongValue, llm.FaultWidenMask,
-		llm.FaultDropMatch, llm.FaultFlipAction, llm.FaultSyntax} {
-		byName[f.String()] = f
-	}
-	var out []llm.Fault
-	for _, name := range strings.Split(plan, ",") {
-		f, ok := byName[strings.TrimSpace(name)]
-		if !ok {
-			return nil, fmt.Errorf("unknown fault %q in -sim-faults", strings.TrimSpace(name))
-		}
-		out = append(out, f)
-	}
-	return out, nil
 }
 
 func run(opts cliOptions, stdin io.Reader, out io.Writer) error {
@@ -143,9 +127,9 @@ func run(opts cliOptions, stdin io.Reader, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	faults, err := parseFaults(opts.simFaults)
+	faults, err := llm.ParseFaultPlan(opts.simFaults)
 	if err != nil {
-		return err
+		return fmt.Errorf("-sim-faults: %w", err)
 	}
 
 	var client llm.Client
@@ -185,15 +169,26 @@ func run(opts cliOptions, stdin io.Reader, out io.Writer) error {
 		observer = obs.NewJSONWriter(f)
 	}
 
+	var jnl *journal.Journal
+	if opts.journalDir != "" {
+		jnl, err = journal.Open(journal.Options{Dir: opts.journalDir})
+		if err != nil {
+			return err
+		}
+		defer jnl.Close()
+	}
+
 	in := bufio.NewScanner(stdin)
 	oracle := &consoleOracle{in: in, out: out}
 	session := &clarify.Session{
-		Client:      client,
-		Config:      cfg,
-		RouteOracle: oracle,
-		ACLOracle:   oracle,
-		Trace:       opts.trace,
-		Observer:    observer,
+		Client:         client,
+		Config:         cfg,
+		RouteOracle:    oracle,
+		ACLOracle:      oracle,
+		Trace:          opts.trace,
+		Observer:       observer,
+		Journal:        jnl,
+		JournalSession: "cli",
 	}
 
 	fmt.Fprintln(out, "Enter one intent per line (empty line to finish):")

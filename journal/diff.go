@@ -1,0 +1,64 @@
+package journal
+
+import "strings"
+
+// Diff renders a minimal unified-style line diff from a to b: unchanged
+// lines prefixed "  ", removals "- ", additions "+ ". It exists so a journal
+// record shows *what the update changed* at a glance without the reader
+// re-deriving it from two full config texts. The alignment is a classic
+// longest-common-subsequence over lines — config texts are small (hundreds
+// of lines), so the quadratic table is fine.
+func Diff(a, b string) string {
+	if a == b {
+		return ""
+	}
+	al := splitLines(a)
+	bl := splitLines(b)
+	// lcs[i][j] = length of the LCS of al[i:] and bl[j:].
+	lcs := make([][]int, len(al)+1)
+	for i := range lcs {
+		lcs[i] = make([]int, len(bl)+1)
+	}
+	for i := len(al) - 1; i >= 0; i-- {
+		for j := len(bl) - 1; j >= 0; j-- {
+			if al[i] == bl[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var out strings.Builder
+	i, j := 0, 0
+	for i < len(al) && j < len(bl) {
+		switch {
+		case al[i] == bl[j]:
+			out.WriteString("  " + al[i] + "\n")
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			out.WriteString("- " + al[i] + "\n")
+			i++
+		default:
+			out.WriteString("+ " + bl[j] + "\n")
+			j++
+		}
+	}
+	for ; i < len(al); i++ {
+		out.WriteString("- " + al[i] + "\n")
+	}
+	for ; j < len(bl); j++ {
+		out.WriteString("+ " + bl[j] + "\n")
+	}
+	return out.String()
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimRight(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

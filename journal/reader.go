@@ -1,0 +1,100 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// maxRecordBytes bounds one journal line on read. Records carry full config
+// texts and span trees, so the bound is generous; a line over it is treated
+// like a corrupt record (skipped and counted), not a fatal error.
+const maxRecordBytes = 64 << 20
+
+// ReadStats reports what a scan encountered, so callers can surface
+// corruption (crash-truncated tails, partial writes) instead of silently
+// dropping it.
+type ReadStats struct {
+	// Segments is the number of segment files visited.
+	Segments int `json:"segments"`
+	// Records is the number of well-formed records decoded.
+	Records int `json:"records"`
+	// Skipped is the number of undecodable lines — typically the truncated
+	// tail record of a crashed writer's final segment.
+	Skipped int `json:"skipped"`
+	// SkippedAt lists "file:line" locations of skipped records (bounded).
+	SkippedAt []string `json:"skippedAt,omitempty"`
+}
+
+const maxSkipLocations = 16
+
+// Scan streams every record in the journal directory in write order (oldest
+// segment first, line order within a segment), calling fn for each decoded
+// record. Undecodable lines — a crash mid-append leaves exactly one, at the
+// tail of the last segment written — are skipped and counted, never fatal.
+// fn returning an error stops the scan and returns that error.
+func Scan(dir string, fn func(rec *Record) error) (ReadStats, error) {
+	var stats ReadStats
+	segs, err := Segments(dir)
+	if err != nil {
+		return stats, err
+	}
+	for _, seg := range segs {
+		stats.Segments++
+		if err := scanSegment(seg, fn, &stats); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+func scanSegment(path string, fn func(rec *Record) error, stats *ReadStats) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), maxRecordBytes)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		rec := new(Record)
+		if err := json.Unmarshal(line, rec); err != nil {
+			stats.skip(path, lineNo)
+			continue
+		}
+		stats.Records++
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// A line the scanner cannot finish (e.g. over the buffer bound, or an
+		// I/O error at the tail) is corruption, not a reason to fail the scan.
+		stats.skip(path, lineNo+1)
+	}
+	return nil
+}
+
+func (s *ReadStats) skip(path string, line int) {
+	s.Skipped++
+	if len(s.SkippedAt) < maxSkipLocations {
+		s.SkippedAt = append(s.SkippedAt, fmt.Sprintf("%s:%d", path, line))
+	}
+}
+
+// ReadAll decodes every record in the journal directory.
+func ReadAll(dir string) ([]*Record, ReadStats, error) {
+	var recs []*Record
+	stats, err := Scan(dir, func(rec *Record) error {
+		recs = append(recs, rec)
+		return nil
+	})
+	return recs, stats, err
+}

@@ -2,6 +2,7 @@ package llm
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"sync"
 
@@ -48,6 +49,35 @@ func (f Fault) String() string {
 	default:
 		return "unknown"
 	}
+}
+
+// ParseFault inverts Fault.String — the form faults take in CLI flags and
+// journal records.
+func ParseFault(name string) (Fault, error) {
+	for _, f := range []Fault{FaultNone, FaultWrongValue, FaultWidenMask,
+		FaultDropMatch, FaultFlipAction, FaultSyntax} {
+		if f.String() == name {
+			return f, nil
+		}
+	}
+	return FaultNone, fmt.Errorf("llm: unknown fault %q", name)
+}
+
+// ParseFaultPlan turns a comma-separated plan ("wrong-value,syntax") into
+// the simulator's fault sequence. Empty or blank input is an empty plan.
+func ParseFaultPlan(plan string) ([]Fault, error) {
+	if strings.TrimSpace(plan) == "" {
+		return nil, nil
+	}
+	var out []Fault
+	for _, name := range strings.Split(plan, ",") {
+		f, err := ParseFault(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
 // SimLLM is the deterministic offline stand-in for GPT-4: it parses the

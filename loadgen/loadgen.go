@@ -1,0 +1,366 @@
+// Package loadgen drives a running clarifyd with synthetic intent traffic
+// and reports latency, throughput, and SLO compliance — the measurement half
+// of the flight-recorder story: journal + replay explain what the daemon
+// did, loadgen establishes what it can sustain.
+//
+// The generator reuses the workload package's paper-shaped corpora for base
+// configurations and emits intents in the restricted-English grammar the
+// simulated LLM understands, so runs are deterministic per seed and work
+// against a daemon in any backend mode. Each worker owns one daemon session
+// (concurrent submits to one session are rejected with 409 by design) and
+// runs closed-loop, optionally paced to a target arrival rate.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/clarifynet/clarify/server"
+	"github.com/clarifynet/clarify/slo"
+	"github.com/clarifynet/clarify/workload"
+)
+
+// Config shapes one load run.
+type Config struct {
+	// BaseURL is the clarifyd root, e.g. "http://127.0.0.1:8080".
+	BaseURL string `json:"baseUrl"`
+	// Workers is the number of concurrent closed-loop workers; each owns one
+	// daemon session (default 4).
+	Workers int `json:"workers"`
+	// Rate, when positive, paces submissions to this many updates/second
+	// across all workers (open-ish loop); zero runs flat out.
+	Rate float64 `json:"rate,omitempty"`
+	// Duration bounds the run's wall-clock time (default 10s).
+	Duration time.Duration `json:"-"`
+	// MaxUpdates, when positive, stops the run after this many updates even
+	// if Duration remains.
+	MaxUpdates int `json:"maxUpdates,omitempty"`
+	// ACLFraction is the fraction of workers driving ACL sessions instead of
+	// route-map sessions (default 0.25).
+	ACLFraction float64 `json:"aclFraction"`
+	// Corpus selects the workload generator: "cloud" (default) or "campus".
+	Corpus string `json:"corpus"`
+	// Seed makes the intent stream and answer choices deterministic.
+	Seed int64 `json:"seed"`
+	// UpdateTimeout bounds each update end to end, including question
+	// round-trips and backpressure retries (default 60s).
+	UpdateTimeout time.Duration `json:"-"`
+	// SLO, when non-nil, overrides the objectives the report evaluates
+	// client-side; nil uses the slo package defaults.
+	SLO *slo.Config `json:"-"`
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return 4
+	}
+	return c.Workers
+}
+
+func (c Config) duration() time.Duration {
+	if c.Duration <= 0 {
+		return 10 * time.Second
+	}
+	return c.Duration
+}
+
+func (c Config) updateTimeout() time.Duration {
+	if c.UpdateTimeout <= 0 {
+		return 60 * time.Second
+	}
+	return c.UpdateTimeout
+}
+
+func (c Config) aclFraction() float64 {
+	if c.ACLFraction < 0 {
+		return 0
+	}
+	if c.ACLFraction > 1 {
+		return 1
+	}
+	if c.ACLFraction == 0 {
+		return 0.25
+	}
+	return c.ACLFraction
+}
+
+// LatencySummary aggregates observed update latencies in milliseconds.
+// Percentiles here are exact (computed from every sample), unlike the
+// bucket-interpolated estimates in the daemon's /metrics.
+type LatencySummary struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P95Ms  float64 `json:"p95Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	MaxMs  float64 `json:"maxMs"`
+}
+
+// Report is the JSON document cmd/clarify-load emits.
+type Report struct {
+	Config Config `json:"config"`
+	// DurationSeconds is the measured run length.
+	DurationSeconds float64 `json:"durationSeconds"`
+	// Updates counts terminal updates; Failures those that ended in error
+	// (including timeouts); Degraded those served by a fallback backend.
+	Updates  int `json:"updates"`
+	Failures int `json:"failures"`
+	Degraded int `json:"degraded"`
+	// Throughput is successful updates per second.
+	Throughput float64 `json:"throughput"`
+	// Latency summarizes per-update latency as measured by the client.
+	Latency LatencySummary `json:"latency"`
+	// Errors histograms failure messages (bounded).
+	Errors map[string]int `json:"errors,omitempty"`
+	// ClientSLO evaluates the configured objectives against the client-side
+	// outcome stream.
+	ClientSLO slo.Snapshot `json:"clientSlo"`
+	// DaemonSLO is the daemon's own GET /debug/slo state at run end, when
+	// reachable — the server-side view of the same traffic, including any
+	// burn-rate alerts the run induced.
+	DaemonSLO *slo.Snapshot `json:"daemonSlo,omitempty"`
+}
+
+const maxErrorKinds = 16
+
+// Run executes one load run against a live daemon.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: Config.BaseURL is required")
+	}
+	if cfg.Corpus == "" {
+		cfg.Corpus = "cloud"
+	}
+	workers := cfg.workers()
+	nACL := int(float64(workers)*cfg.aclFraction() + 0.5)
+	if nACL > workers {
+		nACL = workers
+	}
+	nRM := workers - nACL
+
+	// Corpus configs are deterministic per seed; generate exactly as many as
+	// the workers need. Every config holds one "ACL<i>"/"RM<i>" target.
+	var corpus *workload.Corpus
+	switch cfg.Corpus {
+	case "cloud":
+		corpus = workload.Cloud(cfg.Seed, nACL, nRM)
+	case "campus":
+		corpus = workload.Campus(cfg.Seed, nACL, nRM)
+	default:
+		return nil, fmt.Errorf("loadgen: unknown corpus %q (want cloud or campus)", cfg.Corpus)
+	}
+
+	sloCfg := slo.Config{}
+	if cfg.SLO != nil {
+		sloCfg = *cfg.SLO
+	}
+	clientSLO, err := slo.New(sloCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	client := &server.Client{BaseURL: cfg.BaseURL}
+	runCtx, cancel := context.WithTimeout(ctx, cfg.duration())
+	defer cancel()
+
+	// Per-worker pacing: a worker sleeps workers/Rate between submissions so
+	// the fleet approximates the target arrival rate.
+	var pace time.Duration
+	if cfg.Rate > 0 {
+		pace = time.Duration(float64(workers) / cfg.Rate * float64(time.Second))
+	}
+
+	type sample struct {
+		ms       float64
+		failed   bool
+		degraded bool
+		errMsg   string
+	}
+	var (
+		mu      sync.Mutex
+		samples []sample
+		total   int
+	)
+	budgetLeft := func() bool {
+		if cfg.MaxUpdates <= 0 {
+			return true
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if total >= cfg.MaxUpdates {
+			return false
+		}
+		total++
+		return true
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		isACL := w < nACL
+		var cfgIdx int
+		if isACL {
+			cfgIdx = w
+		} else {
+			cfgIdx = w - nACL
+		}
+		var baseCfg = corpus.RouteMapConfigs
+		target := fmt.Sprintf("RM%d", cfgIdx)
+		if isACL {
+			baseCfg = corpus.ACLConfigs
+			target = fmt.Sprintf("ACL%d", cfgIdx)
+		}
+		if cfgIdx >= len(baseCfg) {
+			continue // corpus generated fewer configs than asked; skip worker
+		}
+		configText := baseCfg[cfgIdx].Print()
+
+		wg.Add(1)
+		go func(w int, configText, target string, isACL bool) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			sid, err := client.CreateSession(runCtx, server.CreateSessionRequest{Config: configText})
+			if err != nil {
+				mu.Lock()
+				samples = append(samples, sample{failed: true, errMsg: "create session: " + trimErr(err)})
+				mu.Unlock()
+				return
+			}
+			defer client.DeleteSession(context.Background(), sid)
+			answer := func(q server.Question) (int, error) {
+				return 1 + rng.Intn(2), nil
+			}
+			for runCtx.Err() == nil && budgetLeft() {
+				intentText := Intent(rng, isACL)
+				uctx, ucancel := context.WithTimeout(runCtx, cfg.updateTimeout())
+				t0 := time.Now()
+				u, err := client.RunUpdate(uctx, sid, intentText, target, answer)
+				elapsed := time.Since(t0)
+				ucancel()
+				sm := sample{ms: float64(elapsed) / float64(time.Millisecond)}
+				switch {
+				case err != nil:
+					if runCtx.Err() != nil {
+						break // run ended mid-update; don't count the partial
+					}
+					sm.failed = true
+					sm.errMsg = trimErr(err)
+				case u.Status != server.StatusDone:
+					sm.failed = true
+					sm.errMsg = u.Error
+				default:
+					sm.degraded = u.Degraded
+				}
+				if runCtx.Err() != nil && err != nil {
+					break
+				}
+				clientSLO.Observe(elapsed, sm.failed)
+				mu.Lock()
+				samples = append(samples, sm)
+				mu.Unlock()
+				if pace > 0 {
+					select {
+					case <-time.After(pace):
+					case <-runCtx.Done():
+					}
+				}
+			}
+		}(w, configText, target, isACL)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Config:          cfg,
+		DurationSeconds: elapsed.Seconds(),
+		Errors:          map[string]int{},
+		ClientSLO:       clientSLO.Snapshot(),
+	}
+	var lat []float64
+	var sumMs float64
+	for _, sm := range samples {
+		rep.Updates++
+		if sm.failed {
+			rep.Failures++
+			if len(rep.Errors) < maxErrorKinds || rep.Errors[sm.errMsg] > 0 {
+				rep.Errors[sm.errMsg]++
+			}
+			continue
+		}
+		if sm.degraded {
+			rep.Degraded++
+		}
+		lat = append(lat, sm.ms)
+		sumMs += sm.ms
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(len(lat)) / elapsed.Seconds()
+	}
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		rep.Latency = LatencySummary{
+			Count:  len(lat),
+			MeanMs: sumMs / float64(len(lat)),
+			P50Ms:  percentile(lat, 0.50),
+			P95Ms:  percentile(lat, 0.95),
+			P99Ms:  percentile(lat, 0.99),
+			MaxMs:  lat[len(lat)-1],
+		}
+	}
+	if len(rep.Errors) == 0 {
+		rep.Errors = nil
+	}
+	// Fetch the daemon's own SLO view with a fresh context: runCtx is spent.
+	sctx, scancel := context.WithTimeout(ctx, 5*time.Second)
+	defer scancel()
+	if snap, err := client.SLO(sctx); err == nil {
+		rep.DaemonSLO = &snap
+	}
+	return rep, nil
+}
+
+// percentile reads the q-quantile from ascending samples (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}
+
+func trimErr(err error) string {
+	s := err.Error()
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}
+
+// Intent generates one restricted-English intent the simulated LLM can
+// synthesize from: route-map intents in the §2.1 walkthrough's phrasing,
+// ACL intents in the grammar's from/to/port form. Deterministic per rng.
+func Intent(rng *rand.Rand, acl bool) string {
+	if acl {
+		proto := []string{"tcp", "udp"}[rng.Intn(2)]
+		return fmt.Sprintf(
+			"Add an entry that permits %s traffic from 10.%d.%d.0/24 to any host on port %d.",
+			proto, rng.Intn(250), rng.Intn(250), 1024+rng.Intn(40000))
+	}
+	octet := 1 + rng.Intn(220)
+	maskHi := 17 + rng.Intn(12)
+	return fmt.Sprintf(
+		"Write a route-map stanza that permits routes containing the prefix %d.%d.0.0/16 "+
+			"with mask length less than or equal to %d and tagged with the community %d:%d. "+
+			"Their MED value should be set to %d.",
+		octet, rng.Intn(250), maskHi, 100+rng.Intn(900), rng.Intn(100), 1+rng.Intn(200))
+}

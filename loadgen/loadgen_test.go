@@ -1,0 +1,166 @@
+package loadgen_test
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/clarifynet/clarify/chaoshttp"
+	"github.com/clarifynet/clarify/llm"
+	"github.com/clarifynet/clarify/llm/llmtest"
+	"github.com/clarifynet/clarify/loadgen"
+	"github.com/clarifynet/clarify/server"
+	"github.com/clarifynet/clarify/slo"
+)
+
+// startDaemon runs a clarifyd behind httptest and returns its base URL.
+func startDaemon(t *testing.T, opts server.Options) string {
+	t.Helper()
+	srv := server.New(opts)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		hs.Close()
+	})
+	return hs.URL
+}
+
+// TestLoadSmoke is the CI smoke run: a short clarify-load burst against an
+// in-process daemon must complete without failures, produce a parseable
+// report, and leave the error budget intact.
+func TestLoadSmoke(t *testing.T) {
+	url := startDaemon(t, server.Options{Workers: 4})
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     url,
+		Workers:     4,
+		MaxUpdates:  8,
+		Duration:    2 * time.Minute, // bounded by MaxUpdates, not time
+		ACLFraction: 0.5,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Updates != 8 || rep.Failures != 0 {
+		t.Fatalf("updates/failures = %d/%d, want 8/0; errors: %v",
+			rep.Updates, rep.Failures, rep.Errors)
+	}
+	if rep.Throughput <= 0 || rep.Latency.Count != 8 || rep.Latency.P50Ms <= 0 {
+		t.Fatalf("report lacks throughput/latency: %+v", rep)
+	}
+	if rep.Latency.P99Ms < rep.Latency.P50Ms || rep.Latency.MaxMs < rep.Latency.P99Ms {
+		t.Errorf("percentiles unordered: %+v", rep.Latency)
+	}
+
+	// The report must round-trip as JSON (CI parses it with a script).
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back loadgen.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Updates != rep.Updates {
+		t.Fatalf("JSON round trip lost updates: %d != %d", back.Updates, rep.Updates)
+	}
+
+	// Error budget respected on both the client's and the daemon's view.
+	if rep.ClientSLO.Firing() {
+		t.Error("client-side SLO alert firing on a clean run")
+	}
+	for _, o := range rep.ClientSLO.Objectives {
+		if o.Bad != 0 {
+			t.Errorf("client objective %s counted %d bad on a clean run", o.Objective.Name, o.Bad)
+		}
+	}
+	if rep.DaemonSLO == nil {
+		t.Fatal("report is missing the daemon's /debug/slo snapshot")
+	}
+	if rep.DaemonSLO.Firing() {
+		t.Error("daemon SLO alert firing on a clean run")
+	}
+	for _, o := range rep.DaemonSLO.Objectives {
+		if o.Objective.Name == "availability" && o.Good < 8 {
+			t.Errorf("daemon availability good = %d, want >= 8", o.Good)
+		}
+	}
+}
+
+// TestIntentDeterminism: identical seeds must generate identical traffic, so
+// a load run is reproducible.
+func TestIntentDeterminism(t *testing.T) {
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		acl := i%2 == 0
+		ia, ib := loadgen.Intent(a, acl), loadgen.Intent(b, acl)
+		if ia != ib {
+			t.Fatalf("intent %d diverged:\n%s\n%s", i, ia, ib)
+		}
+	}
+}
+
+// TestLoadChaosBurnRate is the acceptance run: clarify-load against a daemon
+// whose LLM endpoint is hard down must record the downtime as firing
+// burn-rate alerts on both the daemon's SLO monitor and the client's.
+func TestLoadChaosBurnRate(t *testing.T) {
+	// A real llmtest endpoint behind a 100%-reset chaos transport: every
+	// completion dies, every update fails.
+	endpoint := httptest.NewServer(llmtest.NewHandler(llm.NewSimLLM()))
+	t.Cleanup(endpoint.Close)
+	rt := chaoshttp.New(chaoshttp.Plan{Seed: 1, Reset: 1}, endpoint.Client().Transport)
+
+	// Tight windows so a seconds-long test outage registers: burn 2 over
+	// 30s/2s windows with 1% budget fires on any sustained failure burst.
+	windows := []slo.Window{{Long: 30 * time.Second, Short: 2 * time.Second, Burn: 2, Severity: "page"}}
+	daemonSLO, err := slo.New(slo.Config{Windows: windows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := startDaemon(t, server.Options{
+		Workers: 4,
+		SLO:     daemonSLO,
+		NewClient: func() llm.Client {
+			return &llm.HTTPClient{
+				BaseURL: endpoint.URL,
+				Model:   "sim",
+				HTTP:    &http.Client{Transport: rt, Timeout: 5 * time.Second},
+			}
+		},
+	})
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:    url,
+		Workers:    2,
+		MaxUpdates: 8,
+		Duration:   time.Minute,
+		Seed:       1,
+		SLO:        &slo.Config{Windows: windows},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures == 0 {
+		t.Fatalf("no failures under a hard-down LLM endpoint: %+v", rep)
+	}
+	if !rep.ClientSLO.Firing() {
+		t.Errorf("client-side burn-rate alert not firing after %d/%d failures: %+v",
+			rep.Failures, rep.Updates, rep.ClientSLO)
+	}
+	if rep.DaemonSLO == nil || !rep.DaemonSLO.Firing() {
+		t.Errorf("daemon burn-rate alert not firing; snapshot: %+v", rep.DaemonSLO)
+	}
+	// The outage must show as spent error budget, not just a transient alert.
+	for _, o := range rep.ClientSLO.Objectives {
+		if o.Objective.Name == "availability" && o.ErrorBudgetRemaining > 0.5 {
+			t.Errorf("availability budget remaining = %v after total outage, want heavily spent",
+				o.ErrorBudgetRemaining)
+		}
+	}
+}

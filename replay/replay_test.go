@@ -1,0 +1,222 @@
+package replay_test
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/clarifynet/clarify"
+	"github.com/clarifynet/clarify/disambig"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/journal"
+	"github.com/clarifynet/clarify/llm"
+	"github.com/clarifynet/clarify/replay"
+	"github.com/clarifynet/clarify/symbolic"
+)
+
+const paperISPOut = `ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+`
+
+const paperPrompt = `Write a route-map stanza that permits routes containing the prefix 100.0.0.0/16 with mask length less than or equal to 23 and tagged with the community 300:3. Their MED value should be set to 55.`
+
+// record journals one live §2.1 walkthrough into dir and returns the journal
+// directory. Faults seed the SimLLM; routeAnswer scripts the operator.
+func record(t *testing.T, dir string, faults []llm.Fault, routeAnswer bool, intent, target string) {
+	t.Helper()
+	jnl, err := journal.Open(journal.Options{Dir: dir, Fsync: journal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl.Close()
+	s := &clarify.Session{
+		Client: llm.NewSimLLM(faults...),
+		Config: ios.MustParse(paperISPOut),
+		RouteOracle: disambig.FuncRouteOracle(func(disambig.RouteQuestion) (bool, error) {
+			return routeAnswer, nil
+		}),
+		Journal:        jnl,
+		JournalSession: "test",
+	}
+	// Errors are a legitimate journaled outcome (the unknown-target case
+	// below); the journal must capture them rather than the test failing.
+	_, _ = s.Submit(context.Background(), intent, target)
+}
+
+// TestReplayDeterminism is the PR's acceptance walkthrough: journal the
+// paper's §2.1 example with one injected synthesis fault (so the record
+// carries a non-trivial fault plan AND a Q&A transcript), then replay it
+// from the journal alone. The replay must land on the byte-identical final
+// configuration and an identical span-tree stage shape.
+func TestReplayDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, []llm.Fault{llm.FaultWrongValue}, true, paperPrompt, "ISP_OUT")
+
+	recs, stats, err := journal.ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || stats.Skipped != 0 {
+		t.Fatalf("journal holds %d records (%d skipped), want 1 clean", len(recs), stats.Skipped)
+	}
+	rec := recs[0]
+	if rec.Error != "" {
+		t.Fatalf("recorded update failed: %s", rec.Error)
+	}
+	if len(rec.SimFaults) == 0 || rec.SimFaults[0] != llm.FaultWrongValue.String() {
+		t.Fatalf("SimFaults = %v, want the injected %s first", rec.SimFaults, llm.FaultWrongValue)
+	}
+	if len(rec.Answers) == 0 {
+		t.Fatal("record has no Q&A transcript; disambiguation was not transcribed")
+	}
+	for _, a := range rec.Answers {
+		if a.Kind != "route-map" || !a.PreferNew || a.Question == "" {
+			t.Fatalf("answer = %+v, want rendered route-map question with PreferNew", a)
+		}
+	}
+	if rec.FinalConfig == "" || rec.ConfigDiff == "" || rec.Trace == nil {
+		t.Fatal("record is not self-contained: missing final config, diff, or trace")
+	}
+	if !strings.Contains(rec.ConfigDiff, "+ ") {
+		t.Fatalf("ConfigDiff shows no added lines:\n%s", rec.ConfigDiff)
+	}
+	if rec.ConfigFingerprint == "" {
+		t.Fatal("record lacks the symbolic-space fingerprint")
+	}
+
+	// The faulted walkthrough takes two synthesis attempts; the shape must
+	// show both.
+	shape := replay.Shape(rec.Trace.Root)
+	for _, stage := range []string{"classify", "spec-extract", "synthesize-attempt-1", "synthesize-attempt-2", "disambiguate"} {
+		if !strings.Contains(shape, stage) {
+			t.Fatalf("recorded shape %s missing stage %s", shape, stage)
+		}
+	}
+
+	sum, err := replay.Dir(context.Background(), dir, replay.Options{SpaceCache: symbolic.NewSpaceCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Ok() || sum.Replayed != 1 || sum.Matches != 1 {
+		t.Fatalf("replay summary = %+v, want 1 clean match", sum)
+	}
+
+	// Belt and braces for the byte-identity claim: replay the record by hand
+	// and compare the configuration text directly.
+	out := replay.Record(context.Background(), rec, 0, replay.Options{})
+	if out.Status != replay.StatusMatch {
+		t.Fatalf("Record outcome = %+v, want match", out)
+	}
+}
+
+// TestReplayErrorRecordsMatch journals a failing update (unknown target) and
+// checks the replay reproduces the same terminal error.
+func TestReplayErrorRecordsMatch(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, nil, true, paperPrompt, "NO_SUCH_MAP")
+
+	recs, _, err := journal.ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Error == "" {
+		t.Fatalf("want one record with a captured error, got %+v", recs)
+	}
+	sum, err := replay.Dir(context.Background(), dir, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Ok() || sum.Matches != 1 {
+		t.Fatalf("summary = %+v, want the error outcome to replay as a match", sum)
+	}
+}
+
+// TestReplayDetectsTampering corrupts a recorded final config and checks the
+// replay flags the divergence instead of matching.
+func TestReplayDetectsTampering(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, nil, true, paperPrompt, "ISP_OUT")
+	recs, _, err := journal.ReadAll(dir)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("ReadAll = %d recs, %v", len(recs), err)
+	}
+	rec := recs[0]
+	rec.FinalConfig = strings.Replace(rec.FinalConfig, "set metric 55", "set metric 56", 1)
+	out := replay.Record(context.Background(), rec, 0, replay.Options{})
+	if out.Status != replay.StatusConfigMismatch {
+		t.Fatalf("outcome = %+v, want config-mismatch on tampered record", out)
+	}
+	if !strings.Contains(out.Detail, "metric") {
+		t.Errorf("detail %q should locate the diverging line", out.Detail)
+	}
+}
+
+// TestReplayBadTranscript truncates the Q&A transcript: the replayed
+// pipeline asks more questions than the recording holds, which must surface
+// as a bad record, not a hang or a panic.
+func TestReplayBadTranscript(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, nil, true, paperPrompt, "ISP_OUT")
+	recs, _, err := journal.ReadAll(dir)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("ReadAll = %d recs, %v", len(recs), err)
+	}
+	rec := recs[0]
+	if len(rec.Answers) == 0 {
+		t.Fatal("walkthrough asked no questions; cannot truncate transcript")
+	}
+	rec.Answers = nil
+	out := replay.Record(context.Background(), rec, 0, replay.Options{})
+	if out.Status != replay.StatusBadRecord {
+		t.Fatalf("outcome = %+v, want bad-record on truncated transcript", out)
+	}
+}
+
+// TestReplaySkipsReusedRecords: reuse-path records carry no LLM calls and
+// must be skipped, not failed.
+func TestReplaySkipsReusedRecords(t *testing.T) {
+	out := replay.Record(context.Background(), &journal.Record{Reused: true}, 0, replay.Options{})
+	if out.Status != replay.StatusSkipped {
+		t.Fatalf("outcome = %+v, want skipped", out)
+	}
+}
+
+// TestReplaySurvivesCrashTail replays a directory whose last record was
+// truncated mid-write: the intact records replay, the torn one is counted.
+func TestReplaySurvivesCrashTail(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, nil, true, paperPrompt, "ISP_OUT")
+	segs, err := journal.Segments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("Segments = %v, %v", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a second, torn record (half of the first one's bytes, no
+	// newline) — a crash mid-append.
+	torn := append(append([]byte{}, data...), data[:len(data)/2]...)
+	if err := os.WriteFile(segs[0], torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := replay.Dir(context.Background(), dir, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Ok() || sum.Matches != 1 {
+		t.Fatalf("summary = %+v, want the intact record to match", sum)
+	}
+	if sum.Read.Skipped != 1 {
+		t.Fatalf("Read.Skipped = %d, want the torn tail counted", sum.Read.Skipped)
+	}
+}

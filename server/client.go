@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/clarifynet/clarify"
+	"github.com/clarifynet/clarify/slo"
 )
 
 // Client is the Go client for a running clarifyd. It is safe for concurrent
@@ -184,6 +185,13 @@ func (c *Client) Stats(ctx context.Context, id string) (clarify.Stats, error) {
 func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
 	var out MetricsSnapshot
 	err := c.do(ctx, http.MethodGet, "/metrics", nil, &out)
+	return out, err
+}
+
+// SLO fetches the daemon's rolling objective state (GET /debug/slo).
+func (c *Client) SLO(ctx context.Context) (slo.Snapshot, error) {
+	var out slo.Snapshot
+	err := c.do(ctx, http.MethodGet, "/debug/slo", nil, &out)
 	return out, err
 }
 

@@ -6,30 +6,34 @@ import (
 	"time"
 
 	"github.com/clarifynet/clarify"
+	"github.com/clarifynet/clarify/journal"
 	"github.com/clarifynet/clarify/obs"
 	"github.com/clarifynet/clarify/resilience"
+	"github.com/clarifynet/clarify/slo"
 	"github.com/clarifynet/clarify/symbolic"
 )
 
-// latencyBuckets are the histogram upper bounds in milliseconds; the last
-// implicit bucket is +Inf.
-var latencyBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+// defaultLatencyBuckets are the histogram upper bounds in milliseconds when
+// Options.LatencyBucketsMs is empty; the last implicit bucket is +Inf.
+var defaultLatencyBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
 
 // histogram is a fixed-bucket latency histogram. It is guarded by the owning
-// metrics mutex.
+// metrics mutex. Every histogram in one metrics instance shares the same
+// bucket table, chosen at server construction.
 type histogram struct {
-	counts []int64 // len(latencyBuckets)+1, last bucket is +Inf
-	sumMs  float64
-	n      int64
+	buckets []float64
+	counts  []int64 // len(buckets)+1, last bucket is +Inf
+	sumMs   float64
+	n       int64
 }
 
-func newHistogram() *histogram {
-	return &histogram{counts: make([]int64, len(latencyBuckets)+1)}
+func newHistogram(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, counts: make([]int64, len(buckets)+1)}
 }
 
 func (h *histogram) observe(d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
-	i := sort.SearchFloat64s(latencyBuckets, ms)
+	i := sort.SearchFloat64s(h.buckets, ms)
 	h.counts[i]++
 	h.sumMs += ms
 	h.n++
@@ -43,12 +47,55 @@ type HistogramSnapshot struct {
 	Count     int64     `json:"count"`
 	SumMs     float64   `json:"sumMs"`
 	MeanMs    float64   `json:"meanMs"`
+	// EstP50Ms/EstP95Ms/EstP99Ms are quantile estimates interpolated from the
+	// bucket counts (Prometheus histogram_quantile-style), so consumers don't
+	// post-process raw buckets. Resolution is bounded by the bucket table.
+	EstP50Ms float64 `json:"estP50Ms"`
+	EstP95Ms float64 `json:"estP95Ms"`
+	EstP99Ms float64 `json:"estP99Ms"`
+}
+
+// estimateQuantile interpolates the q-quantile (0 < q < 1) from cumulative
+// bucket counts, assuming observations are uniform within a bucket — the
+// same model Prometheus's histogram_quantile uses. Samples in the +Inf
+// bucket clamp to the highest finite bound.
+func estimateQuantile(buckets []float64, counts []int64, total int64, q float64) float64 {
+	if total == 0 || len(buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(buckets) {
+				return buckets[len(buckets)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = buckets[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lower + (buckets[i]-lower)*frac
+		}
+		cum += c
+	}
+	return buckets[len(buckets)-1]
 }
 
 // metrics aggregates the server's observable state: per-endpoint request and
 // status counters, an in-flight gauge, backpressure rejections, and
 // per-endpoint latency histograms. All methods are safe for concurrent use.
 type metrics struct {
+	buckets  []float64 // histogram upper bounds, fixed at construction
 	mu       sync.Mutex
 	requests map[string]int64
 	statuses map[int]int64
@@ -60,8 +107,12 @@ type metrics struct {
 	timeouts int64 // updates aborted by the per-update deadline
 }
 
-func newMetrics() *metrics {
+func newMetrics(buckets []float64) *metrics {
+	if len(buckets) == 0 {
+		buckets = defaultLatencyBuckets
+	}
 	return &metrics{
+		buckets:  buckets,
 		requests: map[string]int64{},
 		statuses: map[int]int64{},
 		latency:  map[string]*histogram{},
@@ -82,7 +133,7 @@ func (m *metrics) observeTrace(t *obs.Trace) {
 		stage := obs.CanonicalStage(sp.Name)
 		h := m.stages[stage]
 		if h == nil {
-			h = newHistogram()
+			h = newHistogram(m.buckets)
 			m.stages[stage] = h
 		}
 		h.observe(sp.Duration)
@@ -117,7 +168,7 @@ func (m *metrics) begin(endpoint string) func(status int) {
 		m.statuses[status]++
 		h := m.latency[endpoint]
 		if h == nil {
-			h = newHistogram()
+			h = newHistogram(m.buckets)
 			m.latency[endpoint] = h
 		}
 		h.observe(d)
@@ -174,6 +225,12 @@ type MetricsSnapshot struct {
 	// Resilience reports the LLM backend path (circuit breaker + fallback
 	// chain) when the server was built with one; nil otherwise.
 	Resilience *resilience.Stats `json:"resilience,omitempty"`
+	// SLO is the rolling objective state: per-objective good/bad counts,
+	// error budget remaining, and multi-window burn-rate alerts.
+	SLO *slo.Snapshot `json:"slo,omitempty"`
+	// Journal reports flight-recorder activity when journaling is enabled;
+	// nil otherwise.
+	Journal *journal.Stats `json:"journal,omitempty"`
 }
 
 // snapshot copies the counters; pool/session fields are filled by the server.
@@ -208,13 +265,16 @@ func (m *metrics) snapshot() MetricsSnapshot {
 // snapshot copies one histogram; callers hold the metrics mutex.
 func (h *histogram) snapshot() HistogramSnapshot {
 	snap := HistogramSnapshot{
-		BucketsMs: latencyBuckets,
+		BucketsMs: h.buckets,
 		Counts:    append([]int64(nil), h.counts...),
 		Count:     h.n,
 		SumMs:     h.sumMs,
 	}
 	if h.n > 0 {
 		snap.MeanMs = h.sumMs / float64(h.n)
+		snap.EstP50Ms = estimateQuantile(h.buckets, h.counts, h.n, 0.50)
+		snap.EstP95Ms = estimateQuantile(h.buckets, h.counts, h.n, 0.95)
+		snap.EstP99Ms = estimateQuantile(h.buckets, h.counts, h.n, 0.99)
 	}
 	return snap
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"github.com/clarifynet/clarify/resilience"
+	"github.com/clarifynet/clarify/slo"
 )
 
 // writePrometheus renders a MetricsSnapshot in the Prometheus text exposition
@@ -54,6 +55,15 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) {
 	if snap.Resilience != nil {
 		writeResilience(w, snap.Resilience)
 	}
+	if snap.SLO != nil {
+		writeSLO(w, *snap.SLO)
+	}
+	if snap.Journal != nil {
+		writeCounter(w, "clarifyd_journal_appended_total", "Flight-recorder records appended.", float64(snap.Journal.Appended))
+		writeCounter(w, "clarifyd_journal_bytes_total", "Flight-recorder bytes written.", float64(snap.Journal.Bytes))
+		writeCounter(w, "clarifyd_journal_rotations_total", "Flight-recorder segment rotations.", float64(snap.Journal.Rotations))
+		writeCounter(w, "clarifyd_journal_errors_total", "Flight-recorder append or rotation failures.", float64(snap.Journal.Errors))
+	}
 
 	writeHeader(w, "clarifyd_request_duration_ms", "histogram", "HTTP request latency per endpoint pattern, in milliseconds.")
 	for _, k := range sortedHistKeys(snap.LatencyMs) {
@@ -97,6 +107,44 @@ func writeResilience(w io.Writer, rs *resilience.Stats) {
 		writeHeader(w, "clarifyd_llm_backend_failures_total", "counter", "Failed attempts per backend.")
 		for _, b := range c.Backends {
 			fmt.Fprintf(w, "clarifyd_llm_backend_failures_total{backend=%s} %d\n", quoteLabel(b.Name), b.Failures)
+		}
+	}
+}
+
+// writeSLO renders the rolling-objective series: good/bad totals, budget
+// remaining, and per-window burn rates with an alert-firing gauge.
+func writeSLO(w io.Writer, snap slo.Snapshot) {
+	writeHeader(w, "clarifyd_slo_good_total", "counter", "Updates meeting the objective, per objective.")
+	for _, o := range snap.Objectives {
+		fmt.Fprintf(w, "clarifyd_slo_good_total{objective=%s} %d\n", quoteLabel(o.Objective.Name), o.Good)
+	}
+	writeHeader(w, "clarifyd_slo_bad_total", "counter", "Updates missing the objective, per objective.")
+	for _, o := range snap.Objectives {
+		fmt.Fprintf(w, "clarifyd_slo_bad_total{objective=%s} %d\n", quoteLabel(o.Objective.Name), o.Bad)
+	}
+	writeHeader(w, "clarifyd_slo_error_budget_remaining", "gauge", "Fraction of the longest window's error budget unspent, per objective.")
+	for _, o := range snap.Objectives {
+		fmt.Fprintf(w, "clarifyd_slo_error_budget_remaining{objective=%s} %s\n",
+			quoteLabel(o.Objective.Name), formatFloat(o.ErrorBudgetRemaining))
+	}
+	writeHeader(w, "clarifyd_slo_burn_rate", "gauge", "Error-budget burn rate per objective and window.")
+	for _, o := range snap.Objectives {
+		for _, ws := range o.Windows {
+			fmt.Fprintf(w, "clarifyd_slo_burn_rate{objective=%s,window=%s,span=\"long\"} %s\n",
+				quoteLabel(o.Objective.Name), quoteLabel(ws.Severity), formatFloat(ws.LongBurn))
+			fmt.Fprintf(w, "clarifyd_slo_burn_rate{objective=%s,window=%s,span=\"short\"} %s\n",
+				quoteLabel(o.Objective.Name), quoteLabel(ws.Severity), formatFloat(ws.ShortBurn))
+		}
+	}
+	writeHeader(w, "clarifyd_slo_alert_firing", "gauge", "1 while the multi-window burn-rate alert fires, per objective and window.")
+	for _, o := range snap.Objectives {
+		for _, ws := range o.Windows {
+			firing := 0.0
+			if ws.Firing {
+				firing = 1
+			}
+			fmt.Fprintf(w, "clarifyd_slo_alert_firing{objective=%s,window=%s} %s\n",
+				quoteLabel(o.Objective.Name), quoteLabel(ws.Severity), formatFloat(firing))
 		}
 	}
 }

@@ -13,9 +13,11 @@ import (
 
 	"github.com/clarifynet/clarify"
 	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/journal"
 	"github.com/clarifynet/clarify/llm"
 	"github.com/clarifynet/clarify/obs"
 	"github.com/clarifynet/clarify/resilience"
+	"github.com/clarifynet/clarify/slo"
 	"github.com/clarifynet/clarify/symbolic"
 )
 
@@ -58,6 +60,34 @@ type Options struct {
 	// degraded-mode health reporting and /metrics — so it must be the same
 	// stack NewClient wires into sessions.
 	Resilience *resilience.Stack
+	// LatencyBucketsMs overrides the histogram upper bounds (milliseconds)
+	// for both per-endpoint and per-stage latency, so load tests at different
+	// scales keep resolution. Must be strictly ascending and positive; empty
+	// keeps the default table. New panics on an invalid table — call
+	// Options.Validate first when the bounds come from user input.
+	LatencyBucketsMs []float64
+	// Journal, when non-nil, is the flight recorder every hosted session
+	// appends to: one durable record per update (see the journal package).
+	// The server does not close it; the owner does, after Shutdown.
+	Journal *journal.Journal
+	// SLO overrides the rolling objective set evaluated against update
+	// outcomes and served at GET /debug/slo; nil selects the defaults
+	// (99.9% availability, 99% under 500ms, page/ticket burn-rate windows).
+	SLO *slo.Set
+}
+
+// Validate reports whether the options are well-formed; New panics on the
+// same conditions. Only fields that can carry user input are checked.
+func (o Options) Validate() error {
+	for i, b := range o.LatencyBucketsMs {
+		if b <= 0 {
+			return fmt.Errorf("server: LatencyBucketsMs[%d] = %v: bounds must be positive", i, b)
+		}
+		if i > 0 && b <= o.LatencyBucketsMs[i-1] {
+			return fmt.Errorf("server: LatencyBucketsMs[%d] = %v: bounds must be strictly ascending", i, b)
+		}
+	}
+	return nil
 }
 
 // DefaultUpdateTimeout is the per-update deadline when Options.UpdateTimeout
@@ -74,6 +104,7 @@ type Server struct {
 	mgr    *manager
 	met    *metrics
 	traces *traceRing
+	slos   *slo.Set
 	spaces *symbolic.SpaceCache // shared across all hosted sessions
 
 	baseCtx  context.Context
@@ -96,8 +127,16 @@ func New(opts Options) *Server {
 	if opts.UpdateTimeout == 0 {
 		opts.UpdateTimeout = DefaultUpdateTimeout
 	}
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	slos := opts.SLO
+	if slos == nil {
+		// The defaults cannot fail validation.
+		slos, _ = slo.New(slo.Config{})
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	met := newMetrics()
+	met := newMetrics(opts.LatencyBucketsMs)
 	s := &Server{
 		opts:    opts,
 		mux:     http.NewServeMux(),
@@ -105,6 +144,7 @@ func New(opts Options) *Server {
 		mgr:     newManager(opts.MaxSessions, opts.IdleTTL, opts.SweepInterval),
 		met:     met,
 		traces:  newTraceRing(opts.TraceBufferSize),
+		slos:    slos,
 		spaces:  symbolic.NewSpaceCache(),
 		baseCtx: ctx,
 		cancel:  cancel,
@@ -124,6 +164,7 @@ func New(opts Options) *Server {
 	s.route("GET /v1/sessions/{id}/stats", s.handleStats)
 	s.route("GET /debug/traces", s.handleDebugTraces)
 	s.route("GET /debug/traces/{tid}", s.handleDebugTrace)
+	s.route("GET /debug/slo", s.handleDebugSLO)
 	return s
 }
 
@@ -227,6 +268,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Resilience != nil {
 		snap.Resilience = s.opts.Resilience.Stats()
 	}
+	sloSnap := s.slos.Snapshot()
+	snap.SLO = &sloSnap
+	if s.opts.Journal != nil {
+		js := s.opts.Journal.Stats()
+		snap.Journal = &js
+	}
 	if r.URL.Query().Get("format") == "prometheus" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writePrometheus(w, snap)
@@ -262,12 +309,16 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		EnableReuse:      req.EnableReuse,
 		SkipVerification: req.SkipVerification,
 		SpaceCache:       s.spaces,
+		Journal:          s.opts.Journal,
 	}
 	sn, err := s.mgr.Create(sess)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err.Error(), 0)
 		return
 	}
+	// Label the session's journal records with its ID; the session has not
+	// served an update yet, so the write is unobserved.
+	sess.JournalSession = sn.id
 	sn.setConfigText(cfg.Print())
 	writeJSON(w, http.StatusCreated, CreateSessionResponse{ID: sn.id})
 }
@@ -370,7 +421,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.met.observeTrace(t)
 			s.traces.Add(t)
 		})
+		start := time.Now()
 		res, rerr := cs.Submit(uctx, req.Intent, req.Target)
+		elapsed := time.Since(start)
 		if rerr != nil && uctx.Err() == context.DeadlineExceeded && s.baseCtx.Err() == nil {
 			s.met.recordUpdateTimeout()
 			rerr = fmt.Errorf("update exceeded its %s budget: %w", s.opts.UpdateTimeout, rerr)
@@ -381,6 +434,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		u.setDegraded(flags.Degraded())
 		u.finish(res, rerr)
 		sn.endUpdate()
+		// Every terminal update outcome feeds the rolling objectives: the
+		// elapsed time covers the whole pipeline including question-wait, the
+		// same latency the client experienced.
+		s.slos.Observe(elapsed, rerr != nil)
 	}
 	if !s.pool.TrySubmit(job) {
 		u.finish(nil, fmt.Errorf("rejected: submission queue full"))
@@ -471,6 +528,12 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, sn.configText())
+}
+
+// handleDebugSLO serves the rolling objective state: per-objective budget
+// remaining and every burn-rate window's evaluation.
+func (s *Server) handleDebugSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slos.Snapshot())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"strconv"
 	"sync"
 
 	"github.com/clarifynet/clarify/obs"
@@ -105,9 +106,22 @@ func summarize(t *obs.Trace) TraceSummary {
 	return s
 }
 
-// handleDebugTraces lists the retained traces, newest first.
+// handleDebugTraces lists the retained traces, newest first. ?limit=N bounds
+// the response to the N most recent.
 func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	limit := -1
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer", 0)
+			return
+		}
+		limit = n
+	}
 	traces := s.traces.List()
+	if limit >= 0 && limit < len(traces) {
+		traces = traces[:limit]
+	}
 	out := make([]TraceSummary, 0, len(traces))
 	for _, t := range traces {
 		out = append(out, summarize(t))

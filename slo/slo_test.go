@@ -1,0 +1,227 @@
+package slo
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fakeClock advances manually so hour-long windows run in microseconds.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func mustNew(t *testing.T, cfg Config) *Set {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBurnRateMath(t *testing.T) {
+	clk := newFakeClock()
+	s := mustNew(t, Config{
+		Objectives: []Objective{{Name: "availability", Goal: 0.99}},
+		Windows:    []Window{{Long: time.Minute, Short: 10 * time.Second, Burn: 10, Severity: "page"}},
+		Resolution: time.Second,
+		now:        clk.now,
+	})
+	// 20% failures against a 1% budget = burn rate 20, well past the
+	// threshold of 10 (sitting exactly on the threshold is float-fragile).
+	for i := 0; i < 100; i++ {
+		s.Observe(time.Millisecond, i%5 == 0)
+		clk.advance(100 * time.Millisecond) // all inside both windows
+	}
+	snap := s.Snapshot()
+	if len(snap.Objectives) != 1 {
+		t.Fatalf("objectives = %d, want 1", len(snap.Objectives))
+	}
+	o := snap.Objectives[0]
+	if o.Good != 80 || o.Bad != 20 {
+		t.Fatalf("good/bad = %d/%d, want 80/20", o.Good, o.Bad)
+	}
+	w := o.Windows[0]
+	if w.LongBurn < 19.8 || w.LongBurn > 20.2 {
+		t.Errorf("long burn = %v, want ~20 (20%% bad / 1%% budget)", w.LongBurn)
+	}
+	if !w.Firing {
+		t.Error("burn 20 at threshold 10 must fire")
+	}
+	if o.ErrorBudgetRemaining > 0.001 {
+		t.Errorf("budget remaining = %v, want ~0 at burn 10 over the longest window", o.ErrorBudgetRemaining)
+	}
+	if !snap.Firing() {
+		t.Error("Snapshot.Firing() must be true")
+	}
+}
+
+func TestMultiWindowNeedsBothBurns(t *testing.T) {
+	clk := newFakeClock()
+	s := mustNew(t, Config{
+		Objectives: []Objective{{Name: "availability", Goal: 0.9}},
+		Windows:    []Window{{Long: time.Minute, Short: 5 * time.Second, Burn: 5, Severity: "page"}},
+		Resolution: time.Second,
+		now:        clk.now,
+	})
+	// A burst of failures, then a quiet stretch longer than the short window:
+	// the long window still burns hot, but the short window has recovered, so
+	// the alert must NOT fire (the outage is over).
+	for i := 0; i < 20; i++ {
+		s.Observe(time.Millisecond, true)
+		clk.advance(time.Second / 2)
+	}
+	for i := 0; i < 20; i++ {
+		s.Observe(time.Millisecond, false)
+		clk.advance(time.Second / 2)
+	}
+	o := s.Snapshot().Objectives[0]
+	w := o.Windows[0]
+	if w.LongBurn < 5 {
+		t.Fatalf("long burn = %v, want >= 5 (half the minute was an outage)", w.LongBurn)
+	}
+	if w.ShortBurn >= 5 {
+		t.Fatalf("short burn = %v, want < 5 (last 5s were clean)", w.ShortBurn)
+	}
+	if w.Firing {
+		t.Error("alert fired on long burn alone; multi-window requires both")
+	}
+}
+
+func TestLatencyObjective(t *testing.T) {
+	clk := newFakeClock()
+	s := mustNew(t, Config{
+		Objectives: []Objective{{Name: "latency", Goal: 0.5, LatencyThresholdMs: 100}},
+		Windows:    []Window{{Long: time.Minute, Short: time.Second, Burn: 1, Severity: "page"}},
+		Resolution: time.Second,
+		now:        clk.now,
+	})
+	s.Observe(50*time.Millisecond, false)  // good: fast success
+	s.Observe(500*time.Millisecond, false) // bad: slow success
+	s.Observe(50*time.Millisecond, true)   // bad: failure, even though fast
+	o := s.Snapshot().Objectives[0]
+	if o.Good != 1 || o.Bad != 2 {
+		t.Fatalf("good/bad = %d/%d, want 1/2 (slow and failed both burn)", o.Good, o.Bad)
+	}
+}
+
+func TestZeroTrafficZeroBurn(t *testing.T) {
+	clk := newFakeClock()
+	s := mustNew(t, Config{Resolution: time.Second, now: clk.now})
+	snap := s.Snapshot()
+	for _, o := range snap.Objectives {
+		if o.Firing() {
+			t.Errorf("objective %q fires with no traffic", o.Objective.Name)
+		}
+		if o.ErrorBudgetRemaining != 1 {
+			t.Errorf("objective %q budget = %v, want 1 untouched", o.Objective.Name, o.ErrorBudgetRemaining)
+		}
+	}
+}
+
+func TestRingExpiry(t *testing.T) {
+	clk := newFakeClock()
+	s := mustNew(t, Config{
+		Objectives: []Objective{{Name: "availability", Goal: 0.99}},
+		Windows:    []Window{{Long: 10 * time.Second, Short: time.Second, Burn: 1, Severity: "page"}},
+		Resolution: time.Second,
+		now:        clk.now,
+	})
+	s.Observe(0, true)
+	// Outcomes older than the longest window must age out of the burn math
+	// (the since-start counters keep them).
+	clk.advance(time.Minute)
+	o := s.Snapshot().Objectives[0]
+	if o.Windows[0].LongBurn != 0 {
+		t.Errorf("long burn = %v after the failure aged out, want 0", o.Windows[0].LongBurn)
+	}
+	if o.Bad != 1 {
+		t.Errorf("since-start bad = %d, want 1", o.Bad)
+	}
+}
+
+func TestParseWindows(t *testing.T) {
+	ws, err := ParseWindows("1h:5m:14.4:page, 6h:30m:6:ticket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("parsed %d windows, want 2", len(ws))
+	}
+	if ws[0].Long != time.Hour || ws[0].Short != 5*time.Minute || ws[0].Burn != 14.4 || ws[0].Severity != "page" {
+		t.Errorf("window 0 = %+v", ws[0])
+	}
+	if ws[1].Long != 6*time.Hour || ws[1].Burn != 6 || ws[1].Severity != "ticket" {
+		t.Errorf("window 1 = %+v", ws[1])
+	}
+	for _, bad := range []string{"", "1h:5m:14.4", "5m:1h:2:page", "1h:5m:0:page", "1h:5m:x:page", "1h:5m:2:"} {
+		if _, err := ParseWindows(bad); err == nil {
+			t.Errorf("ParseWindows(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Objectives: []Objective{{Name: "", Goal: 0.9}}},
+		{Objectives: []Objective{{Name: "a", Goal: 0}}},
+		{Objectives: []Objective{{Name: "a", Goal: 1}}},
+		{Objectives: []Objective{{Name: "a", Goal: 0.9}, {Name: "a", Goal: 0.99}}},
+		{Windows: []Window{{Long: time.Second, Short: time.Minute, Burn: 1, Severity: "p"}}},
+		{Windows: []Window{{Long: time.Minute, Short: time.Second, Burn: 0, Severity: "p"}}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+	if _, err := New(Config{}); err != nil {
+		t.Fatal("zero config must select defaults:", err)
+	}
+}
+
+func TestNilSetNoOps(t *testing.T) {
+	var s *Set
+	s.Observe(time.Second, true)
+	if snap := s.Snapshot(); len(snap.Objectives) != 0 || snap.Firing() {
+		t.Fatalf("nil snapshot = %+v, want empty", snap)
+	}
+}
+
+func TestWindowJSONRoundTrip(t *testing.T) {
+	in := Window{Long: time.Hour, Short: 5 * time.Minute, Burn: 14.4, Severity: "page"}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Window
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v -> %s -> %+v", in, data, out)
+	}
+}
+
+// TestWindowStateJSONRoundTrip guards against the embedded Window's
+// MarshalJSON being promoted and silently dropping the burn fields — a
+// snapshot fetched over HTTP must preserve Firing.
+func TestWindowStateJSONRoundTrip(t *testing.T) {
+	in := WindowState{
+		Window:   Window{Long: 30 * time.Second, Short: 2 * time.Second, Burn: 2, Severity: "page"},
+		LongBurn: 3.5, ShortBurn: 4.25, Firing: true,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out WindowState
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v -> %s -> %+v", in, data, out)
+	}
+}
