@@ -5,7 +5,12 @@
 //
 //	clarify-load -addr http://127.0.0.1:8080 [-workers 4] [-duration 10s]
 //	             [-rate 20] [-max-updates 100] [-acl-fraction 0.25]
-//	             [-corpus cloud] [-seed 1] [-out report.json]
+//	             [-corpus cloud] [-seed 1] [-failover] [-out report.json]
+//
+// -addr may point at a single clarifyd or at a clarify-lb fronting several;
+// with -failover the run survives losing a replica mid-run (sessions are
+// re-created on a survivor and the interrupted intent retried, with the
+// disruption latency charged to the client-side SLO).
 //
 // Exit status is 0 when the run completed and every client-side SLO window
 // is quiet, 1 when any burn-rate alert is firing, 2 on operational errors.
@@ -35,6 +40,7 @@ func main() {
 	flag.StringVar(&cfg.Corpus, "corpus", "cloud", "base-config corpus: cloud or campus")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "deterministic seed for intents and answers")
 	flag.DurationVar(&cfg.UpdateTimeout, "update-timeout", 60*time.Second, "per-update timeout")
+	flag.BoolVar(&cfg.Failover, "failover", false, "survive replica loss behind clarify-lb: re-create the session elsewhere and retry the intent")
 	sloWindows := flag.String("slo-windows", "", "client-side alert windows long:short:burn:severity,... (default package windows)")
 	outPath := flag.String("out", "", "write the JSON report here instead of stdout")
 	quiet := flag.Bool("quiet", false, "suppress the summary line on stderr")
@@ -63,6 +69,9 @@ func main() {
 			"clarify-load: %d updates (%d failed, %d degraded) in %.1fs; %.1f ok/s; p50 %.0fms p95 %.0fms p99 %.0fms\n",
 			rep.Updates, rep.Failures, rep.Degraded, rep.DurationSeconds,
 			rep.Throughput, rep.Latency.P50Ms, rep.Latency.P95Ms, rep.Latency.P99Ms)
+		if rep.Disruptions > 0 {
+			fmt.Fprintf(os.Stderr, "clarify-load: %d replica disruptions survived by failover\n", rep.Disruptions)
+		}
 		if rep.ClientSLO.Firing() {
 			fmt.Fprintln(os.Stderr, "clarify-load: client-side SLO burn-rate alert FIRING")
 		}

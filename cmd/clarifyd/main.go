@@ -359,16 +359,19 @@ func run(cfg daemonConfig) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
-	// Stop accepting HTTP first so no new submissions arrive, then drain
-	// the worker pool; Shutdown force-cancels parked questions once the
-	// budget expires.
-	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		logger.Error("http shutdown", "err", err)
-	}
+	// Drain the pipeline BEFORE closing the listener: srv.Shutdown flips
+	// /readyz to 503 "draining" (a fronting clarify-lb sees it and stops
+	// placing new sessions here) while the listener stays up so parked
+	// disambiguation questions can still be answered over HTTP. Only once
+	// in-flight updates finish — or the budget force-cancels them — does the
+	// listener close.
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Warn("drain incomplete; in-flight updates cancelled", "err", err)
 	} else {
 		logger.Info("drained cleanly")
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Error("http shutdown", "err", err)
 	}
 	return nil
 }

@@ -1,0 +1,94 @@
+// Package promtext writes the Prometheus text exposition format (version
+// 0.0.4). It carries the conventions shared by every exposition surface in
+// this repo — clarifyd's /metrics and clarify-lb's /metrics — so the two
+// daemons render identically-shaped series: durations in milliseconds with
+// an explicit _ms suffix, histograms as cumulative le buckets plus +Inf,
+// _sum and _count, and label values escaped per the format.
+package promtext
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Header writes the # HELP / # TYPE preamble for one metric family.
+func Header(w io.Writer, name, kind, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
+// Counter writes a single unlabelled counter sample with its preamble.
+func Counter(w io.Writer, name, help string, v float64) {
+	Header(w, name, "counter", help)
+	fmt.Fprintf(w, "%s %s\n", name, FormatFloat(v))
+}
+
+// Gauge writes a single unlabelled gauge sample with its preamble.
+func Gauge(w io.Writer, name, help string, v float64) {
+	Header(w, name, "gauge", help)
+	fmt.Fprintf(w, "%s %s\n", name, FormatFloat(v))
+}
+
+// Sample writes one labelled sample line (no preamble); pass the label set
+// preformatted, e.g. `backend="b0"`.
+func Sample(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, FormatFloat(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, FormatFloat(v))
+}
+
+// Histogram writes one labelled histogram series: cumulative le buckets, an
+// explicit +Inf bucket, then _sum and _count. bucketsMs holds the upper
+// bounds; counts has one entry per bound (the +Inf remainder is derived from
+// total).
+func Histogram(w io.Writer, name, labelKey, labelVal string, bucketsMs []float64, counts []int64, total int64, sumMs float64) {
+	label := labelKey + "=" + QuoteLabel(labelVal)
+	var cum int64
+	for i, ub := range bucketsMs {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s,le=%s} %d\n", name, label, QuoteLabel(FormatFloat(ub)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, total)
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, label, FormatFloat(sumMs))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, total)
+}
+
+// FormatFloat renders a sample value the way Prometheus expects: no
+// exponent for typical magnitudes, no trailing zeros.
+func FormatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// QuoteLabel escapes a label value per the exposition format.
+func QuoteLabel(v string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// SortedKeys returns a map's keys in sorted order, for deterministic output.
+func SortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

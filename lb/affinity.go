@@ -1,0 +1,130 @@
+package lb
+
+import (
+	"sync"
+	"time"
+)
+
+// affinityTable pins each session ID to the backend that created it. Session
+// IDs are minted by the replicas, so the creating backend cannot be derived
+// from the ID alone: the table is seeded at create time and consulted on
+// every follow-up request, with the consistent hash ring as the stateless
+// fallback for IDs the table has never seen (an LB restarted under live
+// traffic). Entries die with their session — removed on DELETE, and swept
+// once idle past the TTL, which should be at least the replicas' own
+// session idle TTL so the table never forgets a session before the replica
+// does.
+type affinityTable struct {
+	ttl time.Duration
+
+	mu      sync.Mutex
+	entries map[string]*affinityEntry
+	evicted int64
+	misses  int64
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+}
+
+type affinityEntry struct {
+	b        *Backend
+	lastUsed time.Time
+}
+
+func newAffinityTable(ttl, sweepEvery time.Duration) *affinityTable {
+	if ttl <= 0 {
+		ttl = 30 * time.Minute
+	}
+	if sweepEvery <= 0 {
+		sweepEvery = ttl / 4
+		if sweepEvery > time.Minute {
+			sweepEvery = time.Minute
+		}
+	}
+	t := &affinityTable{ttl: ttl, entries: map[string]*affinityEntry{}, stopCh: make(chan struct{})}
+	go t.janitor(sweepEvery)
+	return t
+}
+
+// Put pins a session to its creating backend.
+func (t *affinityTable) Put(id string, b *Backend) {
+	t.mu.Lock()
+	t.entries[id] = &affinityEntry{b: b, lastUsed: time.Now()}
+	t.mu.Unlock()
+}
+
+// Get resolves a session's backend and refreshes its idle clock; a miss is
+// counted (the caller falls back to the hash ring).
+func (t *affinityTable) Get(id string) *Backend {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok {
+		t.misses++
+		return nil
+	}
+	e.lastUsed = time.Now()
+	return e.b
+}
+
+// Remove drops a session's pin (its DELETE succeeded).
+func (t *affinityTable) Remove(id string) {
+	t.mu.Lock()
+	delete(t.entries, id)
+	t.mu.Unlock()
+}
+
+// Len is the live pin count.
+func (t *affinityTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Misses is the lookup-miss count (ring-fallback routings).
+func (t *affinityTable) Misses() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.misses
+}
+
+// Evicted is the TTL-eviction count.
+func (t *affinityTable) Evicted() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// Sweep evicts pins idle past the TTL; returns the number evicted.
+func (t *affinityTable) Sweep() int {
+	cutoff := time.Now().Add(-t.ttl)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for id, e := range t.entries {
+		if e.lastUsed.Before(cutoff) {
+			delete(t.entries, id)
+			t.evicted++
+			n++
+		}
+	}
+	return n
+}
+
+func (t *affinityTable) janitor(every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			t.Sweep()
+		case <-t.stopCh:
+			return
+		}
+	}
+}
+
+// Stop terminates the janitor goroutine.
+func (t *affinityTable) Stop() {
+	t.stopOnce.Do(func() { close(t.stopCh) })
+}

@@ -1,0 +1,667 @@
+package lb
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/clarifynet/clarify/server"
+)
+
+// exampleConfig / exampleIntent mirror the server package's §2.1 walkthrough
+// fixtures: the intent yields exactly two disambiguation questions against
+// the simulated LLM, so every test below exercises parked Q&A through the
+// balancer.
+const exampleConfig = `ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+`
+
+const exampleIntent = "Write a route-map stanza that permits routes containing the prefix " +
+	"100.0.0.0/16 with mask length less than or equal to 23 and tagged " +
+	"with the community 300:3. Their MED value should be set to 55."
+
+// recordingTransport captures the balancer's response headers for every
+// request the client sends, so tests can assert which replica served what.
+type recordingTransport struct {
+	mu   sync.Mutex
+	hits []recordedHit
+}
+
+type recordedHit struct {
+	method, path, backend, requestID string
+}
+
+func (rt *recordingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err == nil {
+		rt.mu.Lock()
+		rt.hits = append(rt.hits, recordedHit{
+			method:    req.Method,
+			path:      req.URL.Path,
+			backend:   resp.Header.Get(backendHeader),
+			requestID: resp.Header.Get(requestIDHeader),
+		})
+		rt.mu.Unlock()
+	}
+	return resp, err
+}
+
+// backendsFor returns the distinct X-Clarify-Backend values seen on requests
+// under the session's path.
+func (rt *recordingTransport) backendsFor(sid string) map[string]int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := map[string]int{}
+	for _, h := range rt.hits {
+		if strings.Contains(h.path, "/v1/sessions/"+sid) {
+			out[h.backend]++
+		}
+	}
+	return out
+}
+
+func (rt *recordingTransport) count(method, pathSuffix, sid string) int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n := 0
+	for _, h := range rt.hits {
+		if h.method == method && strings.Contains(h.path, sid) && strings.HasSuffix(h.path, pathSuffix) {
+			n++
+		}
+	}
+	return n
+}
+
+// lbFleet is a balancer fronting n real clarifyd servers under httptest.
+type lbFleet struct {
+	lb       *LB
+	lbSrv    *httptest.Server
+	backends map[string]*server.Server // name (host:port) -> daemon
+}
+
+func fastProbeOpts() Options {
+	return Options{
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  500 * time.Millisecond,
+		EjectAfter:    2,
+		ReadmitAfter:  2,
+	}
+}
+
+func startLBFleet(t *testing.T, n int, opts Options) *lbFleet {
+	t.Helper()
+	f := &lbFleet{backends: map[string]*server.Server{}}
+	for i := 0; i < n; i++ {
+		srv := server.New(server.Options{Workers: 2})
+		hs := httptest.NewServer(srv)
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			hs.Close()
+		})
+		f.backends[strings.TrimPrefix(hs.URL, "http://")] = srv
+		opts.Backends = append(opts.Backends, hs.URL)
+	}
+	l, err := New(opts)
+	if err != nil {
+		t.Fatalf("lb.New: %v", err)
+	}
+	f.lb = l
+	f.lbSrv = httptest.NewServer(l)
+	t.Cleanup(func() {
+		f.lbSrv.Close()
+		l.Close()
+	})
+	return f
+}
+
+func (f *lbFleet) client(rt http.RoundTripper) *server.Client {
+	hc := &http.Client{Timeout: 30 * time.Second, Transport: rt}
+	return &server.Client{BaseURL: f.lbSrv.URL, HTTP: hc, PollInterval: 2 * time.Millisecond}
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func (f *lbFleet) snapshotOf(t *testing.T, name string) BackendSnapshot {
+	t.Helper()
+	for _, s := range f.lb.Backends() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no backend named %s", name)
+	return BackendSnapshot{}
+}
+
+// TestSessionAffinityEndToEnd is the acceptance check: with two replicas
+// behind the balancer, every request of a session — update submit, question
+// polls, answers — lands on the replica that created it, asserted via the
+// X-Clarify-Backend header on each proxied response.
+func TestSessionAffinityEndToEnd(t *testing.T) {
+	f := startLBFleet(t, 2, fastProbeOpts())
+	rt := &recordingTransport{}
+	c := f.client(rt)
+	ctx := context.Background()
+
+	for i := 0; i < 4; i++ {
+		sid, err := c.CreateSession(ctx, server.CreateSessionRequest{Config: exampleConfig})
+		if err != nil {
+			t.Fatalf("create session %d: %v", i, err)
+		}
+		res, err := c.RunUpdate(ctx, sid, exampleIntent, "ISP_OUT", func(q server.Question) (int, error) {
+			return 1, nil
+		})
+		if err != nil {
+			t.Fatalf("run update %d: %v", i, err)
+		}
+		if res.Status != server.StatusDone || res.Result == nil || res.Result.Questions != 2 {
+			t.Fatalf("update %d did not complete the walkthrough: %+v", i, res)
+		}
+
+		seen := rt.backendsFor(sid)
+		if len(seen) != 1 {
+			t.Fatalf("session %s was served by %d backends (%v), want exactly 1", sid, len(seen), seen)
+		}
+		pin := f.lb.affinity.Get(sid)
+		if pin == nil {
+			t.Fatalf("session %s has no affinity pin", sid)
+		}
+		for name := range seen {
+			if name != pin.Name {
+				t.Fatalf("session %s served by %s but pinned to %s", sid, name, pin.Name)
+			}
+		}
+		if rt.count(http.MethodPost, "/answer", sid) < 2 {
+			t.Fatalf("session %s: want >=2 proxied answers, got %d",
+				sid, rt.count(http.MethodPost, "/answer", sid))
+		}
+	}
+}
+
+// TestCreatePlacementSpreads verifies new sessions land on more than one
+// replica: the ring's random placement keys must not collapse onto a single
+// backend.
+func TestCreatePlacementSpreads(t *testing.T) {
+	f := startLBFleet(t, 2, fastProbeOpts())
+	c := f.client(nil)
+	ctx := context.Background()
+
+	const n = 16
+	for i := 0; i < n; i++ {
+		if _, err := c.CreateSession(ctx, server.CreateSessionRequest{Config: exampleConfig}); err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+	}
+	if got := f.lb.affinity.Len(); got != n {
+		t.Fatalf("affinity pins = %d, want %d", got, n)
+	}
+	var total int64
+	for _, s := range f.lb.Backends() {
+		if s.CreatesRouted == 0 {
+			t.Errorf("backend %s received zero of %d creates: placement collapsed", s.Name, n)
+		}
+		total += s.CreatesRouted
+	}
+	if total != n {
+		t.Fatalf("creates routed = %d, want %d", total, n)
+	}
+}
+
+// TestDrainFinishesParkedSessions is the graceful-drain e2e: a replica with
+// a parked question enters Shutdown; the balancer sees "draining" on the
+// probe, keeps routing the session's Q&A there until the update finishes,
+// and places every new session on the survivor.
+func TestDrainFinishesParkedSessions(t *testing.T) {
+	f := startLBFleet(t, 2, fastProbeOpts())
+	rt := &recordingTransport{}
+	c := f.client(rt)
+	ctx := context.Background()
+
+	sid, err := c.CreateSession(ctx, server.CreateSessionRequest{Config: exampleConfig})
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+	pin := f.lb.affinity.Get(sid)
+	if pin == nil {
+		t.Fatal("no affinity pin after create")
+	}
+	var other string
+	for name := range f.backends {
+		if name != pin.Name {
+			other = name
+		}
+	}
+
+	// Park an update on its first disambiguation question.
+	up, err := c.SubmitAsync(ctx, sid, exampleIntent, "ISP_OUT")
+	if err != nil {
+		t.Fatalf("submit async: %v", err)
+	}
+	var q *server.Question
+	waitFor(t, 5*time.Second, "parked question", func() bool {
+		q, err = c.Question(ctx, sid)
+		return err == nil && q != nil
+	})
+
+	// Drain the replica holding the session while the question is parked.
+	drainDone := make(chan error, 1)
+	go func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainDone <- f.backends[pin.Name].Shutdown(sctx)
+	}()
+	waitFor(t, 5*time.Second, "probe to observe draining", func() bool {
+		s := f.snapshotOf(t, pin.Name)
+		return s.Draining && s.State == StateAdmitted
+	})
+
+	// New sessions must all land on the survivor.
+	for i := 0; i < 4; i++ {
+		sid2, err := c.CreateSession(ctx, server.CreateSessionRequest{Config: exampleConfig})
+		if err != nil {
+			t.Fatalf("create during drain: %v", err)
+		}
+		if pin2 := f.lb.affinity.Get(sid2); pin2 == nil || pin2.Name != other {
+			t.Fatalf("session created during drain pinned to %v, want survivor %s", pin2, other)
+		}
+	}
+
+	// The parked Q&A still flows through the balancer to the draining
+	// replica; answering both questions completes the update.
+	last := -1
+	waitFor(t, 10*time.Second, "drained update to finish", func() bool {
+		if u, err := c.Update(ctx, sid, up.ID); err == nil && u.Status == server.StatusDone {
+			return true
+		}
+		if q, err := c.Question(ctx, sid); err == nil && q != nil && q.Seq != last {
+			if c.Answer(ctx, sid, q.Seq, 1) == nil {
+				last = q.Seq
+			}
+		}
+		return false
+	})
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain did not complete cleanly: %v", err)
+	}
+
+	// Every request of the drained session was served by its replica.
+	for name, n := range rt.backendsFor(sid) {
+		if name != pin.Name {
+			t.Fatalf("%d requests of draining session served by %s, want %s", n, name, pin.Name)
+		}
+	}
+}
+
+// TestListMergesAcrossBackends checks GET /v1/sessions through the balancer
+// is the fleet-wide union.
+func TestListMergesAcrossBackends(t *testing.T) {
+	f := startLBFleet(t, 2, fastProbeOpts())
+	c := f.client(nil)
+	ctx := context.Background()
+
+	want := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		sid, err := c.CreateSession(ctx, server.CreateSessionRequest{Config: exampleConfig})
+		if err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+		want[sid] = true
+	}
+	resp, err := http.Get(f.lbSrv.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	defer resp.Body.Close()
+	var infos []server.SessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	got := map[string]bool{}
+	for _, si := range infos {
+		got[si.ID] = true
+	}
+	for sid := range want {
+		if !got[sid] {
+			t.Errorf("session %s missing from merged listing", sid)
+		}
+	}
+}
+
+// TestRequestIDHeaders checks X-Request-Id passthrough and generation on
+// proxied responses.
+func TestRequestIDHeaders(t *testing.T) {
+	f := startLBFleet(t, 1, fastProbeOpts())
+
+	body := func() *bytes.Reader {
+		data, _ := json.Marshal(server.CreateSessionRequest{Config: exampleConfig})
+		return bytes.NewReader(data)
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, f.lbSrv.URL+"/v1/sessions", body())
+	req.Header.Set(requestIDHeader, "rid-test-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(requestIDHeader); got != "rid-test-42" {
+		t.Fatalf("X-Request-Id = %q, want the caller's rid-test-42", got)
+	}
+	if resp.Header.Get(backendHeader) == "" {
+		t.Fatal("proxied response missing X-Clarify-Backend")
+	}
+
+	resp2, err := http.Post(f.lbSrv.URL+"/v1/sessions", "application/json", body())
+	if err != nil {
+		t.Fatalf("create 2: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get(requestIDHeader) == "" {
+		t.Fatal("balancer did not mint an X-Request-Id")
+	}
+}
+
+// TestBalancerHealthAndMetrics exercises the balancer's own endpoints.
+func TestBalancerHealthAndMetrics(t *testing.T) {
+	f := startLBFleet(t, 2, fastProbeOpts())
+	c := f.client(nil)
+	ctx := context.Background()
+	if _, err := c.CreateSession(ctx, server.CreateSessionRequest{Config: exampleConfig}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	resp, err := http.Get(f.lbSrv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var health struct {
+		Status   string `json:"status"`
+		Backends int    `json:"backends"`
+		Admitted int    `json:"admitted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" || health.Backends != 2 {
+		t.Fatalf("healthz = %d %+v, want 200 ok with 2 backends", resp.StatusCode, health)
+	}
+
+	resp, err = http.Get(f.lbSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	resp.Body.Close()
+	if len(snap.Backends) != 2 || snap.Proxied == 0 || snap.RingPoints != 2*DefaultVirtualNodes {
+		t.Fatalf("metrics snapshot off: backends=%d proxied=%d ringPoints=%d",
+			len(snap.Backends), snap.Proxied, snap.RingPoints)
+	}
+
+	resp, err = http.Get(f.lbSrv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatalf("prometheus metrics: %v", err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, series := range []string{
+		"clarify_lb_proxied_total",
+		"clarify_lb_backend_up{backend=",
+		"clarify_lb_backend_request_duration_ms_bucket",
+		"clarify_lb_probe_rounds_total",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("prometheus exposition missing %q", series)
+		}
+	}
+}
+
+// --- stub-backed state machine tests ---
+
+// stubDaemon fakes just enough of clarifyd for prober and routing tests:
+// a controllable /readyz and a session-create endpoint.
+type stubDaemon struct {
+	healthy  atomic.Bool
+	draining atomic.Bool
+	creates  atomic.Int64
+}
+
+func (s *stubDaemon) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/readyz":
+		h := server.HealthStatus{Status: "ready"}
+		code := http.StatusOK
+		switch {
+		case s.draining.Load():
+			h.Status, h.Draining, code = "draining", true, http.StatusServiceUnavailable
+		case !s.healthy.Load():
+			h.Status, code = "unready", http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(h)
+	case r.URL.Path == "/v1/sessions" && r.Method == http.MethodPost:
+		n := s.creates.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(server.CreateSessionResponse{ID: fmt.Sprintf("stub-%p-%d", s, n)})
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte("{}"))
+	}
+}
+
+func startStubFleet(t *testing.T, n int) (*LB, *httptest.Server, []*stubDaemon, []string) {
+	t.Helper()
+	opts := fastProbeOpts()
+	var stubs []*stubDaemon
+	var names []string
+	for i := 0; i < n; i++ {
+		sd := &stubDaemon{}
+		sd.healthy.Store(true)
+		hs := httptest.NewServer(sd)
+		t.Cleanup(hs.Close)
+		stubs = append(stubs, sd)
+		names = append(names, strings.TrimPrefix(hs.URL, "http://"))
+		opts.Backends = append(opts.Backends, hs.URL)
+	}
+	l, err := New(opts)
+	if err != nil {
+		t.Fatalf("lb.New: %v", err)
+	}
+	ls := httptest.NewServer(l)
+	t.Cleanup(func() {
+		ls.Close()
+		l.Close()
+	})
+	return l, ls, stubs, names
+}
+
+func createVia(t *testing.T, lbURL string) (sid, backend string) {
+	t.Helper()
+	resp, err := http.Post(lbURL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"config":"x"}`))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	defer resp.Body.Close()
+	var created server.CreateSessionResponse
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d, want 201", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatalf("decode create: %v", err)
+	}
+	return created.ID, resp.Header.Get(backendHeader)
+}
+
+// TestEjectionAndReadmission drives the full probe state machine: a backend
+// failing EjectAfter consecutive probes leaves the rotation (creates flow to
+// the survivor), then ReadmitAfter consecutive successes restore it.
+func TestEjectionAndReadmission(t *testing.T) {
+	l, ls, stubs, names := startStubFleet(t, 2)
+
+	waitFor(t, 5*time.Second, "first probe round", func() bool {
+		return l.prober.probes.Load() >= 1
+	})
+
+	stubs[1].healthy.Store(false)
+	waitFor(t, 5*time.Second, "ejection of "+names[1], func() bool {
+		for _, s := range l.Backends() {
+			if s.Name == names[1] {
+				return s.State == StateEjected
+			}
+		}
+		return false
+	})
+
+	for i := 0; i < 6; i++ {
+		_, backend := createVia(t, ls.URL)
+		if backend != names[0] {
+			t.Fatalf("create %d placed on %s; only %s is admitted", i, backend, names[0])
+		}
+	}
+
+	stubs[1].healthy.Store(true)
+	waitFor(t, 5*time.Second, "re-admission of "+names[1], func() bool {
+		for _, s := range l.Backends() {
+			if s.Name == names[1] {
+				return s.State == StateAdmitted
+			}
+		}
+		return false
+	})
+	for _, s := range l.Backends() {
+		if s.Name == names[1] {
+			if s.Ejections != 1 || s.Readmissions != 1 {
+				t.Fatalf("backend %s: ejections=%d readmissions=%d, want 1 and 1",
+					s.Name, s.Ejections, s.Readmissions)
+			}
+		}
+	}
+}
+
+// TestPinnedBackendEjectedReturns503 checks a session whose replica is inside
+// an ejection window gets a retryable 503 naming the replica — never a
+// silent reroute to a replica that has no idea the session exists.
+func TestPinnedBackendEjectedReturns503(t *testing.T) {
+	l, ls, stubs, names := startStubFleet(t, 2)
+
+	sid, backend := createVia(t, ls.URL)
+	var pinned *stubDaemon
+	for i, name := range names {
+		if name == backend {
+			pinned = stubs[i]
+		}
+	}
+	if pinned == nil {
+		t.Fatalf("create served by unknown backend %q", backend)
+	}
+
+	pinned.healthy.Store(false)
+	waitFor(t, 5*time.Second, "ejection of the pinned backend", func() bool {
+		b := l.affinity.Get(sid)
+		return b != nil && !b.Admitted()
+	})
+
+	resp, err := http.Get(ls.URL + "/v1/sessions/" + sid)
+	if err != nil {
+		t.Fatalf("get session: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 while the pinned backend is ejected", resp.StatusCode)
+	}
+	if got := resp.Header.Get(backendHeader); got != backend {
+		t.Fatalf("X-Clarify-Backend = %q, want the ejected %q", got, backend)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 for an ejected pin must carry Retry-After")
+	}
+}
+
+// TestNoBackendsLeft checks the balancer's 503 behavior once every backend
+// is ejected: healthz goes unhealthy and creates are refused.
+func TestNoBackendsLeft(t *testing.T) {
+	l, ls, stubs, _ := startStubFleet(t, 2)
+	for _, sd := range stubs {
+		sd.healthy.Store(false)
+	}
+	waitFor(t, 5*time.Second, "everything ejected", func() bool {
+		for _, s := range l.Backends() {
+			if s.State != StateEjected {
+				return false
+			}
+		}
+		return true
+	})
+
+	resp, err := http.Get(ls.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz = %d with no admitted backends, want 503", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ls.URL+"/v1/sessions", "application/json", strings.NewReader(`{"config":"x"}`))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("create = %d with no admitted backends, want 503", resp.StatusCode)
+	}
+}
+
+// TestDrainingBackendGetsNoCreates checks the drain half of the probe
+// classification without a real daemon: a 503 "draining" readyz is a probe
+// success that only removes the backend from placement.
+func TestDrainingBackendGetsNoCreates(t *testing.T) {
+	l, ls, stubs, names := startStubFleet(t, 2)
+	stubs[1].draining.Store(true)
+	waitFor(t, 5*time.Second, "probe to observe draining", func() bool {
+		for _, s := range l.Backends() {
+			if s.Name == names[1] {
+				return s.Draining && s.State == StateAdmitted
+			}
+		}
+		return false
+	})
+	for i := 0; i < 6; i++ {
+		if _, backend := createVia(t, ls.URL); backend != names[0] {
+			t.Fatalf("create %d placed on draining %s", i, backend)
+		}
+	}
+}

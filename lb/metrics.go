@@ -1,0 +1,129 @@
+package lb
+
+import (
+	"io"
+
+	"github.com/clarifynet/clarify/internal/promtext"
+)
+
+// MetricsSnapshot is the body of the balancer's GET /metrics.
+type MetricsSnapshot struct {
+	// Backends is every replica's state, counters, and last probe payload.
+	Backends []BackendSnapshot `json:"backends"`
+	// Admitted / AcceptingSessions count the rotation's current shape.
+	Admitted          int `json:"admitted"`
+	AcceptingSessions int `json:"acceptingSessions"`
+	// Proxied counts requests forwarded to a backend (including failures);
+	// NoBackend counts requests refused for want of an eligible backend.
+	Proxied   int64 `json:"proxied"`
+	NoBackend int64 `json:"noBackend"`
+	// AffinityEntries is the live session-pin count; AffinityMisses counts
+	// lookups that fell back to the hash ring; AffinityEvicted the pins
+	// dropped by the idle TTL.
+	AffinityEntries int   `json:"affinityEntries"`
+	AffinityMisses  int64 `json:"affinityMisses"`
+	AffinityEvicted int64 `json:"affinityEvicted"`
+	// RingPoints is backends × virtual nodes.
+	RingPoints int `json:"ringPoints"`
+	// ProbeRounds counts completed all-backend probe sweeps.
+	ProbeRounds int64 `json:"probeRounds"`
+	// UptimeSeconds is the time since the balancer was built.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+func (l *LB) snapshot() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		Backends:        l.Backends(),
+		Proxied:         l.proxied.Load(),
+		NoBackend:       l.noBackend.Load(),
+		AffinityEntries: l.affinity.Len(),
+		AffinityMisses:  l.affinity.Misses(),
+		AffinityEvicted: l.affinity.Evicted(),
+		RingPoints:      l.ring.Points(),
+		ProbeRounds:     l.prober.probes.Load(),
+	}
+	for _, b := range snap.Backends {
+		if b.State == StateAdmitted {
+			snap.Admitted++
+			if !b.Draining {
+				snap.AcceptingSessions++
+			}
+		}
+	}
+	snap.UptimeSeconds = sinceSeconds(l.started)
+	return snap
+}
+
+// writePrometheus renders the balancer's metrics in the text exposition
+// format, following the clarifyd conventions (internal/promtext): ms-suffixed
+// durations, per-backend labels, histograms with explicit +Inf.
+func writePrometheus(w io.Writer, snap MetricsSnapshot) {
+	promtext.Counter(w, "clarify_lb_proxied_total", "Requests forwarded to a backend.", float64(snap.Proxied))
+	promtext.Counter(w, "clarify_lb_no_backend_total", "Requests refused for want of an eligible backend.", float64(snap.NoBackend))
+	promtext.Gauge(w, "clarify_lb_backends", "Configured backends.", float64(len(snap.Backends)))
+	promtext.Gauge(w, "clarify_lb_backends_admitted", "Backends in rotation.", float64(snap.Admitted))
+	promtext.Gauge(w, "clarify_lb_backends_accepting_sessions", "Backends accepting new sessions (admitted and not draining).", float64(snap.AcceptingSessions))
+	promtext.Gauge(w, "clarify_lb_affinity_entries", "Live session-to-backend pins.", float64(snap.AffinityEntries))
+	promtext.Counter(w, "clarify_lb_affinity_misses_total", "Session lookups that fell back to the hash ring.", float64(snap.AffinityMisses))
+	promtext.Counter(w, "clarify_lb_affinity_evicted_total", "Session pins dropped by the idle TTL.", float64(snap.AffinityEvicted))
+	promtext.Gauge(w, "clarify_lb_ring_points", "Hash-ring points (backends x virtual nodes).", float64(snap.RingPoints))
+	promtext.Counter(w, "clarify_lb_probe_rounds_total", "Completed all-backend probe sweeps.", float64(snap.ProbeRounds))
+
+	promtext.Header(w, "clarify_lb_backend_up", "gauge", "1 while the backend is admitted.")
+	for _, b := range snap.Backends {
+		up := 0.0
+		if b.State == StateAdmitted {
+			up = 1
+		}
+		promtext.Sample(w, "clarify_lb_backend_up", label(b), up)
+	}
+	promtext.Header(w, "clarify_lb_backend_draining", "gauge", "1 while the backend reports draining.")
+	for _, b := range snap.Backends {
+		v := 0.0
+		if b.Draining {
+			v = 1
+		}
+		promtext.Sample(w, "clarify_lb_backend_draining", label(b), v)
+	}
+	promtext.Header(w, "clarify_lb_backend_requests_total", "counter", "Requests proxied per backend.")
+	for _, b := range snap.Backends {
+		promtext.Sample(w, "clarify_lb_backend_requests_total", label(b), float64(b.Requests))
+	}
+	promtext.Header(w, "clarify_lb_backend_errors_total", "counter", "Backend responses >= 500 per backend.")
+	for _, b := range snap.Backends {
+		promtext.Sample(w, "clarify_lb_backend_errors_total", label(b), float64(b.Errors5xx))
+	}
+	promtext.Header(w, "clarify_lb_backend_transport_errors_total", "counter", "Proxied requests that never reached the backend.")
+	for _, b := range snap.Backends {
+		promtext.Sample(w, "clarify_lb_backend_transport_errors_total", label(b), float64(b.TransportErrors))
+	}
+	promtext.Header(w, "clarify_lb_backend_creates_total", "counter", "Sessions placed per backend.")
+	for _, b := range snap.Backends {
+		promtext.Sample(w, "clarify_lb_backend_creates_total", label(b), float64(b.CreatesRouted))
+	}
+	promtext.Header(w, "clarify_lb_backend_ejections_total", "counter", "Ejection transitions per backend.")
+	for _, b := range snap.Backends {
+		promtext.Sample(w, "clarify_lb_backend_ejections_total", label(b), float64(b.Ejections))
+	}
+	promtext.Header(w, "clarify_lb_backend_readmissions_total", "counter", "Re-admission transitions per backend.")
+	for _, b := range snap.Backends {
+		promtext.Sample(w, "clarify_lb_backend_readmissions_total", label(b), float64(b.Readmissions))
+	}
+	promtext.Header(w, "clarify_lb_backend_queue_depth", "gauge", "Last probed submission-queue depth per backend.")
+	for _, b := range snap.Backends {
+		promtext.Sample(w, "clarify_lb_backend_queue_depth", label(b), float64(b.Load.QueueDepth))
+	}
+	promtext.Header(w, "clarify_lb_backend_active_sessions", "gauge", "Last probed live-session count per backend.")
+	for _, b := range snap.Backends {
+		promtext.Sample(w, "clarify_lb_backend_active_sessions", label(b), float64(b.Load.ActiveSessions))
+	}
+	promtext.Header(w, "clarify_lb_backend_request_duration_ms", "histogram", "Proxied request latency per backend, in milliseconds.")
+	for _, b := range snap.Backends {
+		promtext.Histogram(w, "clarify_lb_backend_request_duration_ms", "backend", b.Name,
+			b.LatencyMs.BucketsMs, b.LatencyMs.Counts, b.LatencyMs.Count, b.LatencyMs.SumMs)
+	}
+}
+
+func label(b BackendSnapshot) string {
+	return "backend=" + promtext.QuoteLabel(b.Name)
+}

@@ -13,8 +13,10 @@ package loadgen
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -52,6 +54,15 @@ type Config struct {
 	// SLO, when non-nil, overrides the objectives the report evaluates
 	// client-side; nil uses the slo package defaults.
 	SLO *slo.Config `json:"-"`
+	// Failover makes workers survive the loss of a replica behind a
+	// balancer: when an update fails because the session's backend is
+	// draining, ejected, or gone (404/502/503/504 or a transport error),
+	// the worker abandons the session, creates a fresh one — which the
+	// balancer places on a surviving replica — and retries the intent
+	// there. The retried update's latency covers the whole disruption, so
+	// the client-side SLO still sees failover time; only updates that
+	// exhaust their retries count as failures.
+	Failover bool `json:"failover,omitempty"`
 }
 
 func (c Config) workers() int {
@@ -110,6 +121,9 @@ type Report struct {
 	Updates  int `json:"updates"`
 	Failures int `json:"failures"`
 	Degraded int `json:"degraded"`
+	// Disruptions counts mid-update replica losses survived by failover
+	// (session re-created on another replica and the intent retried).
+	Disruptions int `json:"disruptions,omitempty"`
 	// Throughput is successful updates per second.
 	Throughput float64 `json:"throughput"`
 	// Latency summarizes per-update latency as measured by the client.
@@ -181,9 +195,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		errMsg   string
 	}
 	var (
-		mu      sync.Mutex
-		samples []sample
-		total   int
+		mu          sync.Mutex
+		samples     []sample
+		total       int
+		disruptions int
 	)
 	budgetLeft := func() bool {
 		if cfg.MaxUpdates <= 0 {
@@ -230,17 +245,36 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				mu.Unlock()
 				return
 			}
-			defer client.DeleteSession(context.Background(), sid)
+			defer func() { client.DeleteSession(context.Background(), sid) }()
 			answer := func(q server.Question) (int, error) {
 				return 1 + rng.Intn(2), nil
 			}
 			for runCtx.Err() == nil && budgetLeft() {
 				intentText := Intent(rng, isACL)
-				uctx, ucancel := context.WithTimeout(runCtx, cfg.updateTimeout())
 				t0 := time.Now()
-				u, err := client.RunUpdate(uctx, sid, intentText, target, answer)
+				var u server.UpdateInfo
+				var err error
+				for attempt := 0; ; attempt++ {
+					uctx, ucancel := context.WithTimeout(runCtx, cfg.updateTimeout())
+					u, err = client.RunUpdate(uctx, sid, intentText, target, answer)
+					ucancel()
+					if err == nil || !cfg.Failover || attempt >= maxFailovers ||
+						runCtx.Err() != nil || !failoverable(err) {
+						break
+					}
+					// The replica holding the session is draining, ejected, or
+					// gone. Abandon the session, create a fresh one (the
+					// balancer places it on a survivor), and retry the intent.
+					newSid, cerr := recreateSession(runCtx, client, configText)
+					if cerr != nil {
+						break
+					}
+					mu.Lock()
+					disruptions++
+					mu.Unlock()
+					sid = newSid
+				}
 				elapsed := time.Since(t0)
-				ucancel()
 				sm := sample{ms: float64(elapsed) / float64(time.Millisecond)}
 				switch {
 				case err != nil:
@@ -277,6 +311,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	rep := &Report{
 		Config:          cfg,
 		DurationSeconds: elapsed.Seconds(),
+		Disruptions:     disruptions,
 		Errors:          map[string]int{},
 		ClientSLO:       clientSLO.Snapshot(),
 	}
@@ -321,6 +356,51 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		rep.DaemonSLO = &snap
 	}
 	return rep, nil
+}
+
+// maxFailovers bounds session re-creations per update under Config.Failover.
+const maxFailovers = 3
+
+// failoverable classifies an update error as "the replica is lost, not the
+// request": gateway-ish statuses from the balancer (backend ejected or
+// draining), a vanished session, or a transport-level failure. Context
+// expiry is the run ending or the update timing out — not a replica loss.
+func failoverable(err error) bool {
+	var apiErr *server.APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.StatusCode {
+		case http.StatusNotFound, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// recreateSession re-homes a worker after its replica died: retries session
+// creation with doubling backoff until it succeeds or the run ends.
+func recreateSession(ctx context.Context, client *server.Client, configText string) (string, error) {
+	backoff := 100 * time.Millisecond
+	for {
+		cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		sid, err := client.CreateSession(cctx, server.CreateSessionRequest{Config: configText})
+		cancel()
+		if err == nil {
+			return sid, nil
+		}
+		if ctx.Err() != nil {
+			return "", err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return "", err
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
 }
 
 // percentile reads the q-quantile from ascending samples (nearest-rank).

@@ -199,6 +199,29 @@ type AnswerRequest struct {
 	Option int `json:"option"`
 }
 
+// HealthStatus is the body of GET /healthz and GET /readyz. Beyond the
+// status string, it carries the load signals a fronting balancer's probe
+// needs: active_sessions and queue_depth feed load-aware create placement,
+// and draining tells the balancer to stop routing new sessions here while
+// in-flight ones finish (connection draining).
+type HealthStatus struct {
+	// Status is "ok"/"ready", "degraded", "draining", or "unready".
+	Status string `json:"status"`
+	// Draining is true from the moment Shutdown begins until the process
+	// exits; session traffic is still served so parked Q&A can finish.
+	Draining bool `json:"draining"`
+	// ActiveSessions is the live session count.
+	ActiveSessions int `json:"active_sessions"`
+	// ActiveUpdates counts updates executing or parked on a question.
+	ActiveUpdates int64 `json:"active_updates"`
+	// QueueDepth / QueueCapacity describe the bounded submission queue.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	// LLM flags the backend path when it is not the healthy primary:
+	// "fallback" (degraded mode) or "breaker-open" (unready).
+	LLM string `json:"llm,omitempty"`
+}
+
 // StatsResponse reports the session's cumulative pipeline counters.
 type StatsResponse struct {
 	Stats clarify.Stats `json:"stats"`

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -25,6 +26,67 @@ type Client struct {
 	// PollInterval paces RunUpdate's question/status polling (default
 	// 25 ms).
 	PollInterval time.Duration
+	// MaxRetries bounds the extra attempts for idempotent GETs (question
+	// polls, update polls, stats, session info) that fail with a transient
+	// transport error or a 502/503/504 — a balancer whose backend is inside
+	// an ejection window, or a replica briefly draining. Non-GET requests
+	// are never retried here (submits and answers are not idempotent; the
+	// server's own Retry-After contract covers 429s via RunUpdate).
+	// Default 2; negative disables.
+	MaxRetries int
+	// RetryBaseDelay seeds the doubling backoff between GET retries
+	// (default 50ms, capped at 1s). A Retry-After hint from the server
+	// overrides the computed delay, mirroring llm.HTTPClient.
+	RetryBaseDelay time.Duration
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return 2
+	}
+	return c.MaxRetries
+}
+
+// retryDelay computes the pause before GET retry n (0-based), honoring an
+// explicit Retry-After hint when the failure carried one.
+func (c *Client) retryDelay(n int, apiErr *APIError) time.Duration {
+	const maxDelay = time.Second
+	if apiErr != nil && apiErr.RetryAfterSeconds > 0 {
+		d := time.Duration(apiErr.RetryAfterSeconds) * time.Second
+		if d > maxDelay {
+			d = maxDelay
+		}
+		return d
+	}
+	base := c.RetryBaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	d := base << n
+	if d > maxDelay {
+		d = maxDelay
+	}
+	return d
+}
+
+// retryableGet reports whether a failed idempotent GET is worth retrying:
+// transient transport errors and gateway-ish statuses (502/503/504) are; any
+// other API error — 4xx, 500 — is a real answer from the service.
+func retryableGet(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.StatusCode {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	// Transport-level failure (connection refused/reset mid-ejection). The
+	// caller's context expiring is terminal, not transient.
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -42,7 +104,24 @@ func (c *Client) pollEvery() time.Duration {
 }
 
 // do issues one JSON request; out may be nil for responses without a body.
+// GETs are retried per MaxRetries on transient failures so short backend
+// ejection or drain windows behind a balancer do not surface as errors.
 func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.doOnce(ctx, method, path, in, out)
+		if err == nil || method != http.MethodGet || attempt >= c.maxRetries() || !retryableGet(err) {
+			return err
+		}
+		var apiErr *APIError
+		errors.As(err, &apiErr)
+		if serr := sleepCtx(ctx, c.retryDelay(attempt, apiErr)); serr != nil {
+			return err
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out interface{}) error {
 	var body io.Reader
 	if in != nil {
 		data, err := json.Marshal(in)

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler answers failures times with the given status before serving
+// the real payload, counting every hit.
+type flakyHandler struct {
+	failures int32
+	status   int
+	hits     atomic.Int32
+	payload  interface{}
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := h.hits.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	if n <= h.failures {
+		w.WriteHeader(h.status)
+		json.NewEncoder(w).Encode(ErrorResponse{Error: "transient"})
+		return
+	}
+	json.NewEncoder(w).Encode(h.payload)
+}
+
+// TestClientRetriesIdempotentGet checks a GET that hits a short 503 window —
+// a balancer whose backend is mid-ejection, a draining replica — succeeds
+// transparently within the retry budget.
+func TestClientRetriesIdempotentGet(t *testing.T) {
+	h := &flakyHandler{failures: 2, status: http.StatusServiceUnavailable,
+		payload: SessionInfo{ID: "s1"}}
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+
+	c := &Client{BaseURL: hs.URL, RetryBaseDelay: time.Millisecond}
+	info, err := c.Session(context.Background(), "s1")
+	if err != nil {
+		t.Fatalf("Session after transient 503s: %v", err)
+	}
+	if info.ID != "s1" {
+		t.Fatalf("info.ID = %q, want s1", info.ID)
+	}
+	if got := h.hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 failures + success)", got)
+	}
+}
+
+// TestClientDoesNotRetryNonIdempotent checks POSTs fail straight through:
+// submits and answers are not idempotent, so the client must not replay them.
+func TestClientDoesNotRetryNonIdempotent(t *testing.T) {
+	h := &flakyHandler{failures: 100, status: http.StatusServiceUnavailable}
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+
+	c := &Client{BaseURL: hs.URL, RetryBaseDelay: time.Millisecond}
+	if err := c.Answer(context.Background(), "s1", 0, 1); err == nil {
+		t.Fatal("Answer against a 503 server succeeded, want error")
+	}
+	if got := h.hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests for a POST, want exactly 1", got)
+	}
+}
+
+// TestClientRetryNotOnRealAnswers checks a 4xx — a real answer from the
+// service — is never retried even on a GET.
+func TestClientRetryNotOnRealAnswers(t *testing.T) {
+	h := &flakyHandler{failures: 100, status: http.StatusNotFound}
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+
+	c := &Client{BaseURL: hs.URL, RetryBaseDelay: time.Millisecond}
+	if _, err := c.Session(context.Background(), "nope"); err == nil {
+		t.Fatal("Session for a 404 succeeded, want error")
+	}
+	if got := h.hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests for a 404 GET, want exactly 1", got)
+	}
+}
+
+// TestClientRetryDisabled checks MaxRetries < 0 turns the mechanism off.
+func TestClientRetryDisabled(t *testing.T) {
+	h := &flakyHandler{failures: 1, status: http.StatusServiceUnavailable,
+		payload: SessionInfo{ID: "s1"}}
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+
+	c := &Client{BaseURL: hs.URL, MaxRetries: -1}
+	if _, err := c.Session(context.Background(), "s1"); err == nil {
+		t.Fatal("Session with retries disabled succeeded, want the 503 error")
+	}
+	if got := h.hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests with retries disabled, want 1", got)
+	}
+}
+
+func TestClientRetryDelay(t *testing.T) {
+	c := &Client{}
+	if d := c.retryDelay(0, nil); d != 50*time.Millisecond {
+		t.Errorf("retryDelay(0) = %v, want 50ms", d)
+	}
+	if d := c.retryDelay(1, nil); d != 100*time.Millisecond {
+		t.Errorf("retryDelay(1) = %v, want 100ms", d)
+	}
+	if d := c.retryDelay(10, nil); d != time.Second {
+		t.Errorf("retryDelay(10) = %v, want the 1s cap", d)
+	}
+	// An explicit Retry-After hint overrides the computed backoff.
+	if d := c.retryDelay(0, &APIError{RetryAfterSeconds: 1}); d != time.Second {
+		t.Errorf("retryDelay with Retry-After 1 = %v, want 1s", d)
+	}
+	if d := c.retryDelay(0, &APIError{RetryAfterSeconds: 30}); d != time.Second {
+		t.Errorf("retryDelay with Retry-After 30 = %v, want the 1s cap", d)
+	}
+}
+
+// TestHealthPayloadFields checks /healthz and /readyz expose the load
+// signals a fronting balancer reads for placement and drain detection.
+func TestHealthPayloadFields(t *testing.T) {
+	_, c := startServer(t, Options{Workers: 2})
+	ctx := context.Background()
+	if _, err := c.CreateSession(ctx, CreateSessionRequest{Config: exampleConfig}); err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(c.BaseURL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		var h HealthStatus
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d, want 200", path, resp.StatusCode)
+		}
+		if h.Draining {
+			t.Errorf("%s reports draining on a live server", path)
+		}
+		if h.ActiveSessions != 1 {
+			t.Errorf("%s active_sessions = %d, want 1", path, h.ActiveSessions)
+		}
+		if h.QueueCapacity <= 0 {
+			t.Errorf("%s queue_capacity = %d, want > 0", path, h.QueueCapacity)
+		}
+		if h.QueueDepth < 0 {
+			t.Errorf("%s queue_depth = %d, want >= 0", path, h.QueueDepth)
+		}
+	}
+}

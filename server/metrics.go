@@ -264,17 +264,31 @@ func (m *metrics) snapshot() MetricsSnapshot {
 
 // snapshot copies one histogram; callers hold the metrics mutex.
 func (h *histogram) snapshot() HistogramSnapshot {
+	return MakeHistogramSnapshot(h.buckets, h.counts, h.n, h.sumMs)
+}
+
+// MakeHistogramSnapshot builds the wire view of a fixed-bucket latency
+// histogram from raw counts, including the interpolated quantile estimates.
+// The counts slice is copied. Shared with the lb package so clarify-lb's
+// per-backend latency series carry the same shape as clarifyd's.
+func MakeHistogramSnapshot(bucketsMs []float64, counts []int64, count int64, sumMs float64) HistogramSnapshot {
 	snap := HistogramSnapshot{
-		BucketsMs: h.buckets,
-		Counts:    append([]int64(nil), h.counts...),
-		Count:     h.n,
-		SumMs:     h.sumMs,
+		BucketsMs: bucketsMs,
+		Counts:    append([]int64(nil), counts...),
+		Count:     count,
+		SumMs:     sumMs,
 	}
-	if h.n > 0 {
-		snap.MeanMs = h.sumMs / float64(h.n)
-		snap.EstP50Ms = estimateQuantile(h.buckets, h.counts, h.n, 0.50)
-		snap.EstP95Ms = estimateQuantile(h.buckets, h.counts, h.n, 0.95)
-		snap.EstP99Ms = estimateQuantile(h.buckets, h.counts, h.n, 0.99)
+	if count > 0 {
+		snap.MeanMs = sumMs / float64(count)
+		snap.EstP50Ms = estimateQuantile(bucketsMs, counts, count, 0.50)
+		snap.EstP95Ms = estimateQuantile(bucketsMs, counts, count, 0.95)
+		snap.EstP99Ms = estimateQuantile(bucketsMs, counts, count, 0.99)
 	}
 	return snap
+}
+
+// DefaultLatencyBucketsMs exposes the default histogram bound table for
+// other serving tiers (the lb package) that want matching resolution.
+func DefaultLatencyBucketsMs() []float64 {
+	return append([]float64(nil), defaultLatencyBuckets...)
 }

@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strconv"
-	"strings"
 
+	"github.com/clarifynet/clarify/internal/promtext"
 	"github.com/clarifynet/clarify/resilience"
 	"github.com/clarifynet/clarify/slo"
 )
@@ -149,74 +148,24 @@ func writeSLO(w io.Writer, snap slo.Snapshot) {
 	}
 }
 
-func writeHeader(w io.Writer, name, kind, help string) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
-}
+// The exposition primitives live in internal/promtext, shared with the
+// clarify-lb front tier so both daemons render identically-shaped series.
+func writeHeader(w io.Writer, name, kind, help string) { promtext.Header(w, name, kind, help) }
 
-func writeCounter(w io.Writer, name, help string, v float64) {
-	writeHeader(w, name, "counter", help)
-	fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
-}
+func writeCounter(w io.Writer, name, help string, v float64) { promtext.Counter(w, name, help, v) }
 
-func writeGauge(w io.Writer, name, help string, v float64) {
-	writeHeader(w, name, "gauge", help)
-	fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
-}
+func writeGauge(w io.Writer, name, help string, v float64) { promtext.Gauge(w, name, help, v) }
 
 // writeHistogram renders one labelled histogram series: cumulative le
 // buckets, an explicit +Inf bucket, then _sum and _count.
 func writeHistogram(w io.Writer, name, labelKey, labelVal string, h HistogramSnapshot) {
-	label := labelKey + "=" + quoteLabel(labelVal)
-	var cum int64
-	for i, ub := range h.BucketsMs {
-		cum += h.Counts[i]
-		fmt.Fprintf(w, "%s_bucket{%s,le=%s} %d\n", name, label, quoteLabel(formatFloat(ub)), cum)
-	}
-	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, h.Count)
-	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, label, formatFloat(h.SumMs))
-	fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, h.Count)
+	promtext.Histogram(w, name, labelKey, labelVal, h.BucketsMs, h.Counts, h.Count, h.SumMs)
 }
 
-// formatFloat renders a sample value the way Prometheus expects: no
-// exponent for typical magnitudes, no trailing zeros.
-func formatFloat(v float64) string {
-	return strconv.FormatFloat(v, 'f', -1, 64)
-}
+func formatFloat(v float64) string { return promtext.FormatFloat(v) }
 
-// quoteLabel escapes a label value per the exposition format.
-func quoteLabel(v string) string {
-	var b strings.Builder
-	b.WriteByte('"')
-	for _, r := range v {
-		switch r {
-		case '\\':
-			b.WriteString(`\\`)
-		case '"':
-			b.WriteString(`\"`)
-		case '\n':
-			b.WriteString(`\n`)
-		default:
-			b.WriteRune(r)
-		}
-	}
-	b.WriteByte('"')
-	return b.String()
-}
+func quoteLabel(v string) string { return promtext.QuoteLabel(v) }
 
-func sortedKeys(m map[string]int64) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
+func sortedKeys(m map[string]int64) []string { return promtext.SortedKeys(m) }
 
-func sortedHistKeys(m map[string]HistogramSnapshot) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
+func sortedHistKeys(m map[string]HistogramSnapshot) []string { return promtext.SortedKeys(m) }

@@ -217,18 +217,31 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // --- handlers ---
 
+// health assembles the load signals both probes share; a fronting balancer
+// reads them for load-aware create placement and drain detection.
+func (s *Server) health() HealthStatus {
+	return HealthStatus{
+		Draining:       s.draining.Load(),
+		ActiveSessions: s.mgr.Len(),
+		ActiveUpdates:  s.active.Load(),
+		QueueDepth:     s.pool.Depth(),
+		QueueCapacity:  s.pool.Capacity(),
+	}
+}
+
 // handleHealthz is the liveness probe: 503 only while draining. A daemon
 // running on its fallback backend is alive — it reports 200 with a degraded
 // payload rather than getting restarted by an orchestrator.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
-	body := map[string]interface{}{"status": "ok", "sessions": s.mgr.Len()}
-	if s.draining.Load() {
+	body := s.health()
+	body.Status = "ok"
+	if body.Draining {
 		status = http.StatusServiceUnavailable
-		body["status"] = "draining"
+		body.Status = "draining"
 	} else if s.opts.Resilience.Degraded() {
-		body["status"] = "degraded"
-		body["llm"] = "fallback"
+		body.Status = "degraded"
+		body.LLM = "fallback"
 	}
 	writeJSON(w, status, body)
 }
@@ -238,18 +251,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // Degraded-but-serving still reports ready, flagged in the payload.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
-	body := map[string]interface{}{"status": "ready"}
+	body := s.health()
+	body.Status = "ready"
 	switch {
-	case s.draining.Load():
+	case body.Draining:
 		status = http.StatusServiceUnavailable
-		body["status"] = "draining"
+		body.Status = "draining"
 	case !s.opts.Resilience.CanServe():
 		status = http.StatusServiceUnavailable
-		body["status"] = "unready"
-		body["llm"] = "breaker-open"
+		body.Status = "unready"
+		body.LLM = "breaker-open"
 	case s.opts.Resilience.Degraded():
-		body["status"] = "degraded"
-		body["llm"] = "fallback"
+		body.Status = "degraded"
+		body.LLM = "fallback"
 	}
 	writeJSON(w, status, body)
 }
