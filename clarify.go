@@ -121,6 +121,15 @@ func (s *Session) Stats() Stats {
 	return s.stats
 }
 
+// RestoreStats seeds the session counters from externalized state (session
+// snapshot/restore); subsequent updates accumulate on top, so a session's
+// lifetime totals survive a daemon handoff.
+func (s *Session) RestoreStats(st Stats) {
+	s.mu.Lock()
+	s.stats = st
+	s.mu.Unlock()
+}
+
 // UpdateResult reports one successful incremental update.
 type UpdateResult struct {
 	Kind intent.Kind

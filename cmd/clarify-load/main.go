@@ -6,14 +6,23 @@
 //	clarify-load -addr http://127.0.0.1:8080 [-workers 4] [-duration 10s]
 //	             [-rate 20] [-max-updates 100] [-acl-fraction 0.25]
 //	             [-corpus cloud] [-seed 1] [-failover] [-out report.json]
+//	             [-rolling url=pidfile,url=pidfile]
 //
 // -addr may point at a single clarifyd or at a clarify-lb fronting several;
 // with -failover the run survives losing a replica mid-run (sessions are
 // re-created on a survivor and the interrupted intent retried, with the
 // disruption latency charged to the client-side SLO).
 //
+// With -rolling the run doubles as a zero-downtime rollout drill: each
+// listed replica is SIGTERMed in turn (its supervisor must restart it,
+// rewriting the pidfile) while workers insist on their sessions surviving
+// the handoff — same session ID, same in-flight update, same parked
+// question on whichever replica the session lands on.
+//
 // Exit status is 0 when the run completed and every client-side SLO window
-// is quiet, 1 when any burn-rate alert is firing, 2 on operational errors.
+// is quiet, 1 when any burn-rate alert is firing — or, under -rolling, when
+// any session was lost, any update failed, or any replica failed to cycle.
+// 2 on operational errors.
 package main
 
 import (
@@ -41,10 +50,20 @@ func main() {
 	flag.Int64Var(&cfg.Seed, "seed", 1, "deterministic seed for intents and answers")
 	flag.DurationVar(&cfg.UpdateTimeout, "update-timeout", 60*time.Second, "per-update timeout")
 	flag.BoolVar(&cfg.Failover, "failover", false, "survive replica loss behind clarify-lb: re-create the session elsewhere and retry the intent")
+	rollingSpec := flag.String("rolling", "", "rolling-restart drill: comma-separated url=pidfile replicas to SIGTERM in turn; sessions must survive the handoffs")
 	sloWindows := flag.String("slo-windows", "", "client-side alert windows long:short:burn:severity,... (default package windows)")
 	outPath := flag.String("out", "", "write the JSON report here instead of stdout")
 	quiet := flag.Bool("quiet", false, "suppress the summary line on stderr")
 	flag.Parse()
+
+	if *rollingSpec != "" {
+		targets, err := loadgen.ParseRolling(*rollingSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clarify-load: -rolling:", err)
+			os.Exit(2)
+		}
+		cfg.Rolling = targets
+	}
 
 	if *sloWindows != "" {
 		ws, err := slo.ParseWindows(*sloWindows)
@@ -72,6 +91,10 @@ func main() {
 		if rep.Disruptions > 0 {
 			fmt.Fprintf(os.Stderr, "clarify-load: %d replica disruptions survived by failover\n", rep.Disruptions)
 		}
+		if len(cfg.Rolling) > 0 {
+			fmt.Fprintf(os.Stderr, "clarify-load: rolling drill: %d/%d replicas cycled, %d session(s) lost\n",
+				rep.Restarts, len(cfg.Rolling), rep.LostSessions)
+		}
 		if rep.ClientSLO.Firing() {
 			fmt.Fprintln(os.Stderr, "clarify-load: client-side SLO burn-rate alert FIRING")
 		}
@@ -94,6 +117,11 @@ func main() {
 		os.Exit(2)
 	}
 	if rep.ClientSLO.Firing() {
+		os.Exit(1)
+	}
+	// A rolling drill has its own pass bar: every replica cycled, no session
+	// lost, nothing failed.
+	if len(cfg.Rolling) > 0 && (rep.LostSessions > 0 || rep.Restarts != len(cfg.Rolling) || rep.Failures > 0) {
 		os.Exit(1)
 	}
 }

@@ -63,6 +63,7 @@ import (
 	"github.com/clarifynet/clarify/resilience"
 	"github.com/clarifynet/clarify/server"
 	"github.com/clarifynet/clarify/slo"
+	"github.com/clarifynet/clarify/snapshot"
 )
 
 // daemonConfig collects every flag so run() stays testable and the flag list
@@ -102,6 +103,10 @@ type daemonConfig struct {
 	sloObjectives string
 	sloWindows    string
 	latencyBucket string
+
+	snapshotDir string
+	handoffPeer string
+	pidFile     string
 }
 
 func main() {
@@ -132,6 +137,9 @@ func main() {
 	flag.StringVar(&cfg.sloObjectives, "slo-objectives", "", "SLO spec \"name:goal[:latency-ms],...\", e.g. \"availability:0.999,latency:0.99:500\" (default built-ins)")
 	flag.StringVar(&cfg.sloWindows, "slo-windows", "", "burn-rate alert windows \"long:short:burn:severity,...\", e.g. \"1h:5m:14.4:page\" (default built-ins)")
 	flag.StringVar(&cfg.latencyBucket, "latency-buckets-ms", "", "comma-separated ascending histogram bounds in ms (default built-in table)")
+	flag.StringVar(&cfg.snapshotDir, "snapshot-dir", "", "session snapshot directory: rehydrate sessions from it at startup, write surviving sessions to it on SIGTERM")
+	flag.StringVar(&cfg.handoffPeer, "handoff-peer", "", "hand sessions off to this base URL on SIGTERM (a peer replica or a clarify-lb front) before falling back to -snapshot-dir")
+	flag.StringVar(&cfg.pidFile, "pidfile", "", "write the daemon pid here on startup (rolling-restart supervisors read it)")
 	flag.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text or json")
 	flag.BoolVar(&cfg.pprofOn, "pprof", false, "expose the Go profiler at /debug/pprof/")
 	flag.BoolVar(&cfg.quiet, "quiet", false, "disable request logging")
@@ -335,6 +343,26 @@ func run(cfg daemonConfig) error {
 		handler = mux
 	}
 
+	node, _ := os.Hostname()
+	if node == "" {
+		node = "clarifyd"
+	}
+	node += cfg.addr
+
+	if cfg.pidFile != "" {
+		if err := os.WriteFile(cfg.pidFile, []byte(strconv.Itoa(os.Getpid())+"\n"), 0o644); err != nil {
+			return fmt.Errorf("-pidfile: %w", err)
+		}
+		defer os.Remove(cfg.pidFile)
+	}
+
+	// Rehydrate before the listener opens: sessions a previous process left
+	// in the snapshot directory come back under their original IDs, parked
+	// questions re-parking as their updates re-execute.
+	if cfg.snapshotDir != "" {
+		restoreFromDir(srv, cfg.snapshotDir, logger)
+	}
+
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,
 		Handler:           handler,
@@ -359,6 +387,25 @@ func run(cfg daemonConfig) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
+
+	if cfg.snapshotDir != "" || cfg.handoffPeer != "" {
+		// Handoff mode: quiesce running updates to parked questions, capture
+		// every session, and ship the captures to a peer (or disk). Local
+		// copies of the parked updates are then force-cancelled quickly — the
+		// handed-off copies are the live ones now.
+		handoffSessions(ctx, srv, cfg, node, logger)
+		// Close the listener BEFORE force-cancelling the local copies: a
+		// client poll must never observe a handed-off update flipping to
+		// "failed" here — the copy on the peer is the live one.
+		sctx, scancel := context.WithTimeout(context.Background(), time.Second)
+		defer scancel()
+		if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			logger.Error("http shutdown", "err", err)
+		}
+		srv.Shutdown(sctx)
+		return nil
+	}
+
 	// Drain the pipeline BEFORE closing the listener: srv.Shutdown flips
 	// /readyz to 503 "draining" (a fronting clarify-lb sees it and stops
 	// placing new sessions here) while the listener stays up so parked
@@ -374,4 +421,101 @@ func run(cfg daemonConfig) error {
 		logger.Error("http shutdown", "err", err)
 	}
 	return nil
+}
+
+// restoreFromDir rehydrates every readable snapshot file in dir, consuming
+// files whose sessions were all offered to the server. Files from a newer
+// schema (or plain garbage) are left on disk for a newer build.
+func restoreFromDir(srv *server.Server, dir string, logger *slog.Logger) {
+	loads, err := snapshot.Load(dir)
+	if err != nil {
+		logger.Error("snapshot restore: read dir", "dir", dir, "err", err)
+		return
+	}
+	for _, l := range loads {
+		if l.Err != nil {
+			logger.Warn("snapshot file unreadable; leaving on disk", "path", l.Path, "err", l.Err)
+			continue
+		}
+		restored := 0
+		for _, sn := range l.File.Sessions {
+			if err := srv.RestoreSession(sn); err != nil {
+				logger.Warn("session restore rejected", "session", sn.ID, "err", err)
+				continue
+			}
+			restored++
+		}
+		logger.Info("snapshot restored", "path", l.Path,
+			"sessions", restored, "of", len(l.File.Sessions), "from", l.File.Node)
+		if err := snapshot.Consume(l.Path); err != nil {
+			logger.Warn("snapshot consume", "path", l.Path, "err", err)
+		}
+	}
+}
+
+// handoffSessions drains to quiescence, captures every session, and hands
+// the captures to -handoff-peer (per-session retries; a 409 means the peer
+// already holds it). Captures the peer would not take — or all of them,
+// with no peer — are written to -snapshot-dir for the next process.
+func handoffSessions(ctx context.Context, srv *server.Server, cfg daemonConfig, node string, logger *slog.Logger) {
+	if err := srv.DrainForHandoff(ctx); err != nil {
+		logger.Warn("handoff drain incomplete; snapshotting anyway", "err", err)
+	}
+	snaps := srv.SnapshotSessions(node)
+	if len(snaps) == 0 {
+		logger.Info("handoff: no sessions to move")
+		return
+	}
+	leftover := snaps
+	if cfg.handoffPeer != "" {
+		c := &server.Client{BaseURL: cfg.handoffPeer}
+		leftover = leftover[:0]
+		for _, sn := range snaps {
+			if err := putRestoreWithRetry(ctx, c, sn); err != nil {
+				logger.Warn("handoff rejected; keeping for snapshot file", "session", sn.ID, "err", err)
+				leftover = append(leftover, sn)
+				continue
+			}
+			logger.Info("session handed off", "session", sn.ID, "peer", cfg.handoffPeer)
+		}
+	}
+	if len(leftover) == 0 {
+		return
+	}
+	if cfg.snapshotDir == "" {
+		logger.Error("sessions LOST: handoff failed and no -snapshot-dir", "count", len(leftover))
+		return
+	}
+	path, err := snapshot.Write(cfg.snapshotDir, &snapshot.File{
+		Time:     time.Now(),
+		Node:     node,
+		Sessions: leftover,
+	})
+	if err != nil {
+		logger.Error("sessions LOST: snapshot write failed", "count", len(leftover), "err", err)
+		return
+	}
+	logger.Info("sessions snapshotted", "path", path, "count", len(leftover))
+}
+
+// putRestoreWithRetry PUTs one session snapshot, riding out the window where
+// the peer (often a clarify-lb) has not yet noticed this replica draining.
+func putRestoreWithRetry(ctx context.Context, c *server.Client, sn *snapshot.Session) error {
+	backoff := 250 * time.Millisecond
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		var apiErr *server.APIError
+		if _, err = c.RestoreSession(ctx, sn); err == nil {
+			return nil
+		} else if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusConflict {
+			return nil // the peer already holds this session
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return err
+		}
+		backoff *= 2
+	}
+	return err
 }

@@ -1,0 +1,60 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// A segment mixing current-schema records with records from a newer writer
+// must yield the current ones and count the rest, not fail the segment.
+func TestScanSkipsNewerSchemaRecords(t *testing.T) {
+	dir := t.TempDir()
+	lines := fmt.Sprintf(`{"schema":%d,"intent":"old","target":"RM","baseConfig":"!","durationMs":1}
+{"schema":%d,"kind":"warp-drive","intent":"future","target":"RM","baseConfig":"!","durationMs":1}
+{"schema":%d,"intent":"current","target":"RM","baseConfig":"!","durationMs":1}
+`, SchemaVersion, SchemaVersion+1, SchemaVersion)
+	seg := filepath.Join(dir, fmt.Sprintf(segmentPattern, 1))
+	if err := os.WriteFile(seg, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var intents []string
+	stats, err := Scan(dir, func(rec *Record) error {
+		intents = append(intents, rec.Intent)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if stats.Records != 2 || stats.SkippedUnknownVersion != 1 || stats.Skipped != 0 {
+		t.Fatalf("stats = %+v, want 2 records, 1 skipped-unknown-version", stats)
+	}
+	if len(intents) != 2 || intents[0] != "old" || intents[1] != "current" {
+		t.Fatalf("decoded intents = %v", intents)
+	}
+}
+
+// Kind survives a write/read round trip so lifecycle events are replayable.
+func TestKindRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(Options{Dir: dir, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	j.Append(&Record{Kind: KindSessionRestore, Session: "s1", BaseConfig: "!"})
+	j.Append(&Record{Session: "s1", Intent: "i", Target: "t", BaseConfig: "!"})
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	recs, stats, err := ReadAll(dir)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if stats.Records != 2 || len(recs) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if recs[0].Kind != KindSessionRestore || recs[1].Kind != KindUpdate {
+		t.Fatalf("kinds = %q, %q", recs[0].Kind, recs[1].Kind)
+	}
+}

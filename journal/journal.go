@@ -29,8 +29,29 @@ import (
 )
 
 // SchemaVersion is stamped on every record so future readers can migrate
-// old journals.
-const SchemaVersion = 1
+// old journals. Version history:
+//
+//	1 — initial format: one record per pipeline update.
+//	2 — adds Kind, distinguishing update records from session lifecycle
+//	    events ("session-snapshot", "session-restore").
+//
+// Readers skip-and-count records stamped with a schema newer than their own
+// (see ReadStats.SkippedUnknownVersion) so a journal shared across a rolling
+// deploy never fails an older replica's scan.
+const SchemaVersion = 2
+
+// Record kinds. The zero value means a pipeline update (every schema-1
+// record); lifecycle kinds journal session handoffs.
+const (
+	// KindUpdate marks one pipeline update (the default, left empty on the
+	// wire for schema-1 compatibility).
+	KindUpdate = ""
+	// KindSessionSnapshot marks a session captured by a draining daemon.
+	KindSessionSnapshot = "session-snapshot"
+	// KindSessionRestore marks a session rehydrated from a snapshot or a
+	// peer handoff.
+	KindSessionRestore = "session-restore"
+)
 
 // Answer is one resolved disambiguation question: the rendered differential
 // example shown to the operator and which option they chose. The transcript
@@ -50,6 +71,9 @@ type Answer struct {
 type Record struct {
 	// Schema is the record format version (SchemaVersion at write time).
 	Schema int `json:"schema"`
+	// Kind distinguishes update records (empty) from session lifecycle
+	// events (KindSessionSnapshot, KindSessionRestore).
+	Kind string `json:"kind,omitempty"`
 	// Time is when the update finished.
 	Time time.Time `json:"time"`
 	// TraceID links the record to the in-memory /debug/traces ring while the

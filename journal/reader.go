@@ -25,6 +25,10 @@ type ReadStats struct {
 	Skipped int `json:"skipped"`
 	// SkippedAt lists "file:line" locations of skipped records (bounded).
 	SkippedAt []string `json:"skippedAt,omitempty"`
+	// SkippedUnknownVersion counts well-formed records stamped with a schema
+	// newer than this build's SchemaVersion — a newer writer sharing the
+	// directory across a rolling deploy. They are skipped, never fatal.
+	SkippedUnknownVersion int `json:"skippedUnknownVersion,omitempty"`
 }
 
 const maxSkipLocations = 16
@@ -67,6 +71,12 @@ func scanSegment(path string, fn func(rec *Record) error, stats *ReadStats) erro
 		rec := new(Record)
 		if err := json.Unmarshal(line, rec); err != nil {
 			stats.skip(path, lineNo)
+			continue
+		}
+		if rec.Schema > SchemaVersion {
+			// A newer writer's record: its fields may carry semantics this
+			// build cannot honor, so skip it rather than misreplay it.
+			stats.SkippedUnknownVersion++
 			continue
 		}
 		stats.Records++

@@ -30,6 +30,7 @@
 package lb
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -88,6 +89,8 @@ type LB struct {
 
 	proxied   atomic.Int64 // requests forwarded to a backend
 	noBackend atomic.Int64 // requests refused for want of an eligible backend
+	restored  atomic.Int64 // sessions re-placed via PUT .../restore
+	gonePins  atomic.Int64 // affinity pins cleared by a backend's 410 Gone
 	started   time.Time
 }
 
@@ -125,6 +128,7 @@ func New(opts Options) (*LB, error) {
 	l.mux.HandleFunc("GET /v1/sessions", l.handleList)
 	l.mux.HandleFunc("/v1/sessions/{id}", l.handleSession)
 	l.mux.HandleFunc("/v1/sessions/{id}/{rest...}", l.handleSession)
+	l.mux.HandleFunc("PUT /v1/sessions/{id}/restore", l.handleRestore)
 	l.prober = newProber(l, opts)
 	go l.prober.run()
 	return l, nil
@@ -156,7 +160,14 @@ func (l *LB) Backends() []BackendSnapshot {
 // random placement keys, keeping the less-loaded candidate. With one
 // eligible backend both lookups converge on it; with zero it returns nil.
 func (l *LB) pickCreateBackend() *Backend {
-	eligible := func(b *Backend) bool { return b.AcceptsSessions() }
+	return l.pickCreateBackendExcluding(nil)
+}
+
+// pickCreateBackendExcluding is pickCreateBackend minus the backends a
+// placement attempt has already struck out on (drained or unreachable
+// faster than the prober could notice).
+func (l *LB) pickCreateBackendExcluding(skip map[*Backend]bool) *Backend {
+	eligible := func(b *Backend) bool { return b.AcceptsSessions() && !skip[b] }
 	c1 := l.ring.Lookup(placementKey(), eligible)
 	if c1 == nil {
 		return nil
@@ -185,18 +196,45 @@ func (l *LB) routeSession(id string) *Backend {
 
 // --- handlers ---
 
-func (l *LB) handleCreate(w http.ResponseWriter, r *http.Request) {
-	b := l.pickCreateBackend()
-	if b == nil {
-		l.noBackend.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "no backend accepting sessions (all ejected or draining)", 1)
-		return
+// placeSession forwards a session-placement request (create or restore),
+// failing over across backends: a 503 — a replica mid-drain the prober has
+// not caught yet — or a transport error strikes that backend from this
+// attempt and retries the next-best placement, instead of bouncing a
+// transient to the client. The request body is buffered once so it can be
+// replayed per attempt. On success the chosen backend is returned; when no
+// backend accepts, placeSession writes the error itself and returns nil.
+func (l *LB) placeSession(w http.ResponseWriter, r *http.Request) (*http.Response, []byte, *Backend) {
+	payload, err := io.ReadAll(io.LimitReader(r.Body, 32<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "lb: read request: "+trimReason(err.Error()), 0)
+		return nil, nil, nil
 	}
+	var skip map[*Backend]bool
+	for {
+		b := l.pickCreateBackendExcluding(skip)
+		if b == nil {
+			break
+		}
+		resp, body, err := l.forwardTo(b, r, bytes.NewReader(payload))
+		if err == nil && resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, body, b
+		}
+		if skip == nil {
+			skip = make(map[*Backend]bool)
+		}
+		skip[b] = true
+	}
+	l.noBackend.Add(1)
+	writeError(w, http.StatusServiceUnavailable, "no backend accepting sessions (all ejected or draining)", 1)
+	return nil, nil, nil
+}
+
+func (l *LB) handleCreate(w http.ResponseWriter, r *http.Request) {
 	// The create response must be inspected for the session ID, so this
 	// path buffers the (bounded) body instead of streaming it.
-	resp, body, err := l.forward(b, w, r)
-	if err != nil {
-		return // forward already answered 502
+	resp, body, b := l.placeSession(w, r)
+	if b == nil {
+		return // placeSession already answered
 	}
 	if resp.StatusCode == http.StatusCreated {
 		var created server.CreateSessionResponse
@@ -232,6 +270,34 @@ func (l *LB) handleSession(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.Method == http.MethodDelete && resp.StatusCode < 300 {
 		l.affinity.Remove(id)
+	}
+	if resp.StatusCode == http.StatusGone {
+		// The replica has buried the session (TTL eviction, or a handoff this
+		// LB never heard about). The pin is provably stale — clear it so a
+		// restored session's next request routes by ring, not to the grave.
+		if l.affinity.Get(id) != nil {
+			l.affinity.Remove(id)
+			l.gonePins.Add(1)
+		}
+	}
+	writeProxied(w, resp, body, b, r)
+}
+
+// handleRestore places a rehydrated session: a draining replica (or an
+// operator re-seeding from a snapshot file) PUTs the session's snapshot
+// through the balancer, which picks a backend exactly like a create and
+// pins the session there on success — so the client's next poll follows
+// the pin to the replica now holding its parked question.
+func (l *LB) handleRestore(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	resp, body, b := l.placeSession(w, r)
+	if b == nil {
+		return // placeSession already answered
+	}
+	if resp.StatusCode < 300 {
+		l.affinity.Put(id, b)
+		b.recordCreate()
+		l.restored.Add(1)
 	}
 	writeProxied(w, resp, body, b, r)
 }
@@ -319,14 +385,26 @@ var hopHeaders = []string{
 // its (bounded) body read. On a transport failure it answers 502 itself and
 // returns an error. The caller writes the response via writeProxied.
 func (l *LB) forward(b *Backend, w http.ResponseWriter, r *http.Request) (*http.Response, []byte, error) {
+	resp, body, err := l.forwardTo(b, r, io.LimitReader(r.Body, 32<<20))
+	if err != nil {
+		w.Header().Set(backendHeader, b.Name)
+		writeError(w, http.StatusBadGateway,
+			fmt.Sprintf("backend %s unreachable: %s", b.Name, trimReason(err.Error())), 1)
+	}
+	return resp, body, err
+}
+
+// forwardTo proxies one request to b with the given body, returning the
+// backend's response with its (bounded) body read. Unlike forward it never
+// writes to the client — callers that can fail the request over to another
+// backend (session placement) inspect the error themselves.
+func (l *LB) forwardTo(b *Backend, r *http.Request, bodyIn io.Reader) (*http.Response, []byte, error) {
 	outURL := *b.URL
 	outURL.Path = r.URL.Path
 	outURL.RawQuery = r.URL.RawQuery
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, outURL.String(),
-		io.LimitReader(r.Body, 32<<20))
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, outURL.String(), bodyIn)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "lb: build request: "+err.Error(), 0)
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("lb: build request: %w", err)
 	}
 	req.Header = r.Header.Clone()
 	for _, h := range hopHeaders {
@@ -344,10 +422,6 @@ func (l *LB) forward(b *Backend, w http.ResponseWriter, r *http.Request) (*http.
 	if err != nil {
 		b.recordRequest(0, time.Since(start), true)
 		l.proxied.Add(1)
-		w.Header().Set(backendHeader, b.Name)
-		w.Header().Set(requestIDHeader, req.Header.Get(requestIDHeader))
-		writeError(w, http.StatusBadGateway,
-			fmt.Sprintf("backend %s unreachable: %s", b.Name, trimReason(err.Error())), 1)
 		return nil, nil, err
 	}
 	defer resp.Body.Close()
@@ -355,10 +429,7 @@ func (l *LB) forward(b *Backend, w http.ResponseWriter, r *http.Request) (*http.
 	if err != nil {
 		b.recordRequest(0, time.Since(start), true)
 		l.proxied.Add(1)
-		w.Header().Set(backendHeader, b.Name)
-		writeError(w, http.StatusBadGateway,
-			fmt.Sprintf("backend %s: read response: %s", b.Name, trimReason(err.Error())), 1)
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("read response: %w", err)
 	}
 	b.recordRequest(resp.StatusCode, time.Since(start), false)
 	l.proxied.Add(1)

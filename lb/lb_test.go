@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -104,9 +105,16 @@ func fastProbeOpts() Options {
 
 func startLBFleet(t *testing.T, n int, opts Options) *lbFleet {
 	t.Helper()
+	return startLBFleetWith(t, n, opts, server.Options{Workers: 2})
+}
+
+// startLBFleetWith is startLBFleet with explicit replica options (tiny idle
+// TTLs, snapshot knobs).
+func startLBFleetWith(t *testing.T, n int, opts Options, srvOpts server.Options) *lbFleet {
+	t.Helper()
 	f := &lbFleet{backends: map[string]*server.Server{}}
 	for i := 0; i < n; i++ {
-		srv := server.New(server.Options{Workers: 2})
+		srv := server.New(srvOpts)
 		hs := httptest.NewServer(srv)
 		t.Cleanup(func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -662,6 +670,178 @@ func TestDrainingBackendGetsNoCreates(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		if _, backend := createVia(t, ls.URL); backend != names[0] {
 			t.Fatalf("create %d placed on draining %s", i, backend)
+		}
+	}
+}
+
+// TestRestoreRePinsAffinity is the handoff e2e through the balancer: a
+// replica drains with a parked question, snapshots the session, and the
+// snapshot is PUT back through the LB — which places it on the survivor and
+// pins the session there, so the client's next poll finds the same question
+// on the new replica.
+func TestRestoreRePinsAffinity(t *testing.T) {
+	f := startLBFleet(t, 2, fastProbeOpts())
+	rt := &recordingTransport{}
+	c := f.client(rt)
+	ctx := context.Background()
+
+	sid, err := c.CreateSession(ctx, server.CreateSessionRequest{Config: exampleConfig})
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+	pin := f.lb.affinity.Get(sid)
+	if pin == nil {
+		t.Fatal("no affinity pin after create")
+	}
+	owner := f.backends[pin.Name]
+	var survivor string
+	for name := range f.backends {
+		if name != pin.Name {
+			survivor = name
+		}
+	}
+
+	up, err := c.SubmitAsync(ctx, sid, exampleIntent, "ISP_OUT")
+	if err != nil {
+		t.Fatalf("submit async: %v", err)
+	}
+	var parked *server.Question
+	waitFor(t, 5*time.Second, "parked question", func() bool {
+		parked, err = c.Question(ctx, sid)
+		return err == nil && parked != nil
+	})
+
+	// Handoff time on the owner: drain to quiescence and capture the session.
+	dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := owner.DrainForHandoff(dctx); err != nil {
+		t.Fatalf("DrainForHandoff: %v", err)
+	}
+	snaps := owner.SnapshotSessions(pin.Name)
+	if len(snaps) != 1 || snaps[0].ID != sid || snaps[0].Pending == nil {
+		t.Fatalf("snapshot = %+v, want the one parked session", snaps)
+	}
+	// The probe must see the owner draining before the restore, or the LB
+	// could place the session right back on it.
+	waitFor(t, 5*time.Second, "probe to observe draining", func() bool {
+		return f.snapshotOf(t, pin.Name).Draining
+	})
+
+	if _, err := c.RestoreSession(ctx, snaps[0]); err != nil {
+		t.Fatalf("restore through the balancer: %v", err)
+	}
+	pin2 := f.lb.affinity.Get(sid)
+	if pin2 == nil || pin2.Name != survivor {
+		t.Fatalf("post-restore pin = %v, want survivor %s", pin2, survivor)
+	}
+	if got := f.lb.restored.Load(); got != 1 {
+		t.Fatalf("restored counter = %d, want 1", got)
+	}
+
+	// The client's next poll, through the balancer, must find the same
+	// question on the survivor — and answering there finishes the update.
+	var q2 *server.Question
+	waitFor(t, 5*time.Second, "re-parked question on the survivor", func() bool {
+		q2, err = c.Question(ctx, sid)
+		return err == nil && q2 != nil
+	})
+	if q2.Seq != parked.Seq || q2.Text != parked.Text {
+		t.Fatalf("restored question = seq %d %q, want seq %d %q", q2.Seq, q2.Text, parked.Seq, parked.Text)
+	}
+	res, err := c.PollUpdate(ctx, sid, up.ID, func(server.Question) (int, error) { return 1, nil })
+	if err != nil || res.Status != server.StatusDone {
+		t.Fatalf("restored update = %+v, %v, want done", res, err)
+	}
+	for name := range rt.backendsFor(sid) {
+		if name != pin.Name && name != survivor {
+			t.Fatalf("session touched unexpected backend %s", name)
+		}
+	}
+
+	// Unpark the owner's copy so its shutdown in cleanup is prompt.
+	oc := &server.Client{BaseURL: "http://" + pin.Name, PollInterval: 2 * time.Millisecond}
+	if _, err := oc.PollUpdate(ctx, sid, up.ID, func(server.Question) (int, error) { return 1, nil }); err != nil {
+		t.Fatalf("finish owner's parked update: %v", err)
+	}
+}
+
+// TestGoneClearsAffinityPin: a backend answering 410 for a session proves
+// the pin stale — the balancer must drop it (and count the drop), so a
+// later restore can repin cleanly instead of routing to the grave.
+func TestGoneClearsAffinityPin(t *testing.T) {
+	f := startLBFleetWith(t, 1, fastProbeOpts(), server.Options{
+		Workers:       2,
+		IdleTTL:       40 * time.Millisecond,
+		SweepInterval: 10 * time.Millisecond,
+	})
+	c := f.client(nil)
+	ctx := context.Background()
+
+	sid, err := c.CreateSession(ctx, server.CreateSessionRequest{Config: exampleConfig})
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+	if f.lb.affinity.Get(sid) == nil {
+		t.Fatal("no affinity pin after create")
+	}
+
+	// The janitor evicts the idle session; the proxied poll sees 410 Gone
+	// and the pin dies with it. Every GET touches the session's idle clock,
+	// so the probe must pause longer than the TTL between polls or it keeps
+	// the session alive forever.
+	cleared := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		time.Sleep(75 * time.Millisecond)
+		_, err := c.Session(ctx, sid)
+		var apiErr *server.APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusGone && f.lb.affinity.Get(sid) == nil {
+			cleared = true
+			break
+		}
+	}
+	if !cleared {
+		t.Fatal("timed out waiting for 410 Gone to clear the pin")
+	}
+	if got := f.lb.gonePins.Load(); got != 1 {
+		t.Fatalf("gonePins counter = %d, want 1", got)
+	}
+}
+
+// TestPlacementFailsOverDrainingBackend: a create landing on a replica that
+// started draining after the last probe round must not bounce the 503 to
+// the client — placement strikes the drained replica and retries the
+// next-best backend. With slow probes the balancer's admission state never
+// learns about the drain, so every create exercises the failover path.
+func TestPlacementFailsOverDrainingBackend(t *testing.T) {
+	f := startLBFleetWith(t, 2, Options{
+		ProbeInterval: time.Hour, // prober never observes the drain
+		ProbeTimeout:  500 * time.Millisecond,
+		EjectAfter:    2,
+		ReadmitAfter:  2,
+	}, server.Options{Workers: 2})
+	c := f.client(nil)
+	ctx := context.Background()
+
+	var drained *server.Server
+	for _, srv := range f.backends {
+		drained = srv
+		break
+	}
+	dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := drained.DrainForHandoff(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Two-choice placement would route roughly half of these to the
+	// draining replica; every one must land on the survivor instead.
+	for i := 0; i < 10; i++ {
+		sid, err := c.CreateSession(ctx, server.CreateSessionRequest{Config: exampleConfig})
+		if err != nil {
+			t.Fatalf("create %d through draining fleet: %v", i, err)
+		}
+		if f.lb.affinity.Get(sid) == nil {
+			t.Fatalf("create %d: no pin", i)
 		}
 	}
 }

@@ -17,6 +17,11 @@ type MetricsSnapshot struct {
 	// NoBackend counts requests refused for want of an eligible backend.
 	Proxied   int64 `json:"proxied"`
 	NoBackend int64 `json:"noBackend"`
+	// RestoredSessions counts sessions re-placed via PUT .../restore;
+	// GonePinsCleared counts affinity pins dropped because a backend
+	// answered 410 Gone for the session.
+	RestoredSessions int64 `json:"restoredSessions,omitempty"`
+	GonePinsCleared  int64 `json:"gonePinsCleared,omitempty"`
 	// AffinityEntries is the live session-pin count; AffinityMisses counts
 	// lookups that fell back to the hash ring; AffinityEvicted the pins
 	// dropped by the idle TTL.
@@ -33,14 +38,16 @@ type MetricsSnapshot struct {
 
 func (l *LB) snapshot() MetricsSnapshot {
 	snap := MetricsSnapshot{
-		Backends:        l.Backends(),
-		Proxied:         l.proxied.Load(),
-		NoBackend:       l.noBackend.Load(),
-		AffinityEntries: l.affinity.Len(),
-		AffinityMisses:  l.affinity.Misses(),
-		AffinityEvicted: l.affinity.Evicted(),
-		RingPoints:      l.ring.Points(),
-		ProbeRounds:     l.prober.probes.Load(),
+		Backends:         l.Backends(),
+		Proxied:          l.proxied.Load(),
+		NoBackend:        l.noBackend.Load(),
+		RestoredSessions: l.restored.Load(),
+		GonePinsCleared:  l.gonePins.Load(),
+		AffinityEntries:  l.affinity.Len(),
+		AffinityMisses:   l.affinity.Misses(),
+		AffinityEvicted:  l.affinity.Evicted(),
+		RingPoints:       l.ring.Points(),
+		ProbeRounds:      l.prober.probes.Load(),
 	}
 	for _, b := range snap.Backends {
 		if b.State == StateAdmitted {
@@ -66,6 +73,8 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) {
 	promtext.Gauge(w, "clarify_lb_affinity_entries", "Live session-to-backend pins.", float64(snap.AffinityEntries))
 	promtext.Counter(w, "clarify_lb_affinity_misses_total", "Session lookups that fell back to the hash ring.", float64(snap.AffinityMisses))
 	promtext.Counter(w, "clarify_lb_affinity_evicted_total", "Session pins dropped by the idle TTL.", float64(snap.AffinityEvicted))
+	promtext.Counter(w, "clarify_lb_restored_sessions_total", "Sessions re-placed via PUT restore.", float64(snap.RestoredSessions))
+	promtext.Counter(w, "clarify_lb_gone_pins_cleared_total", "Affinity pins cleared by a backend 410 Gone.", float64(snap.GonePinsCleared))
 	promtext.Gauge(w, "clarify_lb_ring_points", "Hash-ring points (backends x virtual nodes).", float64(snap.RingPoints))
 	promtext.Counter(w, "clarify_lb_probe_rounds_total", "Completed all-backend probe sweeps.", float64(snap.ProbeRounds))
 

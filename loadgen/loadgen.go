@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -63,6 +64,45 @@ type Config struct {
 	// the client-side SLO still sees failover time; only updates that
 	// exhaust their retries count as failures.
 	Failover bool `json:"failover,omitempty"`
+	// Rolling, when non-empty, turns the run into a rolling-restart drill:
+	// a restarter goroutine SIGTERMs each listed replica in turn (evenly
+	// staggered across the run) and waits for its supervisor to bring a new
+	// process up. Workers switch from abandon-and-recreate to
+	// resume-same-session: an update interrupted by a handoff is polled
+	// under its original session and update ID until it finishes on
+	// whichever replica the session landed on. A session that stays gone is
+	// counted in Report.LostSessions — the number a zero-downtime rollout
+	// must hold at zero.
+	Rolling []RollingTarget `json:"rolling,omitempty"`
+}
+
+// RollingTarget identifies one replica the rolling driver restarts: its
+// direct base URL (health checks bypass the balancer) and the pidfile its
+// supervisor rewrites on every start.
+type RollingTarget struct {
+	BaseURL string `json:"baseUrl"`
+	PIDFile string `json:"pidFile"`
+}
+
+// ParseRolling parses a -rolling flag value: comma-separated url=pidfile
+// pairs, e.g. "http://127.0.0.1:8081=/tmp/a.pid,http://127.0.0.1:8082=/tmp/b.pid".
+func ParseRolling(spec string) ([]RollingTarget, error) {
+	var out []RollingTarget
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		url, pidfile, ok := strings.Cut(part, "=")
+		if !ok || url == "" || pidfile == "" {
+			return nil, fmt.Errorf("loadgen: bad -rolling entry %q (want url=pidfile)", part)
+		}
+		out = append(out, RollingTarget{BaseURL: url, PIDFile: pidfile})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadgen: -rolling spec %q names no replicas", spec)
+	}
+	return out, nil
 }
 
 func (c Config) workers() int {
@@ -124,6 +164,12 @@ type Report struct {
 	// Disruptions counts mid-update replica losses survived by failover
 	// (session re-created on another replica and the intent retried).
 	Disruptions int `json:"disruptions,omitempty"`
+	// Restarts counts replicas the rolling driver cycled (SIGTERM, old
+	// process gone, new process healthy); LostSessions counts sessions that
+	// did not survive a handoff and had to be re-created. A clean rolling
+	// restart reports Restarts == len(Config.Rolling) and LostSessions == 0.
+	Restarts     int `json:"restarts,omitempty"`
+	LostSessions int `json:"lostSessions,omitempty"`
 	// Throughput is successful updates per second.
 	Throughput float64 `json:"throughput"`
 	// Latency summarizes per-update latency as measured by the client.
@@ -195,11 +241,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		errMsg   string
 	}
 	var (
-		mu          sync.Mutex
-		samples     []sample
-		total       int
-		disruptions int
+		mu           sync.Mutex
+		samples      []sample
+		total        int
+		disruptions  int
+		lostSessions int
+		rollingErrs  []string
 	)
+	rolling := len(cfg.Rolling) > 0
 	budgetLeft := func() bool {
 		if cfg.MaxUpdates <= 0 {
 			return true
@@ -215,6 +264,23 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	var wg sync.WaitGroup
 	start := time.Now()
+
+	// The restarter runs on the caller's context, not runCtx: the last
+	// replica's recovery may straddle the run's end, and a drill that leaves
+	// a replica down is a failed drill.
+	var restarts int
+	restarterDone := make(chan struct{})
+	if rolling {
+		go func() {
+			defer close(restarterDone)
+			rollingRestart(ctx, cfg.Rolling, start, cfg.duration(),
+				func() { mu.Lock(); restarts++; mu.Unlock() },
+				func(msg string) { mu.Lock(); rollingErrs = append(rollingErrs, msg); mu.Unlock() })
+		}()
+	} else {
+		close(restarterDone)
+	}
+
 	for w := 0; w < workers; w++ {
 		isACL := w < nACL
 		var cfgIdx int
@@ -256,10 +322,30 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				var err error
 				for attempt := 0; ; attempt++ {
 					uctx, ucancel := context.WithTimeout(runCtx, cfg.updateTimeout())
-					u, err = client.RunUpdate(uctx, sid, intentText, target, answer)
+					if rolling {
+						u, err = resumeUpdate(uctx, client, sid, intentText, target, answer)
+					} else {
+						u, err = client.RunUpdate(uctx, sid, intentText, target, answer)
+					}
 					ucancel()
-					if err == nil || !cfg.Failover || attempt >= maxFailovers ||
-						runCtx.Err() != nil || !failoverable(err) {
+					if err == nil || attempt >= maxFailovers || runCtx.Err() != nil {
+						break
+					}
+					if rolling && errors.Is(err, errSessionLost) {
+						// The session did not survive the handoff. That is the
+						// failure a rolling drill exists to count; the worker
+						// re-homes so the rest of the run still produces load.
+						newSid, cerr := recreateSession(runCtx, client, configText)
+						if cerr != nil {
+							break
+						}
+						mu.Lock()
+						lostSessions++
+						mu.Unlock()
+						sid = newSid
+						continue
+					}
+					if !cfg.Failover || !failoverable(err) {
 						break
 					}
 					// The replica holding the session is draining, ejected, or
@@ -306,14 +392,22 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}(w, configText, target, isACL)
 	}
 	wg.Wait()
+	<-restarterDone
 	elapsed := time.Since(start)
 
 	rep := &Report{
 		Config:          cfg,
 		DurationSeconds: elapsed.Seconds(),
 		Disruptions:     disruptions,
+		Restarts:        restarts,
+		LostSessions:    lostSessions,
 		Errors:          map[string]int{},
 		ClientSLO:       clientSLO.Snapshot(),
+	}
+	for _, msg := range rollingErrs {
+		if len(rep.Errors) < maxErrorKinds || rep.Errors[msg] > 0 {
+			rep.Errors[msg]++
+		}
 	}
 	var lat []float64
 	var sumMs float64

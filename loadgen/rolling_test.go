@@ -1,0 +1,158 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/clarifynet/clarify/server"
+)
+
+func TestParseRolling(t *testing.T) {
+	got, err := ParseRolling("http://a:1=/tmp/a.pid, http://b:2=/tmp/b.pid,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []RollingTarget{
+		{BaseURL: "http://a:1", PIDFile: "/tmp/a.pid"},
+		{BaseURL: "http://b:2", PIDFile: "/tmp/b.pid"},
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("ParseRolling = %+v, want %+v", got, want)
+	}
+	for _, bad := range []string{"", "http://a:1", "=/tmp/a.pid", "http://a:1=", ","} {
+		if _, err := ParseRolling(bad); err == nil {
+			t.Errorf("ParseRolling(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestReadPID(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "d.pid")
+	if err := os.WriteFile(p, []byte("  4321\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if pid, err := readPID(p); err != nil || pid != 4321 {
+		t.Fatalf("readPID = %d, %v, want 4321", pid, err)
+	}
+	os.WriteFile(p, []byte("not-a-pid"), 0o644)
+	if _, err := readPID(p); err == nil {
+		t.Fatal("readPID accepted garbage")
+	}
+	if _, err := readPID(filepath.Join(dir, "missing.pid")); err == nil {
+		t.Fatal("readPID accepted a missing file")
+	}
+}
+
+const rollingTestConfig = `ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+`
+
+const rollingTestIntent = "Write a route-map stanza that permits routes containing the prefix " +
+	"100.0.0.0/16 with mask length less than or equal to 23 and tagged " +
+	"with the community 300:3. Their MED value should be set to 55."
+
+func startResumeDaemon(t *testing.T) (*server.Server, string) {
+	t.Helper()
+	srv := server.New(server.Options{Workers: 2})
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		hs.Close()
+	})
+	return srv, hs.URL
+}
+
+// TestResumeUpdateRidesOutBlips: resumeUpdate must treat a short 503/502
+// window — a replica mid-handoff behind a balancer — as retryable and still
+// finish the update under the original session.
+func TestResumeUpdateRidesOutBlips(t *testing.T) {
+	srv, _ := startResumeDaemon(t)
+	var hits atomic.Int32
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 && r.URL.Path != "/v1/sessions" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"mid-handoff"}`))
+			return
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	t.Cleanup(proxy.Close)
+
+	client := &server.Client{BaseURL: proxy.URL, PollInterval: 2 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	sid, err := client.CreateSession(ctx, server.CreateSessionRequest{Config: rollingTestConfig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits.Store(0) // the blip window opens now, on the submit path
+	u, err := resumeUpdate(ctx, client, sid, rollingTestIntent, "ISP_OUT",
+		func(server.Question) (int, error) { return 1, nil })
+	if err != nil || u.Status != server.StatusDone {
+		t.Fatalf("resumeUpdate = %+v, %v, want done", u, err)
+	}
+}
+
+// TestResumeUpdateResolvesConflict: when the submit finds an update already
+// in flight (the pre-disruption submit landed), resumeUpdate must adopt that
+// update instead of double-submitting — same session, same update ID.
+func TestResumeUpdateResolvesConflict(t *testing.T) {
+	_, url := startResumeDaemon(t)
+	client := &server.Client{BaseURL: url, PollInterval: 2 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	sid, err := client.CreateSession(ctx, server.CreateSessionRequest{Config: rollingTestConfig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior, err := client.SubmitAsync(ctx, sid, rollingTestIntent, "ISP_OUT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second submit for the same session must 409; resumeUpdate adopts the
+	// in-flight update and drives it to completion.
+	u, err := resumeUpdate(ctx, client, sid, rollingTestIntent, "ISP_OUT",
+		func(server.Question) (int, error) { return 1, nil })
+	if err != nil || u.Status != server.StatusDone {
+		t.Fatalf("resumeUpdate = %+v, %v, want done", u, err)
+	}
+	if u.ID != prior.ID {
+		t.Fatalf("resumed update %s, want the in-flight %s", u.ID, prior.ID)
+	}
+}
+
+// TestResumeUpdateReportsLostSession: a session that stays gone past the
+// grace window surfaces errSessionLost, the count a rolling drill must hold
+// at zero.
+func TestResumeUpdateReportsLostSession(t *testing.T) {
+	_, url := startResumeDaemon(t)
+	client := &server.Client{BaseURL: url, PollInterval: 2 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	old := lostGrace
+	lostGrace = 300 * time.Millisecond
+	defer func() { lostGrace = old }()
+	_, err := resumeUpdate(ctx, client, "s404-never-existed", rollingTestIntent, "ISP_OUT",
+		func(server.Question) (int, error) { return 1, nil })
+	if !errors.Is(err, errSessionLost) {
+		t.Fatalf("resumeUpdate on a missing session = %v, want errSessionLost", err)
+	}
+}

@@ -153,6 +153,34 @@ type Options struct {
 // echoed into the outcome.
 func Record(ctx context.Context, rec *journal.Record, idx int, opts Options) Outcome {
 	out := Outcome{Index: idx, TraceID: rec.TraceID, Target: rec.Target}
+	switch rec.Kind {
+	case journal.KindUpdate:
+		// An ordinary update record: falls through to re-execution below.
+	case journal.KindSessionSnapshot, journal.KindSessionRestore:
+		// Lifecycle records carry no pipeline work to re-run, but they do
+		// carry a config and its symbolic fingerprint — check the pair is
+		// internally consistent, the same check the restore path enforces.
+		cfg, err := ios.Parse(rec.BaseConfig)
+		if err != nil {
+			out.Status = StatusBadRecord
+			out.Detail = rec.Kind + " config does not parse: " + err.Error()
+			return out
+		}
+		if fp := symbolic.Fingerprint(cfg); fp != rec.ConfigFingerprint {
+			out.Status = StatusBadRecord
+			out.Detail = fmt.Sprintf("%s fingerprint %s does not match config (computed %s)", rec.Kind, rec.ConfigFingerprint, fp)
+			return out
+		}
+		out.Status = StatusMatch
+		out.Detail = rec.Kind + ": config/fingerprint consistent"
+		return out
+	default:
+		// A kind this build does not know — from a newer writer. Skip, never
+		// fail: the rest of the journal is still checkable.
+		out.Status = StatusSkipped
+		out.Detail = "unknown record kind " + rec.Kind
+		return out
+	}
 	if rec.Reused {
 		out.Status = StatusSkipped
 		out.Detail = "reuse-path record: no LLM calls to replay standalone"

@@ -220,3 +220,77 @@ func TestReplaySurvivesCrashTail(t *testing.T) {
 		t.Fatalf("Read.Skipped = %d, want the torn tail counted", sum.Read.Skipped)
 	}
 }
+
+// TestReplayLifecycleRecords: session-snapshot and session-restore records
+// replay as a consistency check — the config must parse and match its
+// recorded symbolic fingerprint, the same invariant the restore endpoint
+// enforces. A tampered config pattern flags bad-record; an unknown kind
+// from a newer writer is skipped, never fatal.
+func TestReplayLifecycleRecords(t *testing.T) {
+	cfg := ios.MustParse(paperISPOut)
+	good := &journal.Record{
+		Kind:              journal.KindSessionSnapshot,
+		BaseConfig:        paperISPOut,
+		ConfigFingerprint: symbolic.Fingerprint(cfg),
+	}
+	if out := replay.Record(context.Background(), good, 0, replay.Options{}); out.Status != replay.StatusMatch {
+		t.Fatalf("snapshot record outcome = %+v, want match", out)
+	}
+	restored := &journal.Record{
+		Kind:              journal.KindSessionRestore,
+		BaseConfig:        paperISPOut,
+		ConfigFingerprint: symbolic.Fingerprint(cfg),
+	}
+	if out := replay.Record(context.Background(), restored, 1, replay.Options{}); out.Status != replay.StatusMatch {
+		t.Fatalf("restore record outcome = %+v, want match", out)
+	}
+
+	// Tamper with the pattern universe: the fingerprint no longer matches.
+	tampered := &journal.Record{
+		Kind:              journal.KindSessionSnapshot,
+		BaseConfig:        paperISPOut + "ip as-path access-list EVIL permit _666_\n",
+		ConfigFingerprint: symbolic.Fingerprint(cfg),
+	}
+	if out := replay.Record(context.Background(), tampered, 2, replay.Options{}); out.Status != replay.StatusBadRecord {
+		t.Fatalf("tampered record outcome = %+v, want bad-record", out)
+	}
+
+	// A garbage config is equally a bad record.
+	garbage := &journal.Record{Kind: journal.KindSessionRestore, BaseConfig: "route-map"}
+	if out := replay.Record(context.Background(), garbage, 3, replay.Options{}); out.Status != replay.StatusBadRecord {
+		t.Fatalf("garbage record outcome = %+v, want bad-record", out)
+	}
+
+	// Kinds this build has never heard of are future writers' business.
+	future := &journal.Record{Kind: "hologram-export"}
+	if out := replay.Record(context.Background(), future, 4, replay.Options{}); out.Status != replay.StatusSkipped {
+		t.Fatalf("unknown-kind outcome = %+v, want skipped", out)
+	}
+}
+
+// TestReplayDirWithLifecycleRecords runs a mixed journal end to end: one
+// real update plus the snapshot/restore lifecycle pair a handoff writes.
+func TestReplayDirWithLifecycleRecords(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, nil, true, paperPrompt, "ISP_OUT")
+	jnl, err := journal.Open(journal.Options{Dir: dir, Fsync: journal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := symbolic.Fingerprint(ios.MustParse(paperISPOut))
+	for _, kind := range []string{journal.KindSessionSnapshot, journal.KindSessionRestore} {
+		if err := jnl.Append(&journal.Record{Kind: kind, Session: "s1",
+			BaseConfig: paperISPOut, ConfigFingerprint: fp}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jnl.Close()
+
+	sum, err := replay.Dir(context.Background(), dir, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Ok() || sum.Matches != 3 {
+		t.Fatalf("summary = %+v, want 3 clean matches (update + lifecycle pair)", sum)
+	}
+}

@@ -423,17 +423,20 @@ func determinize(n *nfa, alpha Alphabet) *DFA {
 			}
 		}
 	}
+	// key encodes a sorted state set as raw little-endian bytes: this runs
+	// once per discovered subset and formatting integers through fmt here
+	// (and in Minimize) used to dominate the daemon's whole CPU profile.
 	key := func(set map[int]bool) string {
 		ids := make([]int, 0, len(set))
 		for s := range set {
 			ids = append(ids, s)
 		}
 		sort.Ints(ids)
-		var sb strings.Builder
+		buf := make([]byte, 0, len(ids)*4)
 		for _, id := range ids {
-			fmt.Fprintf(&sb, "%d,", id)
+			buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 		}
-		return sb.String()
+		return string(buf)
 	}
 
 	startSet := map[int]bool{n.start: true}
@@ -632,29 +635,31 @@ func (d *DFA) Minimize() *DFA {
 		}
 	}
 	numBlocks := int32(2)
+	// Each refinement round distinguishes states by (current block,
+	// successor blocks). The signature is raw little-endian bytes — this
+	// loop runs states × alphabet times per round, and building the key
+	// through fmt made minimization the hottest path in the serving daemon.
+	buf := make([]byte, 0, (nsym+1)*4)
 	for {
-		type sig struct {
-			block int32
-			key   string
-		}
 		next := make([]int32, ns)
-		index := map[sig]int32{}
+		index := map[string]int32{}
 		var blocks int32
-		var sb strings.Builder
 		for s := 0; s < ns; s++ {
 			if !reach[s] {
 				continue
 			}
-			sb.Reset()
+			buf = buf[:0]
+			p := part[s]
+			buf = append(buf, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
 			for ai := 0; ai < nsym; ai++ {
-				fmt.Fprintf(&sb, "%d,", part[d.trans[s][ai]])
+				p = part[d.trans[s][ai]]
+				buf = append(buf, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
 			}
-			k := sig{block: part[s], key: sb.String()}
-			id, ok := index[k]
+			id, ok := index[string(buf)]
 			if !ok {
 				id = blocks
 				blocks++
-				index[k] = id
+				index[string(buf)] = id
 			}
 			next[s] = id
 		}

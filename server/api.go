@@ -233,6 +233,18 @@ type ErrorResponse struct {
 	// RetryAfterSeconds accompanies 429 responses (mirrors the Retry-After
 	// header) so programmatic clients can back off without header parsing.
 	RetryAfterSeconds int `json:"retryAfterSeconds,omitempty"`
+	// Reason machine-tags the failure class; 410 Gone replies carry
+	// "evicted" so clients and balancers can distinguish a dead session from
+	// an ID that never existed.
+	Reason string `json:"reason,omitempty"`
+}
+
+// RestoreSessionResponse acknowledges a PUT /v1/sessions/{id}/restore: the
+// session is live again, and Pending reports whether an interrupted update
+// is being re-executed (its question will reappear under the same ID).
+type RestoreSessionResponse struct {
+	ID      string `json:"id"`
+	Pending bool   `json:"pending,omitempty"`
 }
 
 // APIError is the typed error the client returns for non-2xx replies.
@@ -240,6 +252,8 @@ type APIError struct {
 	StatusCode        int
 	Message           string
 	RetryAfterSeconds int
+	// Reason mirrors ErrorResponse.Reason ("evicted" on 410 Gone).
+	Reason string
 }
 
 func (e *APIError) Error() string {

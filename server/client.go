@@ -13,6 +13,7 @@ import (
 
 	"github.com/clarifynet/clarify"
 	"github.com/clarifynet/clarify/slo"
+	"github.com/clarifynet/clarify/snapshot"
 )
 
 // Client is the Go client for a running clarifyd. It is safe for concurrent
@@ -116,7 +117,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 		var apiErr *APIError
 		errors.As(err, &apiErr)
 		if serr := sleepCtx(ctx, c.retryDelay(attempt, apiErr)); serr != nil {
-			return err
+			// Cancellation mid-backoff is the caller's context speaking;
+			// surface it immediately (and recognizably — errors.Is sees
+			// context.Canceled) instead of the transient error we were
+			// about to retry.
+			return fmt.Errorf("clarifyd client: retry aborted: %w (last error: %v)", serr, err)
 		}
 	}
 }
@@ -152,6 +157,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, in, out interf
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
 			apiErr.Message = e.Error
 			apiErr.RetryAfterSeconds = e.RetryAfterSeconds
+			apiErr.Reason = e.Reason
 		}
 		return apiErr
 	}
@@ -281,7 +287,10 @@ type AnswerFunc func(q Question) (option int, err error)
 // RunUpdate drives one intent end to end: submit asynchronously, poll for
 // disambiguation questions and answer them via fn, and return the terminal
 // update. 429 backpressure rejections are retried after the server's
-// Retry-After hint until ctx expires.
+// Retry-After hint until ctx expires. On error the returned UpdateInfo
+// carries the last known state — in particular the update ID once the
+// submit landed, so a caller surviving a replica handoff can resume the
+// same update with PollUpdate instead of resubmitting.
 func (c *Client) RunUpdate(ctx context.Context, id, intentText, target string, fn AnswerFunc) (UpdateInfo, error) {
 	var u UpdateInfo
 	for {
@@ -298,42 +307,63 @@ func (c *Client) RunUpdate(ctx context.Context, id, intentText, target string, f
 		if wait <= 0 {
 			wait = time.Second
 		}
-		if err := sleepCtx(ctx, wait); err != nil {
-			return UpdateInfo{}, err
+		if serr := sleepCtx(ctx, wait); serr != nil {
+			return UpdateInfo{}, fmt.Errorf("clarifyd client: retry aborted: %w", serr)
 		}
 	}
+	return c.PollUpdate(ctx, id, u.ID, fn)
+}
+
+// PollUpdate drives an already-submitted update to completion: poll its
+// status, answer disambiguation questions via fn, and return the terminal
+// state. It is the resume half of RunUpdate — safe to call again after a
+// transport error or a replica restart, because answering is idempotent per
+// sequence number (a stale answer is a tolerated conflict). On error the
+// returned UpdateInfo carries the last state seen.
+func (c *Client) PollUpdate(ctx context.Context, id, updateID string, fn AnswerFunc) (UpdateInfo, error) {
+	last := UpdateInfo{ID: updateID, Status: StatusQueued}
 	answered := -1
 	for {
-		cur, err := c.Update(ctx, id, u.ID)
+		cur, err := c.Update(ctx, id, updateID)
 		if err != nil {
-			return UpdateInfo{}, err
+			return last, err
 		}
+		last = cur
 		if cur.Terminal() {
 			return cur, nil
 		}
 		q, err := c.Question(ctx, id)
 		if err != nil {
-			return UpdateInfo{}, err
+			return last, err
 		}
 		if q != nil && q.Seq != answered {
 			option, err := fn(*q)
 			if err != nil {
-				return UpdateInfo{}, err
+				return last, err
 			}
 			if err := c.Answer(ctx, id, q.Seq, option); err != nil {
 				// A conflict means the question moved on (answered
 				// elsewhere or timed out); keep polling.
 				if apiErr, ok := err.(*APIError); !ok || apiErr.StatusCode != http.StatusConflict {
-					return UpdateInfo{}, err
+					return last, err
 				}
 			}
 			answered = q.Seq
 			continue
 		}
 		if err := sleepCtx(ctx, c.pollEvery()); err != nil {
-			return UpdateInfo{}, err
+			return last, err
 		}
 	}
+}
+
+// RestoreSession uploads an externalized session to the daemon (or to a
+// balancer, which places it on an accepting replica and re-pins affinity).
+// Draining daemons use it to hand parked sessions to a peer on SIGTERM.
+func (c *Client) RestoreSession(ctx context.Context, snap *snapshot.Session) (RestoreSessionResponse, error) {
+	var out RestoreSessionResponse
+	err := c.do(ctx, http.MethodPut, "/v1/sessions/"+url.PathEscape(snap.ID)+"/restore", snap, &out)
+	return out, err
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {

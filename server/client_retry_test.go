@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -154,5 +155,67 @@ func TestHealthPayloadFields(t *testing.T) {
 		if h.QueueDepth < 0 {
 			t.Errorf("%s queue_depth = %d, want >= 0", path, h.QueueDepth)
 		}
+	}
+}
+
+// TestClientCancelMidBackoff checks a GET retry sleeping out its backoff
+// aborts the instant the caller's context is cancelled — and surfaces the
+// cancellation, not the transient error it was about to retry.
+func TestClientCancelMidBackoff(t *testing.T) {
+	h := &flakyHandler{failures: 100, status: http.StatusServiceUnavailable}
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+
+	// A huge backoff makes the sleep the only place the time can go.
+	c := &Client{BaseURL: hs.URL, RetryBaseDelay: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Session(ctx, "s1")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Session succeeded against a permanent 503")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled surfaced", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v to surface; the backoff sleep ignored ctx", elapsed)
+	}
+	if got := h.hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests after cancellation, want 1", got)
+	}
+}
+
+// TestClientCancelMid429Backoff checks the same for RunUpdate's 429
+// backpressure loop: cancellation mid Retry-After sleep returns immediately
+// with ctx.Err, not after the full wait.
+func TestClientCancelMid429Backoff(t *testing.T) {
+	h := &flakyHandler{failures: 100, status: http.StatusTooManyRequests}
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+
+	c := &Client{BaseURL: hs.URL}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.RunUpdate(ctx, "s1", "intent", "RM", func(Question) (int, error) { return 1, nil })
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("RunUpdate succeeded against a permanent 429")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled surfaced", err)
+	}
+	// The server sends no Retry-After, so the loop's default wait is 1s;
+	// cancellation at 20ms must not sit it out.
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("cancellation took %v to surface; the 429 sleep ignored ctx", elapsed)
 	}
 }

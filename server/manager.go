@@ -47,6 +47,10 @@ func (s *session) configText() string {
 // update is one submitted intent's lifecycle record.
 type update struct {
 	id string
+	// intent and target are the Submit inputs, retained so an unfinished
+	// update can be snapshotted and re-executed on another daemon.
+	intent string
+	target string
 
 	mu       sync.Mutex
 	status   string
@@ -132,7 +136,7 @@ func (s *session) info() SessionInfo {
 
 // beginUpdate reserves the session for one update, allocating its record and
 // oracle. It fails when another update is already queued or running.
-func (s *session) beginUpdate(oracle *asyncOracle) (*update, error) {
+func (s *session) beginUpdate(oracle *asyncOracle, intentText, target string) (*update, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.busy {
@@ -144,6 +148,8 @@ func (s *session) beginUpdate(oracle *asyncOracle) (*update, error) {
 	s.nextUpd++
 	u := &update{
 		id:     fmt.Sprintf("u%d", s.nextUpd),
+		intent: intentText,
+		target: target,
 		status: StatusQueued,
 		oracle: oracle,
 		done:   make(chan struct{}),
@@ -188,10 +194,23 @@ type manager struct {
 	nextID   int
 	retired  clarify.Stats
 	evicted  int64
+	// tombs remembers recently dead session IDs and why they died, so a
+	// lookup can answer 410 Gone ("evicted") instead of an indistinguishable
+	// 404 — the signal a balancer needs to drop a stale affinity pin rather
+	// than retry the dead ID. Bounded FIFO via tombOrder.
+	tombs     map[string]string
+	tombOrder []string
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
 }
+
+// maxTombstones bounds the dead-session memory; beyond it the oldest
+// tombstones decay back to plain 404s.
+const maxTombstones = 4096
+
+// ReasonEvicted is the tombstone reason for idle-TTL eviction.
+const ReasonEvicted = "evicted"
 
 func newManager(max int, ttl, sweepEvery time.Duration) *manager {
 	if max <= 0 {
@@ -206,7 +225,8 @@ func newManager(max int, ttl, sweepEvery time.Duration) *manager {
 			sweepEvery = time.Minute
 		}
 	}
-	m := &manager{ttl: ttl, max: max, sessions: map[string]*session{}, stopCh: make(chan struct{})}
+	m := &manager{ttl: ttl, max: max, sessions: map[string]*session{},
+		tombs: map[string]string{}, stopCh: make(chan struct{})}
 	go m.janitor(sweepEvery)
 	return m
 }
@@ -251,6 +271,45 @@ func (m *manager) Delete(id string) bool {
 	delete(m.sessions, id)
 	m.retire(s)
 	return true
+}
+
+// bury records why a session died; callers hold m.mu.
+func (m *manager) bury(id, reason string) {
+	if _, ok := m.tombs[id]; !ok {
+		m.tombOrder = append(m.tombOrder, id)
+	}
+	m.tombs[id] = reason
+	for len(m.tombOrder) > maxTombstones {
+		delete(m.tombs, m.tombOrder[0])
+		m.tombOrder = m.tombOrder[1:]
+	}
+}
+
+// Tombstone reports whether id belonged to a dead session and why it died.
+func (m *manager) Tombstone(id string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	reason, ok := m.tombs[id]
+	return reason, ok
+}
+
+// Insert adds a rehydrated session under its preserved ID, subject to the
+// cap. The ID colliding with a live session is a conflict (the snapshot was
+// already restored, or the peer never lost it); a tombstone for the ID is
+// cleared — the session is alive again. The caller must have stamped a
+// fresh lastUsed so the janitor cannot evict the session mid-restore.
+func (m *manager) Insert(s *session) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sessions[s.id]; ok {
+		return fmt.Errorf("%w: %s", errSessionExists, s.id)
+	}
+	if len(m.sessions) >= m.max {
+		return fmt.Errorf("session cap reached (%d live sessions)", len(m.sessions))
+	}
+	delete(m.tombs, s.id)
+	m.sessions[s.id] = s
+	return nil
 }
 
 // retire accumulates a dead session's stats; callers hold m.mu.
@@ -323,6 +382,7 @@ func (m *manager) Sweep() int {
 		if idle {
 			delete(m.sessions, id)
 			m.retire(s)
+			m.bury(id, ReasonEvicted)
 			m.evicted++
 			n++
 		}

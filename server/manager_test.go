@@ -2,7 +2,10 @@ package server
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/clarifynet/clarify"
 )
@@ -26,5 +29,155 @@ func TestUpdateFinishIdempotent(t *testing.T) {
 	}
 	if info.Result != nil {
 		t.Errorf("second finish attached a result: %+v", info.Result)
+	}
+}
+
+// newTestSession builds a bare session the way RestoreSession does: fresh
+// idle clock, preserved ID.
+func newTestSession(id string) *session {
+	return &session{
+		id:       id,
+		sess:     &clarify.Session{},
+		lastUsed: time.Now(),
+		updates:  map[string]*update{},
+	}
+}
+
+// TestSweepVsRestoreRace: sessions being rehydrated concurrently with
+// janitor sweeps must never be evicted mid-restore — Insert stamps a fresh
+// idle clock, so a sweep racing the insert sees a live session. Run under
+// -race, this also proves the tombstone/insert bookkeeping is data-race
+// free.
+func TestSweepVsRestoreRace(t *testing.T) {
+	m := newManager(1024, time.Hour, time.Hour) // sweeps driven manually
+	defer m.Stop()
+
+	const n = 64
+	var wg, sweeper sync.WaitGroup
+	stop := make(chan struct{})
+	sweeper.Add(1)
+	go func() {
+		defer sweeper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.Sweep()
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("restored-%d", i)
+			if err := m.Insert(newTestSession(id)); err != nil {
+				t.Errorf("Insert %s: %v", id, err)
+				return
+			}
+			// Immediately after insert the session must be visible: a sweep
+			// running concurrently has no window to evict a fresh restore.
+			if _, ok := m.Get(id); !ok {
+				t.Errorf("session %s evicted mid-restore", id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	sweeper.Wait()
+	if m.Len() != n {
+		t.Fatalf("after restore storm: %d sessions live, want %d", m.Len(), n)
+	}
+}
+
+// TestRestoreAfterCutoffGetsFreshIdleClock: a session restored from a
+// snapshot taken long before the janitor's cutoff (huge IdleSeconds) starts
+// a fresh idle clock — the next sweep must not collect it; only genuinely
+// new idleness may.
+func TestRestoreAfterCutoffGetsFreshIdleClock(t *testing.T) {
+	m := newManager(16, 40*time.Millisecond, time.Hour)
+	defer m.Stop()
+
+	s := newTestSession("old-snapshot")
+	// The snapshot says the session idled for an hour before capture; the
+	// restore path ignores that and stamps time.Now() — mimic it exactly.
+	if err := m.Insert(s); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if n := m.Sweep(); n != 0 {
+		t.Fatalf("sweep right after restore evicted %d sessions", n)
+	}
+	if _, ok := m.Get("old-snapshot"); !ok {
+		t.Fatal("restored session gone after immediate sweep")
+	}
+	// A parked-question restore is busy: even past the TTL it survives.
+	busy := newTestSession("parked-restore")
+	busy.busy = true
+	busy.lastUsed = time.Now().Add(-time.Hour)
+	if err := m.Insert(busy); err != nil {
+		t.Fatalf("Insert busy: %v", err)
+	}
+	time.Sleep(60 * time.Millisecond) // idle session ages past the 40ms TTL
+	evicted := m.Sweep()
+	if _, ok := m.Get("parked-restore"); !ok {
+		t.Fatal("busy (parked-question) session evicted")
+	}
+	if _, ok := m.Get("old-snapshot"); ok || evicted == 0 {
+		t.Fatal("genuinely idle restored session escaped the TTL sweep")
+	}
+	// And its tombstone answers with the eviction reason.
+	if reason, dead := m.Tombstone("old-snapshot"); !dead || reason != ReasonEvicted {
+		t.Fatalf("tombstone = %q/%v, want evicted/true", reason, dead)
+	}
+}
+
+// TestInsertConflictAndTombstoneClear: inserting over a live ID is a
+// conflict; a restore clears the ID's tombstone (the session lives again).
+func TestInsertConflictAndTombstoneClear(t *testing.T) {
+	m := newManager(16, 30*time.Millisecond, time.Hour)
+	defer m.Stop()
+	if err := m.Insert(newTestSession("s1")); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := m.Insert(newTestSession("s1")); !errors.Is(err, errSessionExists) {
+		t.Fatalf("duplicate Insert = %v, want errSessionExists", err)
+	}
+	// Evict it, then restore it: the tombstone must clear.
+	s, _ := m.Get("s1")
+	s.mu.Lock()
+	s.lastUsed = time.Now().Add(-time.Hour)
+	s.mu.Unlock()
+	if n := m.Sweep(); n != 1 {
+		t.Fatalf("sweep evicted %d, want 1", n)
+	}
+	if _, dead := m.Tombstone("s1"); !dead {
+		t.Fatal("no tombstone after eviction")
+	}
+	if err := m.Insert(newTestSession("s1")); err != nil {
+		t.Fatalf("re-Insert after eviction: %v", err)
+	}
+	if _, dead := m.Tombstone("s1"); dead {
+		t.Fatal("tombstone survived the restore")
+	}
+}
+
+// TestTombstoneBound: the dead-session memory is bounded FIFO.
+func TestTombstoneBound(t *testing.T) {
+	m := newManager(16, 30*time.Millisecond, time.Hour)
+	defer m.Stop()
+	m.mu.Lock()
+	for i := 0; i < maxTombstones+10; i++ {
+		m.bury(fmt.Sprintf("dead-%d", i), ReasonEvicted)
+	}
+	m.mu.Unlock()
+	if got := len(m.tombs); got != maxTombstones {
+		t.Fatalf("tombstone map grew to %d, want %d", got, maxTombstones)
+	}
+	if _, dead := m.Tombstone("dead-0"); dead {
+		t.Fatal("oldest tombstone not decayed")
+	}
+	if _, dead := m.Tombstone(fmt.Sprintf("dead-%d", maxTombstones+9)); !dead {
+		t.Fatal("newest tombstone missing")
 	}
 }

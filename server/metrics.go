@@ -204,6 +204,13 @@ type MetricsSnapshot struct {
 	Sessions int `json:"sessions"`
 	// EvictedSessions counts sessions removed by TTL eviction.
 	EvictedSessions int64 `json:"evictedSessions"`
+	// SnapshottedSessions counts sessions captured for handoff, and
+	// RestoredSessions counts sessions rehydrated from a snapshot or peer;
+	// RestoreFailures counts rejected restore attempts (conflict, invalid
+	// snapshot, cap).
+	SnapshottedSessions int64 `json:"snapshottedSessions,omitempty"`
+	RestoredSessions    int64 `json:"restoredSessions,omitempty"`
+	RestoreFailures     int64 `json:"restoreFailures,omitempty"`
 	// Pipeline is the cumulative clarify.Stats over all sessions, including
 	// deleted and evicted ones.
 	Pipeline clarify.Stats `json:"pipeline"`

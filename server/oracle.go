@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/clarifynet/clarify/disambig"
+	"github.com/clarifynet/clarify/snapshot"
 )
 
 // ErrQuestionTimeout aborts an update whose disambiguation question was not
@@ -32,6 +33,10 @@ type asyncOracle struct {
 	seq     int
 	pending *Question
 	answer  chan bool
+	// answered is the transcript of answers delivered so far, in question
+	// order — the raw material a session snapshot needs to re-execute a
+	// parked update on another daemon.
+	answered []snapshot.Answer
 }
 
 func newAsyncOracle(ctx context.Context, timeout time.Duration) *asyncOracle {
@@ -39,6 +44,17 @@ func newAsyncOracle(ctx context.Context, timeout time.Duration) *asyncOracle {
 		timeout = time.Minute
 	}
 	return &asyncOracle{ctx: ctx, timeout: timeout}
+}
+
+// newRestoredOracle builds the oracle for a rehydrated update: the sequence
+// counter and transcript resume where the snapshot left off, so the
+// re-parked question carries the same seq the client last saw and a second
+// handoff snapshots the full answer history.
+func newRestoredOracle(ctx context.Context, timeout time.Duration, answered []snapshot.Answer) *asyncOracle {
+	o := newAsyncOracle(ctx, timeout)
+	o.seq = len(answered)
+	o.answered = append([]snapshot.Answer(nil), answered...)
+	return o
 }
 
 // bind replaces the oracle's cancellation context. The server binds the
@@ -123,8 +139,20 @@ func (o *asyncOracle) Answer(seq, option int) error {
 	// The buffered send cannot block: each question allocates a fresh
 	// channel and the pending clear below prevents a second delivery.
 	o.answer <- (option == 1)
+	o.answered = append(o.answered, snapshot.Answer{
+		Kind:      o.pending.Kind,
+		Question:  o.pending.Text,
+		PreferNew: option == 1,
+	})
 	o.pending, o.answer = nil, nil
 	return nil
+}
+
+// transcript snapshots the delivered-answer history.
+func (o *asyncOracle) transcript() []snapshot.Answer {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]snapshot.Answer(nil), o.answered...)
 }
 
 var (

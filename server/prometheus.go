@@ -37,6 +37,9 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) {
 	writeGauge(w, "clarifyd_active_updates", "Updates executing or parked on a question.", float64(snap.ActiveUpdates))
 	writeGauge(w, "clarifyd_sessions", "Live sessions.", float64(snap.Sessions))
 	writeCounter(w, "clarifyd_evicted_sessions_total", "Sessions removed by TTL eviction.", float64(snap.EvictedSessions))
+	writeCounter(w, "clarifyd_snapshotted_sessions_total", "Sessions captured for handoff.", float64(snap.SnapshottedSessions))
+	writeCounter(w, "clarifyd_restored_sessions_total", "Sessions rehydrated from a snapshot or peer handoff.", float64(snap.RestoredSessions))
+	writeCounter(w, "clarifyd_restore_failures_total", "Rejected session restore attempts.", float64(snap.RestoreFailures))
 	writeCounter(w, "clarifyd_traces_total", "Completed pipeline traces recorded.", float64(snap.Traces))
 
 	writeCounter(w, "clarifyd_pipeline_llm_calls_total", "LLM completions requested across all sessions.", float64(snap.Pipeline.LLMCalls))

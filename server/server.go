@@ -8,10 +8,12 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/clarifynet/clarify"
+	"github.com/clarifynet/clarify/disambig"
 	"github.com/clarifynet/clarify/ios"
 	"github.com/clarifynet/clarify/journal"
 	"github.com/clarifynet/clarify/llm"
@@ -111,6 +113,16 @@ type Server struct {
 	cancel   context.CancelFunc
 	draining atomic.Bool
 	active   atomic.Int64 // updates executing or parked on a question
+
+	// restoreWG tracks re-execution goroutines for rehydrated pending
+	// updates; Shutdown waits for them alongside the pool so a drain
+	// snapshot can capture their state.
+	restoreWG sync.WaitGroup
+
+	// Snapshot/restore counters for /metrics.
+	snapshotted     atomic.Int64
+	restored        atomic.Int64
+	restoreFailures atomic.Int64
 }
 
 // New builds a Server from opts.
@@ -153,6 +165,7 @@ func New(opts Options) *Server {
 	s.route("GET /readyz", s.handleReadyz)
 	s.route("GET /metrics", s.handleMetrics)
 	s.route("POST /v1/sessions", s.handleCreateSession)
+	s.route("PUT /v1/sessions/{id}/restore", s.handleRestoreSession)
 	s.route("GET /v1/sessions", s.handleListSessions)
 	s.route("GET /v1/sessions/{id}", s.handleGetSession)
 	s.route("DELETE /v1/sessions/{id}", s.handleDeleteSession)
@@ -204,11 +217,23 @@ func (r *statusRecorder) WriteHeader(code int) {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	err := s.pool.Close(ctx)
+	if err == nil {
+		// The pool is drained; rehydrated-update goroutines (which run off
+		// the pool) get the remaining budget.
+		done := make(chan struct{})
+		go func() { s.restoreWG.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+	}
 	if err != nil {
 		// Grace period exhausted: release goroutines parked on answers or
 		// LLM calls, then wait for the drain to complete.
 		s.cancel()
 		s.pool.Wait()
+		s.restoreWG.Wait()
 	}
 	s.cancel()
 	s.mgr.Stop()
@@ -276,6 +301,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.ActiveUpdates = s.active.Load()
 	snap.Sessions = s.mgr.Len()
 	snap.EvictedSessions = s.mgr.Evicted()
+	snap.SnapshottedSessions = s.snapshotted.Load()
+	snap.RestoredSessions = s.restored.Load()
+	snap.RestoreFailures = s.restoreFailures.Load()
 	snap.Pipeline = s.mgr.CumulativeStats()
 	snap.SpaceCache = s.spaces.Stats()
 	snap.Traces = s.traces.Total()
@@ -346,17 +374,37 @@ func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// lookupSession resolves a path session ID, answering 410 Gone for a
+// session that died (with the tombstoned reason) and 404 for an ID that was
+// never here.
+func (s *Server) lookupSession(w http.ResponseWriter, id string) (*session, bool) {
+	sn, ok := s.mgr.Get(id)
+	if ok {
+		return sn, true
+	}
+	if reason, dead := s.mgr.Tombstone(id); dead {
+		writeGone(w, id, reason)
+		return nil, false
+	}
+	writeError(w, http.StatusNotFound, "no such session", 0)
+	return nil, false
+}
+
 func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
-	sn, ok := s.mgr.Get(r.PathValue("id"))
+	sn, ok := s.lookupSession(w, r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such session", 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, sn.info())
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
-	if !s.mgr.Delete(r.PathValue("id")) {
+	id := r.PathValue("id")
+	if !s.mgr.Delete(id) {
+		if reason, dead := s.mgr.Tombstone(id); dead {
+			writeGone(w, id, reason)
+			return
+		}
 		writeError(w, http.StatusNotFound, "no such session", 0)
 		return
 	}
@@ -371,9 +419,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining", 0)
 		return
 	}
-	sn, ok := s.mgr.Get(r.PathValue("id"))
+	sn, ok := s.lookupSession(w, r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such session", 0)
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
@@ -393,66 +440,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	async := req.Async || r.URL.Query().Get("async") == "1"
 
 	oracle := newAsyncOracle(s.baseCtx, s.opts.QuestionTimeout)
-	u, err := sn.beginUpdate(oracle)
+	u, err := sn.beginUpdate(oracle, req.Intent, req.Target)
 	if err != nil {
 		writeError(w, http.StatusConflict, err.Error(), 0)
 		return
 	}
-	job := func() {
-		s.active.Add(1)
-		defer s.active.Add(-1)
-		// A panicking pipeline must fail its own update and release the
-		// session; otherwise the session stays busy forever and sync
-		// submitters hang. The pool has a last-resort recover too, but by
-		// then the update record is unreachable.
-		defer func() {
-			if v := recover(); v != nil {
-				s.met.recordPanic()
-				u.finish(nil, fmt.Errorf("internal: update panicked: %v", v))
-				sn.endUpdate()
-			}
-		}()
-		u.setRunning()
-		// The deadline budget starts when a worker picks the job up, not
-		// while it sits in the queue — queue time is backpressure, not work.
-		uctx := s.baseCtx
-		cancel := func() {}
-		if s.opts.UpdateTimeout > 0 {
-			uctx, cancel = context.WithTimeout(s.baseCtx, s.opts.UpdateTimeout)
-		}
-		defer cancel()
-		oracle.bind(uctx)
-		uctx, flags := resilience.WithFlags(uctx)
-		cs := sn.sess
-		cs.RouteOracle = oracle
-		cs.ACLOracle = oracle
-		// Per-update sink: stamps the trace ID onto the update record, feeds
-		// the per-stage histograms, and retains the trace for /debug/traces.
-		// Updates are serialized per session, so reassigning the observer
-		// here is as safe as the oracle assignment above.
-		cs.Observer = obs.SinkFunc(func(t *obs.Trace) {
-			u.setTrace(t.ID)
-			s.met.observeTrace(t)
-			s.traces.Add(t)
-		})
-		start := time.Now()
-		res, rerr := cs.Submit(uctx, req.Intent, req.Target)
-		elapsed := time.Since(start)
-		if rerr != nil && uctx.Err() == context.DeadlineExceeded && s.baseCtx.Err() == nil {
-			s.met.recordUpdateTimeout()
-			rerr = fmt.Errorf("update exceeded its %s budget: %w", s.opts.UpdateTimeout, rerr)
-		}
-		if rerr == nil {
-			sn.setConfigText(res.Config.Print())
-		}
-		u.setDegraded(flags.Degraded())
-		u.finish(res, rerr)
-		sn.endUpdate()
-		// Every terminal update outcome feeds the rolling objectives: the
-		// elapsed time covers the whole pipeline including question-wait, the
-		// same latency the client experienced.
-		s.slos.Observe(elapsed, rerr != nil)
-	}
+	job := func() { s.runUpdate(sn, u, oracle, oracle, oracle) }
 	if !s.pool.TrySubmit(job) {
 		u.finish(nil, fmt.Errorf("rejected: submission queue full"))
 		sn.endUpdate()
@@ -472,10 +465,71 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, u.info())
 }
 
+// runUpdate executes one reserved update end to end: start the deadline
+// budget, bind the oracle, run the pipeline, publish the outcome, release
+// the session, and feed the SLOs. It serves both fresh submissions (as the
+// pool job) and rehydrated pending updates (on a restore goroutine). route
+// and acl are the oracles the pipeline consults — the live async oracle for
+// fresh updates, a transcript-replaying wrapper for restored ones.
+func (s *Server) runUpdate(sn *session, u *update, oracle *asyncOracle, route disambig.RouteOracle, acl disambig.ACLOracle) {
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	// A panicking pipeline must fail its own update and release the
+	// session; otherwise the session stays busy forever and sync
+	// submitters hang. The pool has a last-resort recover too, but by
+	// then the update record is unreachable.
+	defer func() {
+		if v := recover(); v != nil {
+			s.met.recordPanic()
+			u.finish(nil, fmt.Errorf("internal: update panicked: %v", v))
+			sn.endUpdate()
+		}
+	}()
+	u.setRunning()
+	// The deadline budget starts when a worker picks the job up, not
+	// while it sits in the queue — queue time is backpressure, not work.
+	uctx := s.baseCtx
+	cancel := func() {}
+	if s.opts.UpdateTimeout > 0 {
+		uctx, cancel = context.WithTimeout(s.baseCtx, s.opts.UpdateTimeout)
+	}
+	defer cancel()
+	oracle.bind(uctx)
+	uctx, flags := resilience.WithFlags(uctx)
+	cs := sn.sess
+	cs.RouteOracle = route
+	cs.ACLOracle = acl
+	// Per-update sink: stamps the trace ID onto the update record, feeds
+	// the per-stage histograms, and retains the trace for /debug/traces.
+	// Updates are serialized per session, so reassigning the observer
+	// here is as safe as the oracle assignment above.
+	cs.Observer = obs.SinkFunc(func(t *obs.Trace) {
+		u.setTrace(t.ID)
+		s.met.observeTrace(t)
+		s.traces.Add(t)
+	})
+	start := time.Now()
+	res, rerr := cs.Submit(uctx, u.intent, u.target)
+	elapsed := time.Since(start)
+	if rerr != nil && uctx.Err() == context.DeadlineExceeded && s.baseCtx.Err() == nil {
+		s.met.recordUpdateTimeout()
+		rerr = fmt.Errorf("update exceeded its %s budget: %w", s.opts.UpdateTimeout, rerr)
+	}
+	if rerr == nil {
+		sn.setConfigText(res.Config.Print())
+	}
+	u.setDegraded(flags.Degraded())
+	u.finish(res, rerr)
+	sn.endUpdate()
+	// Every terminal update outcome feeds the rolling objectives: the
+	// elapsed time covers the whole pipeline including question-wait, the
+	// same latency the client experienced.
+	s.slos.Observe(elapsed, rerr != nil)
+}
+
 func (s *Server) handleGetUpdate(w http.ResponseWriter, r *http.Request) {
-	sn, ok := s.mgr.Get(r.PathValue("id"))
+	sn, ok := s.lookupSession(w, r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such session", 0)
 		return
 	}
 	u := sn.getUpdate(r.PathValue("uid"))
@@ -487,9 +541,8 @@ func (s *Server) handleGetUpdate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) {
-	sn, ok := s.mgr.Get(r.PathValue("id"))
+	sn, ok := s.lookupSession(w, r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such session", 0)
 		return
 	}
 	resp := QuestionResponse{}
@@ -503,9 +556,8 @@ func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
-	sn, ok := s.mgr.Get(r.PathValue("id"))
+	sn, ok := s.lookupSession(w, r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such session", 0)
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
@@ -535,9 +587,8 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
-	sn, ok := s.mgr.Get(r.PathValue("id"))
+	sn, ok := s.lookupSession(w, r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such session", 0)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -551,9 +602,8 @@ func (s *Server) handleDebugSLO(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	sn, ok := s.mgr.Get(r.PathValue("id"))
+	sn, ok := s.lookupSession(w, r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such session", 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{Stats: sn.sess.Stats()})
@@ -574,4 +624,13 @@ func writeError(w http.ResponseWriter, status int, msg string, retryAfter int) {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	}
 	writeJSON(w, status, ErrorResponse{Error: msg, RetryAfterSeconds: retryAfter})
+}
+
+// writeGone answers for a session that existed but died, tagging why so a
+// balancer drops its stale affinity pin instead of retrying the dead ID.
+func writeGone(w http.ResponseWriter, id, reason string) {
+	writeJSON(w, http.StatusGone, ErrorResponse{
+		Error:  fmt.Sprintf("session %s is gone (%s)", id, reason),
+		Reason: reason,
+	})
 }

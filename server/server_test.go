@@ -535,10 +535,17 @@ func TestSessionTTLEviction(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+	// A TTL-evicted session is distinguishable from an ID that never
+	// existed: 410 Gone with the "evicted" reason, the signal a balancer
+	// uses to drop its stale affinity pin.
 	_, err = c.Session(ctx, sid)
 	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusGone || apiErr.Reason != ReasonEvicted {
+		t.Fatalf("want 410 Gone (evicted) after eviction, got %v", err)
+	}
+	_, err = c.Session(ctx, "s999-never-existed")
 	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
-		t.Fatalf("want 404 after eviction, got %v", err)
+		t.Fatalf("want 404 for unknown ID, got %v", err)
 	}
 }
 
