@@ -179,12 +179,20 @@ func (s *Session) maxAttempts() int {
 // beginTrace starts the span tree for one Submit call, or returns nil when
 // observability is disabled (Observer, Trace, and Journal all nil) — every
 // obs.Span method no-ops on a nil receiver, so the disabled pipeline pays
-// nothing.
-func (s *Session) beginTrace() *obs.Trace {
+// nothing. When ctx carries a propagated W3C trace context (extracted from a
+// clarify-lb or clarify -remote traceparent header), the trace adopts the
+// fleet trace ID and records the caller's span as its remote parent, so the
+// update tree stitches under the upstream proxy span.
+func (s *Session) beginTrace(ctx context.Context) *obs.Trace {
 	if s.Observer == nil && s.Trace == nil && s.Journal == nil {
 		return nil
 	}
-	t := obs.NewTrace("update")
+	var t *obs.Trace
+	if tp, ok := obs.TraceParentFromContext(ctx); ok {
+		t = obs.NewTraceWith("update", tp)
+	} else {
+		t = obs.NewTrace("update")
+	}
 	t.LineWriter = s.Trace
 	t.LinePrefix = "clarify: "
 	return t
@@ -231,7 +239,7 @@ func (s *Session) Submit(ctx context.Context, intentText, targetName string) (re
 	if cfg == nil {
 		return nil, fmt.Errorf("clarify: session has no configuration")
 	}
-	tr := s.beginTrace()
+	tr := s.beginTrace(ctx)
 	// The oracles the pipeline will consult for this update. When journaling,
 	// wrap them so every answered question lands in the record's transcript —
 	// the transcript is what lets clarify-replay re-run the update without an

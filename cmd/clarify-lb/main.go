@@ -16,14 +16,20 @@
 //     answers land on the replica holding the session; unknown IDs fall back
 //     to a consistent hash of the ID.
 //   - GET /v1/sessions merges the listing across admitted backends.
-//   - GET /healthz and /metrics (?format=prometheus) are the balancer's own.
+//   - GET /healthz and /metrics (?format=prometheus or openmetrics) are the
+//     balancer's own.
+//   - GET /debug/traces lists the balancer's per-request proxy traces;
+//     GET /debug/traces/{id} reassembles the fleet-wide trace, grafting each
+//     replica's spans under the forward span that propagated its context.
 //
 // A background prober GETs each backend's /readyz: -eject-after consecutive
 // failures take a backend out of rotation, -readmit-after consecutive
 // successes restore it, and a backend reporting "draining" keeps serving its
 // pinned sessions but receives no new ones. Every response carries
 // X-Clarify-Backend (the serving replica, whose /debug/traces holds the
-// update's trace) and X-Request-Id.
+// update's trace) and X-Request-Id — minted as the request's W3C trace ID
+// when the client sent none, so one identifier correlates the access log,
+// the metrics exemplars, and the fleet trace view.
 package main
 
 import (
@@ -41,6 +47,17 @@ import (
 	"github.com/clarifynet/clarify/lb"
 )
 
+// lbConfig carries the parsed flags into run.
+type lbConfig struct {
+	addr         string
+	backends     []string
+	opts         lb.Options
+	drainTimeout time.Duration
+	logFormat    string
+	quiet        bool
+	accessLog    bool
+}
+
 func main() {
 	var (
 		addr          = flag.String("addr", ":8090", "listen address")
@@ -52,67 +69,82 @@ func main() {
 		readmitAfter  = flag.Int("readmit-after", lb.DefaultReadmitAfter, "consecutive probe successes that re-admit a backend")
 		affinityTTL   = flag.Duration("affinity-ttl", 30*time.Minute, "evict session pins idle this long (>= the replicas' -idle-ttl)")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight proxied requests")
+		traceBuffer   = flag.Int("trace-buffer", lb.DefaultTraceBufferSize, "per-request proxy traces retained for /debug/traces (negative disables tracing)")
+		traceKeep     = flag.Int("trace-keep", lb.DefaultTraceKeepSize, "evicted error traces kept by tail retention (negative disables)")
+		exemplars     = flag.Bool("exemplars", false, "attach trace-ID exemplars to OpenMetrics latency histograms")
+		accessLog     = flag.Bool("access-log", false, "log one structured line per proxied request (trace ID, backend, placement, status, duration)")
 		logFormat     = flag.String("log-format", "text", "log output format: text or json")
 		quiet         = flag.Bool("quiet", false, "disable state-transition logging")
 	)
 	flag.Parse()
-	if err := run(*addr, *backendsSpec, *vnodes, *probeInterval, *probeTimeout,
-		*ejectAfter, *readmitAfter, *affinityTTL, *drainTimeout, *logFormat, *quiet); err != nil {
+	var backends []string
+	for _, b := range strings.Split(*backendsSpec, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			backends = append(backends, b)
+		}
+	}
+	cfg := lbConfig{
+		addr:     *addr,
+		backends: backends,
+		opts: lb.Options{
+			Backends:        backends,
+			VirtualNodes:    *vnodes,
+			ProbeInterval:   *probeInterval,
+			ProbeTimeout:    *probeTimeout,
+			EjectAfter:      *ejectAfter,
+			ReadmitAfter:    *readmitAfter,
+			AffinityTTL:     *affinityTTL,
+			TraceBufferSize: *traceBuffer,
+			TraceKeepSize:   *traceKeep,
+			Exemplars:       *exemplars,
+		},
+		drainTimeout: *drainTimeout,
+		logFormat:    *logFormat,
+		quiet:        *quiet,
+		accessLog:    *accessLog,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "clarify-lb:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, backendsSpec string, vnodes int, probeInterval, probeTimeout time.Duration,
-	ejectAfter, readmitAfter int, affinityTTL, drainTimeout time.Duration, logFormat string, quiet bool) error {
+func run(cfg lbConfig) error {
 	var handler slog.Handler
-	switch logFormat {
+	switch cfg.logFormat {
 	case "text":
 		handler = slog.NewTextHandler(os.Stderr, nil)
 	case "json":
 		handler = slog.NewJSONHandler(os.Stderr, nil)
 	default:
-		return fmt.Errorf("unknown -log-format %q (want text or json)", logFormat)
+		return fmt.Errorf("unknown -log-format %q (want text or json)", cfg.logFormat)
 	}
 	logger := slog.New(handler)
 
-	var backends []string
-	for _, b := range strings.Split(backendsSpec, ",") {
-		if b = strings.TrimSpace(b); b != "" {
-			backends = append(backends, b)
-		}
-	}
-	if len(backends) == 0 {
+	if len(cfg.backends) == 0 {
 		return fmt.Errorf("-backends is required (comma-separated clarifyd URLs)")
 	}
-
-	opts := lb.Options{
-		Backends:      backends,
-		VirtualNodes:  vnodes,
-		ProbeInterval: probeInterval,
-		ProbeTimeout:  probeTimeout,
-		EjectAfter:    ejectAfter,
-		ReadmitAfter:  readmitAfter,
-		AffinityTTL:   affinityTTL,
+	if !cfg.quiet {
+		cfg.opts.Logger = slog.NewLogLogger(handler, slog.LevelInfo)
 	}
-	if !quiet {
-		opts.Logger = slog.NewLogLogger(handler, slog.LevelInfo)
+	if cfg.accessLog {
+		cfg.opts.AccessLog = logger
 	}
-	balancer, err := lb.New(opts)
+	balancer, err := lb.New(cfg.opts)
 	if err != nil {
 		return err
 	}
 	defer balancer.Close()
 
 	httpSrv := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           balancer,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Info("listening", "addr", addr, "backends", len(backends),
-			"probe-interval", probeInterval.String(), "eject-after", ejectAfter)
+		logger.Info("listening", "addr", cfg.addr, "backends", len(cfg.backends),
+			"probe-interval", cfg.opts.ProbeInterval.String(), "eject-after", cfg.opts.EjectAfter)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -122,9 +154,9 @@ func run(addr, backendsSpec string, vnodes int, probeInterval, probeTimeout time
 	case err := <-errCh:
 		return err
 	case sig := <-sigCh:
-		logger.Info("draining", "signal", sig.String(), "budget", drainTimeout.String())
+		logger.Info("draining", "signal", sig.String(), "budget", cfg.drainTimeout.String())
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		logger.Warn("drain incomplete; in-flight requests cancelled", "err", err)

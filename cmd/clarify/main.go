@@ -320,7 +320,14 @@ func runRemote(remoteURL, configPath, target, outPath string, stdin io.Reader, o
 		if text == "" {
 			break
 		}
-		res, err := client.RunUpdate(ctx, sid, text, target, answer)
+		// Each update gets its own fleet trace context, injected as a
+		// traceparent header by the client: the update's spans on the daemon
+		// (and, behind a clarify-lb, the balancer's proxy spans) stitch under
+		// this trace ID, resolvable at /debug/traces/{id}.
+		tp := obs.TraceParent{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Flags: obs.FlagSampled}
+		uctx := obs.ContextWithTraceParent(ctx, tp)
+		fmt.Fprintf(out, "  trace: %s\n", tp.TraceID)
+		res, err := client.RunUpdate(uctx, sid, text, target, answer)
 		if err != nil {
 			fmt.Fprintln(out, "  error:", err)
 			continue

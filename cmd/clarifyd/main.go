@@ -24,9 +24,12 @@
 //	GET    /readyz                          readiness (503 while draining or
 //	                                        when no LLM backend can serve)
 //	GET    /metrics                         JSON metrics (?format=prometheus
-//	                                        for text exposition)
-//	GET    /debug/traces                    recent pipeline traces
+//	                                        or ?format=openmetrics, the latter
+//	                                        with trace exemplars under -exemplars)
+//	GET    /debug/traces                    recent pipeline traces (?kept=1 for
+//	                                        the tail-retention ring)
 //	GET    /debug/traces/{id}               one trace's full span tree
+//	GET    /debug/incidents                 profile-on-fire capture index
 //	GET    /debug/pprof/...                 Go profiler (with -pprof)
 //
 // Logs are structured (log/slog), text by default; -log-format json switches
@@ -58,6 +61,7 @@ import (
 	"time"
 
 	"github.com/clarifynet/clarify/chaoshttp"
+	"github.com/clarifynet/clarify/incident"
 	"github.com/clarifynet/clarify/journal"
 	"github.com/clarifynet/clarify/llm"
 	"github.com/clarifynet/clarify/resilience"
@@ -91,9 +95,15 @@ type daemonConfig struct {
 	breakerCooldown    time.Duration
 
 	traceBuf  int
+	traceKeep int
+	exemplars bool
 	logFormat string
 	pprofOn   bool
 	quiet     bool
+
+	incidentDir      string
+	incidentCooldown time.Duration
+	incidentCPU      time.Duration
 
 	journalDir      string
 	journalMaxBytes int64
@@ -130,6 +140,11 @@ func main() {
 	flag.DurationVar(&cfg.breakerWindow, "breaker-window", 30*time.Second, "rolling failure-rate window")
 	flag.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", 10*time.Second, "how long an open breaker rejects calls before probing")
 	flag.IntVar(&cfg.traceBuf, "trace-buffer", server.DefaultTraceBufferSize, "recent traces retained for /debug/traces")
+	flag.IntVar(&cfg.traceKeep, "trace-keep", server.DefaultTraceKeepSize, "evicted error/degraded/slow traces kept by tail retention (negative disables)")
+	flag.BoolVar(&cfg.exemplars, "exemplars", false, "attach trace-ID exemplars to OpenMetrics histograms (/metrics?format=openmetrics)")
+	flag.StringVar(&cfg.incidentDir, "incident-dir", "", "profile-on-fire directory: when an SLO alert starts firing, capture CPU+heap profiles and recent traces here")
+	flag.DurationVar(&cfg.incidentCooldown, "incident-cooldown", 0, "minimum spacing between incident captures (default 10m)")
+	flag.DurationVar(&cfg.incidentCPU, "incident-cpu-duration", 0, "CPU profile length inside an incident capture (default 2s)")
 	flag.StringVar(&cfg.journalDir, "journal", "", "flight-recorder directory: append one durable record per update (replayable with clarify-replay)")
 	flag.Int64Var(&cfg.journalMaxBytes, "journal-max-bytes", 0, "rotate journal segments over this size (default 8 MiB)")
 	flag.IntVar(&cfg.journalSegments, "journal-segments", 0, "prune journal segments beyond this count (0 keeps all)")
@@ -315,9 +330,19 @@ func run(cfg daemonConfig) error {
 		NewClient:        newClient,
 		Resilience:       stack,
 		TraceBufferSize:  cfg.traceBuf,
+		TraceKeepSize:    cfg.traceKeep,
+		Exemplars:        cfg.exemplars,
 		Journal:          jnl,
 		SLO:              slos,
 		LatencyBucketsMs: buckets,
+	}
+	if cfg.incidentDir != "" {
+		opts.Incidents = incident.NewRecorder(incident.Options{
+			Dir:         cfg.incidentDir,
+			Cooldown:    cfg.incidentCooldown,
+			CPUDuration: cfg.incidentCPU,
+		})
+		logger.Info("profile-on-fire active", "dir", cfg.incidentDir)
 	}
 	if err := opts.Validate(); err != nil {
 		return fmt.Errorf("-latency-buckets-ms: %w", err)

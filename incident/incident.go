@@ -1,0 +1,239 @@
+// Package incident implements profile-on-fire: when a burn-rate alert
+// transitions from quiet to firing, the daemon captures a bounded CPU
+// profile, a heap profile, and the most recent retained traces into a
+// timestamped incident directory — the forensic bundle an operator needs
+// before the anomaly fades. Captures are rate-limited so a flapping alert
+// cannot fill the disk or keep the CPU profiler pinned.
+package incident
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/clarifynet/clarify/obs"
+)
+
+// DefaultCooldown is the minimum spacing between captures when
+// Options.Cooldown is zero.
+const DefaultCooldown = 10 * time.Minute
+
+// DefaultCPUDuration bounds the CPU profile when Options.CPUDuration is
+// zero. It is short on purpose: the point is a sample of the firing state,
+// not a full profiling session.
+const DefaultCPUDuration = 2 * time.Second
+
+// DefaultMaxTraces bounds the trace bundle when Options.MaxTraces is zero.
+const DefaultMaxTraces = 32
+
+// Options configures a Recorder.
+type Options struct {
+	// Dir is the directory incident bundles are created under. Required; it
+	// is created on first capture if missing.
+	Dir string
+	// Cooldown is the minimum time between captures; alert transitions
+	// inside the window are counted as suppressed, not captured.
+	Cooldown time.Duration
+	// CPUDuration bounds the CPU profile (default DefaultCPUDuration).
+	CPUDuration time.Duration
+	// MaxTraces bounds the number of traces written into the bundle.
+	MaxTraces int
+}
+
+// Capture is one incident bundle's index entry.
+type Capture struct {
+	// ID is the bundle directory's basename, incident-<UTC timestamp>.
+	ID string `json:"id"`
+	// At is the capture time.
+	At time.Time `json:"at"`
+	// Alerts names the burn-rate alerts that fired ("objective/severity").
+	Alerts []string `json:"alerts"`
+	// Files lists the bundle's contents relative to its directory.
+	Files []string `json:"files"`
+	// Traces is the number of traces included in traces.jsonl.
+	Traces int `json:"traces"`
+	// Err records a partial capture (e.g. CPU profiler already running).
+	Err string `json:"error,omitempty"`
+}
+
+// Stats summarizes recorder activity for /metrics.
+type Stats struct {
+	// Captures counts completed incident bundles.
+	Captures int64 `json:"captures"`
+	// Suppressed counts firing transitions skipped by the cooldown.
+	Suppressed int64 `json:"suppressed"`
+	// LastCapture is the most recent bundle's ID, empty before the first.
+	LastCapture string `json:"lastCapture,omitempty"`
+}
+
+// Recorder captures incident bundles, at most one per cooldown window. All
+// methods are safe for concurrent use; Capture runs the bounded CPU profile
+// synchronously and should be called off the request path.
+type Recorder struct {
+	opts Options
+
+	mu         sync.Mutex
+	last       time.Time
+	capturing  bool
+	captures   []Capture
+	suppressed int64
+}
+
+// NewRecorder returns a recorder writing bundles under opts.Dir.
+func NewRecorder(opts Options) *Recorder {
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = DefaultCooldown
+	}
+	if opts.CPUDuration <= 0 {
+		opts.CPUDuration = DefaultCPUDuration
+	}
+	if opts.MaxTraces <= 0 {
+		opts.MaxTraces = DefaultMaxTraces
+	}
+	return &Recorder{opts: opts}
+}
+
+// Capture records one incident bundle for the named firing alerts, unless a
+// capture ran within the cooldown window (or is running right now), in which
+// case it reports suppressed=true. traces is the evidence to bundle — the
+// caller passes its retained tail (errors, outliers) plus recent traces.
+func (r *Recorder) Capture(alerts []string, traces []*obs.Trace) (Capture, bool) {
+	now := time.Now()
+	r.mu.Lock()
+	if r.capturing || (!r.last.IsZero() && now.Sub(r.last) < r.opts.Cooldown) {
+		r.suppressed++
+		r.mu.Unlock()
+		return Capture{}, false
+	}
+	r.capturing = true
+	r.last = now
+	r.mu.Unlock()
+
+	c := r.capture(now, alerts, traces)
+
+	r.mu.Lock()
+	r.captures = append(r.captures, c)
+	r.capturing = false
+	r.mu.Unlock()
+	return c, true
+}
+
+// capture writes the bundle; errors degrade the bundle rather than abort it,
+// because a partial profile during an incident beats none.
+func (r *Recorder) capture(now time.Time, alerts []string, traces []*obs.Trace) Capture {
+	if len(traces) > r.opts.MaxTraces {
+		traces = traces[:r.opts.MaxTraces]
+	}
+	c := Capture{
+		ID:     "incident-" + now.UTC().Format("20060102T150405.000Z"),
+		At:     now,
+		Alerts: append([]string(nil), alerts...),
+		Traces: len(traces),
+	}
+	dir := filepath.Join(r.opts.Dir, c.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		c.Err = err.Error()
+		return c
+	}
+	fail := func(err error) {
+		if c.Err == "" {
+			c.Err = err.Error()
+		}
+	}
+
+	// CPU profile first: it is the only time-bounded piece, and the firing
+	// condition is most observable right now.
+	if err := r.cpuProfile(filepath.Join(dir, "cpu.pprof")); err != nil {
+		fail(fmt.Errorf("cpu profile: %w", err))
+	} else {
+		c.Files = append(c.Files, "cpu.pprof")
+	}
+	if err := writeHeap(filepath.Join(dir, "heap.pprof")); err != nil {
+		fail(fmt.Errorf("heap profile: %w", err))
+	} else {
+		c.Files = append(c.Files, "heap.pprof")
+	}
+	if err := writeTraces(filepath.Join(dir, "traces.jsonl"), traces); err != nil {
+		fail(fmt.Errorf("traces: %w", err))
+	} else {
+		c.Files = append(c.Files, "traces.jsonl")
+	}
+
+	// meta.json last, so its presence marks a finished bundle.
+	meta, _ := json.MarshalIndent(c, "", "  ")
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), append(meta, '\n'), 0o644); err != nil {
+		fail(fmt.Errorf("meta: %w", err))
+	} else {
+		c.Files = append(c.Files, "meta.json")
+	}
+	return c
+}
+
+func (r *Recorder) cpuProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another profiler (e.g. an operator at /debug/pprof/profile) is
+		// running; skip rather than wait.
+		return err
+	}
+	time.Sleep(r.opts.CPUDuration)
+	pprof.StopCPUProfile()
+	return nil
+}
+
+func writeHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return pprof.Lookup("heap").WriteTo(f, 0)
+}
+
+func writeTraces(path string, traces []*obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, t := range traces {
+		if t == nil {
+			continue
+		}
+		if err := enc.Encode(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// List snapshots the capture index, newest first — the body of
+// GET /debug/incidents.
+func (r *Recorder) List() []Capture {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]Capture(nil), r.captures...)
+	sort.Slice(out, func(i, j int) bool { return out[i].At.After(out[j].At) })
+	return out
+}
+
+// Stats snapshots the recorder counters.
+func (r *Recorder) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Stats{Captures: int64(len(r.captures)), Suppressed: r.suppressed}
+	if n := len(r.captures); n > 0 {
+		st.LastCapture = r.captures[n-1].ID
+	}
+	return st
+}

@@ -1,0 +1,116 @@
+package incident
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/clarifynet/clarify/obs"
+)
+
+func sampleTraces(n int) []*obs.Trace {
+	out := make([]*obs.Trace, 0, n)
+	for i := 0; i < n; i++ {
+		tr := obs.NewTrace("update")
+		tr.Root.SetStr("error", "degraded")
+		tr.Finish()
+		out = append(out, tr)
+	}
+	return out
+}
+
+func TestCaptureWritesBundle(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRecorder(Options{Dir: dir, Cooldown: time.Hour, CPUDuration: 50 * time.Millisecond})
+
+	c, ok := r.Capture([]string{"availability/page"}, sampleTraces(3))
+	if !ok {
+		t.Fatal("first capture suppressed")
+	}
+	if c.Err != "" {
+		t.Fatalf("capture degraded: %s", c.Err)
+	}
+	if c.Traces != 3 {
+		t.Fatalf("Traces = %d, want 3", c.Traces)
+	}
+	bundle := filepath.Join(dir, c.ID)
+	for _, f := range []string{"cpu.pprof", "heap.pprof", "traces.jsonl", "meta.json"} {
+		st, err := os.Stat(filepath.Join(bundle, f))
+		if err != nil {
+			t.Fatalf("bundle missing %s: %v", f, err)
+		}
+		if st.Size() == 0 && f != "traces.jsonl" {
+			t.Fatalf("bundle file %s is empty", f)
+		}
+	}
+
+	// traces.jsonl is one JSON trace per line, each with the finished spans.
+	f, err := os.Open(filepath.Join(bundle, "traces.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var tr obs.Trace
+		if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
+			t.Fatalf("traces.jsonl line %d: %v", lines+1, err)
+		}
+		if tr.Root == nil || tr.Root.Name != "update" {
+			t.Fatalf("traces.jsonl line %d: unexpected root %+v", lines+1, tr.Root)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("traces.jsonl has %d traces, want 3", lines)
+	}
+
+	var meta Capture
+	raw, err := os.ReadFile(filepath.Join(bundle, "meta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		t.Fatalf("meta.json: %v", err)
+	}
+	if meta.ID != c.ID || len(meta.Alerts) != 1 || meta.Alerts[0] != "availability/page" {
+		t.Fatalf("meta.json = %+v", meta)
+	}
+}
+
+func TestCooldownSuppresses(t *testing.T) {
+	r := NewRecorder(Options{Dir: t.TempDir(), Cooldown: time.Hour, CPUDuration: 20 * time.Millisecond})
+	if _, ok := r.Capture([]string{"latency/ticket"}, nil); !ok {
+		t.Fatal("first capture suppressed")
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := r.Capture([]string{"latency/ticket"}, nil); ok {
+			t.Fatalf("capture %d not suppressed inside cooldown", i+2)
+		}
+	}
+	st := r.Stats()
+	if st.Captures != 1 || st.Suppressed != 3 {
+		t.Fatalf("Stats = %+v, want 1 capture / 3 suppressed", st)
+	}
+	if st.LastCapture == "" {
+		t.Fatal("Stats.LastCapture empty after capture")
+	}
+	if got := r.List(); len(got) != 1 || got[0].ID != st.LastCapture {
+		t.Fatalf("List = %+v", got)
+	}
+}
+
+func TestMaxTracesBound(t *testing.T) {
+	r := NewRecorder(Options{Dir: t.TempDir(), Cooldown: time.Hour, CPUDuration: 20 * time.Millisecond, MaxTraces: 2})
+	c, ok := r.Capture(nil, sampleTraces(5))
+	if !ok {
+		t.Fatal("capture suppressed")
+	}
+	if c.Traces != 2 {
+		t.Fatalf("Traces = %d, want bound of 2", c.Traces)
+	}
+}

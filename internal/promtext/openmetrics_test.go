@@ -1,0 +1,102 @@
+package promtext
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriterClassicFormat(t *testing.T) {
+	var buf bytes.Buffer
+	p := &Writer{W: &buf}
+	p.Counter("x_requests_total", "Requests.", 3)
+	p.Histogram("x_latency_ms", "stage", "update", []float64{1, 5}, []int64{2, 1}, 4, 12.5,
+		[]*Exemplar{{TraceID: "abc", Value: 0.5}})
+	p.EOF()
+	out := buf.String()
+	if strings.Contains(out, "# EOF") {
+		t.Fatalf("classic format must not emit # EOF:\n%s", out)
+	}
+	if strings.Contains(out, "trace_id") {
+		t.Fatalf("classic format must not emit exemplars:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE x_requests_total counter") {
+		t.Fatalf("classic counter family keeps _total in TYPE:\n%s", out)
+	}
+	if !strings.Contains(out, `x_latency_ms_bucket{stage="update",le="+Inf"} 4`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+}
+
+func TestWriterOpenMetricsFormat(t *testing.T) {
+	var buf bytes.Buffer
+	p := &Writer{W: &buf, OpenMetrics: true}
+	p.Counter("x_requests_total", "Requests.", 3)
+	p.Gauge("x_depth", "Depth.", 1)
+	p.Header("x_latency_ms", "histogram", "Latency.")
+	p.Histogram("x_latency_ms", "stage", "update", []float64{1, 5}, []int64{2, 1}, 4, 12.5,
+		[]*Exemplar{{TraceID: "abc123", Value: 0.5, Ts: 1700000000}, nil, {TraceID: "def456", Value: 99}})
+	p.EOF()
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE x_requests counter") {
+		t.Fatalf("OpenMetrics counter family must drop _total in TYPE:\n%s", out)
+	}
+	if !strings.Contains(out, "x_requests_total 3") {
+		t.Fatalf("OpenMetrics counter sample keeps _total:\n%s", out)
+	}
+	if !strings.Contains(out, `x_latency_ms_bucket{stage="update",le="1"} 2 # {trace_id="abc123"} 0.5 1700000000`) {
+		t.Fatalf("missing bucket exemplar:\n%s", out)
+	}
+	if !strings.Contains(out, `le="+Inf"} 4 # {trace_id="def456"} 99`) {
+		t.Fatalf("missing +Inf exemplar:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("OpenMetrics document must end with # EOF:\n%s", out)
+	}
+	if err := ValidateOpenMetrics(buf.Bytes()); err != nil {
+		t.Fatalf("writer output does not validate: %v", err)
+	}
+}
+
+func TestContentType(t *testing.T) {
+	if got := (&Writer{}).ContentType(); !strings.Contains(got, "version=0.0.4") {
+		t.Fatalf("classic content type = %q", got)
+	}
+	if got := (&Writer{OpenMetrics: true}).ContentType(); !strings.Contains(got, "openmetrics-text") {
+		t.Fatalf("openmetrics content type = %q", got)
+	}
+}
+
+func TestValidateOpenMetricsRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"no EOF", "# TYPE a gauge\na 1\n"},
+		{"content after EOF", "# TYPE a gauge\na 1\n# EOF\na 2\n"},
+		{"empty line", "# TYPE a gauge\n\na 1\n# EOF\n"},
+		{"duplicate TYPE", "# TYPE a gauge\n# TYPE a counter\n# EOF\n"},
+		{"unknown type", "# TYPE a widget\n# EOF\n"},
+		{"bad value", "# TYPE a gauge\na one\n# EOF\n"},
+		{"counter sample without _total", "# TYPE a counter\na 1\n# EOF\n"},
+		{"histogram sample with bare name", "# TYPE a histogram\na 1\n# EOF\n"},
+		{"exemplar on gauge", "# TYPE a gauge\na 1 # {trace_id=\"x\"} 1\n# EOF\n"},
+		{"unterminated labels", "# TYPE a gauge\na{x=\"y 1\n# EOF\n"},
+		{"bad exemplar", "# TYPE a histogram\na_bucket{le=\"+Inf\"} 1 # nope\n# EOF\n"},
+		{"bad metric name", "# TYPE a gauge\n1a 1\n# EOF\n"},
+	}
+	for _, tc := range cases {
+		if err := ValidateOpenMetrics([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: validated but should not:\n%s", tc.name, tc.doc)
+		}
+	}
+}
+
+func TestValidateOpenMetricsAccepts(t *testing.T) {
+	doc := "# HELP a_total Things.\n# TYPE a counter\na_total 1 # {trace_id=\"t1\"} 2 3\n" +
+		"# TYPE b histogram\nb_bucket{x=\"y\",le=\"+Inf\"} 1 # {trace_id=\"t2\"} 0.5\nb_sum{x=\"y\"} 0.5\nb_count{x=\"y\"} 1\n" +
+		"# TYPE c gauge\nc{v=\"esc\\\"aped\"} +Inf\n# EOF\n"
+	if err := ValidateOpenMetrics([]byte(doc)); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+}

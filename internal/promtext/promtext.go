@@ -46,15 +46,7 @@ func Sample(w io.Writer, name, labels string, v float64) {
 // bounds; counts has one entry per bound (the +Inf remainder is derived from
 // total).
 func Histogram(w io.Writer, name, labelKey, labelVal string, bucketsMs []float64, counts []int64, total int64, sumMs float64) {
-	label := labelKey + "=" + QuoteLabel(labelVal)
-	var cum int64
-	for i, ub := range bucketsMs {
-		cum += counts[i]
-		fmt.Fprintf(w, "%s_bucket{%s,le=%s} %d\n", name, label, QuoteLabel(FormatFloat(ub)), cum)
-	}
-	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, total)
-	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, label, FormatFloat(sumMs))
-	fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, total)
+	(&Writer{W: w}).Histogram(name, labelKey, labelVal, bucketsMs, counts, total, sumMs, nil)
 }
 
 // FormatFloat renders a sample value the way Prometheus expects: no

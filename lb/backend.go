@@ -114,6 +114,13 @@ func (b *Backend) lessLoaded(o *Backend) bool {
 // recordRequest folds one proxied request into the backend's counters.
 // transportErr marks a failure to reach the backend at all.
 func (b *Backend) recordRequest(status int, d time.Duration, transportErr bool) {
+	b.recordRequestTrace(status, d, transportErr, "")
+}
+
+// recordRequestTrace is recordRequest plus an exemplar: when traceID is
+// non-empty, the observation is recorded as the latency bucket's last
+// exemplar for the OpenMetrics exposition.
+func (b *Backend) recordRequestTrace(status int, d time.Duration, transportErr bool, traceID string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.requests++
@@ -123,7 +130,11 @@ func (b *Backend) recordRequest(status int, d time.Duration, transportErr bool) 
 	case status >= 500:
 		b.errors5xx++
 	}
-	b.latency.observe(d)
+	if traceID != "" {
+		b.latency.observeExemplar(d, traceID, float64(time.Now().UnixMilli())/1000)
+	} else {
+		b.latency.observe(d)
+	}
 }
 
 func (b *Backend) recordCreate() {
@@ -253,6 +264,10 @@ type histogram struct {
 	counts  []int64 // len(buckets)+1, last is +Inf
 	sumMs   float64
 	n       int64
+	// exemplars holds each bucket's most recent traced observation; nil
+	// until the first exemplar arrives, so the exemplar-off path allocates
+	// nothing.
+	exemplars []server.Exemplar
 }
 
 func newHistogram(buckets []float64) *histogram {
@@ -270,6 +285,24 @@ func (h *histogram) observe(d time.Duration) {
 	h.n++
 }
 
+// observeExemplar is observe plus recording the observation as its bucket's
+// exemplar.
+func (h *histogram) observeExemplar(d time.Duration, traceID string, ts float64) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := sort.SearchFloat64s(h.buckets, ms)
+	h.counts[i]++
+	h.sumMs += ms
+	h.n++
+	if h.exemplars == nil {
+		h.exemplars = make([]server.Exemplar, len(h.counts))
+	}
+	h.exemplars[i] = server.Exemplar{TraceID: traceID, ValueMs: ms, Ts: ts}
+}
+
 func (h *histogram) snapshot() server.HistogramSnapshot {
-	return server.MakeHistogramSnapshot(h.buckets, h.counts, h.n, h.sumMs)
+	s := server.MakeHistogramSnapshot(h.buckets, h.counts, h.n, h.sumMs)
+	if h.exemplars != nil {
+		s.Exemplars = append([]server.Exemplar(nil), h.exemplars...)
+	}
+	return s
 }

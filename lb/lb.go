@@ -35,12 +35,15 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 	"time"
 
+	"github.com/clarifynet/clarify/internal/promtext"
+	"github.com/clarifynet/clarify/obs"
 	"github.com/clarifynet/clarify/server"
 )
 
@@ -69,6 +72,20 @@ type Options struct {
 	LatencyBucketsMs []float64
 	// Logger receives routing and state-transition lines; nil disables.
 	Logger *log.Logger
+	// AccessLog receives one structured line per proxied request (trace ID,
+	// backend, placement kind, status, duration); nil disables access
+	// logging.
+	AccessLog *slog.Logger
+	// TraceBufferSize bounds the balancer's /debug/traces ring of per-request
+	// proxy traces (default DefaultTraceBufferSize; negative disables
+	// tracing entirely).
+	TraceBufferSize int
+	// TraceKeepSize bounds the tail-retention ring holding evicted error
+	// traces (default DefaultTraceKeepSize; negative disables retention).
+	TraceKeepSize int
+	// Exemplars attaches trace-ID exemplars to the per-backend latency
+	// histograms in the OpenMetrics exposition.
+	Exemplars bool
 	// Transport overrides the proxy and probe transport (tests inject
 	// failures); nil uses http.DefaultTransport.
 	Transport http.RoundTripper
@@ -87,11 +104,16 @@ type LB struct {
 	// for minutes; the client's request context bounds each proxied call.
 	proxy *http.Client
 
-	proxied   atomic.Int64 // requests forwarded to a backend
-	noBackend atomic.Int64 // requests refused for want of an eligible backend
-	restored  atomic.Int64 // sessions re-placed via PUT .../restore
-	gonePins  atomic.Int64 // affinity pins cleared by a backend's 410 Gone
-	started   time.Time
+	// traces is the per-request proxy trace ring behind GET /debug/traces;
+	// nil when tracing is disabled.
+	traces *obs.Ring
+
+	proxied     atomic.Int64 // requests forwarded to a backend
+	noBackend   atomic.Int64 // requests refused for want of an eligible backend
+	restored    atomic.Int64 // sessions re-placed via PUT .../restore
+	gonePins    atomic.Int64 // affinity pins cleared by a backend's 410 Gone
+	tracesTotal atomic.Int64 // proxy traces recorded
+	started     time.Time
 }
 
 // New builds a balancer and starts its prober and affinity janitor.
@@ -122,8 +144,22 @@ func New(opts Options) (*LB, error) {
 		proxy:    &http.Client{Transport: opts.Transport},
 		started:  time.Now(),
 	}
+	if size := opts.TraceBufferSize; size >= 0 {
+		if size == 0 {
+			size = DefaultTraceBufferSize
+		}
+		l.traces = obs.NewRing(size)
+		if keep := opts.TraceKeepSize; keep >= 0 {
+			if keep == 0 {
+				keep = DefaultTraceKeepSize
+			}
+			l.traces.SetRetention(keep, keepProxyTrace)
+		}
+	}
 	l.mux.HandleFunc("GET /healthz", l.handleHealthz)
 	l.mux.HandleFunc("GET /metrics", l.handleMetrics)
+	l.mux.HandleFunc("GET /debug/traces", l.handleDebugTraces)
+	l.mux.HandleFunc("GET /debug/traces/{tid}", l.handleDebugTrace)
 	l.mux.HandleFunc("POST /v1/sessions", l.handleCreate)
 	l.mux.HandleFunc("GET /v1/sessions", l.handleList)
 	l.mux.HandleFunc("/v1/sessions/{id}", l.handleSession)
@@ -186,12 +222,25 @@ func placementKey() string {
 }
 
 // routeSession resolves the backend owning a session: affinity pin first,
-// consistent hash of the ID as the stateless fallback.
-func (l *LB) routeSession(id string) *Backend {
+// consistent hash of the ID as the stateless fallback. The returned kind
+// ("pin" or "ring") names the layer that decided, for traces and access logs.
+func (l *LB) routeSession(id string) (*Backend, string) {
 	if b := l.affinity.Get(id); b != nil {
-		return b
+		return b, "pin"
 	}
-	return l.ring.Lookup(id, func(b *Backend) bool { return b.Admitted() })
+	return l.ring.Lookup(id, func(b *Backend) bool { return b.Admitted() }), "ring"
+}
+
+// accepting counts backends currently accepting new sessions — the
+// probe-derived state a placement decision consults.
+func (l *LB) accepting() int {
+	n := 0
+	for _, b := range l.backends {
+		if b.AcceptsSessions() {
+			n++
+		}
+	}
+	return n
 }
 
 // --- handlers ---
@@ -203,20 +252,34 @@ func (l *LB) routeSession(id string) *Backend {
 // transient to the client. The request body is buffered once so it can be
 // replayed per attempt. On success the chosen backend is returned; when no
 // backend accepts, placeSession writes the error itself and returns nil.
-func (l *LB) placeSession(w http.ResponseWriter, r *http.Request) (*http.Response, []byte, *Backend) {
+func (l *LB) placeSession(pt *proxyTrace, w http.ResponseWriter, r *http.Request) (*http.Response, []byte, *Backend) {
 	payload, err := io.ReadAll(io.LimitReader(r.Body, 32<<20))
 	if err != nil {
+		pt.fail(http.StatusBadRequest, "read request")
 		writeError(w, http.StatusBadRequest, "lb: read request: "+trimReason(err.Error()), 0)
 		return nil, nil, nil
 	}
 	var skip map[*Backend]bool
-	for {
+	for attempt := 0; ; attempt++ {
+		sp := pt.span("place")
 		b := l.pickCreateBackendExcluding(skip)
 		if b == nil {
+			sp.SetStr("kind", "none")
+			sp.End()
 			break
 		}
-		resp, body, err := l.forwardTo(b, r, bytes.NewReader(payload))
+		kind := "p2c"
+		if attempt > 0 {
+			kind = "failover"
+		}
+		sp.SetStr("kind", kind)
+		sp.SetStr("backend", b.Name)
+		sp.SetInt("accepting", int64(l.accepting()))
+		sp.End()
+		pt.placement, pt.backend = kind, b.Name
+		resp, body, err := l.forwardTo(pt, b, r, bytes.NewReader(payload))
 		if err == nil && resp.StatusCode != http.StatusServiceUnavailable {
+			pt.status = resp.StatusCode
 			return resp, body, b
 		}
 		if skip == nil {
@@ -225,14 +288,17 @@ func (l *LB) placeSession(w http.ResponseWriter, r *http.Request) (*http.Respons
 		skip[b] = true
 	}
 	l.noBackend.Add(1)
+	pt.fail(http.StatusServiceUnavailable, "no backend accepting sessions")
 	writeError(w, http.StatusServiceUnavailable, "no backend accepting sessions (all ejected or draining)", 1)
 	return nil, nil, nil
 }
 
 func (l *LB) handleCreate(w http.ResponseWriter, r *http.Request) {
+	pt := l.beginProxy(r)
+	defer l.endProxy(pt, r)
 	// The create response must be inspected for the session ID, so this
 	// path buffers the (bounded) body instead of streaming it.
-	resp, body, b := l.placeSession(w, r)
+	resp, body, b := l.placeSession(pt, w, r)
 	if b == nil {
 		return // placeSession already answered
 	}
@@ -247,27 +313,40 @@ func (l *LB) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (l *LB) handleSession(w http.ResponseWriter, r *http.Request) {
+	pt := l.beginProxy(r)
+	defer l.endProxy(pt, r)
 	id := r.PathValue("id")
-	b := l.routeSession(id)
+	sp := pt.span("route")
+	b, kind := l.routeSession(id)
 	if b == nil {
+		sp.SetStr("kind", "none")
+		sp.End()
 		l.noBackend.Add(1)
+		pt.fail(http.StatusServiceUnavailable, "no backend for session")
 		writeError(w, http.StatusServiceUnavailable, "no backend available for session "+id, 1)
 		return
 	}
+	sp.SetStr("kind", kind)
+	sp.SetStr("backend", b.Name)
+	sp.SetBool("admitted", b.Admitted())
+	sp.End()
+	pt.placement, pt.backend = kind, b.Name
 	if !b.Admitted() {
 		// The pinned replica is inside an ejection window. The session may
 		// yet survive (a drain, a network blip): tell the client to retry
 		// rather than silently routing to a replica that never saw it.
 		l.noBackend.Add(1)
+		pt.fail(http.StatusServiceUnavailable, "pinned backend ejected")
 		w.Header().Set(backendHeader, b.Name)
 		writeError(w, http.StatusServiceUnavailable,
 			fmt.Sprintf("backend %s holding session %s is ejected; retry", b.Name, id), 1)
 		return
 	}
-	resp, body, err := l.forward(b, w, r)
+	resp, body, err := l.forward(pt, b, w, r)
 	if err != nil {
 		return
 	}
+	pt.status = resp.StatusCode
 	if r.Method == http.MethodDelete && resp.StatusCode < 300 {
 		l.affinity.Remove(id)
 	}
@@ -289,8 +368,10 @@ func (l *LB) handleSession(w http.ResponseWriter, r *http.Request) {
 // pins the session there on success — so the client's next poll follows
 // the pin to the replica now holding its parked question.
 func (l *LB) handleRestore(w http.ResponseWriter, r *http.Request) {
+	pt := l.beginProxy(r)
+	defer l.endProxy(pt, r)
 	id := r.PathValue("id")
-	resp, body, b := l.placeSession(w, r)
+	resp, body, b := l.placeSession(pt, w, r)
 	if b == nil {
 		return // placeSession already answered
 	}
@@ -360,9 +441,16 @@ func (l *LB) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (l *LB) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := l.snapshot()
-	if r.URL.Query().Get("format") == "prometheus" {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		writePrometheus(w, snap)
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		p := &promtext.Writer{W: w}
+		w.Header().Set("Content-Type", p.ContentType())
+		writePrometheus(p, snap)
+		return
+	case "openmetrics":
+		p := &promtext.Writer{W: w, OpenMetrics: true}
+		w.Header().Set("Content-Type", p.ContentType())
+		writePrometheus(p, snap)
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
@@ -384,9 +472,10 @@ var hopHeaders = []string{
 // forward proxies one request to b and returns the backend's response with
 // its (bounded) body read. On a transport failure it answers 502 itself and
 // returns an error. The caller writes the response via writeProxied.
-func (l *LB) forward(b *Backend, w http.ResponseWriter, r *http.Request) (*http.Response, []byte, error) {
-	resp, body, err := l.forwardTo(b, r, io.LimitReader(r.Body, 32<<20))
+func (l *LB) forward(pt *proxyTrace, b *Backend, w http.ResponseWriter, r *http.Request) (*http.Response, []byte, error) {
+	resp, body, err := l.forwardTo(pt, b, r, io.LimitReader(r.Body, 32<<20))
 	if err != nil {
+		pt.fail(http.StatusBadGateway, "backend unreachable")
 		w.Header().Set(backendHeader, b.Name)
 		writeError(w, http.StatusBadGateway,
 			fmt.Sprintf("backend %s unreachable: %s", b.Name, trimReason(err.Error())), 1)
@@ -398,7 +487,11 @@ func (l *LB) forward(b *Backend, w http.ResponseWriter, r *http.Request) (*http.
 // backend's response with its (bounded) body read. Unlike forward it never
 // writes to the client — callers that can fail the request over to another
 // backend (session placement) inspect the error themselves.
-func (l *LB) forwardTo(b *Backend, r *http.Request, bodyIn io.Reader) (*http.Response, []byte, error) {
+//
+// Each attempt gets its own forward span, and that span's ID is what the
+// injected traceparent carries — the replica records it as its remote
+// parent, which is the joint the fleet trace view stitches on.
+func (l *LB) forwardTo(pt *proxyTrace, b *Backend, r *http.Request, bodyIn io.Reader) (*http.Response, []byte, error) {
 	outURL := *b.URL
 	outURL.Path = r.URL.Path
 	outURL.RawQuery = r.URL.RawQuery
@@ -410,8 +503,11 @@ func (l *LB) forwardTo(b *Backend, r *http.Request, bodyIn io.Reader) (*http.Res
 	for _, h := range hopHeaders {
 		req.Header.Del(h)
 	}
-	if req.Header.Get(requestIDHeader) == "" {
-		req.Header.Set(requestIDHeader, newRequestID())
+	req.Header.Set(requestIDHeader, pt.reqID)
+	sp := pt.span("forward")
+	sp.SetStr("backend", b.Name)
+	if tp := pt.t.TraceParentFor(sp); tp.Valid() {
+		req.Header.Set(obs.TraceParentHeader, tp.String())
 	}
 	if prior := r.RemoteAddr; prior != "" {
 		req.Header.Set("X-Forwarded-For", prior)
@@ -420,23 +516,38 @@ func (l *LB) forwardTo(b *Backend, r *http.Request, bodyIn io.Reader) (*http.Res
 	start := time.Now()
 	resp, err := l.proxy.Do(req)
 	if err != nil {
-		b.recordRequest(0, time.Since(start), true)
-		l.proxied.Add(1)
+		sp.SetStr("error", trimReason(err.Error()))
+		sp.End()
+		l.recordProxied(pt, b, 0, time.Since(start), true)
 		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
 	if err != nil {
-		b.recordRequest(0, time.Since(start), true)
-		l.proxied.Add(1)
+		sp.SetStr("error", trimReason(err.Error()))
+		sp.End()
+		l.recordProxied(pt, b, 0, time.Since(start), true)
 		return nil, nil, fmt.Errorf("read response: %w", err)
 	}
-	b.recordRequest(resp.StatusCode, time.Since(start), false)
-	l.proxied.Add(1)
+	sp.SetInt("status", int64(resp.StatusCode))
+	sp.End()
+	l.recordProxied(pt, b, resp.StatusCode, time.Since(start), false)
 	// The request ID travels back on the response so the client can quote
 	// it; stash it on the response for writeProxied.
-	resp.Header.Set(requestIDHeader, req.Header.Get(requestIDHeader))
+	resp.Header.Set(requestIDHeader, pt.reqID)
 	return resp, body, nil
+}
+
+// recordProxied folds one forward attempt into the backend's counters,
+// attaching a trace-ID exemplar when exemplars are enabled and this request
+// is traced.
+func (l *LB) recordProxied(pt *proxyTrace, b *Backend, status int, d time.Duration, transportErr bool) {
+	traceID := ""
+	if l.opts.Exemplars && pt.t != nil {
+		traceID = pt.t.ID
+	}
+	b.recordRequestTrace(status, d, transportErr, traceID)
+	l.proxied.Add(1)
 }
 
 // writeProxied relays the backend's response, stamping the backend identity

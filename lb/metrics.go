@@ -1,8 +1,6 @@
 package lb
 
 import (
-	"io"
-
 	"github.com/clarifynet/clarify/internal/promtext"
 )
 
@@ -32,6 +30,10 @@ type MetricsSnapshot struct {
 	RingPoints int `json:"ringPoints"`
 	// ProbeRounds counts completed all-backend probe sweeps.
 	ProbeRounds int64 `json:"probeRounds"`
+	// Traces counts per-request proxy traces recorded; KeptTraces the
+	// evicted error traces rescued by tail retention.
+	Traces     int64 `json:"traces,omitempty"`
+	KeptTraces int64 `json:"keptTraces,omitempty"`
 	// UptimeSeconds is the time since the balancer was built.
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 }
@@ -48,6 +50,10 @@ func (l *LB) snapshot() MetricsSnapshot {
 		AffinityEvicted:  l.affinity.Evicted(),
 		RingPoints:       l.ring.Points(),
 		ProbeRounds:      l.prober.probes.Load(),
+		Traces:           l.tracesTotal.Load(),
+	}
+	if l.traces != nil {
+		snap.KeptTraces = l.traces.KeptTotal()
 	}
 	for _, b := range snap.Backends {
 		if b.State == StateAdmitted {
@@ -61,76 +67,98 @@ func (l *LB) snapshot() MetricsSnapshot {
 	return snap
 }
 
-// writePrometheus renders the balancer's metrics in the text exposition
-// format, following the clarifyd conventions (internal/promtext): ms-suffixed
-// durations, per-backend labels, histograms with explicit +Inf.
-func writePrometheus(w io.Writer, snap MetricsSnapshot) {
-	promtext.Counter(w, "clarify_lb_proxied_total", "Requests forwarded to a backend.", float64(snap.Proxied))
-	promtext.Counter(w, "clarify_lb_no_backend_total", "Requests refused for want of an eligible backend.", float64(snap.NoBackend))
-	promtext.Gauge(w, "clarify_lb_backends", "Configured backends.", float64(len(snap.Backends)))
-	promtext.Gauge(w, "clarify_lb_backends_admitted", "Backends in rotation.", float64(snap.Admitted))
-	promtext.Gauge(w, "clarify_lb_backends_accepting_sessions", "Backends accepting new sessions (admitted and not draining).", float64(snap.AcceptingSessions))
-	promtext.Gauge(w, "clarify_lb_affinity_entries", "Live session-to-backend pins.", float64(snap.AffinityEntries))
-	promtext.Counter(w, "clarify_lb_affinity_misses_total", "Session lookups that fell back to the hash ring.", float64(snap.AffinityMisses))
-	promtext.Counter(w, "clarify_lb_affinity_evicted_total", "Session pins dropped by the idle TTL.", float64(snap.AffinityEvicted))
-	promtext.Counter(w, "clarify_lb_restored_sessions_total", "Sessions re-placed via PUT restore.", float64(snap.RestoredSessions))
-	promtext.Counter(w, "clarify_lb_gone_pins_cleared_total", "Affinity pins cleared by a backend 410 Gone.", float64(snap.GonePinsCleared))
-	promtext.Gauge(w, "clarify_lb_ring_points", "Hash-ring points (backends x virtual nodes).", float64(snap.RingPoints))
-	promtext.Counter(w, "clarify_lb_probe_rounds_total", "Completed all-backend probe sweeps.", float64(snap.ProbeRounds))
+// writePrometheus renders the balancer's metrics through a promtext.Writer —
+// Prometheus 0.0.4 or OpenMetrics 1.0 with trace exemplars on the
+// per-backend latency buckets — following the clarifyd conventions
+// (internal/promtext): ms-suffixed durations, per-backend labels, histograms
+// with explicit +Inf.
+func writePrometheus(p *promtext.Writer, snap MetricsSnapshot) {
+	p.Counter("clarify_lb_proxied_total", "Requests forwarded to a backend.", float64(snap.Proxied))
+	p.Counter("clarify_lb_no_backend_total", "Requests refused for want of an eligible backend.", float64(snap.NoBackend))
+	p.Gauge("clarify_lb_backends", "Configured backends.", float64(len(snap.Backends)))
+	p.Gauge("clarify_lb_backends_admitted", "Backends in rotation.", float64(snap.Admitted))
+	p.Gauge("clarify_lb_backends_accepting_sessions", "Backends accepting new sessions (admitted and not draining).", float64(snap.AcceptingSessions))
+	p.Gauge("clarify_lb_affinity_entries", "Live session-to-backend pins.", float64(snap.AffinityEntries))
+	p.Counter("clarify_lb_affinity_misses_total", "Session lookups that fell back to the hash ring.", float64(snap.AffinityMisses))
+	p.Counter("clarify_lb_affinity_evicted_total", "Session pins dropped by the idle TTL.", float64(snap.AffinityEvicted))
+	p.Counter("clarify_lb_restored_sessions_total", "Sessions re-placed via PUT restore.", float64(snap.RestoredSessions))
+	p.Counter("clarify_lb_gone_pins_cleared_total", "Affinity pins cleared by a backend 410 Gone.", float64(snap.GonePinsCleared))
+	p.Gauge("clarify_lb_ring_points", "Hash-ring points (backends x virtual nodes).", float64(snap.RingPoints))
+	p.Counter("clarify_lb_probe_rounds_total", "Completed all-backend probe sweeps.", float64(snap.ProbeRounds))
+	p.Counter("clarify_lb_traces_total", "Per-request proxy traces recorded.", float64(snap.Traces))
+	p.Counter("clarify_lb_kept_traces_total", "Evicted error traces rescued by tail retention.", float64(snap.KeptTraces))
 
-	promtext.Header(w, "clarify_lb_backend_up", "gauge", "1 while the backend is admitted.")
+	p.Header("clarify_lb_backend_up", "gauge", "1 while the backend is admitted.")
 	for _, b := range snap.Backends {
 		up := 0.0
 		if b.State == StateAdmitted {
 			up = 1
 		}
-		promtext.Sample(w, "clarify_lb_backend_up", label(b), up)
+		p.Sample("clarify_lb_backend_up", label(b), up)
 	}
-	promtext.Header(w, "clarify_lb_backend_draining", "gauge", "1 while the backend reports draining.")
+	p.Header("clarify_lb_backend_draining", "gauge", "1 while the backend reports draining.")
 	for _, b := range snap.Backends {
 		v := 0.0
 		if b.Draining {
 			v = 1
 		}
-		promtext.Sample(w, "clarify_lb_backend_draining", label(b), v)
+		p.Sample("clarify_lb_backend_draining", label(b), v)
 	}
-	promtext.Header(w, "clarify_lb_backend_requests_total", "counter", "Requests proxied per backend.")
+	p.Header("clarify_lb_backend_requests_total", "counter", "Requests proxied per backend.")
 	for _, b := range snap.Backends {
-		promtext.Sample(w, "clarify_lb_backend_requests_total", label(b), float64(b.Requests))
+		p.Sample("clarify_lb_backend_requests_total", label(b), float64(b.Requests))
 	}
-	promtext.Header(w, "clarify_lb_backend_errors_total", "counter", "Backend responses >= 500 per backend.")
+	p.Header("clarify_lb_backend_errors_total", "counter", "Backend responses >= 500 per backend.")
 	for _, b := range snap.Backends {
-		promtext.Sample(w, "clarify_lb_backend_errors_total", label(b), float64(b.Errors5xx))
+		p.Sample("clarify_lb_backend_errors_total", label(b), float64(b.Errors5xx))
 	}
-	promtext.Header(w, "clarify_lb_backend_transport_errors_total", "counter", "Proxied requests that never reached the backend.")
+	p.Header("clarify_lb_backend_transport_errors_total", "counter", "Proxied requests that never reached the backend.")
 	for _, b := range snap.Backends {
-		promtext.Sample(w, "clarify_lb_backend_transport_errors_total", label(b), float64(b.TransportErrors))
+		p.Sample("clarify_lb_backend_transport_errors_total", label(b), float64(b.TransportErrors))
 	}
-	promtext.Header(w, "clarify_lb_backend_creates_total", "counter", "Sessions placed per backend.")
+	p.Header("clarify_lb_backend_creates_total", "counter", "Sessions placed per backend.")
 	for _, b := range snap.Backends {
-		promtext.Sample(w, "clarify_lb_backend_creates_total", label(b), float64(b.CreatesRouted))
+		p.Sample("clarify_lb_backend_creates_total", label(b), float64(b.CreatesRouted))
 	}
-	promtext.Header(w, "clarify_lb_backend_ejections_total", "counter", "Ejection transitions per backend.")
+	p.Header("clarify_lb_backend_ejections_total", "counter", "Ejection transitions per backend.")
 	for _, b := range snap.Backends {
-		promtext.Sample(w, "clarify_lb_backend_ejections_total", label(b), float64(b.Ejections))
+		p.Sample("clarify_lb_backend_ejections_total", label(b), float64(b.Ejections))
 	}
-	promtext.Header(w, "clarify_lb_backend_readmissions_total", "counter", "Re-admission transitions per backend.")
+	p.Header("clarify_lb_backend_readmissions_total", "counter", "Re-admission transitions per backend.")
 	for _, b := range snap.Backends {
-		promtext.Sample(w, "clarify_lb_backend_readmissions_total", label(b), float64(b.Readmissions))
+		p.Sample("clarify_lb_backend_readmissions_total", label(b), float64(b.Readmissions))
 	}
-	promtext.Header(w, "clarify_lb_backend_queue_depth", "gauge", "Last probed submission-queue depth per backend.")
+	p.Header("clarify_lb_backend_queue_depth", "gauge", "Last probed submission-queue depth per backend.")
 	for _, b := range snap.Backends {
-		promtext.Sample(w, "clarify_lb_backend_queue_depth", label(b), float64(b.Load.QueueDepth))
+		p.Sample("clarify_lb_backend_queue_depth", label(b), float64(b.Load.QueueDepth))
 	}
-	promtext.Header(w, "clarify_lb_backend_active_sessions", "gauge", "Last probed live-session count per backend.")
+	p.Header("clarify_lb_backend_active_sessions", "gauge", "Last probed live-session count per backend.")
 	for _, b := range snap.Backends {
-		promtext.Sample(w, "clarify_lb_backend_active_sessions", label(b), float64(b.Load.ActiveSessions))
+		p.Sample("clarify_lb_backend_active_sessions", label(b), float64(b.Load.ActiveSessions))
 	}
-	promtext.Header(w, "clarify_lb_backend_request_duration_ms", "histogram", "Proxied request latency per backend, in milliseconds.")
+	p.Header("clarify_lb_backend_request_duration_ms", "histogram", "Proxied request latency per backend, in milliseconds.")
 	for _, b := range snap.Backends {
-		promtext.Histogram(w, "clarify_lb_backend_request_duration_ms", "backend", b.Name,
-			b.LatencyMs.BucketsMs, b.LatencyMs.Counts, b.LatencyMs.Count, b.LatencyMs.SumMs)
+		p.Histogram("clarify_lb_backend_request_duration_ms", "backend", b.Name,
+			b.LatencyMs.BucketsMs, b.LatencyMs.Counts, b.LatencyMs.Count, b.LatencyMs.SumMs,
+			backendExemplars(b))
 	}
+	p.EOF()
+}
+
+// backendExemplars converts a backend's snapshot exemplars to the promtext
+// wire type; nil when none were recorded.
+func backendExemplars(b BackendSnapshot) []*promtext.Exemplar {
+	if len(b.LatencyMs.Exemplars) == 0 {
+		return nil
+	}
+	out := make([]*promtext.Exemplar, len(b.LatencyMs.Exemplars))
+	for i, e := range b.LatencyMs.Exemplars {
+		if e.TraceID == "" {
+			continue
+		}
+		out[i] = &promtext.Exemplar{TraceID: e.TraceID, Value: e.ValueMs, Ts: e.Ts}
+	}
+	return out
 }
 
 func label(b BackendSnapshot) string {

@@ -1,0 +1,350 @@
+package lb
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/clarifynet/clarify/internal/promtext"
+	"github.com/clarifynet/clarify/obs"
+	"github.com/clarifynet/clarify/server"
+)
+
+// syncBuffer makes a bytes.Buffer safe for the access-log handler, which
+// writes from request goroutines while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// requestIDOf returns the X-Request-Id echoed on the first recorded hit
+// matching method and path suffix.
+func (rt *recordingTransport) requestIDOf(method, pathSuffix string) string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, h := range rt.hits {
+		if h.method == method && strings.HasSuffix(h.path, pathSuffix) {
+			return h.requestID
+		}
+	}
+	return ""
+}
+
+// findSpan walks a span tree for the first span with the given name.
+func findSpan(root *obs.Span, name string) *obs.Span {
+	if root == nil {
+		return nil
+	}
+	if root.Name == name {
+		return root
+	}
+	for _, c := range root.Children {
+		if sp := findSpan(c, name); sp != nil {
+			return sp
+		}
+	}
+	return nil
+}
+
+// TestFleetTraceMergedView is the distributed-tracing acceptance test: two
+// replicas behind the balancer run the §2.1 walkthrough, and the single
+// trace ID handed to the client (as X-Request-Id) resolves at the balancer's
+// /debug/traces/{id} into one stitched tree — the lb-proxy root, its forward
+// span, and the replica's update subtree grafted beneath it.
+func TestFleetTraceMergedView(t *testing.T) {
+	logBuf := &syncBuffer{}
+	opts := fastProbeOpts()
+	opts.Exemplars = true
+	opts.AccessLog = slog.New(slog.NewJSONHandler(logBuf, nil))
+	f := startLBFleet(t, 2, opts)
+	rt := &recordingTransport{}
+	c := f.client(rt)
+	ctx := context.Background()
+
+	sid, err := c.CreateSession(ctx, server.CreateSessionRequest{Config: exampleConfig})
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+	res, err := c.RunUpdate(ctx, sid, exampleIntent, "ISP_OUT",
+		func(server.Question) (int, error) { return 1, nil })
+	if err != nil {
+		t.Fatalf("run update: %v", err)
+	}
+	if res.Status != server.StatusDone || res.Result == nil || res.Result.Questions != 2 {
+		t.Fatalf("walkthrough did not finish with 2 questions: %+v", res)
+	}
+
+	// The client sent no X-Request-Id, so the balancer minted one — the
+	// submit's proxy trace ID. The replica adopted the same ID for the
+	// pipeline trace via the propagated traceparent, so the finished
+	// update reports it too: one identifier end to end.
+	tid := rt.requestIDOf(http.MethodPost, "/updates")
+	if len(tid) != 32 {
+		t.Fatalf("minted X-Request-Id = %q, want a 32-hex trace ID", tid)
+	}
+	if res.TraceID != tid {
+		t.Fatalf("update trace ID %s != proxied request ID %s", res.TraceID, tid)
+	}
+
+	resp, err := http.Get(f.lbSrv.URL + "/debug/traces/" + tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET /debug/traces/%s = %d: %s", tid, resp.StatusCode, body)
+	}
+	var ft FleetTrace
+	if err := json.NewDecoder(resp.Body).Decode(&ft); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Partial || ft.Trace == nil || ft.Trace.Root == nil {
+		t.Fatalf("fleet trace incomplete: %+v", ft)
+	}
+	if ft.Trace.Root.Name != "lb-proxy" {
+		t.Fatalf("fleet trace root = %q, want lb-proxy", ft.Trace.Root.Name)
+	}
+	if len(ft.Backends) != 1 {
+		t.Fatalf("contributing backends = %v, want exactly the serving replica", ft.Backends)
+	}
+	if len(ft.Orphans) != 0 {
+		t.Fatalf("orphans = %d, want none (replica parent span must resolve)", len(ft.Orphans))
+	}
+	fwd := findSpan(ft.Trace.Root, "forward")
+	if fwd == nil {
+		t.Fatalf("no forward span in fleet trace: %+v", ft.Trace.Root)
+	}
+	upd := findSpan(fwd, "update")
+	if upd == nil {
+		t.Fatal("replica update subtree not grafted under the forward span")
+	}
+	if a, ok := upd.Attr("node"); !ok || a.Str != ft.Backends[0] {
+		t.Errorf("grafted subtree node attr = %+v, want %s", upd.Attrs, ft.Backends[0])
+	}
+	// The replica's own pipeline children rode along with the graft.
+	if findSpan(upd, "synthesize") == nil && findSpan(upd, "classify") == nil {
+		t.Errorf("grafted update span has no pipeline children: %+v", upd)
+	}
+
+	// Access log: the submit line carries the same correlation fields.
+	var logged map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var rec map[string]any
+		if json.Unmarshal([]byte(line), &rec) != nil {
+			continue
+		}
+		if p, _ := rec["path"].(string); strings.HasSuffix(p, "/updates") {
+			logged = rec
+			break
+		}
+	}
+	if logged == nil {
+		t.Fatalf("no access-log line for the update submit:\n%s", logBuf.String())
+	}
+	if logged["traceId"] != tid || logged["requestId"] != tid {
+		t.Errorf("access log ids = traceId %v requestId %v, want %s", logged["traceId"], logged["requestId"], tid)
+	}
+	if b, _ := logged["backend"].(string); b != ft.Backends[0] {
+		t.Errorf("access log backend = %v, want %s", logged["backend"], ft.Backends[0])
+	}
+	switch logged["placement"] {
+	case "pin", "ring", "p2c", "failover":
+	default:
+		t.Errorf("access log placement = %v, want a placement kind", logged["placement"])
+	}
+
+	// The balancer's OpenMetrics exposition validates and carries a
+	// trace-ID exemplar on the per-backend latency histogram.
+	mresp, err := http.Get(f.lbSrv.URL + "/metrics?format=openmetrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	om, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := promtext.ValidateOpenMetrics(om); err != nil {
+		t.Fatalf("lb openmetrics exposition invalid: %v\n%s", err, om)
+	}
+	if !strings.Contains(string(om), `# {trace_id="`) {
+		t.Fatalf("lb exposition has no exemplars:\n%s", om)
+	}
+	if !strings.Contains(string(om), "clarify_lb_traces_total") {
+		t.Errorf("lb exposition missing trace counter")
+	}
+}
+
+// TestRestoreCarriesTraceID checks trace continuity across a live handoff: a
+// session parked mid-disambiguation is snapshotted on its draining owner and
+// restored through the balancer, and the re-executed update keeps the
+// original fleet trace ID.
+func TestRestoreCarriesTraceID(t *testing.T) {
+	f := startLBFleet(t, 2, fastProbeOpts())
+	rt := &recordingTransport{}
+	c := f.client(rt)
+	ctx := context.Background()
+
+	sid, err := c.CreateSession(ctx, server.CreateSessionRequest{Config: exampleConfig})
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+	pin := f.lb.affinity.Get(sid)
+	if pin == nil {
+		t.Fatal("no affinity pin after create")
+	}
+	owner := f.backends[pin.Name]
+
+	up, err := c.SubmitAsync(ctx, sid, exampleIntent, "ISP_OUT")
+	if err != nil {
+		t.Fatalf("submit async: %v", err)
+	}
+	origTID := rt.requestIDOf(http.MethodPost, "/updates")
+	if len(origTID) != 32 {
+		t.Fatalf("submit request ID = %q, want a trace ID", origTID)
+	}
+	waitFor(t, 5*time.Second, "parked question", func() bool {
+		q, err := c.Question(ctx, sid)
+		return err == nil && q != nil
+	})
+
+	dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := owner.DrainForHandoff(dctx); err != nil {
+		t.Fatalf("DrainForHandoff: %v", err)
+	}
+	snaps := owner.SnapshotSessions(pin.Name)
+	if len(snaps) != 1 || snaps[0].Pending == nil {
+		t.Fatalf("snapshot = %+v, want one parked session", snaps)
+	}
+	// The snapshot serialized the propagated trace context, so the
+	// restored replica re-executes under the same fleet trace ID.
+	if !strings.Contains(snaps[0].Pending.TraceParent, origTID) {
+		t.Fatalf("snapshot traceparent %q does not carry trace %s",
+			snaps[0].Pending.TraceParent, origTID)
+	}
+	waitFor(t, 5*time.Second, "probe to observe draining", func() bool {
+		return f.snapshotOf(t, pin.Name).Draining
+	})
+	if _, err := c.RestoreSession(ctx, snaps[0]); err != nil {
+		t.Fatalf("restore through the balancer: %v", err)
+	}
+
+	res, err := c.PollUpdate(ctx, sid, up.ID, func(server.Question) (int, error) { return 1, nil })
+	if err != nil || res.Status != server.StatusDone {
+		t.Fatalf("restored update = %+v, %v, want done", res, err)
+	}
+	if res.TraceID != origTID {
+		t.Fatalf("restored update trace ID = %s, want original %s", res.TraceID, origTID)
+	}
+
+	// Unpark the owner's copy so its shutdown in cleanup is prompt.
+	oc := &server.Client{BaseURL: "http://" + pin.Name, PollInterval: 2 * time.Millisecond}
+	if _, err := oc.PollUpdate(ctx, sid, up.ID, func(server.Question) (int, error) { return 1, nil }); err != nil {
+		t.Fatalf("finish owner's parked update: %v", err)
+	}
+}
+
+// TestClientTraceParentContinuation checks that a client-minted W3C trace
+// context (what clarify -remote sends) is continued rather than restarted:
+// the balancer's proxy trace adopts the client's trace ID, so the ID the
+// client printed resolves at /debug/traces/{id} to the full fleet tree.
+func TestClientTraceParentContinuation(t *testing.T) {
+	f := startLBFleet(t, 2, fastProbeOpts())
+	c := f.client(nil)
+	ctx := context.Background()
+
+	sid, err := c.CreateSession(ctx, server.CreateSessionRequest{Config: exampleConfig})
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+	tp := obs.TraceParent{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Flags: obs.FlagSampled}
+	uctx := obs.ContextWithTraceParent(ctx, tp)
+	res, err := c.RunUpdate(uctx, sid, exampleIntent, "ISP_OUT",
+		func(server.Question) (int, error) { return 1, nil })
+	if err != nil || res.Status != server.StatusDone {
+		t.Fatalf("run update = %+v, %v", res, err)
+	}
+	if res.TraceID != tp.TraceID {
+		t.Fatalf("update trace ID = %s, want client-minted %s", res.TraceID, tp.TraceID)
+	}
+
+	resp, err := http.Get(f.lbSrv.URL + "/debug/traces/" + tp.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/traces/%s = %d", tp.TraceID, resp.StatusCode)
+	}
+	var ft FleetTrace
+	if err := json.NewDecoder(resp.Body).Decode(&ft); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Trace == nil || ft.Trace.Root == nil || ft.Trace.Root.Name != "lb-proxy" {
+		t.Fatalf("fleet trace for client ID incomplete: %+v", ft)
+	}
+	if ft.Trace.ParentSpanID != tp.SpanID {
+		t.Errorf("proxy trace remote parent = %q, want client span %q", ft.Trace.ParentSpanID, tp.SpanID)
+	}
+	if findSpan(ft.Trace.Root, "update") == nil {
+		t.Error("replica update subtree not grafted under client-continued trace")
+	}
+}
+
+// TestTracingDisabled checks the off switch: a negative buffer size keeps
+// requests flowing with opaque request IDs and an empty /debug/traces.
+func TestTracingDisabled(t *testing.T) {
+	opts := fastProbeOpts()
+	opts.TraceBufferSize = -1
+	f := startLBFleet(t, 2, opts)
+	rt := &recordingTransport{}
+	c := f.client(rt)
+	ctx := context.Background()
+
+	sid, err := c.CreateSession(ctx, server.CreateSessionRequest{Config: exampleConfig})
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+	res, err := c.RunUpdate(ctx, sid, exampleIntent, "ISP_OUT",
+		func(server.Question) (int, error) { return 1, nil })
+	if err != nil || res.Status != server.StatusDone {
+		t.Fatalf("update with tracing off = %+v, %v", res, err)
+	}
+	if rid := rt.requestIDOf(http.MethodPost, "/updates"); rid == "" {
+		t.Fatal("no X-Request-Id minted with tracing off")
+	}
+
+	resp, err := http.Get(f.lbSrv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []TraceSummary
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("traces listed with tracing off: %+v", list)
+	}
+}

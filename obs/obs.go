@@ -18,8 +18,6 @@ package obs
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -100,7 +98,12 @@ func (a *Attr) UnmarshalJSON(data []byte) error {
 // Span is one timed stage of a pipeline run. Spans form a tree under the
 // owning Trace's Root. All methods are safe on a nil receiver.
 type Span struct {
-	Name     string        `json:"name"`
+	Name string `json:"name"`
+	// SpanID is the span's W3C-style 16-hex-digit ID, allocated at creation.
+	// It is what a traceparent injected from this span carries, and what a
+	// downstream process's trace records as its remote parent — the joint
+	// the fleet trace view stitches on.
+	SpanID   string        `json:"spanId,omitempty"`
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"-"`
 	Attrs    []Attr        `json:"attrs,omitempty"`
@@ -115,6 +118,7 @@ type Span struct {
 // spanJSON adds the duration in fractional milliseconds to the wire form.
 type spanJSON struct {
 	Name     string    `json:"name"`
+	SpanID   string    `json:"spanId,omitempty"`
 	Start    time.Time `json:"start"`
 	DurMs    float64   `json:"durMs"`
 	Attrs    []Attr    `json:"attrs,omitempty"`
@@ -126,6 +130,7 @@ type spanJSON struct {
 func (sp *Span) MarshalJSON() ([]byte, error) {
 	return json.Marshal(spanJSON{
 		Name:     sp.Name,
+		SpanID:   sp.SpanID,
 		Start:    sp.Start,
 		DurMs:    float64(sp.Duration) / float64(time.Millisecond),
 		Attrs:    sp.Attrs,
@@ -141,6 +146,7 @@ func (sp *Span) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	sp.Name = in.Name
+	sp.SpanID = in.SpanID
 	sp.Start = in.Start
 	sp.Duration = time.Duration(in.DurMs * float64(time.Millisecond))
 	sp.Attrs = in.Attrs
@@ -155,7 +161,7 @@ func (sp *Span) Child(name string) *Span {
 	if sp == nil {
 		return nil
 	}
-	c := &Span{Name: name, Start: time.Now(), trace: sp.trace}
+	c := &Span{Name: name, SpanID: NewSpanID(), Start: time.Now(), trace: sp.trace}
 	sp.Children = append(sp.Children, c)
 	return c
 }
@@ -246,6 +252,12 @@ type Trace struct {
 	ID    string    `json:"id"`
 	Start time.Time `json:"start"`
 	Root  *Span     `json:"root"`
+	// ParentSpanID is the remote parent's span ID when this trace continues
+	// a W3C context propagated from another process (the clarify-lb forward
+	// span, or a clarify -remote invocation). Empty for locally rooted
+	// traces. The fleet trace view grafts this trace's root under the
+	// upstream span whose SpanID matches.
+	ParentSpanID string `json:"parentSpanId,omitempty"`
 
 	// LineWriter, when non-nil, receives every Logf line as it is logged,
 	// prefixed with LinePrefix — the live adapter onto the legacy io.Writer
@@ -256,9 +268,47 @@ type Trace struct {
 
 // NewTrace starts a trace with a fresh random ID and a started root span.
 func NewTrace(rootName string) *Trace {
-	t := &Trace{ID: newID(), Start: time.Now()}
-	t.Root = &Span{Name: rootName, Start: t.Start, trace: t}
+	t := &Trace{ID: NewTraceID(), Start: time.Now()}
+	t.Root = &Span{Name: rootName, SpanID: NewSpanID(), Start: t.Start, trace: t}
 	return t
+}
+
+// NewTraceWith starts a trace that continues a propagated W3C context: the
+// trace adopts tp's trace ID and records tp's span ID as its remote parent,
+// so the fleet view can stitch this process's spans under the caller's. An
+// invalid tp falls back to a locally rooted NewTrace.
+func NewTraceWith(rootName string, tp TraceParent) *Trace {
+	if !tp.Valid() {
+		return NewTrace(rootName)
+	}
+	t := NewTrace(rootName)
+	t.ID = tp.TraceID
+	t.ParentSpanID = tp.SpanID
+	return t
+}
+
+// TraceParentFor returns the traceparent to inject downstream of sp: the
+// trace's ID, sp's span ID, and the sampled flag (this process is recording).
+// A nil trace or span returns an invalid zero TraceParent.
+func (t *Trace) TraceParentFor(sp *Span) TraceParent {
+	if t == nil || sp == nil {
+		return TraceParent{}
+	}
+	return TraceParent{TraceID: t.ID, SpanID: sp.SpanID, Flags: FlagSampled}
+}
+
+// FindSpanID returns the span with the given SpanID (depth-first), or nil.
+func (t *Trace) FindSpanID(id string) *Span {
+	if id == "" {
+		return nil
+	}
+	var found *Span
+	t.Walk(func(sp *Span, _ int) {
+		if found == nil && sp.SpanID == id {
+			found = sp
+		}
+	})
+	return found
 }
 
 // Finish ends the root span. Idempotent.
@@ -388,15 +438,4 @@ func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
 func SpanFromContext(ctx context.Context) *Span {
 	sp, _ := ctx.Value(ctxKey{}).(*Span)
 	return sp
-}
-
-// newID returns a 16-hex-digit random trace ID.
-func newID() string {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		// crypto/rand failure is unrecoverable; a constant ID at least keeps
-		// the pipeline running.
-		return "0000000000000000"
-	}
-	return hex.EncodeToString(b[:])
 }

@@ -47,8 +47,11 @@ func TestNilSafety(t *testing.T) {
 
 func TestSpanTreeAndAttrs(t *testing.T) {
 	tr := NewTrace("update")
-	if tr.ID == "" || len(tr.ID) != 16 {
-		t.Fatalf("want 16-hex trace ID, got %q", tr.ID)
+	if !isHexID(tr.ID, 32) {
+		t.Fatalf("want 32-hex W3C trace ID, got %q", tr.ID)
+	}
+	if !isHexID(tr.Root.SpanID, 16) {
+		t.Fatalf("want 16-hex root span ID, got %q", tr.Root.SpanID)
 	}
 	a := tr.Root.ChildN("synthesize-attempt", 1)
 	if a.Name != "synthesize-attempt-1" {

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func mkTrace(name string) *Trace {
+	tr := NewTrace(name)
+	tr.Finish()
+	return tr
+}
+
+func TestRingEvictionOrder(t *testing.T) {
+	r := NewRing(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		tr := mkTrace("update")
+		ids = append(ids, tr.ID)
+		r.Add(tr)
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+	list := r.List()
+	if len(list) != 3 {
+		t.Fatalf("List len = %d, want 3", len(list))
+	}
+	// Newest first: ids[4], ids[3], ids[2].
+	for i, want := range []string{ids[4], ids[3], ids[2]} {
+		if list[i].ID != want {
+			t.Fatalf("List[%d] = %s, want %s", i, list[i].ID, want)
+		}
+	}
+	// Evicted traces are unresolvable without a retention policy.
+	if _, ok := r.Get(ids[0]); ok {
+		t.Fatal("evicted trace still resolvable")
+	}
+	if _, ok := r.Get(ids[4]); !ok {
+		t.Fatal("recent trace not resolvable")
+	}
+}
+
+// TestRingTailRetention checks that evicted traces matching the keep policy
+// move into the kept ring, stay resolvable by ID, and age out of the kept
+// ring FIFO when it fills.
+func TestRingTailRetention(t *testing.T) {
+	r := NewRing(2)
+	r.SetRetention(2, func(tr *Trace) bool {
+		_, isErr := tr.Root.Attr("error")
+		return isErr
+	})
+
+	bad1 := mkTrace("update")
+	bad1.Root.SetStr("error", "boom-1")
+	r.Add(bad1)
+	// Flood with healthy traces: bad1 gets evicted from the main ring but
+	// must survive in the kept ring.
+	var healthy []string
+	for i := 0; i < 4; i++ {
+		tr := mkTrace("update")
+		healthy = append(healthy, tr.ID)
+		r.Add(tr)
+	}
+	if _, ok := r.Get(bad1.ID); !ok {
+		t.Fatal("error trace must survive eviction via tail retention")
+	}
+	if _, ok := r.Get(healthy[0]); ok {
+		t.Fatal("healthy evicted trace must be dropped")
+	}
+	kept := r.Kept()
+	if len(kept) != 1 || kept[0].ID != bad1.ID {
+		t.Fatalf("Kept = %v", kept)
+	}
+	if r.KeptTotal() != 1 {
+		t.Fatalf("KeptTotal = %d, want 1", r.KeptTotal())
+	}
+
+	// Two more error traces cycle through: the kept ring holds 2, the oldest
+	// kept trace ages out.
+	bad2 := mkTrace("update")
+	bad2.Root.SetStr("error", "boom-2")
+	bad3 := mkTrace("update")
+	bad3.Root.SetStr("error", "boom-3")
+	for _, tr := range []*Trace{bad2, bad3} {
+		r.Add(tr)
+		r.Add(mkTrace("update"))
+		r.Add(mkTrace("update"))
+	}
+	if _, ok := r.Get(bad1.ID); ok {
+		t.Fatal("oldest kept trace must age out of a full kept ring")
+	}
+	for _, tr := range []*Trace{bad2, bad3} {
+		if _, ok := r.Get(tr.ID); !ok {
+			t.Fatalf("kept trace %s lost", tr.ID)
+		}
+	}
+	if got := r.KeptTotal(); got != 3 {
+		t.Fatalf("KeptTotal = %d, want 3", got)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(16)
+	r.SetRetention(8, func(tr *Trace) bool {
+		_, isErr := tr.Root.Attr("error")
+		return isErr
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr := mkTrace("update")
+				if i%5 == 0 {
+					tr.Root.SetStr("error", "x")
+				}
+				r.Add(tr)
+				r.Get(tr.ID)
+				r.List()
+				r.Kept()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 400 {
+		t.Fatalf("Total = %d, want 400", r.Total())
+	}
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	tp := TraceParent{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: FlagSampled}
+	if !tp.Valid() || !tp.Sampled() {
+		t.Fatalf("fresh traceparent invalid: %+v", tp)
+	}
+	s := tp.String()
+	if !strings.HasPrefix(s, "00-") || len(s) != 55 {
+		t.Fatalf("wire form = %q", s)
+	}
+	back, ok := ParseTraceParent(s)
+	if !ok || back != tp {
+		t.Fatalf("round trip: %q -> %+v ok=%v, want %+v", s, back, ok, tp)
+	}
+}
+
+func TestParseTraceParentRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"00-abc-def-01", // too short
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", // version 00 with trailing data
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",       // reserved version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",       // all-zero trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",       // all-zero span ID
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",       // uppercase hex
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",       // bad delimiter
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz",       // bad flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x",      // junk tail
+		"0x-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",       // non-hex version
+	} {
+		if _, ok := ParseTraceParent(bad); ok {
+			t.Errorf("ParseTraceParent(%q) accepted, want reject", bad)
+		}
+	}
+	// A future version with trailing fields parses its known prefix.
+	tp, ok := ParseTraceParent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-09-future")
+	if !ok || tp.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" || tp.SpanID != "00f067aa0ba902b7" || tp.Flags != 0x09 {
+		t.Fatalf("future version parse: %+v ok=%v", tp, ok)
+	}
+}
+
+func TestNewTraceWithAdoptsContext(t *testing.T) {
+	tp := TraceParent{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: FlagSampled}
+	tr := NewTraceWith("update", tp)
+	if tr.ID != tp.TraceID || tr.ParentSpanID != tp.SpanID {
+		t.Fatalf("trace did not adopt context: id=%q parent=%q", tr.ID, tr.ParentSpanID)
+	}
+	if tr.Root.SpanID == "" || tr.Root.SpanID == tp.SpanID {
+		t.Fatalf("root span must get a fresh local span ID, got %q", tr.Root.SpanID)
+	}
+	// Invalid context falls back to a locally rooted trace.
+	tr2 := NewTraceWith("update", TraceParent{})
+	if tr2.ParentSpanID != "" || !isHexID(tr2.ID, 32) {
+		t.Fatalf("invalid context must root locally: %+v", tr2)
+	}
+}
+
+func TestTraceParentForInjection(t *testing.T) {
+	tr := NewTrace("lb-proxy")
+	fwd := tr.Root.Child("forward")
+	tp := tr.TraceParentFor(fwd)
+	if !tp.Valid() || tp.TraceID != tr.ID || tp.SpanID != fwd.SpanID || !tp.Sampled() {
+		t.Fatalf("TraceParentFor = %+v", tp)
+	}
+	var nilTrace *Trace
+	if nilTrace.TraceParentFor(nil).Valid() {
+		t.Fatal("nil trace must yield an invalid traceparent")
+	}
+	if tr.FindSpanID(fwd.SpanID) != fwd {
+		t.Fatal("FindSpanID did not locate the forward span")
+	}
+	if tr.FindSpanID("") != nil || tr.FindSpanID("ffffffffffffffff") != nil {
+		t.Fatal("FindSpanID must miss on empty/unknown IDs")
+	}
+}
+
+func TestContextTraceParent(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := TraceParentFromContext(ctx); ok {
+		t.Fatal("empty context carries no traceparent")
+	}
+	if ContextWithTraceParent(ctx, TraceParent{}) != ctx {
+		t.Fatal("invalid traceparent must not wrap the context")
+	}
+	tp := TraceParent{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: FlagSampled}
+	got, ok := TraceParentFromContext(ContextWithTraceParent(ctx, tp))
+	if !ok || got != tp {
+		t.Fatalf("context round trip: %+v ok=%v", got, ok)
+	}
+}

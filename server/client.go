@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/clarifynet/clarify"
+	"github.com/clarifynet/clarify/obs"
 	"github.com/clarifynet/clarify/slo"
 	"github.com/clarifynet/clarify/snapshot"
 )
@@ -141,6 +142,11 @@ func (c *Client) doOnce(ctx context.Context, method, path string, in, out interf
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if tp, ok := obs.TraceParentFromContext(ctx); ok {
+		// Propagate the caller's fleet trace context so CLI-driven updates
+		// stitch under the same trace ID across the balancer and daemon.
+		req.Header.Set(obs.TraceParentHeader, tp.String())
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/clarifynet/clarify"
+	"github.com/clarifynet/clarify/obs"
 )
 
 // session is one hosted clarify.Session plus its serving state. Updates are
@@ -51,6 +52,9 @@ type update struct {
 	// update can be snapshotted and re-executed on another daemon.
 	intent string
 	target string
+	// parent is the propagated W3C trace context (a clarify-lb forward
+	// span), zero when the submission arrived without a traceparent header.
+	parent obs.TraceParent
 
 	mu       sync.Mutex
 	status   string

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/clarifynet/clarify"
+	"github.com/clarifynet/clarify/incident"
 	"github.com/clarifynet/clarify/journal"
 	"github.com/clarifynet/clarify/obs"
 	"github.com/clarifynet/clarify/resilience"
@@ -25,6 +26,10 @@ type histogram struct {
 	counts  []int64 // len(buckets)+1, last bucket is +Inf
 	sumMs   float64
 	n       int64
+	// exemplars holds the most recent exemplared observation per bucket
+	// (len(buckets)+1, the last for +Inf); nil until the first exemplar, so
+	// exemplar-off histograms pay no extra memory.
+	exemplars []Exemplar
 }
 
 func newHistogram(buckets []float64) *histogram {
@@ -37,6 +42,33 @@ func (h *histogram) observe(d time.Duration) {
 	h.counts[i]++
 	h.sumMs += ms
 	h.n++
+}
+
+// observeExemplar is observe plus an exemplar: the trace that produced this
+// observation replaces the bucket's previous exemplar, so each bucket always
+// links to a recent representative trace.
+func (h *histogram) observeExemplar(d time.Duration, traceID string, ts float64) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := sort.SearchFloat64s(h.buckets, ms)
+	h.counts[i]++
+	h.sumMs += ms
+	h.n++
+	if traceID == "" {
+		return
+	}
+	if h.exemplars == nil {
+		h.exemplars = make([]Exemplar, len(h.counts))
+	}
+	h.exemplars[i] = Exemplar{TraceID: traceID, ValueMs: ms, Ts: ts}
+}
+
+// Exemplar links one histogram bucket to the trace behind a recent
+// observation in it — the OpenMetrics exemplar, so a latency spike on a
+// dashboard clicks through to /debug/traces/{traceId}.
+type Exemplar struct {
+	TraceID string  `json:"traceId"`
+	ValueMs float64 `json:"valueMs"`
+	Ts      float64 `json:"ts,omitempty"` // unix seconds
 }
 
 // HistogramSnapshot is the JSON view of one latency histogram.
@@ -53,6 +85,10 @@ type HistogramSnapshot struct {
 	EstP50Ms float64 `json:"estP50Ms"`
 	EstP95Ms float64 `json:"estP95Ms"`
 	EstP99Ms float64 `json:"estP99Ms"`
+	// Exemplars, when exemplar collection is on, carries the most recent
+	// trace reference per bucket (len(Counts) entries; empty TraceID means
+	// the bucket has no exemplar yet). Rendered on OpenMetrics output.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // estimateQuantile interpolates the q-quantile (0 < q < 1) from cumulative
@@ -95,16 +131,17 @@ func estimateQuantile(buckets []float64, counts []int64, total int64, q float64)
 // status counters, an in-flight gauge, backpressure rejections, and
 // per-endpoint latency histograms. All methods are safe for concurrent use.
 type metrics struct {
-	buckets  []float64 // histogram upper bounds, fixed at construction
-	mu       sync.Mutex
-	requests map[string]int64
-	statuses map[int]int64
-	latency  map[string]*histogram
-	stages   map[string]*histogram // pipeline stage durations from completed traces
-	inFlight int64
-	rejected int64 // 429 backpressure rejections
-	panics   int64 // worker panics contained by the pool
-	timeouts int64 // updates aborted by the per-update deadline
+	buckets   []float64 // histogram upper bounds, fixed at construction
+	exemplars bool      // attach trace exemplars to stage histograms
+	mu        sync.Mutex
+	requests  map[string]int64
+	statuses  map[int]int64
+	latency   map[string]*histogram
+	stages    map[string]*histogram // pipeline stage durations from completed traces
+	inFlight  int64
+	rejected  int64 // 429 backpressure rejections
+	panics    int64 // worker panics contained by the pool
+	timeouts  int64 // updates aborted by the per-update deadline
 }
 
 func newMetrics(buckets []float64) *metrics {
@@ -122,13 +159,18 @@ func newMetrics(buckets []float64) *metrics {
 
 // observeTrace folds one completed span tree into the per-stage latency
 // histograms, aggregating numbered spans (synthesize-attempt-2, ...) under
-// their canonical stage name.
+// their canonical stage name. With exemplars enabled, every bucket touched
+// remembers the trace ID, linking the metric back to the span tree.
 func (m *metrics) observeTrace(t *obs.Trace) {
 	if t == nil || t.Root == nil {
 		return
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	ts := 0.0
+	if m.exemplars {
+		ts = float64(time.Now().UnixMilli()) / 1000
+	}
 	t.Walk(func(sp *obs.Span, _ int) {
 		stage := obs.CanonicalStage(sp.Name)
 		h := m.stages[stage]
@@ -136,8 +178,25 @@ func (m *metrics) observeTrace(t *obs.Trace) {
 			h = newHistogram(m.buckets)
 			m.stages[stage] = h
 		}
-		h.observe(sp.Duration)
+		if m.exemplars {
+			h.observeExemplar(sp.Duration, t.ID, ts)
+		} else {
+			h.observe(sp.Duration)
+		}
 	})
+}
+
+// stageQuantile estimates the q-quantile of one stage's latency histogram
+// plus its observation count — the tail-retention policy's "slower than p99"
+// input.
+func (m *metrics) stageQuantile(stage string, q float64) (float64, int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.stages[stage]
+	if h == nil || h.n == 0 {
+		return 0, 0
+	}
+	return estimateQuantile(h.buckets, h.counts, h.n, q), h.n
 }
 
 // recordPanic counts one recovered worker panic.
@@ -224,6 +283,12 @@ type MetricsSnapshot struct {
 	// Traces counts completed traces recorded since start (the debug ring
 	// retains only the most recent).
 	Traces int64 `json:"traces"`
+	// KeptTraces counts evicted traces rescued by the tail-retention policy
+	// (errors, degraded runs, latency outliers).
+	KeptTraces int64 `json:"keptTraces,omitempty"`
+	// Incidents reports profile-on-fire activity when an incident recorder
+	// is configured; nil otherwise.
+	Incidents *incident.Stats `json:"incidents,omitempty"`
 	// PanicsRecovered counts pipeline-job panics contained by the worker
 	// pool; each one failed its update but left the daemon serving.
 	PanicsRecovered int64 `json:"panicsRecovered"`
@@ -271,7 +336,11 @@ func (m *metrics) snapshot() MetricsSnapshot {
 
 // snapshot copies one histogram; callers hold the metrics mutex.
 func (h *histogram) snapshot() HistogramSnapshot {
-	return MakeHistogramSnapshot(h.buckets, h.counts, h.n, h.sumMs)
+	snap := MakeHistogramSnapshot(h.buckets, h.counts, h.n, h.sumMs)
+	if h.exemplars != nil {
+		snap.Exemplars = append([]Exemplar(nil), h.exemplars...)
+	}
+	return snap
 }
 
 // MakeHistogramSnapshot builds the wire view of a fixed-bucket latency

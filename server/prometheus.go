@@ -2,7 +2,6 @@ package server
 
 import (
 	"fmt"
-	"io"
 	"sort"
 
 	"github.com/clarifynet/clarify/internal/promtext"
@@ -10,16 +9,19 @@ import (
 	"github.com/clarifynet/clarify/slo"
 )
 
-// writePrometheus renders a MetricsSnapshot in the Prometheus text exposition
-// format (version 0.0.4). Durations are exposed in milliseconds, matching the
+// writePrometheus renders a MetricsSnapshot through a promtext.Writer, which
+// selects between the classic text exposition format (version 0.0.4) and
+// OpenMetrics 1.0 — the latter carrying trace exemplars on histogram buckets
+// and the closing # EOF. Durations are exposed in milliseconds, matching the
 // JSON view; metric names carry the _ms suffix so the unit is explicit.
-func writePrometheus(w io.Writer, snap MetricsSnapshot) {
-	writeHeader(w, "clarifyd_requests_total", "counter", "HTTP requests received per endpoint pattern.")
+func writePrometheus(p *promtext.Writer, snap MetricsSnapshot) {
+	w := p.W
+	p.Header("clarifyd_requests_total", "counter", "HTTP requests received per endpoint pattern.")
 	for _, k := range sortedKeys(snap.Requests) {
 		fmt.Fprintf(w, "clarifyd_requests_total{endpoint=%s} %d\n", quoteLabel(k), snap.Requests[k])
 	}
 
-	writeHeader(w, "clarifyd_responses_total", "counter", "HTTP responses sent per status code.")
+	p.Header("clarifyd_responses_total", "counter", "HTTP responses sent per status code.")
 	codes := make([]int, 0, len(snap.Statuses))
 	for c := range snap.Statuses {
 		codes = append(codes, c)
@@ -29,63 +31,70 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) {
 		fmt.Fprintf(w, "clarifyd_responses_total{code=\"%d\"} %d\n", c, snap.Statuses[c])
 	}
 
-	writeGauge(w, "clarifyd_in_flight_requests", "HTTP requests currently being served.", float64(snap.InFlight))
-	writeCounter(w, "clarifyd_rejected_total", "Submissions shed with 429 backpressure.", float64(snap.Rejected))
-	writeGauge(w, "clarifyd_queue_depth", "Updates waiting for a worker.", float64(snap.QueueDepth))
-	writeGauge(w, "clarifyd_queue_capacity", "Bounded submission queue size.", float64(snap.QueueCapacity))
-	writeGauge(w, "clarifyd_workers", "Worker pool size.", float64(snap.Workers))
-	writeGauge(w, "clarifyd_active_updates", "Updates executing or parked on a question.", float64(snap.ActiveUpdates))
-	writeGauge(w, "clarifyd_sessions", "Live sessions.", float64(snap.Sessions))
-	writeCounter(w, "clarifyd_evicted_sessions_total", "Sessions removed by TTL eviction.", float64(snap.EvictedSessions))
-	writeCounter(w, "clarifyd_snapshotted_sessions_total", "Sessions captured for handoff.", float64(snap.SnapshottedSessions))
-	writeCounter(w, "clarifyd_restored_sessions_total", "Sessions rehydrated from a snapshot or peer handoff.", float64(snap.RestoredSessions))
-	writeCounter(w, "clarifyd_restore_failures_total", "Rejected session restore attempts.", float64(snap.RestoreFailures))
-	writeCounter(w, "clarifyd_traces_total", "Completed pipeline traces recorded.", float64(snap.Traces))
+	p.Gauge("clarifyd_in_flight_requests", "HTTP requests currently being served.", float64(snap.InFlight))
+	p.Counter("clarifyd_rejected_total", "Submissions shed with 429 backpressure.", float64(snap.Rejected))
+	p.Gauge("clarifyd_queue_depth", "Updates waiting for a worker.", float64(snap.QueueDepth))
+	p.Gauge("clarifyd_queue_capacity", "Bounded submission queue size.", float64(snap.QueueCapacity))
+	p.Gauge("clarifyd_workers", "Worker pool size.", float64(snap.Workers))
+	p.Gauge("clarifyd_active_updates", "Updates executing or parked on a question.", float64(snap.ActiveUpdates))
+	p.Gauge("clarifyd_sessions", "Live sessions.", float64(snap.Sessions))
+	p.Counter("clarifyd_evicted_sessions_total", "Sessions removed by TTL eviction.", float64(snap.EvictedSessions))
+	p.Counter("clarifyd_snapshotted_sessions_total", "Sessions captured for handoff.", float64(snap.SnapshottedSessions))
+	p.Counter("clarifyd_restored_sessions_total", "Sessions rehydrated from a snapshot or peer handoff.", float64(snap.RestoredSessions))
+	p.Counter("clarifyd_restore_failures_total", "Rejected session restore attempts.", float64(snap.RestoreFailures))
+	p.Counter("clarifyd_traces_total", "Completed pipeline traces recorded.", float64(snap.Traces))
+	p.Counter("clarifyd_kept_traces_total", "Evicted traces rescued by tail retention (error/degraded/slow).", float64(snap.KeptTraces))
 
-	writeCounter(w, "clarifyd_pipeline_llm_calls_total", "LLM completions requested across all sessions.", float64(snap.Pipeline.LLMCalls))
-	writeCounter(w, "clarifyd_pipeline_disambiguations_total", "Disambiguation questions answered.", float64(snap.Pipeline.Disambiguations))
-	writeCounter(w, "clarifyd_pipeline_retries_total", "Synthesis attempts beyond the first.", float64(snap.Pipeline.Retries))
-	writeCounter(w, "clarifyd_pipeline_punts_total", "Updates abandoned at the retry threshold.", float64(snap.Pipeline.Punts))
-	writeCounter(w, "clarifyd_pipeline_updates_total", "Successful insertions.", float64(snap.Pipeline.Updates))
+	p.Counter("clarifyd_pipeline_llm_calls_total", "LLM completions requested across all sessions.", float64(snap.Pipeline.LLMCalls))
+	p.Counter("clarifyd_pipeline_disambiguations_total", "Disambiguation questions answered.", float64(snap.Pipeline.Disambiguations))
+	p.Counter("clarifyd_pipeline_retries_total", "Synthesis attempts beyond the first.", float64(snap.Pipeline.Retries))
+	p.Counter("clarifyd_pipeline_punts_total", "Updates abandoned at the retry threshold.", float64(snap.Pipeline.Punts))
+	p.Counter("clarifyd_pipeline_updates_total", "Successful insertions.", float64(snap.Pipeline.Updates))
 
-	writeCounter(w, "clarifyd_space_cache_hits_total", "Symbolic route-space cache hits.", float64(snap.SpaceCache.Hits))
-	writeCounter(w, "clarifyd_space_cache_misses_total", "Symbolic route-space cache misses (universe rebuilds).", float64(snap.SpaceCache.Misses))
-	writeGauge(w, "clarifyd_space_cache_idle", "Symbolic route spaces parked in the cache.", float64(snap.SpaceCache.Idle))
+	p.Counter("clarifyd_space_cache_hits_total", "Symbolic route-space cache hits.", float64(snap.SpaceCache.Hits))
+	p.Counter("clarifyd_space_cache_misses_total", "Symbolic route-space cache misses (universe rebuilds).", float64(snap.SpaceCache.Misses))
+	p.Gauge("clarifyd_space_cache_idle", "Symbolic route spaces parked in the cache.", float64(snap.SpaceCache.Idle))
 
-	writeCounter(w, "clarifyd_panics_recovered_total", "Pipeline-job panics contained by the worker pool.", float64(snap.PanicsRecovered))
-	writeCounter(w, "clarifyd_update_timeouts_total", "Updates aborted by the per-update deadline.", float64(snap.UpdateTimeouts))
+	p.Counter("clarifyd_panics_recovered_total", "Pipeline-job panics contained by the worker pool.", float64(snap.PanicsRecovered))
+	p.Counter("clarifyd_update_timeouts_total", "Updates aborted by the per-update deadline.", float64(snap.UpdateTimeouts))
 	if snap.Resilience != nil {
-		writeResilience(w, snap.Resilience)
+		writeResilience(p, snap.Resilience)
 	}
 	if snap.SLO != nil {
-		writeSLO(w, *snap.SLO)
+		writeSLO(p, *snap.SLO)
 	}
 	if snap.Journal != nil {
-		writeCounter(w, "clarifyd_journal_appended_total", "Flight-recorder records appended.", float64(snap.Journal.Appended))
-		writeCounter(w, "clarifyd_journal_bytes_total", "Flight-recorder bytes written.", float64(snap.Journal.Bytes))
-		writeCounter(w, "clarifyd_journal_rotations_total", "Flight-recorder segment rotations.", float64(snap.Journal.Rotations))
-		writeCounter(w, "clarifyd_journal_errors_total", "Flight-recorder append or rotation failures.", float64(snap.Journal.Errors))
+		p.Counter("clarifyd_journal_appended_total", "Flight-recorder records appended.", float64(snap.Journal.Appended))
+		p.Counter("clarifyd_journal_bytes_total", "Flight-recorder bytes written.", float64(snap.Journal.Bytes))
+		p.Counter("clarifyd_journal_rotations_total", "Flight-recorder segment rotations.", float64(snap.Journal.Rotations))
+		p.Counter("clarifyd_journal_errors_total", "Flight-recorder append or rotation failures.", float64(snap.Journal.Errors))
+	}
+	if snap.Incidents != nil {
+		p.Counter("clarifyd_incident_captures_total", "Profile-on-fire incident bundles captured.", float64(snap.Incidents.Captures))
+		p.Counter("clarifyd_incident_suppressed_total", "Firing transitions skipped by the capture cooldown.", float64(snap.Incidents.Suppressed))
 	}
 
-	writeHeader(w, "clarifyd_request_duration_ms", "histogram", "HTTP request latency per endpoint pattern, in milliseconds.")
+	p.Header("clarifyd_request_duration_ms", "histogram", "HTTP request latency per endpoint pattern, in milliseconds.")
 	for _, k := range sortedHistKeys(snap.LatencyMs) {
-		writeHistogram(w, "clarifyd_request_duration_ms", "endpoint", k, snap.LatencyMs[k])
+		writeHistogram(p, "clarifyd_request_duration_ms", "endpoint", k, snap.LatencyMs[k])
 	}
 
-	writeHeader(w, "clarifyd_stage_duration_ms", "histogram", "Pipeline stage latency from completed traces, in milliseconds.")
+	p.Header("clarifyd_stage_duration_ms", "histogram", "Pipeline stage latency from completed traces, in milliseconds.")
 	for _, k := range sortedHistKeys(snap.StagesMs) {
-		writeHistogram(w, "clarifyd_stage_duration_ms", "stage", k, snap.StagesMs[k])
+		writeHistogram(p, "clarifyd_stage_duration_ms", "stage", k, snap.StagesMs[k])
 	}
+	p.EOF()
 }
 
 // writeResilience renders the LLM backend-path series: degraded mode, the
 // primary breaker's state machine, and per-backend chain traffic.
-func writeResilience(w io.Writer, rs *resilience.Stats) {
+func writeResilience(p *promtext.Writer, rs *resilience.Stats) {
+	w := p.W
 	degraded := 0.0
 	if rs.Degraded {
 		degraded = 1
 	}
-	writeGauge(w, "clarifyd_llm_degraded", "1 while completions are served by a fallback backend or the primary breaker is open.", degraded)
+	p.Gauge("clarifyd_llm_degraded", "1 while completions are served by a fallback backend or the primary breaker is open.", degraded)
 	if b := rs.Breaker; b != nil {
 		state := 0.0
 		switch b.State {
@@ -94,19 +103,19 @@ func writeResilience(w io.Writer, rs *resilience.Stats) {
 		case "half-open":
 			state = 2
 		}
-		writeGauge(w, "clarifyd_llm_breaker_state", "Primary breaker state: 0 closed, 1 open, 2 half-open.", state)
-		writeCounter(w, "clarifyd_llm_breaker_opens_total", "Breaker transitions into the open state.", float64(b.Opens))
-		writeCounter(w, "clarifyd_llm_breaker_short_circuits_total", "LLM calls rejected without reaching the primary backend.", float64(b.ShortCircuits))
-		writeCounter(w, "clarifyd_llm_breaker_probes_total", "Half-open probe calls admitted to the primary backend.", float64(b.Probes))
+		p.Gauge("clarifyd_llm_breaker_state", "Primary breaker state: 0 closed, 1 open, 2 half-open.", state)
+		p.Counter("clarifyd_llm_breaker_opens_total", "Breaker transitions into the open state.", float64(b.Opens))
+		p.Counter("clarifyd_llm_breaker_short_circuits_total", "LLM calls rejected without reaching the primary backend.", float64(b.ShortCircuits))
+		p.Counter("clarifyd_llm_breaker_probes_total", "Half-open probe calls admitted to the primary backend.", float64(b.Probes))
 	}
 	if c := rs.Chain; c != nil {
-		writeCounter(w, "clarifyd_llm_fallback_total", "Completions served by a non-primary backend.", float64(c.Fallbacks))
-		writeCounter(w, "clarifyd_llm_chain_exhausted_total", "Completions where every backend failed.", float64(c.Exhausted))
-		writeHeader(w, "clarifyd_llm_backend_served_total", "counter", "Completions served per backend.")
+		p.Counter("clarifyd_llm_fallback_total", "Completions served by a non-primary backend.", float64(c.Fallbacks))
+		p.Counter("clarifyd_llm_chain_exhausted_total", "Completions where every backend failed.", float64(c.Exhausted))
+		p.Header("clarifyd_llm_backend_served_total", "counter", "Completions served per backend.")
 		for _, b := range c.Backends {
 			fmt.Fprintf(w, "clarifyd_llm_backend_served_total{backend=%s} %d\n", quoteLabel(b.Name), b.Served)
 		}
-		writeHeader(w, "clarifyd_llm_backend_failures_total", "counter", "Failed attempts per backend.")
+		p.Header("clarifyd_llm_backend_failures_total", "counter", "Failed attempts per backend.")
 		for _, b := range c.Backends {
 			fmt.Fprintf(w, "clarifyd_llm_backend_failures_total{backend=%s} %d\n", quoteLabel(b.Name), b.Failures)
 		}
@@ -115,21 +124,22 @@ func writeResilience(w io.Writer, rs *resilience.Stats) {
 
 // writeSLO renders the rolling-objective series: good/bad totals, budget
 // remaining, and per-window burn rates with an alert-firing gauge.
-func writeSLO(w io.Writer, snap slo.Snapshot) {
-	writeHeader(w, "clarifyd_slo_good_total", "counter", "Updates meeting the objective, per objective.")
+func writeSLO(p *promtext.Writer, snap slo.Snapshot) {
+	w := p.W
+	p.Header("clarifyd_slo_good_total", "counter", "Updates meeting the objective, per objective.")
 	for _, o := range snap.Objectives {
 		fmt.Fprintf(w, "clarifyd_slo_good_total{objective=%s} %d\n", quoteLabel(o.Objective.Name), o.Good)
 	}
-	writeHeader(w, "clarifyd_slo_bad_total", "counter", "Updates missing the objective, per objective.")
+	p.Header("clarifyd_slo_bad_total", "counter", "Updates missing the objective, per objective.")
 	for _, o := range snap.Objectives {
 		fmt.Fprintf(w, "clarifyd_slo_bad_total{objective=%s} %d\n", quoteLabel(o.Objective.Name), o.Bad)
 	}
-	writeHeader(w, "clarifyd_slo_error_budget_remaining", "gauge", "Fraction of the longest window's error budget unspent, per objective.")
+	p.Header("clarifyd_slo_error_budget_remaining", "gauge", "Fraction of the longest window's error budget unspent, per objective.")
 	for _, o := range snap.Objectives {
 		fmt.Fprintf(w, "clarifyd_slo_error_budget_remaining{objective=%s} %s\n",
 			quoteLabel(o.Objective.Name), formatFloat(o.ErrorBudgetRemaining))
 	}
-	writeHeader(w, "clarifyd_slo_burn_rate", "gauge", "Error-budget burn rate per objective and window.")
+	p.Header("clarifyd_slo_burn_rate", "gauge", "Error-budget burn rate per objective and window.")
 	for _, o := range snap.Objectives {
 		for _, ws := range o.Windows {
 			fmt.Fprintf(w, "clarifyd_slo_burn_rate{objective=%s,window=%s,span=\"long\"} %s\n",
@@ -138,7 +148,7 @@ func writeSLO(w io.Writer, snap slo.Snapshot) {
 				quoteLabel(o.Objective.Name), quoteLabel(ws.Severity), formatFloat(ws.ShortBurn))
 		}
 	}
-	writeHeader(w, "clarifyd_slo_alert_firing", "gauge", "1 while the multi-window burn-rate alert fires, per objective and window.")
+	p.Header("clarifyd_slo_alert_firing", "gauge", "1 while the multi-window burn-rate alert fires, per objective and window.")
 	for _, o := range snap.Objectives {
 		for _, ws := range o.Windows {
 			firing := 0.0
@@ -151,18 +161,26 @@ func writeSLO(w io.Writer, snap slo.Snapshot) {
 	}
 }
 
-// The exposition primitives live in internal/promtext, shared with the
-// clarify-lb front tier so both daemons render identically-shaped series.
-func writeHeader(w io.Writer, name, kind, help string) { promtext.Header(w, name, kind, help) }
-
-func writeCounter(w io.Writer, name, help string, v float64) { promtext.Counter(w, name, help, v) }
-
-func writeGauge(w io.Writer, name, help string, v float64) { promtext.Gauge(w, name, help, v) }
-
 // writeHistogram renders one labelled histogram series: cumulative le
-// buckets, an explicit +Inf bucket, then _sum and _count.
-func writeHistogram(w io.Writer, name, labelKey, labelVal string, h HistogramSnapshot) {
-	promtext.Histogram(w, name, labelKey, labelVal, h.BucketsMs, h.Counts, h.Count, h.SumMs)
+// buckets (with exemplars in OpenMetrics mode), an explicit +Inf bucket,
+// then _sum and _count.
+func writeHistogram(p *promtext.Writer, name, labelKey, labelVal string, h HistogramSnapshot) {
+	p.Histogram(name, labelKey, labelVal, h.BucketsMs, h.Counts, h.Count, h.SumMs, exemplarsOf(h))
+}
+
+// exemplarsOf converts a snapshot's exemplars to the promtext wire type.
+func exemplarsOf(h HistogramSnapshot) []*promtext.Exemplar {
+	if len(h.Exemplars) == 0 {
+		return nil
+	}
+	out := make([]*promtext.Exemplar, len(h.Exemplars))
+	for i, e := range h.Exemplars {
+		if e.TraceID == "" {
+			continue
+		}
+		out[i] = &promtext.Exemplar{TraceID: e.TraceID, Value: e.ValueMs, Ts: e.Ts}
+	}
+	return out
 }
 
 func formatFloat(v float64) string { return promtext.FormatFloat(v) }

@@ -14,6 +14,8 @@ import (
 
 	"github.com/clarifynet/clarify"
 	"github.com/clarifynet/clarify/disambig"
+	"github.com/clarifynet/clarify/incident"
+	"github.com/clarifynet/clarify/internal/promtext"
 	"github.com/clarifynet/clarify/ios"
 	"github.com/clarifynet/clarify/journal"
 	"github.com/clarifynet/clarify/llm"
@@ -76,6 +78,19 @@ type Options struct {
 	// outcomes and served at GET /debug/slo; nil selects the defaults
 	// (99.9% availability, 99% under 500ms, page/ticket burn-rate windows).
 	SLO *slo.Set
+	// Exemplars attaches OpenMetrics exemplars (trace IDs) to the per-stage
+	// latency histograms, linking /metrics buckets to /debug/traces entries.
+	// Off by default: the exemplar-off path is byte-identical to PR 3/5
+	// behaviour.
+	Exemplars bool
+	// TraceKeepSize bounds the tail-retention ring holding evicted traces
+	// worth keeping (errors, degraded runs, slower than the update-stage
+	// p99). 0 selects DefaultTraceKeepSize; negative disables retention.
+	TraceKeepSize int
+	// Incidents, when non-nil, is the profile-on-fire recorder: a burn-rate
+	// alert transitioning to firing triggers a rate-limited CPU+heap+traces
+	// capture, indexed at GET /debug/incidents.
+	Incidents *incident.Recorder
 }
 
 // Validate reports whether the options are well-formed; New panics on the
@@ -105,9 +120,15 @@ type Server struct {
 	pool   *pool
 	mgr    *manager
 	met    *metrics
-	traces *traceRing
+	traces *obs.Ring
 	slos   *slo.Set
 	spaces *symbolic.SpaceCache // shared across all hosted sessions
+
+	// firing tracks which burn-rate alerts were firing at the last SLO
+	// observation, so runUpdate can detect quiet→firing transitions and
+	// trigger the incident recorder exactly on the edge.
+	firingMu sync.Mutex
+	firing   map[string]bool
 
 	baseCtx  context.Context
 	cancel   context.CancelFunc
@@ -149,6 +170,7 @@ func New(opts Options) *Server {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	met := newMetrics(opts.LatencyBucketsMs)
+	met.exemplars = opts.Exemplars
 	s := &Server{
 		opts:    opts,
 		mux:     http.NewServeMux(),
@@ -158,8 +180,15 @@ func New(opts Options) *Server {
 		traces:  newTraceRing(opts.TraceBufferSize),
 		slos:    slos,
 		spaces:  symbolic.NewSpaceCache(),
+		firing:  map[string]bool{},
 		baseCtx: ctx,
 		cancel:  cancel,
+	}
+	if keep := opts.TraceKeepSize; keep >= 0 {
+		if keep == 0 {
+			keep = DefaultTraceKeepSize
+		}
+		s.traces.SetRetention(keep, s.keepTrace)
 	}
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /readyz", s.handleReadyz)
@@ -178,6 +207,7 @@ func New(opts Options) *Server {
 	s.route("GET /debug/traces", s.handleDebugTraces)
 	s.route("GET /debug/traces/{tid}", s.handleDebugTrace)
 	s.route("GET /debug/slo", s.handleDebugSLO)
+	s.route("GET /debug/incidents", s.handleDebugIncidents)
 	return s
 }
 
@@ -307,6 +337,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Pipeline = s.mgr.CumulativeStats()
 	snap.SpaceCache = s.spaces.Stats()
 	snap.Traces = s.traces.Total()
+	snap.KeptTraces = s.traces.KeptTotal()
 	if s.opts.Resilience != nil {
 		snap.Resilience = s.opts.Resilience.Stats()
 	}
@@ -316,9 +347,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		js := s.opts.Journal.Stats()
 		snap.Journal = &js
 	}
-	if r.URL.Query().Get("format") == "prometheus" {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		writePrometheus(w, snap)
+	if s.opts.Incidents != nil {
+		is := s.opts.Incidents.Stats()
+		snap.Incidents = &is
+	}
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		p := &promtext.Writer{W: w}
+		w.Header().Set("Content-Type", p.ContentType())
+		writePrometheus(p, snap)
+		return
+	case "openmetrics":
+		p := &promtext.Writer{W: w, OpenMetrics: true}
+		w.Header().Set("Content-Type", p.ContentType())
+		writePrometheus(p, snap)
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
@@ -445,6 +487,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, err.Error(), 0)
 		return
 	}
+	// A W3C traceparent from the caller (clarify-lb's forward span, or a
+	// clarify -remote invocation) makes this update part of a fleet trace:
+	// the pipeline adopts the trace ID and parents under the caller's span.
+	// The write is safe: the job has not been submitted yet.
+	if tp, ok := obs.ParseTraceParent(r.Header.Get(obs.TraceParentHeader)); ok {
+		u.parent = tp
+	}
 	job := func() { s.runUpdate(sn, u, oracle, oracle, oracle) }
 	if !s.pool.TrySubmit(job) {
 		u.finish(nil, fmt.Errorf("rejected: submission queue full"))
@@ -496,14 +545,22 @@ func (s *Server) runUpdate(sn *session, u *update, oracle *asyncOracle, route di
 	defer cancel()
 	oracle.bind(uctx)
 	uctx, flags := resilience.WithFlags(uctx)
+	if u.parent.Valid() {
+		uctx = obs.ContextWithTraceParent(uctx, u.parent)
+	}
 	cs := sn.sess
 	cs.RouteOracle = route
 	cs.ACLOracle = acl
 	// Per-update sink: stamps the trace ID onto the update record, feeds
 	// the per-stage histograms, and retains the trace for /debug/traces.
+	// The degraded flag lands on the root span here so the tail-retention
+	// policy and the fleet view see it without consulting the update record.
 	// Updates are serialized per session, so reassigning the observer
 	// here is as safe as the oracle assignment above.
 	cs.Observer = obs.SinkFunc(func(t *obs.Trace) {
+		if flags.Degraded() {
+			t.Root.SetBool("degraded", true)
+		}
 		u.setTrace(t.ID)
 		s.met.observeTrace(t)
 		s.traces.Add(t)
@@ -525,6 +582,76 @@ func (s *Server) runUpdate(sn *session, u *update, oracle *asyncOracle, route di
 	// elapsed time covers the whole pipeline including question-wait, the
 	// same latency the client experienced.
 	s.slos.Observe(elapsed, rerr != nil)
+	s.checkIncidents()
+}
+
+// keepTrace is the tail-retention policy: a trace evicted from the debug
+// ring survives when it recorded an error, ran degraded, or was slower than
+// the current update-stage p99 estimate (once enough updates have been
+// observed for the estimate to mean something).
+func (s *Server) keepTrace(t *obs.Trace) bool {
+	if t.Root == nil {
+		return false
+	}
+	if _, ok := t.Root.Attr("error"); ok {
+		return true
+	}
+	if a, ok := t.Root.Attr("degraded"); ok && a.Bool {
+		return true
+	}
+	p99, n := s.met.stageQuantile("update", 0.99)
+	if n < minQuantileObservations || p99 <= 0 {
+		return false
+	}
+	return float64(t.Duration())/float64(time.Millisecond) >= p99
+}
+
+// minQuantileObservations is how many update observations the stage
+// histogram needs before the p99 estimate drives tail retention.
+const minQuantileObservations = 20
+
+// checkIncidents runs profile-on-fire: after each SLO observation, compare
+// the firing alert set against the previous one and hand any quiet→firing
+// transition to the incident recorder (which rate-limits actual captures).
+// The capture runs on its own goroutine — it sleeps through a bounded CPU
+// profile — so the worker that completed the update is not held.
+func (s *Server) checkIncidents() {
+	if s.opts.Incidents == nil {
+		return
+	}
+	snap := s.slos.Snapshot()
+	var newlyFiring []string
+	s.firingMu.Lock()
+	for _, o := range snap.Objectives {
+		for _, ws := range o.Windows {
+			name := o.Objective.Name + "/" + ws.Severity
+			if ws.Firing && !s.firing[name] {
+				newlyFiring = append(newlyFiring, name)
+			}
+			s.firing[name] = ws.Firing
+		}
+	}
+	s.firingMu.Unlock()
+	if len(newlyFiring) == 0 {
+		return
+	}
+	// Evidence bundle: the retained tail (errors, outliers) first — those
+	// are the traces that explain a burn — then recent traffic for context.
+	traces := append(s.traces.Kept(), s.traces.List()...)
+	go s.opts.Incidents.Capture(newlyFiring, traces)
+}
+
+// handleDebugIncidents serves the incident capture index, newest first.
+func (s *Server) handleDebugIncidents(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Incidents == nil {
+		writeJSON(w, http.StatusOK, []incident.Capture{})
+		return
+	}
+	list := s.opts.Incidents.List()
+	if list == nil {
+		list = []incident.Capture{}
+	}
+	writeJSON(w, http.StatusOK, list)
 }
 
 func (s *Server) handleGetUpdate(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,7 @@ import (
 	"github.com/clarifynet/clarify/disambig"
 	"github.com/clarifynet/clarify/ios"
 	"github.com/clarifynet/clarify/journal"
+	"github.com/clarifynet/clarify/obs"
 	"github.com/clarifynet/clarify/snapshot"
 	"github.com/clarifynet/clarify/symbolic"
 )
@@ -132,6 +133,9 @@ func (sn *session) capture(node string, now time.Time) *snapshot.Session {
 		// The in-flight update: its intent plus the answers delivered so
 		// far are everything a successor needs to re-execute and re-park it.
 		pending := &snapshot.PendingUpdate{ID: info.ID, Intent: u.intent, Target: u.target}
+		if u.parent.Valid() {
+			pending.TraceParent = u.parent.String()
+		}
 		if oracle != nil {
 			pending.Answers = oracle.transcript()
 			if q := oracle.Pending(); q != nil {
@@ -213,6 +217,11 @@ func (s *Server) RestoreSession(snap *snapshot.Session) error {
 		u := &update{
 			id: p.ID, intent: p.Intent, target: p.Target,
 			status: StatusQueued, oracle: oracle, done: make(chan struct{}),
+		}
+		if tp, ok := obs.ParseTraceParent(p.TraceParent); ok {
+			// The re-executed update keeps its fleet trace ID, so the trace a
+			// client was handed before the handoff resolves on the successor.
+			u.parent = tp
 		}
 		sn.updates[u.id] = u
 		found := false

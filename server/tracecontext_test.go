@@ -1,0 +1,295 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/clarifynet/clarify/incident"
+	"github.com/clarifynet/clarify/internal/promtext"
+	"github.com/clarifynet/clarify/obs"
+	"github.com/clarifynet/clarify/slo"
+)
+
+// TestTraceParentAdoption checks that an update submitted with a W3C
+// traceparent header joins the caller's trace: the pipeline trace reuses the
+// propagated trace ID and records the caller's span as its remote parent.
+func TestTraceParentAdoption(t *testing.T) {
+	_, c := startServer(t, Options{Workers: 2})
+	ctx := context.Background()
+	sid, err := c.CreateSession(ctx, CreateSessionRequest{Config: exampleConfig})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tp := obs.TraceParent{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Flags: obs.FlagSampled}
+	uctx := obs.ContextWithTraceParent(ctx, tp)
+	res, err := c.RunUpdate(uctx, sid, exampleIntent, "ISP_OUT",
+		func(Question) (int, error) { return 1, nil })
+	if err != nil {
+		t.Fatalf("run update: %v", err)
+	}
+	if res.Status != StatusDone {
+		t.Fatalf("update did not finish: %+v", res)
+	}
+	if res.TraceID != tp.TraceID {
+		t.Fatalf("update trace ID = %s, want propagated %s", res.TraceID, tp.TraceID)
+	}
+
+	resp, err := http.Get(c.BaseURL + "/debug/traces/" + tp.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/traces/%s = %d", tp.TraceID, resp.StatusCode)
+	}
+	var tr obs.Trace
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.ParentSpanID != tp.SpanID {
+		t.Fatalf("trace remote parent = %q, want caller span %q", tr.ParentSpanID, tp.SpanID)
+	}
+	if tr.Root == nil || tr.Root.Name != "update" {
+		t.Fatalf("trace root = %+v, want update span", tr.Root)
+	}
+}
+
+// TestInvalidTraceParentIgnored checks that a malformed traceparent header
+// falls back to a locally minted trace instead of failing the update.
+func TestInvalidTraceParentIgnored(t *testing.T) {
+	_, c := startServer(t, Options{Workers: 2})
+	ctx := context.Background()
+	sid, err := c.CreateSession(ctx, CreateSessionRequest{Config: exampleConfig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An invalid context still serializes to a traceparent header; the
+	// server must reject it on parse and mint its own trace.
+	uctx := obs.ContextWithTraceParent(ctx, obs.TraceParent{TraceID: "nope", SpanID: "short"})
+	res, err := c.RunUpdate(uctx, sid, exampleIntent, "ISP_OUT",
+		func(Question) (int, error) { return 1, nil })
+	if err != nil {
+		t.Fatalf("run update: %v", err)
+	}
+	if res.Status != StatusDone {
+		t.Fatalf("update did not finish: %+v", res)
+	}
+	if res.TraceID == "" || res.TraceID == "nope" || len(res.TraceID) != 32 {
+		t.Fatalf("update trace ID = %q, want a fresh 32-hex local ID", res.TraceID)
+	}
+}
+
+// TestOpenMetricsExemplars checks that with exemplars enabled the OpenMetrics
+// exposition carries trace-ID exemplars on the stage histograms, validates
+// against the format constraints, and that the classic 0.0.4 exposition stays
+// exemplar-free.
+func TestOpenMetricsExemplars(t *testing.T) {
+	_, c := startServer(t, Options{Workers: 2, Exemplars: true})
+	ctx := context.Background()
+	sid, err := c.CreateSession(ctx, CreateSessionRequest{Config: exampleConfig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runWalkthrough(t, c, sid)
+
+	fetch := func(format string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(c.BaseURL + "/metrics?format=" + format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	om, ct := fetch("openmetrics")
+	if !strings.Contains(ct, "openmetrics-text") {
+		t.Errorf("openmetrics Content-Type = %q", ct)
+	}
+	if err := promtext.ValidateOpenMetrics([]byte(om)); err != nil {
+		t.Fatalf("openmetrics exposition invalid: %v\n%s", err, om)
+	}
+	want := `# {trace_id="` + res.TraceID + `"}`
+	if !strings.Contains(om, want) {
+		t.Fatalf("exposition has no exemplar for trace %s:\n%s", res.TraceID, om)
+	}
+
+	classic, ct := fetch("prometheus")
+	if !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("prometheus Content-Type = %q", ct)
+	}
+	if strings.Contains(classic, "trace_id") || strings.Contains(classic, "# EOF") {
+		t.Fatalf("classic exposition leaked OpenMetrics syntax:\n%s", classic)
+	}
+}
+
+// TestTailRetentionKeepsErrorTraces checks that an errored update's trace
+// survives eviction from the main debug ring into the kept ring, and that
+// /debug/traces/{id} still resolves it.
+func TestTailRetentionKeepsErrorTraces(t *testing.T) {
+	_, c := startServer(t, Options{Workers: 2, TraceBufferSize: 2, TraceKeepSize: 8})
+	ctx := context.Background()
+	sid, err := c.CreateSession(ctx, CreateSessionRequest{Config: exampleConfig})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A target that does not exist fails the update; its trace records the
+	// error on the root span, which the retention policy keeps.
+	bad, err := c.RunUpdate(ctx, sid, exampleIntent, "NO_SUCH_MAP",
+		func(Question) (int, error) { return 1, nil })
+	if err != nil {
+		t.Fatalf("run update: %v", err)
+	}
+	if bad.Status != StatusFailed || bad.TraceID == "" {
+		t.Fatalf("bad-target update = %+v, want failed with a trace", bad)
+	}
+
+	// Healthy traffic evicts it from the 2-slot main ring.
+	for i := 0; i < 3; i++ {
+		runWalkthrough(t, c, sid)
+	}
+
+	var kept []TraceSummary
+	resp, err := http.Get(c.BaseURL + "/debug/traces?kept=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&kept); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range kept {
+		if s.ID == bad.TraceID {
+			found = true
+			if s.Error == "" {
+				t.Errorf("kept trace summary has no error: %+v", s)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("errored trace %s not in kept ring: %+v", bad.TraceID, kept)
+	}
+
+	one, err := http.Get(c.BaseURL + "/debug/traces/" + bad.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one.Body.Close()
+	if one.StatusCode != http.StatusOK {
+		t.Fatalf("kept trace not resolvable by ID: %d", one.StatusCode)
+	}
+}
+
+// TestProfileOnFire drives the availability objective into a firing state
+// with failed updates and checks that exactly one rate-limited incident
+// bundle appears at /debug/incidents.
+func TestProfileOnFire(t *testing.T) {
+	slos, err := slo.New(slo.Config{
+		Objectives: []slo.Objective{{Name: "availability", Goal: 0.5}},
+		Windows: []slo.Window{
+			{Long: 2 * time.Second, Short: 500 * time.Millisecond, Burn: 1, Severity: "page"},
+		},
+		Resolution: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := incident.NewRecorder(incident.Options{
+		Dir:         t.TempDir(),
+		Cooldown:    time.Hour,
+		CPUDuration: 30 * time.Millisecond,
+	})
+	_, c := startServer(t, Options{Workers: 2, SLO: slos, Incidents: rec})
+	ctx := context.Background()
+	sid, err := c.CreateSession(ctx, CreateSessionRequest{Config: exampleConfig})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every update fails, so the availability burn rate exceeds the alert
+	// threshold as soon as both windows have data.
+	for i := 0; i < 6; i++ {
+		res, err := c.RunUpdate(ctx, sid, exampleIntent, "NO_SUCH_MAP", nil)
+		if err != nil {
+			t.Fatalf("run update: %v", err)
+		}
+		if res.Status != StatusFailed {
+			t.Fatalf("update %d unexpectedly succeeded: %+v", i, res)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var list []incident.Capture
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(c.BaseURL + "/debug/incidents")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(list) > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(list) != 1 {
+		t.Fatalf("incidents = %d (%+v), want exactly one rate-limited capture", len(list), list)
+	}
+	cap0 := list[0]
+	if len(cap0.Alerts) == 0 || !strings.HasPrefix(cap0.Alerts[0], "availability/") {
+		t.Errorf("capture alerts = %v, want availability/*", cap0.Alerts)
+	}
+	hasTraces := false
+	for _, f := range cap0.Files {
+		if f == "traces.jsonl" {
+			hasTraces = true
+		}
+	}
+	if !hasTraces {
+		t.Errorf("capture files = %v, want traces.jsonl", cap0.Files)
+	}
+
+	// The metrics snapshot surfaces the recorder counters.
+	resp, err := http.Get(c.BaseURL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "clarifyd_incident_captures_total 1") {
+		t.Errorf("prometheus exposition missing incident counter:\n%s",
+			firstMatching(string(body), "incident"))
+	}
+}
+
+// firstMatching returns the exposition lines containing substr, for error
+// messages that would otherwise dump the whole document.
+func firstMatching(doc, substr string) string {
+	var out []string
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	if len(out) == 0 {
+		return fmt.Sprintf("(no lines matching %q)", substr)
+	}
+	return strings.Join(out, "\n")
+}

@@ -3,7 +3,6 @@ package server
 import (
 	"net/http"
 	"strconv"
-	"sync"
 
 	"github.com/clarifynet/clarify/obs"
 )
@@ -12,71 +11,18 @@ import (
 // Options.TraceBufferSize is zero.
 const DefaultTraceBufferSize = 256
 
-// traceRing retains the most recent completed traces for the /debug/traces
-// endpoints. It is a fixed-size ring: the oldest trace is evicted (and
-// becomes unresolvable by ID) when a new one arrives at capacity.
-type traceRing struct {
-	mu    sync.Mutex
-	buf   []*obs.Trace // circular, len == capacity
-	next  int          // slot the next trace lands in
-	byID  map[string]*obs.Trace
-	total int64 // traces ever recorded
-}
+// DefaultTraceKeepSize is the tail-retention ring's capacity when
+// Options.TraceKeepSize is zero: evicted error/degraded/slow traces survive
+// here after healthy traffic pushes them out of the main ring.
+const DefaultTraceKeepSize = 64
 
-func newTraceRing(capacity int) *traceRing {
+// newTraceRing builds the shared obs.Ring for the /debug/traces endpoints;
+// the retention policy is attached by New once the server exists.
+func newTraceRing(capacity int) *obs.Ring {
 	if capacity <= 0 {
 		capacity = DefaultTraceBufferSize
 	}
-	return &traceRing{
-		buf:  make([]*obs.Trace, capacity),
-		byID: map[string]*obs.Trace{},
-	}
-}
-
-// Add records a completed trace, evicting the oldest at capacity.
-func (r *traceRing) Add(t *obs.Trace) {
-	if t == nil {
-		return
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if old := r.buf[r.next]; old != nil {
-		delete(r.byID, old.ID)
-	}
-	r.buf[r.next] = t
-	r.byID[t.ID] = t
-	r.next = (r.next + 1) % len(r.buf)
-	r.total++
-}
-
-// Get resolves a retained trace by ID.
-func (r *traceRing) Get(id string) (*obs.Trace, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	t, ok := r.byID[id]
-	return t, ok
-}
-
-// Total is the number of traces ever recorded.
-func (r *traceRing) Total() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.total
-}
-
-// List snapshots the retained traces, newest first.
-func (r *traceRing) List() []*obs.Trace {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]*obs.Trace, 0, len(r.byID))
-	// Walk backwards from the most recently filled slot.
-	for i := 0; i < len(r.buf); i++ {
-		idx := (r.next - 1 - i + 2*len(r.buf)) % len(r.buf)
-		if t := r.buf[idx]; t != nil {
-			out = append(out, t)
-		}
-	}
-	return out
+	return obs.NewRing(capacity)
 }
 
 // TraceSummary is one row of GET /debug/traces.
@@ -85,6 +31,9 @@ type TraceSummary struct {
 	Start      string  `json:"start"`
 	DurationMs float64 `json:"durationMs"`
 	Spans      int     `json:"spans"`
+	// ParentSpanID is the remote parent for traces that continue a
+	// propagated fleet context (a clarify-lb forward span).
+	ParentSpanID string `json:"parentSpanId,omitempty"`
 	// Target and Error echo the root span's attributes when present.
 	Target string `json:"target,omitempty"`
 	Error  string `json:"error,omitempty"`
@@ -92,10 +41,11 @@ type TraceSummary struct {
 
 func summarize(t *obs.Trace) TraceSummary {
 	s := TraceSummary{
-		ID:         t.ID,
-		Start:      t.Start.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
-		DurationMs: float64(t.Duration()) / 1e6,
-		Spans:      t.SpanCount(),
+		ID:           t.ID,
+		Start:        t.Start.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+		DurationMs:   float64(t.Duration()) / 1e6,
+		Spans:        t.SpanCount(),
+		ParentSpanID: t.ParentSpanID,
 	}
 	if a, ok := t.Root.Attr("target"); ok {
 		s.Target = a.Str
@@ -107,7 +57,8 @@ func summarize(t *obs.Trace) TraceSummary {
 }
 
 // handleDebugTraces lists the retained traces, newest first. ?limit=N bounds
-// the response to the N most recent.
+// the response to the N most recent; ?kept=1 lists the tail-retention ring
+// (error/degraded/slow traces that outlived the main ring) instead.
 func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 	limit := -1
 	if v := r.URL.Query().Get("limit"); v != "" {
@@ -118,7 +69,12 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	traces := s.traces.List()
+	var traces []*obs.Trace
+	if r.URL.Query().Get("kept") == "1" {
+		traces = s.traces.Kept()
+	} else {
+		traces = s.traces.List()
+	}
 	if limit >= 0 && limit < len(traces) {
 		traces = traces[:limit]
 	}
@@ -129,7 +85,8 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleDebugTrace returns one retained trace's full span tree.
+// handleDebugTrace returns one retained trace's full span tree; tail-kept
+// traces resolve here too.
 func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	t, ok := s.traces.Get(r.PathValue("tid"))
 	if !ok {

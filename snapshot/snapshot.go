@@ -67,6 +67,12 @@ type PendingUpdate struct {
 	// Intent and Target are the original Submit inputs.
 	Intent string `json:"intent"`
 	Target string `json:"target"`
+	// TraceParent is the update's propagated W3C trace context, serialized
+	// in traceparent header form, so the re-executed update keeps the fleet
+	// trace ID it was submitted under. Empty when the original submission
+	// carried no context; kept opaque here so the snapshot package does not
+	// depend on the obs wire types.
+	TraceParent string `json:"traceParent,omitempty"`
 	// Answers is the transcript of answers delivered before capture.
 	Answers []Answer `json:"answers,omitempty"`
 	// Question is the question displayed at capture time, if any.
