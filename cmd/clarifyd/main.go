@@ -68,6 +68,7 @@ import (
 	"github.com/clarifynet/clarify/server"
 	"github.com/clarifynet/clarify/slo"
 	"github.com/clarifynet/clarify/snapshot"
+	"github.com/clarifynet/clarify/tenant"
 )
 
 // daemonConfig collects every flag so run() stays testable and the flag list
@@ -117,6 +118,11 @@ type daemonConfig struct {
 	snapshotDir string
 	handoffPeer string
 	pidFile     string
+
+	tenantSpec    string
+	tenantDefault string
+	shedTarget    time.Duration
+	shedInterval  time.Duration
 }
 
 func main() {
@@ -149,6 +155,10 @@ func main() {
 	flag.Int64Var(&cfg.journalMaxBytes, "journal-max-bytes", 0, "rotate journal segments over this size (default 8 MiB)")
 	flag.IntVar(&cfg.journalSegments, "journal-segments", 0, "prune journal segments beyond this count (0 keeps all)")
 	flag.StringVar(&cfg.journalFsync, "journal-fsync", "interval", "journal durability policy: never, interval, or always")
+	flag.StringVar(&cfg.tenantSpec, "tenants", "", "tenant profiles \"name:weight:rate:burst:concurrent,...\", e.g. \"teamA:4,mallory:1:2:4:2\" (unset fields inherit -tenant-default)")
+	flag.StringVar(&cfg.tenantDefault, "tenant-default", "", "default tenant profile \"weight:rate:burst:concurrent\" for tenants without an explicit entry")
+	flag.DurationVar(&cfg.shedTarget, "shed-target", 0, "acceptable bulk queue sojourn before adaptive shedding arms (default 200ms; negative disables)")
+	flag.DurationVar(&cfg.shedInterval, "shed-interval", 0, "how long sojourn must stay above -shed-target before shedding trips (default 2s)")
 	flag.StringVar(&cfg.sloObjectives, "slo-objectives", "", "SLO spec \"name:goal[:latency-ms],...\", e.g. \"availability:0.999,latency:0.99:500\" (default built-ins)")
 	flag.StringVar(&cfg.sloWindows, "slo-windows", "", "burn-rate alert windows \"long:short:burn:severity,...\", e.g. \"1h:5m:14.4:page\" (default built-ins)")
 	flag.StringVar(&cfg.latencyBucket, "latency-buckets-ms", "", "comma-separated ascending histogram bounds in ms (default built-in table)")
@@ -335,6 +345,24 @@ func run(cfg daemonConfig) error {
 		Journal:          jnl,
 		SLO:              slos,
 		LatencyBucketsMs: buckets,
+		Shed:             tenant.ShedConfig{Target: cfg.shedTarget, Interval: cfg.shedInterval},
+	}
+	if cfg.tenantSpec != "" || cfg.tenantDefault != "" {
+		def := tenant.Profile{}
+		if cfg.tenantDefault != "" {
+			var err error
+			if def, err = tenant.ParseProfile(cfg.tenantDefault); err != nil {
+				return fmt.Errorf("-tenant-default: %w", err)
+			}
+		}
+		var profiles []tenant.Profile
+		if cfg.tenantSpec != "" {
+			var err error
+			if profiles, err = tenant.ParseProfiles(cfg.tenantSpec, def); err != nil {
+				return fmt.Errorf("-tenants: %w", err)
+			}
+		}
+		opts.Tenants = tenant.NewRegistry(tenant.RegistryConfig{Default: def, Profiles: profiles})
 	}
 	if cfg.incidentDir != "" {
 		opts.Incidents = incident.NewRecorder(incident.Options{

@@ -2,6 +2,7 @@ package lb
 
 import (
 	"fmt"
+	"net/http"
 	"net/url"
 	"sort"
 	"strings"
@@ -45,6 +46,7 @@ type Backend struct {
 	requests   int64
 	errors5xx  int64
 	transport  int64
+	sheds      int64 // 429 shed responses proxied from this backend
 	creates    int64
 	ejections  int64
 	readmits   int64
@@ -129,6 +131,10 @@ func (b *Backend) recordRequestTrace(status int, d time.Duration, transportErr b
 		b.transport++
 	case status >= 500:
 		b.errors5xx++
+	case status == http.StatusTooManyRequests:
+		// The replica shed the request (quota, queue, or overload); count
+		// it here so overload is visible at the balancer per backend.
+		b.sheds++
 	}
 	if traceID != "" {
 		b.latency.observeExemplar(d, traceID, float64(time.Now().UnixMilli())/1000)
@@ -203,6 +209,9 @@ type BackendSnapshot struct {
 	Requests        int64 `json:"requests"`
 	Errors5xx       int64 `json:"errors5xx"`
 	TransportErrors int64 `json:"transportErrors"`
+	// Sheds counts 429 responses proxied from this backend — a replica
+	// refusing work via its admission gates (quota, queue, overload).
+	Sheds int64 `json:"sheds"`
 	// CreatesRouted counts sessions placed on this backend.
 	CreatesRouted int64 `json:"createsRouted"`
 	// Ejections / Readmissions count state-machine transitions.
@@ -235,6 +244,7 @@ func (b *Backend) snapshot() BackendSnapshot {
 		Requests:             b.requests,
 		Errors5xx:            b.errors5xx,
 		TransportErrors:      b.transport,
+		Sheds:                b.sheds,
 		CreatesRouted:        b.creates,
 		Ejections:            b.ejections,
 		Readmissions:         b.readmits,

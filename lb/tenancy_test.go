@@ -1,0 +1,117 @@
+package lb
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/clarifynet/clarify/server"
+	"github.com/clarifynet/clarify/tenant"
+)
+
+// TestLBRecordsShedsPerBackendAndTenant drives a rate-limited tenant through
+// the balancer until the replica sheds with 429, then asserts the shed is
+// visible at the balancer on every axis: relayed to the client with
+// Retry-After, counted on the backend's Sheds counter, attributed to the
+// tenant's row, and exported as clarify_lb_backend_sheds_total /
+// clarify_lb_tenant_sheds_total Prometheus series.
+func TestLBRecordsShedsPerBackendAndTenant(t *testing.T) {
+	reg := tenant.NewRegistry(tenant.RegistryConfig{Profiles: []tenant.Profile{
+		// One token, effectively no refill: the second submit must shed.
+		{Name: "mallory", Rate: 0.0001, Burst: 1},
+	}})
+	f := startLBFleetWith(t, 1, fastProbeOpts(), server.Options{Workers: 2, Tenants: reg})
+	ctx := context.Background()
+
+	c := f.client(nil)
+	c.Tenant = "mallory"
+	sid, err := c.CreateSession(ctx, server.CreateSessionRequest{Config: exampleConfig})
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+
+	submit := func() *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(server.SubmitRequest{Intent: exampleIntent, Target: "ISP_OUT", Async: true})
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			f.lbSrv.URL+"/v1/sessions/"+sid+"/updates?async=1", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("build submit: %v", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(tenant.HeaderTenant, "mallory")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		return resp
+	}
+
+	// First submit consumes the only token.
+	resp := submit()
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("first submit = %d, want accepted", resp.StatusCode)
+	}
+
+	// Second submit must be shed by the replica and relayed verbatim.
+	resp = submit()
+	shedBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit = %d, want 429: %s", resp.StatusCode, shedBody)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	if got := resp.Header.Get("X-Clarify-Shed"); got != string(tenant.ReasonRate) {
+		t.Errorf("X-Clarify-Shed = %q, want %q", got, tenant.ReasonRate)
+	}
+
+	// The balancer counted the shed per backend and per tenant.
+	snap := f.lb.snapshot()
+	var sheds int64
+	for _, b := range snap.Backends {
+		sheds += b.Sheds
+	}
+	if sheds == 0 {
+		t.Error("no backend recorded a shed")
+	}
+	ts, ok := snap.Tenants["mallory"]
+	if !ok || ts.Sheds == 0 {
+		t.Errorf("tenant counters = %+v, want mallory with sheds > 0", snap.Tenants)
+	}
+	if ts.Requests < 2 {
+		t.Errorf("mallory requests = %d, want >= 2", ts.Requests)
+	}
+
+	// The Prometheus exposition carries both series.
+	mreq, _ := http.NewRequestWithContext(ctx, http.MethodGet, f.lbSrv.URL+"/metrics?format=prometheus", nil)
+	mresp, err := http.DefaultClient.Do(mreq)
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	text, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"clarify_lb_backend_sheds_total", `clarify_lb_tenant_sheds_total{tenant="mallory"}`} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	// Answer the admitted update's questions so it finishes before the
+	// harness shuts the replica down.
+	waitFor(t, 10*time.Second, "admitted update to finish", func() bool {
+		if q, err := c.Question(ctx, sid); err == nil && q != nil {
+			c.Answer(ctx, sid, q.Seq, 1)
+		}
+		si, err := c.Session(ctx, sid)
+		return err == nil && !si.Busy
+	})
+}

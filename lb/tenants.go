@@ -1,0 +1,75 @@
+package lb
+
+import (
+	"sync"
+
+	"github.com/clarifynet/clarify/tenant"
+)
+
+// tenantOverflow is the fold-in name for tenants beyond the table's
+// cardinality bound, mirroring the tenant registry's overflow label so
+// balancer and replica metrics line up.
+const tenantOverflow = "~overflow"
+
+// TenantLBStats is one tenant's traffic as seen from the balancer: requests
+// forwarded on its behalf and 429 sheds relayed back to it. The balancer
+// attributes by the X-Clarify-Tenant request header; requests without the
+// header (or with an invalid value) fold into the default tenant's row.
+type TenantLBStats struct {
+	Requests int64 `json:"requests"`
+	Sheds    int64 `json:"sheds"`
+}
+
+// tenantTable is a bounded per-tenant counter map. The bound matters for the
+// same reason as the registry's: the header is client-controlled, and an
+// unbounded label set is a metrics-cardinality attack.
+type tenantTable struct {
+	mu  sync.Mutex
+	max int
+	m   map[string]*TenantLBStats
+}
+
+func newTenantTable(max int) *tenantTable {
+	if max <= 0 {
+		max = 256
+	}
+	return &tenantTable{max: max, m: make(map[string]*TenantLBStats)}
+}
+
+// record folds one proxied response into the named tenant's counters.
+func (t *tenantTable) record(name string, shed bool) {
+	if name == "" || !tenant.ValidName(name) {
+		name = tenant.DefaultTenant
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.m[name]
+	if !ok {
+		if len(t.m) >= t.max {
+			name = tenantOverflow
+			st = t.m[name]
+		}
+		if st == nil {
+			st = &TenantLBStats{}
+			t.m[name] = st
+		}
+	}
+	st.Requests++
+	if shed {
+		st.Sheds++
+	}
+}
+
+// snapshot copies the table for /metrics.
+func (t *tenantTable) snapshot() map[string]TenantLBStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.m) == 0 {
+		return nil
+	}
+	out := make(map[string]TenantLBStats, len(t.m))
+	for name, st := range t.m {
+		out[name] = *st
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/clarifynet/clarify/server"
+	"github.com/clarifynet/clarify/slo"
+	"github.com/clarifynet/clarify/tenant"
+)
+
+// TenantMix is one tenant's slice of a multi-tenant load run: how many
+// workers submit under its X-Clarify-Tenant header and how hard they push.
+// A noisy tenant is the aggressor in a noisy-neighbor drill: its workers
+// submit flat out without the client-side 429 retry loop, so every shed the
+// daemon issues is counted instead of silently absorbed — and its outcomes
+// are excluded from the run's aggregate SLO verdict, which belongs to the
+// victims.
+type TenantMix struct {
+	// Name is sent as the X-Clarify-Tenant header on every request.
+	Name string `json:"name"`
+	// Workers is this tenant's closed-loop worker count.
+	Workers int `json:"workers"`
+	// Rate, when positive, paces this tenant's submissions to this many
+	// updates/second across its workers; zero runs flat out.
+	Rate float64 `json:"rate,omitempty"`
+	// Noisy marks the aggressor: shed-counting submit loop, excluded from
+	// the aggregate verdict.
+	Noisy bool `json:"noisy,omitempty"`
+}
+
+// ParseTenants parses a -tenants flag value: comma-separated
+// "[noisy:]name:workers[:rate]" entries, e.g. "victim:4,noisy:mallory:8" or
+// "teamA:4:2.5,noisy:mallory:12:50".
+func ParseTenants(spec string) ([]TenantMix, error) {
+	var out []TenantMix
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m := TenantMix{}
+		if rest, ok := strings.CutPrefix(part, "noisy:"); ok {
+			m.Noisy = true
+			part = rest
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("loadgen: bad -tenants entry %q (want [noisy:]name:workers[:rate])", part)
+		}
+		m.Name = fields[0]
+		if !tenant.ValidName(m.Name) {
+			return nil, fmt.Errorf("loadgen: bad tenant name %q", m.Name)
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("loadgen: duplicate tenant %q", m.Name)
+		}
+		seen[m.Name] = true
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("loadgen: bad worker count in %q", part)
+		}
+		m.Workers = n
+		if len(fields) == 3 {
+			r, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || r < 0 {
+				return nil, fmt.Errorf("loadgen: bad rate in %q", part)
+			}
+			m.Rate = r
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadgen: -tenants spec %q names no tenants", spec)
+	}
+	return out, nil
+}
+
+// TenantReport is one tenant's slice of the run outcome. Sheds counts 429
+// admission rejections observed by this tenant's workers — only meaningful
+// for noisy tenants, whose submit loop surfaces them instead of retrying.
+type TenantReport struct {
+	Noisy      bool           `json:"noisy,omitempty"`
+	Workers    int            `json:"workers"`
+	Updates    int            `json:"updates"`
+	Failures   int            `json:"failures"`
+	Degraded   int            `json:"degraded,omitempty"`
+	Sheds      int64          `json:"sheds,omitempty"`
+	Throughput float64        `json:"throughput"`
+	Latency    LatencySummary `json:"latency"`
+	SLO        slo.Snapshot   `json:"slo"`
+	// Verdict is "green" when no objective alert fired for this tenant,
+	// "firing" otherwise. Noisy tenants report a verdict too, but it does
+	// not gate the run.
+	Verdict string `json:"verdict"`
+}
+
+// shedRunUpdate runs one update without the client's internal 429 retry: a
+// shed submit returns errShed immediately so the caller can count it. An
+// admitted update is polled to a terminal state with questions answered.
+func shedRunUpdate(ctx context.Context, client *server.Client, sid, intentText, target string, answer server.AnswerFunc) (server.UpdateInfo, error) {
+	u, err := client.SubmitAsync(ctx, sid, intentText, target)
+	if err != nil {
+		var apiErr *server.APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusTooManyRequests {
+			return server.UpdateInfo{}, errShed
+		}
+		return server.UpdateInfo{}, err
+	}
+	return client.PollUpdate(ctx, sid, u.ID, answer)
+}
+
+// errShed marks a submit the daemon rejected with 429: admission control
+// doing its job, not a failure of the update pipeline.
+var errShed = errors.New("loadgen: submit shed with 429")
+
+// shedBackoff is how long a noisy worker sleeps after a shed before hammering
+// again — short enough to keep sustained pressure on the admission layer,
+// long enough to avoid a pure busy-loop against a drained token bucket.
+const shedBackoff = 20 * time.Millisecond

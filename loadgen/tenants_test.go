@@ -1,0 +1,91 @@
+package loadgen_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/clarifynet/clarify/loadgen"
+	"github.com/clarifynet/clarify/server"
+	"github.com/clarifynet/clarify/tenant"
+)
+
+func TestParseTenants(t *testing.T) {
+	mixes, err := loadgen.ParseTenants("victim:4,noisy:mallory:8:50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []loadgen.TenantMix{
+		{Name: "victim", Workers: 4},
+		{Name: "mallory", Workers: 8, Rate: 50, Noisy: true},
+	}
+	if len(mixes) != len(want) {
+		t.Fatalf("got %d mixes, want %d", len(mixes), len(want))
+	}
+	for i := range want {
+		if mixes[i] != want[i] {
+			t.Errorf("mix %d = %+v, want %+v", i, mixes[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "victim", "victim:0", "victim:2,victim:3", "bad name:2", "victim:2:x"} {
+		if _, err := loadgen.ParseTenants(bad); err == nil {
+			t.Errorf("ParseTenants(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestMultiTenantNoisyNeighbor is the in-process noisy-neighbor drill: a
+// rate-capped aggressor hammers a daemon shared with a victim tenant. The
+// victim must finish its updates cleanly (green verdict), the aggressor must
+// accumulate 429 sheds, and the aggregate report must exclude the
+// aggressor's outcomes.
+func TestMultiTenantNoisyNeighbor(t *testing.T) {
+	reg := tenant.NewRegistry(tenant.RegistryConfig{Profiles: []tenant.Profile{
+		{Name: "mallory", Weight: 1, Rate: 0.5, Burst: 1, MaxConcurrent: 1},
+		{Name: "victim", Weight: 4},
+	}})
+	url := startDaemon(t, server.Options{Workers: 4, Tenants: reg})
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:  url,
+		Duration: 4 * time.Second,
+		Seed:     1,
+		Tenants: []loadgen.TenantMix{
+			{Name: "victim", Workers: 2},
+			{Name: "mallory", Workers: 2, Noisy: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vict, ok := rep.Tenants["victim"]
+	if !ok {
+		t.Fatalf("report has no victim tenant: %+v", rep.Tenants)
+	}
+	noisy, ok := rep.Tenants["mallory"]
+	if !ok {
+		t.Fatalf("report has no mallory tenant: %+v", rep.Tenants)
+	}
+
+	if vict.Updates == 0 || vict.Failures != 0 {
+		t.Errorf("victim updates/failures = %d/%d, want >0/0", vict.Updates, vict.Failures)
+	}
+	if vict.Verdict != "green" {
+		t.Errorf("victim verdict = %q, want green", vict.Verdict)
+	}
+	if noisy.Sheds == 0 {
+		t.Errorf("noisy tenant recorded no sheds: %+v", noisy)
+	}
+	if !noisy.Noisy {
+		t.Error("mallory not flagged noisy in report")
+	}
+
+	// Aggregate excludes the aggressor: it counts only victim outcomes.
+	if rep.Updates != vict.Updates {
+		t.Errorf("aggregate updates = %d, want victim's %d (noisy excluded)", rep.Updates, vict.Updates)
+	}
+	if rep.ClientSLO.Firing() {
+		t.Error("aggregate (victim) SLO firing under noisy neighbor")
+	}
+}

@@ -29,6 +29,43 @@ type session struct {
 	// update; handlers read this snapshot so they never touch the live
 	// *ios.Config a worker may be replacing.
 	cfgText string
+	// tenant is the admission principal the session was created under
+	// (X-Clarify-Tenant, after registry folding); its quotas and fair
+	// share govern every submit on this session.
+	tenant string
+	// dialog is set once a pipeline run asks a disambiguation question;
+	// from then on the session's submits ride the interactive lane.
+	dialog bool
+}
+
+// setTenant records the session's admission principal (set once at create
+// or restore, before the session serves traffic).
+func (s *session) setTenant(name string) {
+	s.mu.Lock()
+	s.tenant = name
+	s.mu.Unlock()
+}
+
+// tenantName reads the session's admission principal.
+func (s *session) tenantName() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenant
+}
+
+// markInteractive flags the session as dialogue-engaged.
+func (s *session) markInteractive() {
+	s.mu.Lock()
+	s.dialog = true
+	s.mu.Unlock()
+}
+
+// interactive reports whether the session has engaged the disambiguation
+// Q&A.
+func (s *session) interactive() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dialog
 }
 
 // setConfigText publishes a new printed-configuration snapshot.
@@ -135,6 +172,7 @@ func (s *session) info() SessionInfo {
 		Busy:        s.busy,
 		Updates:     len(s.updates),
 		IdleSeconds: time.Since(s.lastUsed).Seconds(),
+		Tenant:      s.tenant,
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"github.com/clarifynet/clarify/resilience"
 	"github.com/clarifynet/clarify/slo"
 	"github.com/clarifynet/clarify/symbolic"
+	"github.com/clarifynet/clarify/tenant"
 )
 
 // defaultLatencyBuckets are the histogram upper bounds in milliseconds when
@@ -303,6 +304,12 @@ type MetricsSnapshot struct {
 	// Journal reports flight-recorder activity when journaling is enabled;
 	// nil otherwise.
 	Journal *journal.Stats `json:"journal,omitempty"`
+	// Queue is the fair-dispatch queue's counters: pushes, pops, sheds by
+	// gate, and whether the overload controller is tripped.
+	Queue *tenant.QueueStats `json:"queue,omitempty"`
+	// Tenants holds each live tenant's admission counters, queue backlog,
+	// and private SLO rings.
+	Tenants map[string]TenantMetrics `json:"tenants,omitempty"`
 }
 
 // snapshot copies the counters; pool/session fields are filled by the server.

@@ -12,6 +12,7 @@ import (
 
 	"github.com/clarifynet/clarify/llm"
 	"github.com/clarifynet/clarify/resilience"
+	"github.com/clarifynet/clarify/tenant"
 )
 
 // readAll drains and closes an HTTP response body.
@@ -58,7 +59,7 @@ func (failingClient) Complete(ctx context.Context, req llm.Request) (llm.Respons
 // that panics must not kill its worker, and the pool must keep draining jobs.
 func TestPoolContainsPanics(t *testing.T) {
 	var recovered int64
-	p := newPool(2, 4, func(interface{}) { atomic.AddInt64(&recovered, 1) })
+	p := newPool(2, 4, tenant.ShedConfig{Target: -1}, func(interface{}) { atomic.AddInt64(&recovered, 1) })
 	done := make(chan struct{}, 8)
 	for i := 0; i < 4; i++ {
 		ok := p.TrySubmit(func() {

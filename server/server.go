@@ -23,6 +23,7 @@ import (
 	"github.com/clarifynet/clarify/resilience"
 	"github.com/clarifynet/clarify/slo"
 	"github.com/clarifynet/clarify/symbolic"
+	"github.com/clarifynet/clarify/tenant"
 )
 
 // Options configures a Server. The zero value is usable: 4 workers, a
@@ -91,6 +92,16 @@ type Options struct {
 	// alert transitioning to firing triggers a rate-limited CPU+heap+traces
 	// capture, indexed at GET /debug/incidents.
 	Incidents *incident.Recorder
+	// Tenants is the admission-control registry: per-tenant rate limits,
+	// concurrent-update quotas, and fair-queueing weights, keyed by the
+	// X-Clarify-Tenant header. Nil builds an open registry (every tenant
+	// gets weight 1, unlimited rate and concurrency) — single-tenant
+	// deployments see no behaviour change beyond the queue swap.
+	Tenants *tenant.Registry
+	// Shed tunes the CoDel-style queue-delay shed controller on the bulk
+	// dispatch lane. The zero value selects the defaults (200ms target,
+	// 2s interval); a negative Target disables overload shedding.
+	Shed tenant.ShedConfig
 }
 
 // Validate reports whether the options are well-formed; New panics on the
@@ -115,14 +126,20 @@ const DefaultUpdateTimeout = 2 * time.Minute
 // implements http.Handler; wire it into an http.Server (or httptest) and
 // call Shutdown to drain.
 type Server struct {
-	opts   Options
-	mux    *http.ServeMux
-	pool   *pool
-	mgr    *manager
-	met    *metrics
-	traces *obs.Ring
-	slos   *slo.Set
-	spaces *symbolic.SpaceCache // shared across all hosted sessions
+	opts    Options
+	mux     *http.ServeMux
+	pool    *pool
+	mgr     *manager
+	met     *metrics
+	traces  *obs.Ring
+	slos    *slo.Set
+	spaces  *symbolic.SpaceCache // shared across all hosted sessions
+	tenants *tenant.Registry
+
+	// tslos holds each tenant's private SLO rings, cloned lazily from slos
+	// so noisy-neighbor protection is judged per tenant.
+	tslosMu sync.Mutex
+	tslos   map[string]*slo.Set
 
 	// firing tracks which burn-rate alerts were firing at the last SLO
 	// observation, so runUpdate can detect quiet→firing transitions and
@@ -168,18 +185,24 @@ func New(opts Options) *Server {
 		// The defaults cannot fail validation.
 		slos, _ = slo.New(slo.Config{})
 	}
+	tenants := opts.Tenants
+	if tenants == nil {
+		tenants = tenant.NewRegistry(tenant.RegistryConfig{})
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	met := newMetrics(opts.LatencyBucketsMs)
 	met.exemplars = opts.Exemplars
 	s := &Server{
 		opts:    opts,
 		mux:     http.NewServeMux(),
-		pool:    newPool(opts.Workers, opts.QueueSize, func(interface{}) { met.recordPanic() }),
+		pool:    newPool(opts.Workers, opts.QueueSize, opts.Shed, func(interface{}) { met.recordPanic() }),
 		mgr:     newManager(opts.MaxSessions, opts.IdleTTL, opts.SweepInterval),
 		met:     met,
 		traces:  newTraceRing(opts.TraceBufferSize),
 		slos:    slos,
 		spaces:  symbolic.NewSpaceCache(),
+		tenants: tenants,
+		tslos:   map[string]*slo.Set{},
 		firing:  map[string]bool{},
 		baseCtx: ctx,
 		cancel:  cancel,
@@ -343,6 +366,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	sloSnap := s.slos.Snapshot()
 	snap.SLO = &sloSnap
+	qs := s.pool.QueueStats()
+	snap.Queue = &qs
+	snap.Tenants = s.tenantMetrics()
 	if s.opts.Journal != nil {
 		js := s.opts.Journal.Stats()
 		snap.Journal = &js
@@ -381,6 +407,11 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode request: "+err.Error(), 0)
 		return
 	}
+	tenantName, ok := tenantFromRequest(r)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "bad "+tenant.HeaderTenant+" header: want 1-64 chars of [A-Za-z0-9._-]", 0)
+		return
+	}
 	cfg, err := ios.Parse(req.Config)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "parse config: "+err.Error(), 0)
@@ -403,6 +434,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	// Label the session's journal records with its ID; the session has not
 	// served an update yet, so the write is unobserved.
 	sess.JournalSession = sn.id
+	sn.setTenant(s.tenants.Get(tenantName).Name())
 	sn.setConfigText(cfg.Print())
 	writeJSON(w, http.StatusCreated, CreateSessionResponse{ID: sn.id})
 }
@@ -453,9 +485,12 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleSubmit is the hot path: reserve the session, enqueue the pipeline on
-// the worker pool (shedding with 429 + Retry-After when the queue is full),
-// and either wait for completion (sync) or return the update ID (async).
+// handleSubmit is the hot path: run the tenant admission gates (token
+// bucket, concurrent-update quota), reserve the session, enqueue the
+// pipeline on the worker pool's fair queue — shedding with 429 +
+// Retry-After when a gate denies, the queue is full, or the overload
+// controller is tripped — and either wait for completion (sync) or return
+// the update ID (async).
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining", 0)
@@ -481,9 +516,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	async := req.Async || r.URL.Query().Get("async") == "1"
 
+	// Tenant gates run before the session is reserved: a quota bounce must
+	// not allocate an update record, or a flooding tenant would grow its
+	// sessions' update history without doing any work.
+	tn := s.tenantFor(sn)
+	if !s.admitSubmit(w, tn) {
+		return
+	}
 	oracle := newAsyncOracle(s.baseCtx, s.opts.QuestionTimeout)
 	u, err := sn.beginUpdate(oracle, req.Intent, req.Target)
 	if err != nil {
+		tn.Release()
 		writeError(w, http.StatusConflict, err.Error(), 0)
 		return
 	}
@@ -494,11 +537,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if tp, ok := obs.ParseTraceParent(r.Header.Get(obs.TraceParentHeader)); ok {
 		u.parent = tp
 	}
-	job := func() { s.runUpdate(sn, u, oracle, oracle, oracle) }
-	if !s.pool.TrySubmit(job) {
-		u.finish(nil, fmt.Errorf("rejected: submission queue full"))
+	// Sessions engaged in the disambiguation Q&A ride the strict-priority
+	// interactive lane, so an operator mid-dialogue is never queued behind
+	// a bulk flood; the header requests it for a dialogue's first submit.
+	lane := tenant.Bulk
+	if sn.interactive() || r.Header.Get(HeaderPriority) == "interactive" {
+		lane = tenant.Interactive
+	}
+	job := func() { s.runUpdate(sn, u, tn, oracle, oracle, oracle) }
+	// drop runs only if the job is purged at the shutdown drain deadline:
+	// it fails the update and returns the session and quota slot.
+	drop := func(reason tenant.Reason) {
+		u.finish(nil, fmt.Errorf("rejected: %s", shedMessage(reason)))
 		sn.endUpdate()
-		writeError(w, http.StatusTooManyRequests, "submission queue full; retry later", 1)
+		tn.Release()
+	}
+	if reason := s.pool.Submit(tn.Name(), tn.Weight(), lane, job, drop); reason != "" {
+		tn.RecordShed(reason)
+		drop(reason)
+		writeShed(w, reason, time.Second)
 		return
 	}
 	if async {
@@ -516,13 +573,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // runUpdate executes one reserved update end to end: start the deadline
 // budget, bind the oracle, run the pipeline, publish the outcome, release
-// the session, and feed the SLOs. It serves both fresh submissions (as the
-// pool job) and rehydrated pending updates (on a restore goroutine). route
-// and acl are the oracles the pipeline consults — the live async oracle for
-// fresh updates, a transcript-replaying wrapper for restored ones.
-func (s *Server) runUpdate(sn *session, u *update, oracle *asyncOracle, route disambig.RouteOracle, acl disambig.ACLOracle) {
+// the session and the tenant's in-flight slot, and feed the fleet and
+// per-tenant SLOs. It serves both fresh submissions (as the pool job) and
+// rehydrated pending updates (on a restore goroutine); both paths hold an
+// in-flight slot on tn when they get here. route and acl are the oracles
+// the pipeline consults — the live async oracle for fresh updates, a
+// transcript-replaying wrapper for restored ones.
+func (s *Server) runUpdate(sn *session, u *update, tn *tenant.Tenant, oracle *asyncOracle, route disambig.RouteOracle, acl disambig.ACLOracle) {
 	s.active.Add(1)
 	defer s.active.Add(-1)
+	defer tn.Release()
 	// A panicking pipeline must fail its own update and release the
 	// session; otherwise the session stays busy forever and sync
 	// submitters hang. The pool has a last-resort recover too, but by
@@ -577,11 +637,19 @@ func (s *Server) runUpdate(sn *session, u *update, oracle *asyncOracle, route di
 	}
 	u.setDegraded(flags.Degraded())
 	u.finish(res, rerr)
+	// A session whose pipeline asked at least one disambiguation question
+	// is in a dialogue: its follow-up submits ride the interactive lane.
+	if oracle.asked() {
+		sn.markInteractive()
+	}
 	sn.endUpdate()
-	// Every terminal update outcome feeds the rolling objectives: the
-	// elapsed time covers the whole pipeline including question-wait, the
-	// same latency the client experienced.
-	s.slos.Observe(elapsed, rerr != nil)
+	// Every terminal update outcome feeds the rolling objectives — fleet
+	// and per-tenant: the elapsed time covers the whole pipeline including
+	// question-wait, the same latency the client experienced.
+	failed := rerr != nil
+	tn.RecordOutcome(failed)
+	s.slos.Observe(elapsed, failed)
+	s.tenantSLO(tn.Name()).Observe(elapsed, failed)
 	s.checkIncidents()
 }
 
@@ -723,8 +791,18 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDebugSLO serves the rolling objective state: per-objective budget
-// remaining and every burn-rate window's evaluation.
+// remaining and every burn-rate window's evaluation. ?tenant=NAME selects
+// that tenant's private rings instead of the fleet's.
 func (s *Server) handleDebugSLO(w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("tenant"); name != "" {
+		snap, ok := s.tenantSLOSnapshot(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no SLO state for tenant "+name, 0)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.slos.Snapshot())
 }
 

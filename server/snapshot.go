@@ -94,6 +94,7 @@ func (sn *session) capture(node string, now time.Time) *snapshot.Session {
 		ID:          sn.id,
 		CapturedAt:  now,
 		Node:        node,
+		Tenant:      sn.tenant,
 		ConfigText:  sn.cfgText,
 		MaxAttempts: sn.sess.MaxAttempts,
 		EnableReuse: sn.sess.EnableReuse,
@@ -185,6 +186,9 @@ func (s *Server) RestoreSession(snap *snapshot.Session) error {
 		JournalSession:   snap.ID,
 	}
 	cs.RestoreStats(snap.Stats)
+	// Re-bind the session to its tenant on this daemon's registry; a
+	// malformed or pre-tenancy name folds to the default tenant.
+	tn := s.tenants.Get(snap.Tenant)
 	sn := &session{
 		id:       snap.ID,
 		sess:     cs,
@@ -193,6 +197,7 @@ func (s *Server) RestoreSession(snap *snapshot.Session) error {
 		order:    append([]string(nil), snap.Order...),
 		nextUpd:  snap.NextUpdate,
 		cfgText:  cfg.Print(),
+		tenant:   tn.Name(),
 	}
 	for _, rec := range snap.Updates {
 		u := &update{
@@ -236,8 +241,14 @@ func (s *Server) RestoreSession(snap *snapshot.Session) error {
 		}
 		sn.busy = true
 		sn.oracle = oracle
+		// A pending update with dialogue history keeps its interactive
+		// standing on the successor.
+		sn.dialog = p.Question != nil || len(p.Answers) > 0
+		// The update held an in-flight slot on its original daemon; it
+		// re-enters this registry's accounting without a bucket charge.
+		tn.AdmitRestored()
 		ro := &replayingOracle{answers: p.Answers, live: oracle}
-		runRestored = func() { s.runUpdate(sn, u, oracle, ro, ro) }
+		runRestored = func() { s.runUpdate(sn, u, tn, oracle, ro, ro) }
 	}
 
 	if err := s.mgr.Insert(sn); err != nil {

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/clarifynet/clarify/slo"
+	"github.com/clarifynet/clarify/tenant"
+)
+
+// HeaderPriority lets a caller request the interactive dispatch lane
+// explicitly (value "interactive"). Sessions that have engaged the
+// disambiguation Q&A get the lane automatically; the header covers the
+// first submit of a dialogue-heavy workload.
+const HeaderPriority = "X-Clarify-Priority"
+
+// tenantFromRequest resolves the request's tenant. An absent header means
+// the default tenant; a malformed name reports false and the caller answers
+// 400 (silently folding a typo into "default" would misaccount quota).
+func tenantFromRequest(r *http.Request) (string, bool) {
+	name := r.Header.Get(tenant.HeaderTenant)
+	if name == "" {
+		return tenant.DefaultTenant, true
+	}
+	if !tenant.ValidName(name) {
+		return "", false
+	}
+	return name, true
+}
+
+// tenantFor resolves a session's tenant state from the registry.
+func (s *Server) tenantFor(sn *session) *tenant.Tenant {
+	return s.tenants.Get(sn.tenantName())
+}
+
+// tenantSLO returns (creating on first use) the tenant's private SLO rings,
+// cloned from the server-wide set so every tenant is judged against the
+// same objectives. Returns nil — which no-ops — when the server-wide set is
+// nil-configured.
+func (s *Server) tenantSLO(name string) *slo.Set {
+	s.tslosMu.Lock()
+	defer s.tslosMu.Unlock()
+	set, ok := s.tslos[name]
+	if !ok {
+		set = s.slos.Clone()
+		s.tslos[name] = set
+	}
+	return set
+}
+
+// tenantSLOSnapshot returns one tenant's SLO snapshot, or false if the
+// tenant has no rings yet.
+func (s *Server) tenantSLOSnapshot(name string) (slo.Snapshot, bool) {
+	s.tslosMu.Lock()
+	set, ok := s.tslos[name]
+	s.tslosMu.Unlock()
+	if !ok || set == nil {
+		return slo.Snapshot{}, false
+	}
+	return set.Snapshot(), true
+}
+
+// TenantMetrics is one tenant's slice of the /metrics document.
+type TenantMetrics struct {
+	Profile    tenant.Profile          `json:"profile"`
+	InFlight   int                     `json:"in_flight"`
+	QueueDepth int                     `json:"queue_depth"`
+	Submits    int64                   `json:"submits"`
+	Completed  int64                   `json:"completed"`
+	Failed     int64                   `json:"failed"`
+	Sheds      map[tenant.Reason]int64 `json:"sheds,omitempty"`
+	SLO        *slo.Snapshot           `json:"slo,omitempty"`
+}
+
+// tenantMetrics assembles the per-tenant /metrics section: registry
+// counters joined with queue backlog and each tenant's SLO rings.
+func (s *Server) tenantMetrics() map[string]TenantMetrics {
+	stats := s.tenants.Snapshot()
+	if len(stats) == 0 {
+		return nil
+	}
+	depths := s.pool.FlowDepths()
+	out := make(map[string]TenantMetrics, len(stats))
+	for name, st := range stats {
+		tm := TenantMetrics{
+			Profile:    st.Profile,
+			InFlight:   st.InFlight,
+			QueueDepth: depths[name],
+			Submits:    st.Submits,
+			Completed:  st.Completed,
+			Failed:     st.Failed,
+			Sheds:      st.Sheds,
+		}
+		if snap, ok := s.tenantSLOSnapshot(name); ok {
+			tm.SLO = &snap
+		}
+		out[name] = tm
+	}
+	return out
+}
+
+// sortedTenantNames returns the map's keys in stable order for the
+// Prometheus exposition.
+func sortedTenantNames(m map[string]TenantMetrics) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// admitSubmit runs the tenant admission gates for one submission and, when
+// denied, writes the 429. When it reports true the tenant's in-flight slot
+// is held; the update's terminal path must call Release exactly once.
+func (s *Server) admitSubmit(w http.ResponseWriter, tn *tenant.Tenant) bool {
+	v := tn.Admit()
+	if v.OK {
+		return true
+	}
+	writeShed(w, v.Reason, v.RetryAfter)
+	return false
+}
+
+// writeShed answers a shed submission: 429, a Retry-After hint rounded up
+// to whole seconds, and the gate that rejected it in both the body reason
+// and the X-Clarify-Shed header (so a balancer can count sheds without
+// parsing bodies).
+func writeShed(w http.ResponseWriter, reason tenant.Reason, retryAfter time.Duration) {
+	secs := int(retryAfter / time.Second)
+	if retryAfter%time.Second != 0 || secs < 1 {
+		secs++
+	}
+	w.Header().Set(tenant.HeaderShedReason, string(reason))
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+		Error:             "submission shed: " + shedMessage(reason),
+		RetryAfterSeconds: secs,
+		Reason:            string(reason),
+	})
+}
+
+func shedMessage(reason tenant.Reason) string {
+	switch reason {
+	case tenant.ReasonRate:
+		return "tenant submit rate limit exceeded"
+	case tenant.ReasonConcurrency:
+		return "tenant concurrent-update quota exhausted"
+	case tenant.ReasonQueueFull:
+		return "submission queue full; retry later"
+	case tenant.ReasonOverload:
+		return "server overloaded; bulk submissions are being shed"
+	case tenant.ReasonClosed, tenant.ReasonDrainDeadline:
+		return "server is draining"
+	default:
+		return string(reason)
+	}
+}

@@ -1,0 +1,124 @@
+package tenant
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic bucket and
+// shed-controller tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBucketBurstThenDeny(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBucket(2, 4, clk.Now)
+	for i := 0; i < 4; i++ {
+		if ok, _ := b.Take(); !ok {
+			t.Fatalf("take %d: denied within burst", i)
+		}
+	}
+	ok, retry := b.Take()
+	if ok {
+		t.Fatal("take beyond burst succeeded")
+	}
+	// Empty bucket at 2 tokens/s: one token is 500ms away.
+	if retry != 500*time.Millisecond {
+		t.Fatalf("retry hint = %v, want 500ms", retry)
+	}
+}
+
+func TestBucketFractionalRefillAccumulates(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBucket(2, 1, clk.Now)
+	if ok, _ := b.Take(); !ok {
+		t.Fatal("initial take denied")
+	}
+	// 200ms at 2/s = 0.4 tokens: still short.
+	clk.Advance(200 * time.Millisecond)
+	if ok, retry := b.Take(); ok {
+		t.Fatal("take with 0.4 tokens succeeded")
+	} else if retry != 300*time.Millisecond {
+		t.Fatalf("retry hint = %v, want 300ms", retry)
+	}
+	// Another 300ms brings the fractional remainder to a full token.
+	clk.Advance(300 * time.Millisecond)
+	if ok, _ := b.Take(); !ok {
+		t.Fatal("take after accumulated refill denied")
+	}
+}
+
+func TestBucketRefillClampsToBurst(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBucket(10, 3, clk.Now)
+	for i := 0; i < 3; i++ {
+		b.Take()
+	}
+	clk.Advance(time.Hour) // long idle must not bank more than burst
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.Take(); !ok {
+			t.Fatalf("take %d after idle denied", i)
+		}
+	}
+	if ok, _ := b.Take(); ok {
+		t.Fatal("burst clamp violated: 4th take after idle succeeded")
+	}
+}
+
+func TestBucketUnlimited(t *testing.T) {
+	b := NewBucket(0, 0, newFakeClock().Now)
+	for i := 0; i < 10_000; i++ {
+		if ok, _ := b.Take(); !ok {
+			t.Fatal("unlimited bucket denied")
+		}
+	}
+}
+
+func TestBucketDefaultBurst(t *testing.T) {
+	clk := newFakeClock()
+	// Fractional rate rounds the default burst up, floor 1.
+	b := NewBucket(0.5, 0, clk.Now)
+	if ok, _ := b.Take(); !ok {
+		t.Fatal("first take denied with default burst")
+	}
+	if ok, _ := b.Take(); ok {
+		t.Fatal("second take exceeded default burst of 1")
+	}
+	if ok, retry := b.Take(); ok || retry != 2*time.Second {
+		t.Fatalf("retry hint = %v, want 2s at 0.5/s", retry)
+	}
+}
+
+func TestBucketRetryHintShrinksOverTime(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBucket(1, 1, clk.Now)
+	b.Take()
+	_, r1 := b.Take()
+	clk.Advance(600 * time.Millisecond)
+	_, r2 := b.Take()
+	if r2 >= r1 {
+		t.Fatalf("retry hint did not shrink: %v then %v", r1, r2)
+	}
+	if r2 != 400*time.Millisecond {
+		t.Fatalf("retry hint = %v, want 400ms", r2)
+	}
+}

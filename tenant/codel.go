@@ -1,0 +1,106 @@
+package tenant
+
+import (
+	"sync"
+	"time"
+)
+
+// Default shed-controller tuning. The target bounds how long a bulk job may
+// sit queued before the daemon starts refusing new bulk work; the interval
+// is how long delay must stay above target before shedding engages (CoDel's
+// hysteresis, so a transient burst does not trip it).
+const (
+	DefaultShedTarget   = 200 * time.Millisecond
+	DefaultShedInterval = 2 * time.Second
+)
+
+// ShedConfig tunes the CoDel-style overload detector.
+type ShedConfig struct {
+	// Target is the acceptable bulk queue sojourn time. 0 means
+	// DefaultShedTarget; negative disables overload shedding entirely.
+	Target time.Duration
+	// Interval is how long sojourn must continuously exceed Target before
+	// the queue enters overload mode. 0 means DefaultShedInterval.
+	Interval time.Duration
+}
+
+func (c ShedConfig) withDefaults() ShedConfig {
+	if c.Target == 0 {
+		c.Target = DefaultShedTarget
+	}
+	if c.Interval <= 0 {
+		c.Interval = DefaultShedInterval
+	}
+	return c
+}
+
+// shedController implements CoDel's state machine on dequeue sojourn times:
+// it watches how long each bulk job waited in queue, arms when sojourn
+// first exceeds the target, trips into overload once it has stayed above
+// target for a full interval, and clears the moment any job dequeues under
+// target. The queue consults Overloaded at push time to decide whether to
+// shed arriving bulk work.
+type shedController struct {
+	target   time.Duration
+	interval time.Duration
+	now      func() time.Time
+
+	mu         sync.Mutex
+	firstAbove time.Time // when the current above-target episode trips; zero = not armed
+	shedding   bool
+	entries    int64 // transitions into overload
+}
+
+func newShedController(cfg ShedConfig, now func() time.Time) *shedController {
+	cfg = cfg.withDefaults()
+	if now == nil {
+		now = time.Now
+	}
+	return &shedController{target: cfg.Target, interval: cfg.Interval, now: now}
+}
+
+// disabled reports whether overload shedding is turned off.
+func (c *shedController) disabled() bool { return c == nil || c.target < 0 }
+
+// observe feeds one bulk dequeue sojourn time into the state machine.
+func (c *shedController) observe(sojourn time.Duration) {
+	if c.disabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sojourn < c.target {
+		c.firstAbove = time.Time{}
+		c.shedding = false
+		return
+	}
+	now := c.now()
+	if c.firstAbove.IsZero() {
+		c.firstAbove = now.Add(c.interval)
+		return
+	}
+	if !c.shedding && !now.Before(c.firstAbove) {
+		c.shedding = true
+		c.entries++
+	}
+}
+
+// overloaded reports whether the queue is in overload (shed) mode.
+func (c *shedController) overloaded() bool {
+	if c.disabled() {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shedding
+}
+
+// shedEntries counts transitions into overload mode.
+func (c *shedController) shedEntries() int64 {
+	if c.disabled() {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries
+}

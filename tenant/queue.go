@@ -1,0 +1,348 @@
+package tenant
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// item is one queued job.
+type item struct {
+	run      func()
+	drop     func(Reason)
+	flow     *flow
+	tag      float64 // SFQ start tag (bulk lane)
+	seq      uint64  // arrival order, FIFO tiebreak
+	enqueued time.Time
+	index    int // heap bookkeeping
+}
+
+// flow is the per-tenant fair-queueing state.
+type flow struct {
+	name       string
+	weight     float64
+	lastFinish float64 // virtual finish tag of the flow's latest job
+	backlog    int     // jobs currently queued in the bulk lane
+}
+
+// itemHeap orders bulk jobs by (tag, seq): minimum virtual start tag first,
+// arrival order breaking ties.
+type itemHeap []*item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].tag != h[j].tag {
+		return h[i].tag < h[j].tag
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *itemHeap) Push(x any) {
+	it := x.(*item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// QueueStats is a point-in-time snapshot of queue counters.
+type QueueStats struct {
+	Depth        int   `json:"depth"`
+	Pushed       int64 `json:"pushed"`
+	Popped       int64 `json:"popped"`
+	ShedOverload int64 `json:"shed_overload"`
+	ShedFull     int64 `json:"shed_full"`
+	Dropped      int64 `json:"dropped"`
+	Overloaded   bool  `json:"overloaded"`
+	ShedEntries  int64 `json:"shed_entries"`
+}
+
+// QueueConfig configures NewQueue.
+type QueueConfig struct {
+	// Capacity bounds the total queued jobs across both lanes; <= 0 means
+	// unbounded.
+	Capacity int
+	// Shed tunes the overload detector.
+	Shed ShedConfig
+	// Now is the clock; nil means time.Now.
+	Now func() time.Time
+}
+
+// Queue is a bounded two-lane dispatch queue. The interactive lane is
+// strict-priority FIFO; the bulk lane is start-time weighted fair (SFQ).
+// Workers block in Next; producers call Push, which either admits the job
+// or returns a shed Reason. Safe for concurrent use.
+type Queue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	cap   int
+	now   func() time.Time
+	codel *shedController
+
+	closed bool
+	vtime  float64 // global virtual time: start tag of the latest bulk dispatch
+	seq    uint64
+	bulk   itemHeap
+	prio   []*item
+	flows  map[string]*flow
+
+	pushed, popped         int64
+	shedOverload, shedFull int64
+	dropped                int64
+}
+
+// NewQueue builds a queue.
+func NewQueue(cfg QueueConfig) *Queue {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	q := &Queue{
+		cap:   cfg.Capacity,
+		now:   cfg.Now,
+		codel: newShedController(cfg.Shed, cfg.Now),
+		flows: map[string]*flow{},
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues a job for the named flow. It returns the empty Reason when
+// admitted, or the gate that rejected it. drop may be nil; when non-nil it
+// is invoked (outside the queue lock, by Purge) if the job is discarded
+// before dispatch.
+func (q *Queue) Push(flowName string, weight float64, lane Lane, run func(), drop func(Reason)) Reason {
+	if weight <= 0 {
+		weight = 1
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return ReasonClosed
+	}
+	if q.cap > 0 && len(q.bulk)+len(q.prio) >= q.cap {
+		q.shedFull++
+		q.mu.Unlock()
+		return ReasonQueueFull
+	}
+	if lane == Bulk && q.codel.overloaded() && q.beyondFairShare(flowName, weight) {
+		q.shedOverload++
+		q.mu.Unlock()
+		return ReasonOverload
+	}
+	it := &item{run: run, drop: drop, seq: q.seq, enqueued: q.now()}
+	q.seq++
+	q.pushed++
+	if lane == Interactive {
+		q.prio = append(q.prio, it)
+	} else {
+		f := q.flows[flowName]
+		if f == nil {
+			f = &flow{name: flowName, weight: weight}
+			q.flows[flowName] = f
+		}
+		f.weight = weight
+		it.flow = f
+		it.tag = f.lastFinish
+		if q.vtime > it.tag {
+			it.tag = q.vtime
+		}
+		f.lastFinish = it.tag + 1/f.weight
+		f.backlog++
+		heap.Push(&q.bulk, it)
+	}
+	q.mu.Unlock()
+	q.cond.Signal()
+	return ""
+}
+
+// beyondFairShare reports whether admitting one more bulk job would put the
+// flow at or beyond its weighted share of the current bulk backlog. Called
+// with q.mu held, only while the shed controller is in overload mode: the
+// delay signal is global, but the rejection targets the flows dominating
+// the backlog (FQ-CoDel's discipline), so a light flow still gets through.
+func (q *Queue) beyondFairShare(flowName string, weight float64) bool {
+	total := len(q.bulk)
+	if total == 0 {
+		return false
+	}
+	sumW := weight
+	have := 0
+	for _, f := range q.flows {
+		if f.backlog > 0 {
+			if f.name == flowName {
+				have = f.backlog
+				sumW += f.weight - weight // replace the provisional term
+			} else {
+				sumW += f.weight
+			}
+		}
+	}
+	// Share of the existing backlog, not counting the incoming job: a flow
+	// already at its share is refused more (a lone flooding flow therefore
+	// always is), while a flow with no backlog is always admitted — that
+	// guarantees victim liveness in overload.
+	share := float64(total) * weight / sumW
+	if share < 1 {
+		share = 1
+	}
+	return float64(have+1) > share
+}
+
+// Next blocks until a job is available and returns it. It prefers the
+// interactive lane; otherwise it dispatches the minimum-tag bulk job. It
+// returns false once the queue is closed and empty.
+func (q *Queue) Next() (func(), bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.prio) > 0 {
+			it := q.prio[0]
+			q.prio[0] = nil
+			q.prio = q.prio[1:]
+			q.popped++
+			return it.run, true
+		}
+		if len(q.bulk) > 0 {
+			it := heap.Pop(&q.bulk).(*item)
+			q.popped++
+			if it.tag > q.vtime {
+				q.vtime = it.tag
+			}
+			q.finishItemLocked(it)
+			q.codel.observe(q.now().Sub(it.enqueued))
+			return it.run, true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// finishItemLocked retires a bulk item's flow accounting and prunes idle
+// flow state so the map stays bounded.
+func (q *Queue) finishItemLocked(it *item) {
+	f := it.flow
+	if f == nil {
+		return
+	}
+	if f.backlog > 0 {
+		f.backlog--
+	}
+	if f.backlog == 0 && f.lastFinish <= q.vtime {
+		delete(q.flows, f.name)
+	}
+	if len(q.bulk) == 0 {
+		// Queue idle: forget all flow history. Tags restart at vtime, so
+		// a returning flow competes fresh rather than being penalized for
+		// (or credited with) a backlog that no longer exists.
+		q.flows = map[string]*flow{}
+	}
+}
+
+// TryNext is Next without blocking: ok=false means the queue is momentarily
+// empty (or closed). Used by drain loops.
+func (q *Queue) TryNext() (func(), bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.prio) > 0 {
+		it := q.prio[0]
+		q.prio[0] = nil
+		q.prio = q.prio[1:]
+		q.popped++
+		return it.run, true
+	}
+	if len(q.bulk) > 0 {
+		it := heap.Pop(&q.bulk).(*item)
+		q.popped++
+		if it.tag > q.vtime {
+			q.vtime = it.tag
+		}
+		q.finishItemLocked(it)
+		q.codel.observe(q.now().Sub(it.enqueued))
+		return it.run, true
+	}
+	return nil, false
+}
+
+// Close stops intake. Queued jobs remain dispatchable via Next/TryNext
+// until drained or purged; blocked workers are woken.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Purge discards every queued job, invoking each job's drop callback (if
+// any) with the given reason outside the queue lock. It returns the number
+// of jobs discarded.
+func (q *Queue) Purge(reason Reason) int {
+	q.mu.Lock()
+	items := make([]*item, 0, len(q.prio)+len(q.bulk))
+	items = append(items, q.prio...)
+	items = append(items, q.bulk...)
+	q.prio = nil
+	q.bulk = nil
+	q.flows = map[string]*flow{}
+	q.dropped += int64(len(items))
+	q.mu.Unlock()
+	q.cond.Broadcast()
+	for _, it := range items {
+		if it.drop != nil {
+			it.drop(reason)
+		}
+	}
+	return len(items)
+}
+
+// Depth returns the total queued jobs across both lanes.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.bulk) + len(q.prio)
+}
+
+// Capacity returns the configured bound (0 = unbounded).
+func (q *Queue) Capacity() int { return q.cap }
+
+// Overloaded reports whether the shed controller is in overload mode.
+func (q *Queue) Overloaded() bool { return q.codel.overloaded() }
+
+// FlowDepths returns the current bulk backlog per flow.
+func (q *Queue) FlowDepths() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]int, len(q.flows))
+	for name, f := range q.flows {
+		if f.backlog > 0 {
+			out[name] = f.backlog
+		}
+	}
+	return out
+}
+
+// Stats snapshots the queue counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QueueStats{
+		Depth:        len(q.bulk) + len(q.prio),
+		Pushed:       q.pushed,
+		Popped:       q.popped,
+		ShedOverload: q.shedOverload,
+		ShedFull:     q.shedFull,
+		Dropped:      q.dropped,
+		Overloaded:   q.codel.overloaded(),
+		ShedEntries:  q.codel.shedEntries(),
+	}
+}

@@ -1,0 +1,275 @@
+package tenant
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWFQFairShares is the fairness property test: with every flow fully
+// backlogged, dispatch counts must track weights within tolerance. Run
+// under -race in CI.
+func TestWFQFairShares(t *testing.T) {
+	q := NewQueue(QueueConfig{Shed: ShedConfig{Target: -1}})
+	weights := map[string]float64{"a": 1, "b": 2, "c": 4}
+	const perFlow = 700
+	counts := map[string]*int64{}
+	for name, w := range weights {
+		counts[name] = new(int64)
+		c := counts[name]
+		for i := 0; i < perFlow; i++ {
+			if r := q.Push(name, w, Bulk, func() { atomic.AddInt64(c, 1) }, nil); r != "" {
+				t.Fatalf("push %s: %v", name, r)
+			}
+		}
+	}
+	// Dispatch the first 700 jobs; all flows stay backlogged throughout,
+	// so shares must match weights.
+	const window = 700
+	for i := 0; i < window; i++ {
+		run, ok := q.Next()
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		run()
+	}
+	totalW := 0.0
+	for _, w := range weights {
+		totalW += w
+	}
+	for name, w := range weights {
+		got := float64(atomic.LoadInt64(counts[name]))
+		want := window * w / totalW
+		if math.Abs(got-want) > 0.1*want {
+			t.Errorf("flow %s: dispatched %.0f, want %.0f ±10%%", name, got, want)
+		}
+	}
+}
+
+// TestWFQFairSharesConcurrent runs producers and consumers concurrently
+// (exercised under -race) and checks weighted shares over the saturated
+// window.
+func TestWFQFairSharesConcurrent(t *testing.T) {
+	q := NewQueue(QueueConfig{Shed: ShedConfig{Target: -1}})
+	weights := map[string]float64{"small": 1, "big": 3}
+	const perFlow = 600
+	var wg sync.WaitGroup
+	for name, w := range weights {
+		wg.Add(1)
+		go func(name string, w float64) {
+			defer wg.Done()
+			for i := 0; i < perFlow; i++ {
+				q.Push(name, w, Bulk, func() {}, nil)
+			}
+		}(name, w)
+	}
+	wg.Wait() // saturate before dispatch so shares are well-defined
+
+	var workers sync.WaitGroup
+	popped := int64(0)
+	const window = 600
+	for w := 0; w < 4; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for atomic.AddInt64(&popped, 1) <= window {
+				run, ok := q.Next()
+				if !ok {
+					return
+				}
+				run()
+			}
+		}()
+	}
+	workers.Wait()
+	q.Close()
+	// After exactly 600 pops of the 1200 queued, the big flow must have
+	// drained ~3x as much as the small one (verified via what remains).
+	depths := q.FlowDepths()
+	dispSmall := perFlow - depths["small"]
+	dispBig := perFlow - depths["big"]
+	if dispSmall+dispBig != window {
+		t.Fatalf("dispatched %d+%d, want %d", dispSmall, dispBig, window)
+	}
+	ratio := float64(dispBig) / float64(dispSmall)
+	if ratio < 2.4 || ratio > 3.6 {
+		t.Errorf("big/small dispatch ratio = %.2f, want ~3", ratio)
+	}
+}
+
+func TestPriorityLanePreemptsBulk(t *testing.T) {
+	q := NewQueue(QueueConfig{Shed: ShedConfig{Target: -1}})
+	order := []string{}
+	for i := 0; i < 5; i++ {
+		q.Push("bulk", 1, Bulk, func() { order = append(order, "bulk") }, nil)
+	}
+	q.Push("vip", 1, Interactive, func() { order = append(order, "vip") }, nil)
+	run, _ := q.Next()
+	run()
+	if order[0] != "vip" {
+		t.Fatalf("first dispatch = %q, want vip (interactive preempts %d queued bulk)", order[0], 5)
+	}
+}
+
+func TestQueueCapacityShedsFull(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 2, Shed: ShedConfig{Target: -1}})
+	if r := q.Push("a", 1, Bulk, func() {}, nil); r != "" {
+		t.Fatal(r)
+	}
+	if r := q.Push("a", 1, Bulk, func() {}, nil); r != "" {
+		t.Fatal(r)
+	}
+	if r := q.Push("a", 1, Bulk, func() {}, nil); r != ReasonQueueFull {
+		t.Fatalf("push over capacity = %q, want %q", r, ReasonQueueFull)
+	}
+	if st := q.Stats(); st.ShedFull != 1 {
+		t.Fatalf("ShedFull = %d, want 1", st.ShedFull)
+	}
+}
+
+func TestQueuePurgeInvokesDrop(t *testing.T) {
+	q := NewQueue(QueueConfig{})
+	var dropped []Reason
+	for i := 0; i < 3; i++ {
+		q.Push("a", 1, Bulk, func() { t.Error("purged job ran") }, func(r Reason) { dropped = append(dropped, r) })
+	}
+	q.Push("a", 1, Interactive, func() { t.Error("purged job ran") }, func(r Reason) { dropped = append(dropped, r) })
+	q.Close()
+	if n := q.Purge(ReasonDrainDeadline); n != 4 {
+		t.Fatalf("purged %d, want 4", n)
+	}
+	if len(dropped) != 4 {
+		t.Fatalf("drop callbacks = %d, want 4", len(dropped))
+	}
+	for _, r := range dropped {
+		if r != ReasonDrainDeadline {
+			t.Fatalf("drop reason = %q", r)
+		}
+	}
+	if _, ok := q.Next(); ok {
+		t.Fatal("Next returned a job after close+purge")
+	}
+}
+
+func TestQueueClosedRejectsPush(t *testing.T) {
+	q := NewQueue(QueueConfig{})
+	q.Close()
+	if r := q.Push("a", 1, Bulk, func() {}, nil); r != ReasonClosed {
+		t.Fatalf("push after close = %q, want %q", r, ReasonClosed)
+	}
+}
+
+// TestOverloadShedsFairShareOnly: in overload mode the dominant flow is
+// shed while a light flow's pushes are still admitted.
+func TestOverloadShedsFairShareOnly(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQueue(QueueConfig{
+		Shed: ShedConfig{Target: 50 * time.Millisecond, Interval: 100 * time.Millisecond},
+		Now:  clk.Now,
+	})
+	// Build a backlog dominated by the noisy flow.
+	for i := 0; i < 20; i++ {
+		q.Push("noisy", 1, Bulk, func() {}, nil)
+	}
+	q.Push("victim", 1, Bulk, func() {}, nil)
+	// Trip the controller: two above-target sojourns an interval apart.
+	clk.Advance(60 * time.Millisecond)
+	if run, ok := q.Next(); ok {
+		run()
+	}
+	clk.Advance(110 * time.Millisecond)
+	if run, ok := q.Next(); ok {
+		run()
+	}
+	if !q.Overloaded() {
+		t.Fatal("queue not overloaded after sustained above-target sojourns")
+	}
+	// Noisy (≈19/19 of backlog, fair share ≈10) is shed; victim (1) is not.
+	if r := q.Push("noisy", 1, Bulk, func() {}, nil); r != ReasonOverload {
+		t.Fatalf("noisy push in overload = %q, want %q", r, ReasonOverload)
+	}
+	if r := q.Push("victim", 1, Bulk, func() {}, nil); r != "" {
+		t.Fatalf("victim push in overload = %q, want admitted", r)
+	}
+	// Interactive lane is never overload-shed.
+	if r := q.Push("noisy", 1, Interactive, func() {}, nil); r != "" {
+		t.Fatalf("interactive push in overload = %q, want admitted", r)
+	}
+}
+
+// TestOverloadClearsOnFastSojourn: one below-target dequeue exits shed mode.
+func TestOverloadClearsOnFastSojourn(t *testing.T) {
+	clk := newFakeClock()
+	c := newShedController(ShedConfig{Target: 50 * time.Millisecond, Interval: 100 * time.Millisecond}, clk.Now)
+	c.observe(60 * time.Millisecond) // arms
+	clk.Advance(110 * time.Millisecond)
+	c.observe(70 * time.Millisecond) // trips
+	if !c.overloaded() {
+		t.Fatal("controller did not trip")
+	}
+	c.observe(10 * time.Millisecond) // clears
+	if c.overloaded() {
+		t.Fatal("controller did not clear on below-target sojourn")
+	}
+	if c.shedEntries() != 1 {
+		t.Fatalf("shedEntries = %d, want 1", c.shedEntries())
+	}
+}
+
+// TestShedHysteresis: a single above-target sojourn does not trip shedding
+// until it has persisted a full interval.
+func TestShedHysteresis(t *testing.T) {
+	clk := newFakeClock()
+	c := newShedController(ShedConfig{Target: 50 * time.Millisecond, Interval: 100 * time.Millisecond}, clk.Now)
+	c.observe(200 * time.Millisecond)
+	if c.overloaded() {
+		t.Fatal("tripped on first above-target sojourn")
+	}
+	clk.Advance(50 * time.Millisecond)
+	c.observe(200 * time.Millisecond)
+	if c.overloaded() {
+		t.Fatal("tripped before a full interval above target")
+	}
+	clk.Advance(60 * time.Millisecond)
+	c.observe(200 * time.Millisecond)
+	if !c.overloaded() {
+		t.Fatal("did not trip after a full interval above target")
+	}
+}
+
+func TestVirtualTimeResetWhenIdle(t *testing.T) {
+	q := NewQueue(QueueConfig{Shed: ShedConfig{Target: -1}})
+	// A heavy burst from one flow advances its finish tag far ahead.
+	for i := 0; i < 50; i++ {
+		q.Push("burst", 1, Bulk, func() {}, nil)
+	}
+	for {
+		run, ok := q.TryNext()
+		if !ok {
+			break
+		}
+		run()
+	}
+	if len(q.FlowDepths()) != 0 {
+		t.Fatal("flow state survived idle queue")
+	}
+	// After idling, the burst flow competes fresh: interleaving with a new
+	// equal-weight flow is ~1:1, not starved by its history.
+	for i := 0; i < 10; i++ {
+		q.Push("burst", 1, Bulk, func() {}, nil)
+		q.Push("fresh", 1, Bulk, func() {}, nil)
+	}
+	depths := q.FlowDepths()
+	if depths["burst"] != 10 || depths["fresh"] != 10 {
+		t.Fatalf("depths = %v", depths)
+	}
+	// First two dispatches must cover both flows (no starvation).
+	q.TryNext()
+	q.TryNext()
+	d := q.FlowDepths()
+	if d["burst"] != 9 || d["fresh"] != 9 {
+		t.Fatalf("after 2 pops depths = %v, want one from each", d)
+	}
+}

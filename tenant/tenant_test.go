@@ -1,0 +1,172 @@
+package tenant
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestParseProfile(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Profile
+		err  bool
+	}{
+		{"", Profile{Weight: 1}, false},
+		{"4", Profile{Weight: 4}, false},
+		{"4:10", Profile{Weight: 4, Rate: 10, Burst: 10}, false},
+		{"4:10:25:8", Profile{Weight: 4, Rate: 10, Burst: 25, MaxConcurrent: 8}, false},
+		{"::5", Profile{Weight: 1}, false}, // burst without rate is inert
+		{":::3", Profile{Weight: 1, MaxConcurrent: 3}, false},
+		{"1:0.5", Profile{Weight: 1, Rate: 0.5, Burst: 1}, false},
+		{"a", Profile{}, true},
+		{"1:2:3:4:5", Profile{}, true},
+		{"-1", Profile{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseProfile(c.spec)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseProfile(%q): want error, got %+v", c.spec, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseProfile(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseProfile(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParseProfiles(t *testing.T) {
+	def := Profile{Weight: 4, Rate: 20, Burst: 40, MaxConcurrent: 16}
+	got, err := ParseProfiles("teamA, mallory:1:2:4:2, teamB::10", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Profile{
+		{Name: "teamA", Weight: 4, Rate: 20, Burst: 40, MaxConcurrent: 16},
+		{Name: "mallory", Weight: 1, Rate: 2, Burst: 4, MaxConcurrent: 2},
+		// Overridden rate with no explicit burst re-derives burst from the
+		// new rate; unset weight/concurrent inherit the default.
+		{Name: "teamB", Weight: 4, Rate: 10, Burst: 10, MaxConcurrent: 16},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d profiles, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("profile %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	for _, bad := range []string{"bad name:1", "dup:1,dup:2", "x:1:2:3:4:5", "ok:-2"} {
+		if _, err := ParseProfiles(bad, def); err == nil {
+			t.Errorf("ParseProfiles(%q): want error", bad)
+		}
+	}
+}
+
+func TestRegistryAdmitQuotas(t *testing.T) {
+	clk := newFakeClock()
+	r := NewRegistry(RegistryConfig{
+		Default:  Profile{Weight: 1},
+		Profiles: []Profile{{Name: "capped", Weight: 1, Rate: 100, MaxConcurrent: 2}},
+		Now:      clk.Now,
+	})
+	c := r.Get("capped")
+	if v := c.Admit(); !v.OK {
+		t.Fatalf("admit 1: %+v", v)
+	}
+	if v := c.Admit(); !v.OK {
+		t.Fatalf("admit 2: %+v", v)
+	}
+	v := c.Admit()
+	if v.OK || v.Reason != ReasonConcurrency {
+		t.Fatalf("admit 3 = %+v, want concurrency denial", v)
+	}
+	if v.RetryAfter <= 0 {
+		t.Fatal("concurrency denial carries no Retry-After hint")
+	}
+	c.Release()
+	if v := c.Admit(); !v.OK {
+		t.Fatalf("admit after release: %+v", v)
+	}
+	st := c.Stats()
+	if st.Submits != 3 || st.Sheds[ReasonConcurrency] != 1 || st.InFlight != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRegistryRateDenialRetryAfter(t *testing.T) {
+	clk := newFakeClock()
+	r := NewRegistry(RegistryConfig{
+		Default: Profile{Weight: 1, Rate: 2, Burst: 1},
+		Now:     clk.Now,
+	})
+	a := r.Get("a")
+	if v := a.Admit(); !v.OK {
+		t.Fatalf("first admit: %+v", v)
+	}
+	v := a.Admit()
+	if v.OK || v.Reason != ReasonRate {
+		t.Fatalf("second admit = %+v, want rate denial", v)
+	}
+	if v.RetryAfter != 500*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 500ms", v.RetryAfter)
+	}
+}
+
+func TestRegistryDefaultAndInvalidNames(t *testing.T) {
+	r := NewRegistry(RegistryConfig{Default: Profile{Weight: 2}})
+	if got := r.Get("").Name(); got != DefaultTenant {
+		t.Fatalf("empty name → %q", got)
+	}
+	if got := r.Get("bad name!").Name(); got != DefaultTenant {
+		t.Fatalf("invalid name → %q", got)
+	}
+	if w := r.Get("anyone").Weight(); w != 2 {
+		t.Fatalf("unknown tenant weight = %v, want default 2", w)
+	}
+}
+
+func TestRegistryCardinalityCap(t *testing.T) {
+	r := NewRegistry(RegistryConfig{Default: Profile{Weight: 1}, MaxTenants: 3})
+	for i := 0; i < 3; i++ {
+		r.Get(fmt.Sprintf("t%d", i))
+	}
+	over := r.Get("t99")
+	if over.Name() != OverflowTenant {
+		t.Fatalf("tenant beyond cap = %q, want %q", over.Name(), OverflowTenant)
+	}
+	if again := r.Get("t77"); again != over {
+		t.Fatal("overflow tenants not folded into one entry")
+	}
+	// Existing tenants still resolve to their own entries.
+	if r.Get("t0").Name() != "t0" {
+		t.Fatal("existing tenant displaced by overflow")
+	}
+	if n := len(r.Snapshot()); n != 4 { // 3 + overflow
+		t.Fatalf("snapshot size = %d, want 4", n)
+	}
+}
+
+func TestValidName(t *testing.T) {
+	for _, ok := range []string{"a", "team-A_1.x", "X"} {
+		if !ValidName(ok) {
+			t.Errorf("ValidName(%q) = false", ok)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", string(long), "é"} {
+		if ValidName(bad) {
+			t.Errorf("ValidName(%q) = true", bad)
+		}
+	}
+}
