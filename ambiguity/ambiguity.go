@@ -1,0 +1,223 @@
+// Package ambiguity quantifies the disambiguation loop: how large the
+// candidate space of plausible insertions is before any clarifying question,
+// how much each answer narrows it, and how much ambiguity remains when the
+// update is accepted.
+//
+// The measure is model counting over the symbolic candidate space. A
+// disambiguation run leaves a set of overlapping rules undecided; the union
+// of their distinguishing regions (the inputs whose handling depends on the
+// placement still in play) is a BDD, and log₂ of its satisfying-assignment
+// count — its share of the route/packet universe — is the ambiguity in bits.
+// Each answered question shrinks the undecided range, and the drop in bits
+// is that question's information gain. The per-update record is a Ledger;
+// Rollup aggregates ledgers per strategy and fleet-wide.
+//
+// The package sits above bdd and below disambig so every layer — disambig,
+// clarify, journal, replay, server, lb, the offline analyzer — shares one
+// ledger type without import cycles.
+package ambiguity
+
+import (
+	"math"
+	"math/big"
+
+	"github.com/clarifynet/clarify/bdd"
+)
+
+// Log2 returns log₂(c) for a positive count, 0 otherwise. Counts larger
+// than float64 range are handled by splitting off the bit length.
+func Log2(c *big.Int) float64 {
+	if c == nil || c.Sign() <= 0 {
+		return 0
+	}
+	bl := c.BitLen()
+	if bl <= 53 {
+		return math.Log2(float64(c.Uint64()))
+	}
+	// Keep the top 53 bits of precision and add the shifted-off exponent.
+	shift := uint(bl - 53)
+	m := new(big.Int).Rsh(c, shift)
+	return math.Log2(float64(m.Uint64())) + float64(shift)
+}
+
+// Bits measures a candidate region in bits: log₂ of its model count in p's
+// universe. The empty region (and a single-model region) measures 0 bits —
+// nothing left to disambiguate.
+func Bits(p *bdd.Pool, f bdd.Node) float64 {
+	if f == bdd.False {
+		return 0
+	}
+	return Log2(p.SatCount(f))
+}
+
+// Question is the ledger entry for one answered clarifying question.
+type Question struct {
+	// BeforeBits and AfterBits measure the undecided candidate region
+	// immediately before and after the answer.
+	BeforeBits float64 `json:"beforeBits"`
+	AfterBits  float64 `json:"afterBits"`
+	// GainBits is the information the answer delivered (before − after,
+	// clamped at zero).
+	GainBits float64 `json:"gainBits"`
+	// PreferNew is the user's answer: true for OPTION 1 (the new rule
+	// applies to the shown input).
+	PreferNew bool `json:"preferNew"`
+}
+
+// Ledger is one update's ambiguity accounting: the candidate-space
+// cardinality before synthesis resolution, after each clarifying question,
+// and at accept. It is persisted verbatim in journal records (schema v3)
+// and byte-compared by replay, so every field must marshal
+// deterministically.
+type Ledger struct {
+	// Kind is "route-map" or "acl".
+	Kind string `json:"kind"`
+	// Strategy is the insertion strategy that ran ("binary", "linear",
+	// "top-bottom").
+	Strategy string `json:"strategy"`
+	// InitialBits is the ambiguity of the full undecided candidate region
+	// before any question.
+	InitialBits float64 `json:"initialBits"`
+	// ResidualBits is the ambiguity left undecided when the insertion was
+	// accepted (0 when the search fully resolved the range).
+	ResidualBits float64 `json:"residualBits"`
+	// Questions are the per-question entries, in the order asked.
+	Questions []Question `json:"questions,omitempty"`
+}
+
+// QuestionCount is the number of clarifying questions asked. Nil-safe.
+func (l *Ledger) QuestionCount() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.Questions)
+}
+
+// ResolvedBits is the ambiguity the run eliminated: initial minus residual,
+// clamped at zero. Nil-safe.
+func (l *Ledger) ResolvedBits() float64 {
+	if l == nil {
+		return 0
+	}
+	r := l.InitialBits - l.ResidualBits
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Efficiency is the strategy's question-efficiency score: bits resolved per
+// question asked. A run that resolved everything without questions (no
+// distinguishable overlaps, or an equivalence proof) scores 0 — there was
+// no question to be efficient with. Nil-safe.
+func (l *Ledger) Efficiency() float64 {
+	if l == nil || len(l.Questions) == 0 {
+		return 0
+	}
+	return l.ResolvedBits() / float64(len(l.Questions))
+}
+
+// Meter accumulates a Ledger while a gap search narrows the undecided probe
+// range. regions[i] is the distinguishing candidate region of probe i; the
+// undecided ambiguity of range [lo,hi) is Bits(∪ regions[lo:hi)).
+//
+// All pool work happens in NewMeter: the bits of every interval a search
+// can reach (the binary-search tree's intervals plus all prefixes and
+// suffixes) are precomputed while the caller still holds the symbolic
+// space, so Question and Finish are pure lookups and the pool can be
+// released back to its SpaceCache before the first oracle round trip. All
+// methods are no-ops on a nil Meter, so instrumented searches need no
+// ledger-enabled branches and the ledger-off path pays nothing.
+type Meter struct {
+	n    int
+	bits map[interval]float64
+	led  Ledger
+}
+
+type interval struct{ lo, hi int }
+
+// NewMeter starts a ledger for one insertion run over the given
+// distinguishing regions, measuring InitialBits over their union.
+func NewMeter(pool *bdd.Pool, kind, strategy string, regions []bdd.Node) *Meter {
+	m := &Meter{n: len(regions), bits: map[interval]float64{}}
+	m.led.Kind = kind
+	m.led.Strategy = strategy
+	measure := func(lo, hi int) float64 {
+		if lo >= hi {
+			return 0
+		}
+		if b, ok := m.bits[interval{lo, hi}]; ok {
+			return b
+		}
+		u := bdd.False
+		for _, r := range regions[lo:hi] {
+			u = pool.Or(u, r)
+		}
+		b := Bits(pool, u)
+		m.bits[interval{lo, hi}] = b
+		return b
+	}
+	// Binary-search tree intervals (both branches at every node).
+	var fill func(lo, hi int)
+	fill = func(lo, hi int) {
+		if lo >= hi {
+			return
+		}
+		measure(lo, hi)
+		mid := (lo + hi) / 2
+		fill(lo, mid)
+		fill(mid+1, hi)
+	}
+	fill(0, len(regions))
+	// Prefixes and suffixes (linear search, top-bottom residuals).
+	for g := 0; g <= len(regions); g++ {
+		measure(0, g)
+		measure(g, len(regions))
+	}
+	m.led.InitialBits = measure(0, len(regions))
+	return m
+}
+
+// rangeBits looks up the precomputed bits of the undecided range [lo,hi).
+func (m *Meter) rangeBits(lo, hi int) float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > m.n {
+		hi = m.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	return m.bits[interval{lo, hi}]
+}
+
+// Question records one answered question: the search's undecided range
+// narrowed from [lo,hi) to [lo2,hi2).
+func (m *Meter) Question(lo, hi, lo2, hi2 int, preferNew bool) {
+	if m == nil {
+		return
+	}
+	before := m.rangeBits(lo, hi)
+	after := m.rangeBits(lo2, hi2)
+	gain := before - after
+	if gain < 0 {
+		gain = 0
+	}
+	m.led.Questions = append(m.led.Questions, Question{
+		BeforeBits: before,
+		AfterBits:  after,
+		GainBits:   gain,
+		PreferNew:  preferNew,
+	})
+}
+
+// Finish seals the ledger with the range still undecided at accept and
+// returns it. Returns nil on a nil Meter.
+func (m *Meter) Finish(lo, hi int) *Ledger {
+	if m == nil {
+		return nil
+	}
+	m.led.ResidualBits = m.rangeBits(lo, hi)
+	return &m.led
+}

@@ -1,0 +1,29 @@
+package ambiguity
+
+import "github.com/clarifynet/clarify/obs"
+
+// Annotate attaches the ledger to the disambiguate span as typed attrs:
+// the run summary on sp itself and the per-question entries, in order, on
+// its "question-wait" children (one per oracle round trip). Safe on a nil
+// span or nil ledger.
+func Annotate(sp *obs.Span, l *Ledger) {
+	if sp == nil || l == nil {
+		return
+	}
+	sp.SetFloat("ambiguity.before_bits", l.InitialBits)
+	sp.SetFloat("ambiguity.after_bits", l.ResidualBits)
+	sp.SetFloat("ambiguity.resolved_bits", l.ResolvedBits())
+	sp.SetFloat("ambiguity.efficiency", l.Efficiency())
+	sp.SetStr("ambiguity.strategy", l.Strategy)
+	k := 0
+	for _, c := range sp.Children {
+		if c.Name != "question-wait" || k >= len(l.Questions) {
+			continue
+		}
+		q := l.Questions[k]
+		c.SetFloat("ambiguity.before_bits", q.BeforeBits)
+		c.SetFloat("ambiguity.after_bits", q.AfterBits)
+		c.SetFloat("ambiguity.gain_bits", q.GainBits)
+		k++
+	}
+}

@@ -1,0 +1,128 @@
+package clarify
+
+import (
+	"context"
+	"testing"
+
+	"github.com/clarifynet/clarify/disambig"
+	"github.com/clarifynet/clarify/ios"
+	"github.com/clarifynet/clarify/llm"
+	"github.com/clarifynet/clarify/obs"
+)
+
+// TestAmbiguityAttrsOnTrace is the telemetry acceptance walkthrough: the
+// paper's §2.1 example with one injected synthesis fault, traced. The
+// disambiguate span must carry the ledger summary as typed float attrs
+// (ambiguity.before_bits / after_bits), and each question-wait child the
+// per-question information gain.
+func TestAmbiguityAttrsOnTrace(t *testing.T) {
+	var captured *obs.Trace
+	s := &Session{
+		Client: llm.NewSimLLM(llm.FaultWrongValue),
+		Config: ios.MustParse(paperISPOut),
+		RouteOracle: disambig.FuncRouteOracle(func(disambig.RouteQuestion) (bool, error) {
+			return true, nil
+		}),
+		Observer: obs.SinkFunc(func(tr *obs.Trace) { captured = tr }),
+	}
+	res, err := s.Submit(context.Background(), paperPrompt, "ISP_OUT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if captured == nil {
+		t.Fatal("observer never received a trace")
+	}
+
+	// The result carries the same ledger the trace is annotated from.
+	if res.RouteInsert == nil || res.RouteInsert.Ambiguity == nil {
+		t.Fatal("traced route insert has no ambiguity ledger")
+	}
+	led := res.RouteInsert.Ambiguity
+	if led.Kind != "route-map" || led.Strategy != "binary" {
+		t.Errorf("ledger = %s/%s, want route-map/binary", led.Kind, led.Strategy)
+	}
+	if led.InitialBits <= 0 {
+		t.Errorf("InitialBits = %v, want > 0 (the walkthrough has overlapping candidates)", led.InitialBits)
+	}
+	if led.ResidualBits != 0 {
+		t.Errorf("ResidualBits = %v, want 0 (binary search pins the slot)", led.ResidualBits)
+	}
+	if led.QuestionCount() == 0 || led.Efficiency() <= 0 {
+		t.Errorf("ledger asked %d questions at %v bits/question, want > 0",
+			led.QuestionCount(), led.Efficiency())
+	}
+
+	dsp := captured.Find("disambiguate")
+	if dsp == nil {
+		t.Fatal("trace has no disambiguate span")
+	}
+	before, ok := dsp.Attr("ambiguity.before_bits")
+	if !ok || before.Kind != obs.AttrFloat || before.Float != led.InitialBits {
+		t.Errorf("ambiguity.before_bits = %+v ok=%v, want float %v", before, ok, led.InitialBits)
+	}
+	after, ok := dsp.Attr("ambiguity.after_bits")
+	if !ok || after.Kind != obs.AttrFloat || after.Float != led.ResidualBits {
+		t.Errorf("ambiguity.after_bits = %+v ok=%v, want float %v", after, ok, led.ResidualBits)
+	}
+	if a, ok := dsp.Attr("ambiguity.resolved_bits"); !ok || a.Float != led.ResolvedBits() {
+		t.Errorf("ambiguity.resolved_bits = %+v ok=%v, want %v", a, ok, led.ResolvedBits())
+	}
+	if a, ok := dsp.Attr("ambiguity.strategy"); !ok || a.Str != "binary" {
+		t.Errorf("ambiguity.strategy = %+v ok=%v, want binary", a, ok)
+	}
+
+	// Every question-wait child carries its question's entry, in order.
+	var waits []*obs.Span
+	for _, c := range dsp.Children {
+		if c.Name == "question-wait" {
+			waits = append(waits, c)
+		}
+	}
+	if len(waits) != led.QuestionCount() {
+		t.Fatalf("%d question-wait spans for %d ledger questions", len(waits), led.QuestionCount())
+	}
+	for i, w := range waits {
+		q := led.Questions[i]
+		if a, ok := w.Attr("ambiguity.before_bits"); !ok || a.Float != q.BeforeBits {
+			t.Errorf("wait %d before_bits = %+v ok=%v, want %v", i, a, ok, q.BeforeBits)
+		}
+		if a, ok := w.Attr("ambiguity.after_bits"); !ok || a.Float != q.AfterBits {
+			t.Errorf("wait %d after_bits = %+v ok=%v, want %v", i, a, ok, q.AfterBits)
+		}
+		g, ok := w.Attr("ambiguity.gain_bits")
+		if !ok || g.Kind != obs.AttrFloat || g.Float != q.GainBits {
+			t.Errorf("wait %d gain_bits = %+v ok=%v, want %v", i, g, ok, q.GainBits)
+		}
+		if q.GainBits < 0 {
+			t.Errorf("wait %d negative gain %v", i, q.GainBits)
+		}
+	}
+	// The per-question gains plus residual account for the initial ambiguity
+	// on this fully-resolved run: the last after_bits is the residual.
+	if last := led.Questions[len(led.Questions)-1]; last.AfterBits != led.ResidualBits {
+		t.Errorf("final after_bits %v != residual %v", last.AfterBits, led.ResidualBits)
+	}
+}
+
+// TestUntracedUnjournaledRunSkipsLedger: with no observer, no trace and no
+// journal there is no telemetry consumer, so the pipeline must not pay for
+// the meter's model counting.
+func TestUntracedUnjournaledRunSkipsLedger(t *testing.T) {
+	s := &Session{
+		Client: llm.NewSimLLM(),
+		Config: ios.MustParse(paperISPOut),
+		RouteOracle: disambig.FuncRouteOracle(func(disambig.RouteQuestion) (bool, error) {
+			return true, nil
+		}),
+	}
+	res, err := s.Submit(context.Background(), paperPrompt, "ISP_OUT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RouteInsert == nil {
+		t.Fatal("no route insert result")
+	}
+	if res.RouteInsert.Ambiguity != nil {
+		t.Fatalf("ledger-off run still metered: %+v", res.RouteInsert.Ambiguity)
+	}
+}

@@ -75,6 +75,12 @@ type Pool struct {
 
 	numVars int
 
+	// satMemo caches per-node SatCount sub-results across calls. Nodes are
+	// append-only and immutable, so an entry stays valid for the pool's
+	// lifetime — except that terminal weighting depends on numVars, so
+	// AddVars drops the memo. Grown lazily to len(nodes) on each SatCount.
+	satMemo []*big.Int
+
 	stats Counters
 }
 
@@ -152,6 +158,8 @@ func (p *Pool) AddVars(n int) int {
 	}
 	first := p.numVars
 	p.numVars += n
+	// Cached sub-counts weight terminals by the old numVars; drop them.
+	p.satMemo = nil
 	return first
 }
 
@@ -492,9 +500,20 @@ func (p *Pool) AnySat(f Node) (assignment map[int]bool, ok bool) {
 }
 
 // SatCount returns the number of total assignments over the pool's universe
-// satisfying f.
+// satisfying f. Per-node sub-counts are memoized on the pool across calls
+// (nodes are immutable), so repeated counts — the ambiguity ledger's access
+// pattern — only pay for nodes not yet visited.
 func (p *Pool) SatCount(f Node) *big.Int {
-	memo := make([]*big.Int, len(p.nodes))
+	if n := len(p.nodes); len(p.satMemo) < n {
+		if cap(p.satMemo) >= n {
+			p.satMemo = p.satMemo[:n]
+		} else {
+			grown := make([]*big.Int, n, 2*n)
+			copy(grown, p.satMemo)
+			p.satMemo = grown
+		}
+	}
+	memo := p.satMemo
 	var rec func(n Node) *big.Int // count over variables strictly below n's level
 	rec = func(n Node) *big.Int {
 		if n == False {

@@ -20,6 +20,7 @@ import (
 	"github.com/clarifynet/clarify/ios"
 	"github.com/clarifynet/clarify/journal"
 	"github.com/clarifynet/clarify/llm"
+	"github.com/clarifynet/clarify/obs"
 	"github.com/clarifynet/clarify/symbolic"
 )
 
@@ -101,6 +102,48 @@ func BenchmarkRepeatedUpdates(b *testing.B) {
 	}
 	b.Run("uncached", func(b *testing.B) { run(b, nil) })
 	b.Run("cached", func(b *testing.B) { run(b, symbolic.NewSpaceCache()) })
+}
+
+// BenchmarkAmbiguityLedgerOverhead measures the information-gain ledger's
+// cost on the uncached Submit path: the identical loop to
+// BenchmarkRepeatedUpdates/uncached, once with no telemetry consumer (the
+// meter never runs) and once traced (every update metered via model counting
+// over the candidate space). The ledger-on variant must stay within 5% of
+// ledger-off — the SatCount memo and the precomputed interval table are what
+// keep it there.
+func BenchmarkAmbiguityLedgerOverhead(b *testing.B) {
+	run := func(b *testing.B, metered bool) {
+		var bits float64
+		var questions int
+		for i := 0; i < b.N; i++ {
+			session := &clarify.Session{
+				Client: llm.NewSimLLM(),
+				Config: ios.MustParse(paperISPOut),
+				RouteOracle: disambig.FuncRouteOracle(func(disambig.RouteQuestion) (bool, error) {
+					return true, nil
+				}),
+			}
+			if metered {
+				session.Observer = obs.SinkFunc(func(*obs.Trace) {})
+			}
+			res, err := session.Submit(context.Background(), paperPrompt, "ISP_OUT")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if led := res.RouteInsert.Ambiguity; led != nil {
+				bits = led.InitialBits
+				questions = led.QuestionCount()
+			} else if metered {
+				b.Fatal("metered run produced no ledger")
+			}
+		}
+		if metered {
+			b.ReportMetric(bits, "initial-bits")
+			b.ReportMetric(float64(questions), "questions/update")
+		}
+	}
+	b.Run("ledger-off", func(b *testing.B) { run(b, false) })
+	b.Run("ledger-on", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkJournalOverhead measures the flight recorder's cost on the Submit

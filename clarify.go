@@ -378,6 +378,12 @@ func (s *Session) endJournal(ctx context.Context, tr *obs.Trace, base *ios.Confi
 	}
 	if res != nil {
 		r.Attempts = res.Attempts
+		if res.RouteInsert != nil {
+			r.Ambiguity = res.RouteInsert.Ambiguity
+		}
+		if res.ACLInsert != nil {
+			r.Ambiguity = res.ACLInsert.Ambiguity
+		}
 		if res.Config != nil {
 			r.FinalConfig = res.Config.Print()
 			r.ConfigDiff = journal.Diff(baseText, r.FinalConfig)
@@ -537,6 +543,10 @@ func (s *Session) insertRouteSnippet(root *obs.Span, cfg, snippet *ios.Config, s
 	dsp.End()
 	root.Logf("disambiguated %s: %d distinguishing overlap(s), %d question(s), inserted at position %d",
 		mapName, len(res.Overlaps), len(res.Questions), res.Position)
+	if led := res.Ambiguity; led != nil {
+		root.Logf("ambiguity: %.1f bits before, %.1f resolved by %d question(s), %.1f residual",
+			led.InitialBits, led.ResolvedBits(), led.QuestionCount(), led.ResidualBits)
+	}
 	s.mu.Lock()
 	s.stats.Disambiguations += len(res.Questions)
 	s.stats.Updates++
@@ -669,6 +679,10 @@ func (s *Session) insertACLSnippet(root *obs.Span, cfg, snippet *ios.Config, sni
 	dsp.End()
 	root.Logf("disambiguated %s: %d distinguishing overlap(s), %d question(s), inserted at position %d",
 		aclName, len(res.Overlaps), len(res.Questions), res.Position)
+	if led := res.Ambiguity; led != nil {
+		root.Logf("ambiguity: %.1f bits before, %.1f resolved by %d question(s), %.1f residual",
+			led.InitialBits, led.ResolvedBits(), led.QuestionCount(), led.ResidualBits)
+	}
 	s.mu.Lock()
 	s.stats.Disambiguations += len(res.Questions)
 	s.stats.Updates++

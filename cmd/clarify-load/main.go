@@ -107,6 +107,17 @@ func main() {
 			"clarify-load: %d updates (%d failed, %d degraded) in %.1fs; %.1f ok/s; p50 %.0fms p95 %.0fms p99 %.0fms\n",
 			rep.Updates, rep.Failures, rep.Degraded, rep.DurationSeconds,
 			rep.Throughput, rep.Latency.P50Ms, rep.Latency.P95Ms, rep.Latency.P99Ms)
+		if rep.Questions.Count > 0 {
+			fmt.Fprintf(os.Stderr,
+				"clarify-load: questions/update: mean %.2f p50 %.0f p95 %.0f p99 %.0f max %.0f\n",
+				rep.Questions.Mean, rep.Questions.P50, rep.Questions.P95, rep.Questions.P99, rep.Questions.Max)
+		}
+		if amb := rep.DaemonAmbiguity; amb != nil && amb.Rollup != nil && amb.Rollup.Total.Questions > 0 {
+			fmt.Fprintf(os.Stderr,
+				"clarify-load: ambiguity: %.1f bits resolved over %d questions (%.2f bits/question), %.1f bits residual\n",
+				amb.Rollup.Total.ResolvedBits, amb.Rollup.Total.Questions,
+				amb.Rollup.Total.BitsPerQuestion(), amb.Rollup.Total.ResidualBits)
+		}
 		if rep.Disruptions > 0 {
 			fmt.Fprintf(os.Stderr, "clarify-load: %d replica disruptions survived by failover\n", rep.Disruptions)
 		}
@@ -121,8 +132,8 @@ func main() {
 				kind = "noisy tenant"
 			}
 			fmt.Fprintf(os.Stderr,
-				"clarify-load: %s %s: %d updates (%d failed), %d sheds, p99 %.0fms, verdict %s\n",
-				kind, name, tr.Updates, tr.Failures, tr.Sheds, tr.Latency.P99Ms, tr.Verdict)
+				"clarify-load: %s %s: %d updates (%d failed), %d sheds, p99 %.0fms, %.2f bits/question, verdict %s\n",
+				kind, name, tr.Updates, tr.Failures, tr.Sheds, tr.Latency.P99Ms, tr.BitsPerQuestion, tr.Verdict)
 		}
 		if rep.ClientSLO.Firing() {
 			fmt.Fprintln(os.Stderr, "clarify-load: client-side SLO burn-rate alert FIRING")

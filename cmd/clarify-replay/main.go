@@ -51,8 +51,8 @@ func main() {
 			}
 			fmt.Fprintln(os.Stderr, line)
 		}
-		fmt.Fprintf(os.Stderr, "replayed %d: %d match, %d mismatch, %d skipped, %d bad; %d corrupt line(s), %d skipped-unknown-version in journal\n",
-			sum.Replayed, sum.Matches, sum.Mismatches, sum.Skipped, sum.BadRecords, sum.Read.Skipped, sum.Read.SkippedUnknownVersion)
+		fmt.Fprintf(os.Stderr, "replayed %d: %d match, %d mismatch, %d skipped, %d bad; ledgers %d checked, %d diverged; %d corrupt line(s), %d skipped-unknown-version in journal\n",
+			sum.Replayed, sum.Matches, sum.Mismatches, sum.Skipped, sum.BadRecords, sum.LedgersChecked, sum.LedgerDivergence, sum.Read.Skipped, sum.Read.SkippedUnknownVersion)
 	}
 
 	out := os.Stdout

@@ -3,6 +3,7 @@ package disambig
 import (
 	"fmt"
 
+	"github.com/clarifynet/clarify/ambiguity"
 	"github.com/clarifynet/clarify/bdd"
 	"github.com/clarifynet/clarify/ios"
 	"github.com/clarifynet/clarify/obs"
@@ -16,6 +17,8 @@ type ACLResult struct {
 	Position  int
 	Questions []ACLQuestion
 	Overlaps  []int
+	// Ambiguity is the run's information-gain ledger; nil when untraced.
+	Ambiguity *ambiguity.Ledger
 }
 
 // InsertACLEntry runs the disambiguation flow for access lists: locate the
@@ -53,6 +56,7 @@ func insertACLEntry(orig *ios.Config, aclName string, snippet *ios.Config, snipp
 	type probe struct {
 		entry    int
 		question ACLQuestion
+		region   bdd.Node
 	}
 	var probes []probe
 	for i, e := range acl.Entries {
@@ -78,7 +82,16 @@ func insertACLEntry(orig *ios.Config, aclName string, snippet *ios.Config, snipp
 			NewPermit:   newEntry.Permit,
 			OldPermit:   e.Permit,
 			ProbedEntry: i,
-		}})
+		}, region: shared})
+	}
+
+	var meter *ambiguity.Meter
+	if sp != nil {
+		pregions := make([]bdd.Node, len(probes))
+		for i, p := range probes {
+			pregions[i] = p.region
+		}
+		meter = ambiguity.NewMeter(space.Pool, "acl", StrategyBinary.String(), pregions)
 	}
 
 	result := &ACLResult{}
@@ -95,11 +108,15 @@ func insertACLEntry(orig *ios.Config, aclName string, snippet *ios.Config, snipp
 		}
 		result.Questions = append(result.Questions, q)
 		if preferNew {
+			meter.Question(lo, hi, lo, mid, true)
 			hi = mid
 		} else {
+			meter.Question(lo, hi, mid+1, hi, false)
 			lo = mid + 1
 		}
 	}
+	result.Ambiguity = meter.Finish(lo, lo)
+	ambiguity.Annotate(sp, result.Ambiguity)
 	pos := 0
 	if lo > 0 {
 		pos = probes[lo-1].entry + 1

@@ -3,7 +3,9 @@ package disambig
 import (
 	"fmt"
 
+	"github.com/clarifynet/clarify/ambiguity"
 	"github.com/clarifynet/clarify/analysis"
+	"github.com/clarifynet/clarify/bdd"
 	"github.com/clarifynet/clarify/ios"
 	"github.com/clarifynet/clarify/obs"
 	"github.com/clarifynet/clarify/policy"
@@ -47,7 +49,7 @@ func (s Strategy) String() string {
 // from the top, placing the new stanza immediately before the first overlap
 // the user assigns to it.
 func InsertRouteMapStanzaLinear(orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle) (*RouteResult, error) {
-	return insertWithSearch(nil, nil, orig, mapName, snippet, snippetMap, oracle, linearSearch)
+	return insertWithSearch(nil, nil, orig, mapName, snippet, snippetMap, oracle, StrategyLinear, linearSearch)
 }
 
 // InsertRouteMapStanzaStrategy dispatches on strategy.
@@ -61,7 +63,7 @@ func InsertRouteMapStanzaStrategyCached(strategy Strategy, cache *symbolic.Space
 	return InsertRouteMapStanzaStrategyTraced(strategy, cache, orig, mapName, snippet, snippetMap, oracle, nil)
 }
 
-func linearSearch(probes []probeQ, oracle RouteOracle, record func(RouteQuestion)) (int, error) {
+func linearSearch(probes []probeQ, oracle RouteOracle, meter *ambiguity.Meter, record func(RouteQuestion)) (int, error) {
 	for gap, p := range probes {
 		preferNew, err := oracle.ChooseRoute(p.example)
 		if err != nil {
@@ -69,13 +71,17 @@ func linearSearch(probes []probeQ, oracle RouteOracle, record func(RouteQuestion
 		}
 		record(p.example)
 		if preferNew {
+			// "yes" at gap pins the stanza below every remaining probe too
+			// (monotone placement), collapsing the undecided range.
+			meter.Question(gap, len(probes), gap, gap, true)
 			return gap, nil
 		}
+		meter.Question(gap, len(probes), gap+1, len(probes), false)
 	}
 	return len(probes), nil
 }
 
-func binarySearch(probes []probeQ, oracle RouteOracle, record func(RouteQuestion)) (int, error) {
+func binarySearch(probes []probeQ, oracle RouteOracle, meter *ambiguity.Meter, record func(RouteQuestion)) (int, error) {
 	lo, hi := 0, len(probes)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -85,8 +91,10 @@ func binarySearch(probes []probeQ, oracle RouteOracle, record func(RouteQuestion
 		}
 		record(probes[mid].example)
 		if preferNew {
+			meter.Question(lo, hi, lo, mid, true)
 			hi = mid
 		} else {
+			meter.Question(lo, hi, mid+1, hi, false)
 			lo = mid + 1
 		}
 	}
@@ -112,6 +120,17 @@ func insertTopBottom(cache *symbolic.SpaceCache, sp *obs.Span, orig *ios.Config,
 	}
 	work, rm, newStanza := prep.work, prep.rm, prep.stanza
 
+	// When tracing is on, measure the same distinguishing regions the gap
+	// searches use, so the ledger compares strategies on equal terms.
+	var meter *ambiguity.Meter
+	var probes []probeQ
+	if sp != nil {
+		probes, meter, err = collectProbesMetered(cache, sp, work, rm, newStanza, StrategyTopBottom)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	top := work.Clone()
 	top.RouteMaps[mapName].InsertStanza(0, newStanza.Clone())
 	bottom := work.Clone()
@@ -129,7 +148,10 @@ func insertTopBottom(cache *symbolic.SpaceCache, sp *obs.Span, orig *ios.Config,
 	}
 	result := &RouteResult{Renames: prep.renames}
 	if len(diffs) == 0 {
-		// Equivalent: place at the bottom.
+		// Equivalent: place at the bottom. The equivalence proof resolves
+		// the whole candidate space without a question.
+		result.Ambiguity = meter.Finish(0, 0)
+		ambiguity.Annotate(sp, result.Ambiguity)
 		result.Config = bottom
 		result.Position = len(rm.Stanzas)
 		return result, nil
@@ -145,6 +167,35 @@ func insertTopBottom(cache *symbolic.SpaceCache, sp *obs.Span, orig *ios.Config,
 		return nil, err
 	}
 	result.Questions = append(result.Questions, q)
+	if meter != nil {
+		// The witness decides placement relative to its own first-match
+		// stanza (and, by monotonicity, every probe beyond it in the chosen
+		// direction). Probes on the unasked side are *forced* to an extreme
+		// by the prototype's top-or-bottom restriction, not resolved — they
+		// stay on the ledger as residual ambiguity, the measured signature
+		// of the §7 limitation.
+		ev := policy.NewEvaluator(work)
+		v, everr := ev.EvalRouteMap(rm, d.Input)
+		if everr != nil {
+			return nil, everr
+		}
+		below, atOrBelow := 0, 0
+		for _, p := range probes {
+			if p.stanza < v.Index {
+				below++
+			}
+			if p.stanza <= v.Index {
+				atOrBelow++
+			}
+		}
+		lo2, hi2 := 0, below // top placement: probes above the witness stay undecided
+		if !preferNew {
+			lo2, hi2 = atOrBelow, len(probes) // bottom: probes below it do
+		}
+		meter.Question(0, len(probes), lo2, hi2, preferNew)
+		result.Ambiguity = meter.Finish(lo2, hi2)
+		ambiguity.Annotate(sp, result.Ambiguity)
+	}
 	if preferNew {
 		result.Config = top
 		result.Position = 0
@@ -160,6 +211,10 @@ func insertTopBottom(cache *symbolic.SpaceCache, sp *obs.Span, orig *ios.Config,
 type probeQ struct {
 	stanza  int
 	example RouteQuestion
+	// region is the distinguishing candidate region this probe resolves —
+	// the ambiguity meter's unit of measurement. Only valid while the
+	// symbolic space it was built in is held.
+	region bdd.Node
 }
 
 type prepared struct {
@@ -202,7 +257,7 @@ func prepare(orig *ios.Config, mapName string, snippet *ios.Config, snippetMap s
 
 // insertWithSearch is the generic flow parameterized by gap-search strategy.
 func insertWithSearch(cache *symbolic.SpaceCache, sp *obs.Span, orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle,
-	search func([]probeQ, RouteOracle, func(RouteQuestion)) (int, error)) (*RouteResult, error) {
+	strategy Strategy, search func([]probeQ, RouteOracle, *ambiguity.Meter, func(RouteQuestion)) (int, error)) (*RouteResult, error) {
 	if sp != nil {
 		oracle = &tracedRouteOracle{oracle: oracle, sp: sp}
 	}
@@ -211,7 +266,7 @@ func insertWithSearch(cache *symbolic.SpaceCache, sp *obs.Span, orig *ios.Config
 		return nil, err
 	}
 	work, rm, newStanza := prep.work, prep.rm, prep.stanza
-	probes, err := collectProbes(cache, sp, work, rm, newStanza)
+	probes, meter, err := collectProbesMetered(cache, sp, work, rm, newStanza, strategy)
 	if err != nil {
 		return nil, err
 	}
@@ -219,12 +274,16 @@ func insertWithSearch(cache *symbolic.SpaceCache, sp *obs.Span, orig *ios.Config
 	for _, p := range probes {
 		result.Overlaps = append(result.Overlaps, p.stanza)
 	}
-	gap, err := search(probes, oracle, func(q RouteQuestion) {
+	gap, err := search(probes, oracle, meter, func(q RouteQuestion) {
 		result.Questions = append(result.Questions, q)
 	})
 	if err != nil {
 		return nil, err
 	}
+	// Both searches run the undecided range dry, so the residual is the
+	// empty range.
+	result.Ambiguity = meter.Finish(gap, gap)
+	ambiguity.Annotate(sp, result.Ambiguity)
 	pos := 0
 	if gap > 0 {
 		pos = probes[gap-1].stanza + 1
@@ -242,20 +301,46 @@ func insertWithSearch(cache *symbolic.SpaceCache, sp *obs.Span, orig *ios.Config
 	return result, nil
 }
 
-// collectProbes finds the distinguishing overlaps with a confirmed
-// differential example each, charging the symbolic work to sp.
-func collectProbes(cache *symbolic.SpaceCache, sp *obs.Span, work *ios.Config, rm *ios.RouteMap, newStanza *ios.Stanza) ([]probeQ, error) {
-	// The new stanza is not part of any route-map in work yet; wrap it in a
-	// throwaway config so the route-space construction collects its
-	// set-community literals into the atomic-predicate universe.
+// newStanzaWrapper wraps the detached new stanza in a throwaway config so
+// the route-space construction collects its set-community literals into the
+// atomic-predicate universe (the stanza is not part of any route-map yet).
+func newStanzaWrapper(newStanza *ios.Stanza) *ios.Config {
 	wrapper := ios.NewConfig()
 	wrapper.AddRouteMap("__NEW__").Stanzas = []*ios.Stanza{newStanza}
-	space, err := cache.Acquire(work, wrapper)
+	return wrapper
+}
+
+// collectProbesMetered acquires the symbolic space, collects the probes,
+// and — when tracing is on — builds the ambiguity meter over their
+// distinguishing regions before the space is released. The meter
+// precomputes every interval measurement, so nothing touches the pool
+// after release (the search may park on oracle questions for minutes).
+func collectProbesMetered(cache *symbolic.SpaceCache, sp *obs.Span, work *ios.Config, rm *ios.RouteMap, newStanza *ios.Stanza, strategy Strategy) ([]probeQ, *ambiguity.Meter, error) {
+	space, err := cache.Acquire(work, newStanzaWrapper(newStanza))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	before := space.Pool.Counters()
 	defer cache.Release(space)
-	defer space.ObserveInto(sp, space.Pool.Counters())
+	defer func() { space.ObserveInto(sp, before) }()
+	probes, err := collectProbes(space, work, rm, newStanza)
+	if err != nil {
+		return nil, nil, err
+	}
+	var meter *ambiguity.Meter
+	if sp != nil {
+		regions := make([]bdd.Node, len(probes))
+		for i, p := range probes {
+			regions[i] = p.region
+		}
+		meter = ambiguity.NewMeter(space.Pool, "route-map", strategy.String(), regions)
+	}
+	return probes, meter, nil
+}
+
+// collectProbes finds the distinguishing overlaps with a confirmed
+// differential example each, in the given symbolic space.
+func collectProbes(space *symbolic.RouteSpace, work *ios.Config, rm *ios.RouteMap, newStanza *ios.Stanza) ([]probeQ, error) {
 	regions, err := space.FirstMatch(work, rm)
 	if err != nil {
 		return nil, err
@@ -272,12 +357,13 @@ func collectProbes(cache *symbolic.SpaceCache, sp *obs.Span, work *ios.Config, r
 		if err != nil {
 			return nil, err
 		}
-		q, found, err := confirmQuestion(space, ev, rm, newStanza, i, space.Pool.Diff(shared, outEq))
+		distinguishing := space.Pool.Diff(shared, outEq)
+		q, found, err := confirmQuestion(space, ev, rm, newStanza, i, distinguishing)
 		if err != nil {
 			return nil, err
 		}
 		if found {
-			probes = append(probes, probeQ{stanza: i, example: q})
+			probes = append(probes, probeQ{stanza: i, example: q, region: distinguishing})
 		}
 	}
 	return probes, nil

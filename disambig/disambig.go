@@ -23,6 +23,7 @@ package disambig
 import (
 	"fmt"
 
+	"github.com/clarifynet/clarify/ambiguity"
 	"github.com/clarifynet/clarify/analysis"
 	"github.com/clarifynet/clarify/bdd"
 	"github.com/clarifynet/clarify/ios"
@@ -83,6 +84,10 @@ type RouteResult struct {
 	// Renames maps snippet ancillary-list names to their fresh names in the
 	// merged configuration (Figure 2's D2/D3 renaming).
 	Renames map[string]string
+	// Ambiguity is the run's information-gain ledger: candidate-space bits
+	// before the search, per question, and at accept. Nil when the run was
+	// not traced (the ledger rides the observability path).
+	Ambiguity *ambiguity.Ledger
 }
 
 // InsertRouteMapStanza runs the full §2.2/§4 flow: merge the snippet's
@@ -92,13 +97,13 @@ type RouteResult struct {
 // snippet must contain exactly one route-map with exactly one stanza (the
 // verified LLM output); orig must contain mapName.
 func InsertRouteMapStanza(orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle) (*RouteResult, error) {
-	return insertWithSearch(nil, nil, orig, mapName, snippet, snippetMap, oracle, binarySearch)
+	return insertWithSearch(nil, nil, orig, mapName, snippet, snippetMap, oracle, StrategyBinary, binarySearch)
 }
 
 // InsertRouteMapStanzaCached is InsertRouteMapStanza drawing its symbolic
 // universe from cache (which may be nil).
 func InsertRouteMapStanzaCached(cache *symbolic.SpaceCache, orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle) (*RouteResult, error) {
-	return insertWithSearch(cache, nil, orig, mapName, snippet, snippetMap, oracle, binarySearch)
+	return insertWithSearch(cache, nil, orig, mapName, snippet, snippetMap, oracle, StrategyBinary, binarySearch)
 }
 
 // confirmQuestion extracts a concrete differential example from a symbolic

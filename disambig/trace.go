@@ -13,11 +13,11 @@ import (
 func InsertRouteMapStanzaStrategyTraced(strategy Strategy, cache *symbolic.SpaceCache, orig *ios.Config, mapName string, snippet *ios.Config, snippetMap string, oracle RouteOracle, sp *obs.Span) (*RouteResult, error) {
 	switch strategy {
 	case StrategyLinear:
-		return insertWithSearch(cache, sp, orig, mapName, snippet, snippetMap, oracle, linearSearch)
+		return insertWithSearch(cache, sp, orig, mapName, snippet, snippetMap, oracle, StrategyLinear, linearSearch)
 	case StrategyTopBottom:
 		return insertTopBottom(cache, sp, orig, mapName, snippet, snippetMap, oracle)
 	default:
-		return insertWithSearch(cache, sp, orig, mapName, snippet, snippetMap, oracle, binarySearch)
+		return insertWithSearch(cache, sp, orig, mapName, snippet, snippetMap, oracle, StrategyBinary, binarySearch)
 	}
 }
 

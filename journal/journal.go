@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/clarifynet/clarify/ambiguity"
 	"github.com/clarifynet/clarify/obs"
 )
 
@@ -34,11 +35,15 @@ import (
 //	1 — initial format: one record per pipeline update.
 //	2 — adds Kind, distinguishing update records from session lifecycle
 //	    events ("session-snapshot", "session-restore").
+//	3 — adds Ambiguity, the disambiguation information-gain ledger
+//	    (candidate-space bits before/per-question/at-accept). Absent on
+//	    v1/v2 records and on updates recorded with the ledger off; readers
+//	    see a nil ledger, which aggregates as zero.
 //
 // Readers skip-and-count records stamped with a schema newer than their own
 // (see ReadStats.SkippedUnknownVersion) so a journal shared across a rolling
 // deploy never fails an older replica's scan.
-const SchemaVersion = 2
+const SchemaVersion = 3
 
 // Record kinds. The zero value means a pipeline update (every schema-1
 // record); lifecycle kinds journal session handoffs.
@@ -104,6 +109,11 @@ type Record struct {
 	SimFaults []string `json:"simFaults,omitempty"`
 	// Answers is the oracle Q&A transcript, in question order.
 	Answers []Answer `json:"answers,omitempty"`
+	// Ambiguity is the disambiguation information-gain ledger (schema ≥ 3):
+	// candidate-space bits before the search, per answered question, and
+	// left at accept. Nil on older records and on updates recorded with the
+	// ledger off.
+	Ambiguity *ambiguity.Ledger `json:"ambiguity,omitempty"`
 	// Degraded reports that at least one completion was served by a fallback
 	// backend.
 	Degraded bool `json:"degraded,omitempty"`

@@ -1,0 +1,82 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/clarifynet/clarify/ambiguity"
+)
+
+// TestScanAcceptsV2RecordsWithNilLedger: schema-2 journals predate the
+// ambiguity ledger. Their records must scan cleanly with a nil Ambiguity
+// field — readers treat "no ledger" as "not metered", never as corruption.
+func TestScanAcceptsV2RecordsWithNilLedger(t *testing.T) {
+	dir := t.TempDir()
+	lines := `{"schema":2,"intent":"pre-ledger","target":"RM","baseConfig":"!","durationMs":1}
+{"schema":3,"intent":"metered","target":"RM","baseConfig":"!","durationMs":1,"ambiguity":{"kind":"route-map","strategy":"binary","initialBits":8,"residualBits":0,"questions":[{"beforeBits":8,"afterBits":4,"gainBits":4,"preferNew":true}]}}
+`
+	seg := filepath.Join(dir, fmt.Sprintf(segmentPattern, 1))
+	if err := os.WriteFile(seg, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var recs []*Record
+	stats, err := Scan(dir, func(rec *Record) error {
+		cp := *rec
+		recs = append(recs, &cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if stats.Records != 2 || stats.Skipped != 0 || stats.SkippedUnknownVersion != 0 {
+		t.Fatalf("stats = %+v, want both records accepted", stats)
+	}
+	if recs[0].Ambiguity != nil {
+		t.Errorf("v2 record decoded a ledger from nowhere: %+v", recs[0].Ambiguity)
+	}
+	led := recs[1].Ambiguity
+	if led == nil || led.Strategy != "binary" || led.InitialBits != 8 || len(led.Questions) != 1 {
+		t.Fatalf("v3 ledger = %+v, want binary/8 bits/1 question", led)
+	}
+	if q := led.Questions[0]; q.GainBits != 4 || !q.PreferNew {
+		t.Errorf("question = %+v, want gain 4, preferNew", q)
+	}
+}
+
+// TestLedgerRoundTrip writes a v3 record through the journal and reads it
+// back: the ledger must survive verbatim, and ledger-less records stay nil.
+func TestLedgerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(Options{Dir: dir, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	led := &ambiguity.Ledger{
+		Kind: "acl", Strategy: "binary", InitialBits: 6.5, ResidualBits: 1.5,
+		Questions: []ambiguity.Question{{BeforeBits: 6.5, AfterBits: 1.5, GainBits: 5, PreferNew: false}},
+	}
+	j.Append(&Record{Session: "s", Intent: "metered", Target: "A", BaseConfig: "!", Ambiguity: led})
+	j.Append(&Record{Session: "s", Intent: "unmetered", Target: "A", BaseConfig: "!"})
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	recs, stats, err := ReadAll(dir)
+	if err != nil || stats.Records != 2 {
+		t.Fatalf("ReadAll = %d recs %+v, %v", len(recs), stats, err)
+	}
+	if recs[0].Schema != SchemaVersion {
+		t.Errorf("written schema = %d, want %d", recs[0].Schema, SchemaVersion)
+	}
+	got := recs[0].Ambiguity
+	if got == nil || got.Kind != "acl" || got.InitialBits != 6.5 || got.ResidualBits != 1.5 {
+		t.Fatalf("ledger after round trip = %+v, want the original", got)
+	}
+	if len(got.Questions) != 1 || got.Questions[0].GainBits != 5 || got.Questions[0].PreferNew {
+		t.Fatalf("questions after round trip = %+v", got.Questions)
+	}
+	if recs[1].Ambiguity != nil {
+		t.Errorf("unmetered record grew a ledger: %+v", recs[1].Ambiguity)
+	}
+}

@@ -1,0 +1,70 @@
+package lb
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"github.com/clarifynet/clarify/ambiguity"
+	"github.com/clarifynet/clarify/server"
+)
+
+// FleetAmbiguity is the body of the balancer's GET /debug/ambiguity: every
+// admitted backend's disambiguation telemetry merged into one fleet view.
+// The rollup sums merge exactly and the histograms share one fixed bucket
+// table, so the fleet numbers equal what a single daemon serving the same
+// traffic would have reported.
+type FleetAmbiguity struct {
+	server.AmbiguitySnapshot
+	// BackendsReporting names the backends whose snapshots were merged, in
+	// sorted order; a backend that errored or answered non-200 is absent.
+	BackendsReporting []string `json:"backendsReporting"`
+}
+
+// handleDebugAmbiguity fans /debug/ambiguity out to every admitted backend
+// and merges the snapshots. ?tenant=NAME selects that tenant's merged rollup
+// (404 when no backend has ledgers for the tenant), mirroring the replica
+// endpoint's contract.
+func (l *LB) handleDebugAmbiguity(w http.ResponseWriter, r *http.Request) {
+	merged := &FleetAmbiguity{}
+	for _, b := range l.backends {
+		if !b.Admitted() {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.URL.String()+"/debug/ambiguity", nil)
+		if err != nil {
+			continue
+		}
+		start := time.Now()
+		resp, err := l.proxy.Do(req)
+		if err != nil {
+			b.recordRequest(0, time.Since(start), true)
+			continue
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		b.recordRequest(resp.StatusCode, time.Since(start), false)
+		var part server.AmbiguitySnapshot
+		if resp.StatusCode == http.StatusOK && json.Unmarshal(data, &part) == nil {
+			merged.AmbiguitySnapshot.Merge(&part)
+			merged.BackendsReporting = append(merged.BackendsReporting, b.Name)
+		}
+	}
+	sort.Strings(merged.BackendsReporting)
+	if merged.Rollup == nil {
+		merged.Rollup = ambiguity.NewRollup()
+	}
+	l.proxied.Add(1)
+	if name := r.URL.Query().Get("tenant"); name != "" {
+		tr, ok := merged.Tenants[name]
+		if !ok {
+			writeError(w, http.StatusNotFound, "no ambiguity ledgers for tenant "+name, 0)
+			return
+		}
+		writeJSON(w, http.StatusOK, tr)
+		return
+	}
+	writeJSON(w, http.StatusOK, merged)
+}

@@ -166,6 +166,7 @@ func New(opts Options) (*LB, error) {
 	l.mux.HandleFunc("GET /healthz", l.handleHealthz)
 	l.mux.HandleFunc("GET /metrics", l.handleMetrics)
 	l.mux.HandleFunc("GET /debug/traces", l.handleDebugTraces)
+	l.mux.HandleFunc("GET /debug/ambiguity", l.handleDebugAmbiguity)
 	l.mux.HandleFunc("GET /debug/traces/{tid}", l.handleDebugTrace)
 	l.mux.HandleFunc("POST /v1/sessions", l.handleCreate)
 	l.mux.HandleFunc("GET /v1/sessions", l.handleList)

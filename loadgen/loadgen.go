@@ -183,6 +183,10 @@ type Report struct {
 	Throughput float64 `json:"throughput"`
 	// Latency summarizes per-update latency as measured by the client.
 	Latency LatencySummary `json:"latency"`
+	// Questions summarizes clarifying questions per successful update as
+	// observed client-side (exact percentiles, noisy tenants excluded) — the
+	// interaction cost the disambiguation dialogue imposed on operators.
+	Questions QuestionsSummary `json:"questions"`
 	// Errors histograms failure messages (bounded).
 	Errors map[string]int `json:"errors,omitempty"`
 	// ClientSLO evaluates the configured objectives against the client-side
@@ -196,6 +200,42 @@ type Report struct {
 	// reachable — the server-side view of the same traffic, including any
 	// burn-rate alerts the run induced.
 	DaemonSLO *slo.Snapshot `json:"daemonSlo,omitempty"`
+	// DaemonAmbiguity is the daemon's (or, through clarify-lb, the fleet's)
+	// GET /debug/ambiguity rollup at run end, when reachable: information
+	// gained per question, per strategy and per tenant, for the run's
+	// traffic.
+	DaemonAmbiguity *server.AmbiguitySnapshot `json:"daemonAmbiguity,omitempty"`
+}
+
+// QuestionsSummary aggregates questions-per-update counts. Percentiles are
+// exact, computed from every successful update's question count.
+type QuestionsSummary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// summarizeQuestions folds per-update question counts (sorted in place).
+func summarizeQuestions(counts []float64) QuestionsSummary {
+	if len(counts) == 0 {
+		return QuestionsSummary{}
+	}
+	sort.Float64s(counts)
+	var sum float64
+	for _, c := range counts {
+		sum += c
+	}
+	return QuestionsSummary{
+		Count: len(counts),
+		Mean:  sum / float64(len(counts)),
+		P50:   percentile(counts, 0.50),
+		P95:   percentile(counts, 0.95),
+		P99:   percentile(counts, 0.99),
+		Max:   counts[len(counts)-1],
+	}
 }
 
 const maxErrorKinds = 16
@@ -287,11 +327,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	type sample struct {
-		group    int
-		ms       float64
-		failed   bool
-		degraded bool
-		errMsg   string
+		group     int
+		ms        float64
+		failed    bool
+		degraded  bool
+		questions int
+		errMsg    string
 	}
 	var (
 		mu           sync.Mutex
@@ -445,6 +486,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 						sm.errMsg = u.Error
 					default:
 						sm.degraded = u.Degraded
+						if u.Result != nil {
+							sm.questions = u.Result.Questions
+						}
 					}
 					if runCtx.Err() != nil && err != nil {
 						break
@@ -494,6 +538,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	accs := make([]acc, len(groups))
 	var lat []float64
 	var sumMs float64
+	var qcounts []float64
 	for _, sm := range samples {
 		a := &accs[sm.group]
 		noisy := groups[sm.group].mix.Noisy
@@ -522,12 +567,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		if !noisy {
 			lat = append(lat, sm.ms)
 			sumMs += sm.ms
+			qcounts = append(qcounts, float64(sm.questions))
 		}
 	}
 	if elapsed > 0 {
 		rep.Throughput = float64(len(lat)) / elapsed.Seconds()
 	}
 	rep.Latency = summarize(lat, sumMs)
+	rep.Questions = summarizeQuestions(qcounts)
 	if len(cfg.Tenants) > 0 {
 		rep.Tenants = make(map[string]*TenantReport, len(groups))
 		for gi, g := range groups {
@@ -555,11 +602,22 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if len(rep.Errors) == 0 {
 		rep.Errors = nil
 	}
-	// Fetch the daemon's own SLO view with a fresh context: runCtx is spent.
+	// Fetch the daemon's own SLO and ambiguity views with a fresh context:
+	// runCtx is spent.
 	sctx, scancel := context.WithTimeout(ctx, 5*time.Second)
 	defer scancel()
 	if snap, err := client.SLO(sctx); err == nil {
 		rep.DaemonSLO = &snap
+	}
+	if amb, err := client.Ambiguity(sctx); err == nil {
+		rep.DaemonAmbiguity = &amb
+		// The server attributes ledgers by tenant; surface each tenant's
+		// question-efficiency score next to its client-side counters.
+		for name, tr := range rep.Tenants {
+			if ta := amb.Tenants[name]; ta != nil {
+				tr.BitsPerQuestion = ta.Total.BitsPerQuestion()
+			}
+		}
 	}
 	return rep, nil
 }

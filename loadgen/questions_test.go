@@ -1,0 +1,26 @@
+package loadgen
+
+import "testing"
+
+func TestSummarizeQuestions(t *testing.T) {
+	if got := summarizeQuestions(nil); got != (QuestionsSummary{}) {
+		t.Fatalf("empty summary = %+v, want zero value", got)
+	}
+	counts := []float64{2, 0, 1, 2, 3, 0, 2, 2}
+	got := summarizeQuestions(counts)
+	if got.Count != 8 {
+		t.Errorf("Count = %d, want 8", got.Count)
+	}
+	if got.Mean != 1.5 {
+		t.Errorf("Mean = %v, want 1.5", got.Mean)
+	}
+	if got.Max != 3 {
+		t.Errorf("Max = %v, want 3", got.Max)
+	}
+	if got.P50 != 2 {
+		t.Errorf("P50 = %v, want 2", got.P50)
+	}
+	if got.P99 < got.P50 || got.P99 > got.Max {
+		t.Errorf("P99 = %v out of [P50, Max]", got.P99)
+	}
+}

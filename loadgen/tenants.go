@@ -95,6 +95,10 @@ type TenantReport struct {
 	Throughput float64        `json:"throughput"`
 	Latency    LatencySummary `json:"latency"`
 	SLO        slo.Snapshot   `json:"slo"`
+	// BitsPerQuestion is the tenant's mean information gain per clarifying
+	// question, read from the daemon's /debug/ambiguity rollup at run end;
+	// 0 when the daemon attributed no ledgers to the tenant.
+	BitsPerQuestion float64 `json:"bitsPerQuestion,omitempty"`
 	// Verdict is "green" when no objective alert fired for this tenant,
 	// "firing" otherwise. Noisy tenants report a verdict too, but it does
 	// not gate the run.

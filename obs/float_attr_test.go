@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestFloatAttrRoundTrip: the ambiguity ledger annotates spans with
+// floating-point bit counts; the typed attr must survive the JSON wire form
+// (journal records embed whole traces).
+func TestFloatAttrRoundTrip(t *testing.T) {
+	tr := NewTrace("update")
+	sp := tr.Root.Child("disambiguate")
+	sp.SetFloat("ambiguity.before_bits", 12.75)
+	sp.SetFloat("ambiguity.after_bits", 0)
+	sp.End()
+	tr.Finish()
+
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	d := back.Find("disambiguate")
+	if d == nil {
+		t.Fatal("round trip lost the disambiguate span")
+	}
+	a, ok := d.Attr("ambiguity.before_bits")
+	if !ok || a.Kind != AttrFloat || a.Float != 12.75 {
+		t.Fatalf("before_bits attr = %+v ok=%v, want float 12.75", a, ok)
+	}
+	// A zero float is still a float attr, not a dropped field.
+	z, ok := d.Attr("ambiguity.after_bits")
+	if !ok || z.Kind != AttrFloat || z.Float != 0 {
+		t.Fatalf("after_bits attr = %+v ok=%v, want float 0", z, ok)
+	}
+}
+
+func TestSetFloatNilSafety(t *testing.T) {
+	var sp *Span
+	sp.SetFloat("x", 1) // must not panic
+}

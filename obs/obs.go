@@ -36,17 +36,19 @@ const (
 	AttrInt
 	AttrDuration
 	AttrBool
+	AttrFloat
 )
 
 // Attr is one typed span attribute. Exactly one of the value fields is
 // meaningful, selected by Kind.
 type Attr struct {
-	Key  string
-	Kind AttrKind
-	Str  string
-	Int  int64
-	Dur  time.Duration
-	Bool bool
+	Key   string
+	Kind  AttrKind
+	Str   string
+	Int   int64
+	Dur   time.Duration
+	Bool  bool
+	Float float64
 }
 
 // attrJSON is the wire form of an Attr: the key plus exactly one value field.
@@ -56,6 +58,7 @@ type attrJSON struct {
 	Int   *int64   `json:"int,omitempty"`
 	DurMs *float64 `json:"durMs,omitempty"`
 	Bool  *bool    `json:"bool,omitempty"`
+	Float *float64 `json:"float,omitempty"`
 }
 
 // MarshalJSON renders the attribute with only its typed value present.
@@ -71,6 +74,8 @@ func (a Attr) MarshalJSON() ([]byte, error) {
 		out.DurMs = &ms
 	case AttrBool:
 		out.Bool = &a.Bool
+	case AttrFloat:
+		out.Float = &a.Float
 	}
 	return json.Marshal(out)
 }
@@ -91,6 +96,8 @@ func (a *Attr) UnmarshalJSON(data []byte) error {
 		a.Kind, a.Dur = AttrDuration, time.Duration(*in.DurMs*float64(time.Millisecond))
 	case in.Bool != nil:
 		a.Kind, a.Bool = AttrBool, *in.Bool
+	case in.Float != nil:
+		a.Kind, a.Float = AttrFloat, *in.Float
 	}
 	return nil
 }
@@ -216,6 +223,14 @@ func (sp *Span) SetBool(key string, v bool) {
 		return
 	}
 	sp.Attrs = append(sp.Attrs, Attr{Key: key, Kind: AttrBool, Bool: v})
+}
+
+// SetFloat attaches a floating-point attribute (bits of ambiguity, scores).
+func (sp *Span) SetFloat(key string, v float64) {
+	if sp == nil {
+		return
+	}
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, Kind: AttrFloat, Float: v})
 }
 
 // Attr returns the attribute with the given key and whether it exists.

@@ -1,0 +1,78 @@
+package replay_test
+
+import (
+	"context"
+	"testing"
+
+	"github.com/clarifynet/clarify/journal"
+	"github.com/clarifynet/clarify/llm"
+	"github.com/clarifynet/clarify/replay"
+)
+
+// TestReplayChecksLedgers: a journaled walkthrough carries the ambiguity
+// ledger (journaled runs are always metered), and the replay byte-compares
+// it — the summary must say so.
+func TestReplayChecksLedgers(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, []llm.Fault{llm.FaultWrongValue}, true, paperPrompt, "ISP_OUT")
+
+	recs, _, err := journal.ReadAll(dir)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("ReadAll = %d recs, %v", len(recs), err)
+	}
+	led := recs[0].Ambiguity
+	if led == nil {
+		t.Fatal("journaled walkthrough has no ambiguity ledger; journaled runs must be metered")
+	}
+	if led.Kind != "route-map" || led.Strategy != "binary" {
+		t.Errorf("ledger = %s/%s, want route-map/binary", led.Kind, led.Strategy)
+	}
+	if led.InitialBits <= 0 || led.QuestionCount() == 0 {
+		t.Errorf("ledger = %+v, want positive initial bits and at least one question", led)
+	}
+
+	sum, err := replay.Dir(context.Background(), dir, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Ok() || sum.LedgersChecked != 1 || sum.LedgerDivergence != 0 {
+		t.Fatalf("summary = %+v, want 1 ledger checked, 0 diverged", sum)
+	}
+}
+
+// TestReplayDetectsLedgerTampering corrupts one recorded bit count: configs
+// and span shape still match, so only the ledger comparison can catch it.
+func TestReplayDetectsLedgerTampering(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, nil, true, paperPrompt, "ISP_OUT")
+	recs, _, err := journal.ReadAll(dir)
+	if err != nil || len(recs) != 1 || recs[0].Ambiguity == nil {
+		t.Fatalf("want one metered record, got %d recs (err %v)", len(recs), err)
+	}
+	rec := recs[0]
+	rec.Ambiguity.InitialBits += 1.0
+	out := replay.Record(context.Background(), rec, 0, replay.Options{})
+	if out.Status != replay.StatusLedgerMismatch {
+		t.Fatalf("outcome = %+v, want ledger-mismatch on tampered bits", out)
+	}
+	if !out.LedgerChecked {
+		t.Error("outcome must mark the ledger as checked")
+	}
+}
+
+// TestReplayPassesLedgerlessRecords: v2 records (and ledger-off recordings)
+// carry no ledger; the replay must not manufacture a comparison.
+func TestReplayPassesLedgerlessRecords(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, nil, true, paperPrompt, "ISP_OUT")
+	recs, _, err := journal.ReadAll(dir)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("ReadAll = %d recs, %v", len(recs), err)
+	}
+	rec := recs[0]
+	rec.Ambiguity = nil // simulate a pre-v3 record
+	out := replay.Record(context.Background(), rec, 0, replay.Options{})
+	if out.Status != replay.StatusMatch || out.LedgerChecked {
+		t.Fatalf("outcome = %+v, want a plain match with no ledger check", out)
+	}
+}

@@ -12,11 +12,14 @@
 package replay
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 
 	"github.com/clarifynet/clarify"
+	"github.com/clarifynet/clarify/ambiguity"
 	"github.com/clarifynet/clarify/disambig"
 	"github.com/clarifynet/clarify/ios"
 	"github.com/clarifynet/clarify/journal"
@@ -41,6 +44,10 @@ const (
 	// StatusErrorMismatch: the recorded and replayed terminal errors differ
 	// (including error vs success either way).
 	StatusErrorMismatch Status = "error-mismatch"
+	// StatusLedgerMismatch: configs and shape agree but the replayed
+	// ambiguity ledger is not byte-identical to the recorded one — the
+	// symbolic candidate space or the information-gain accounting drifted.
+	StatusLedgerMismatch Status = "ledger-mismatch"
 	// StatusSkipped: the record cannot be replayed standalone (reuse-path
 	// records carry no LLM calls to re-run).
 	StatusSkipped Status = "skipped"
@@ -59,6 +66,9 @@ type Outcome struct {
 	Status  Status `json:"status"`
 	// Detail explains any non-match (first diff line, shape pair, ...).
 	Detail string `json:"detail,omitempty"`
+	// LedgerChecked reports that the record carried an ambiguity ledger
+	// (schema ≥ 3) and the replayed ledger was byte-compared against it.
+	LedgerChecked bool `json:"ledgerChecked,omitempty"`
 }
 
 // Summary aggregates a replay run, emitted as cmd/clarify-replay's report.
@@ -76,6 +86,11 @@ type Summary struct {
 	Skipped int `json:"skipped"`
 	// BadRecords counts self-inconsistent records.
 	BadRecords int `json:"badRecords"`
+	// LedgersChecked counts records whose recorded ambiguity ledger was
+	// byte-compared against the replay's; LedgerDivergence counts the
+	// comparisons that failed (also included in Mismatches).
+	LedgersChecked   int `json:"ledgersChecked"`
+	LedgerDivergence int `json:"ledgerDivergence"`
 	// Outcomes lists every record's verdict in scan order.
 	Outcomes []Outcome `json:"outcomes"`
 }
@@ -254,6 +269,30 @@ func Record(ctx context.Context, rec *journal.Record, idx int, opts Options) Out
 			return out
 		}
 	}
+	// Schema-3 records carry the ambiguity ledger; the replay (always
+	// traced, so always metered) must reproduce it byte for byte — model
+	// counting over the candidate space is as deterministic as the configs.
+	// Records without a ledger (v2 journals, ledger-off recordings) are not
+	// comparable and pass.
+	if rec.Ambiguity != nil {
+		out.LedgerChecked = true
+		var led *ambiguity.Ledger
+		if res != nil {
+			if res.RouteInsert != nil {
+				led = res.RouteInsert.Ambiguity
+			}
+			if res.ACLInsert != nil {
+				led = res.ACLInsert.Ambiguity
+			}
+		}
+		want, werr := json.Marshal(rec.Ambiguity)
+		got, gerr := json.Marshal(led)
+		if werr != nil || gerr != nil || led == nil || !bytes.Equal(want, got) {
+			out.Status = StatusLedgerMismatch
+			out.Detail = fmt.Sprintf("recorded ledger %s, replay ledger %s", want, got)
+			return out
+		}
+	}
 	out.Status = StatusMatch
 	return out
 }
@@ -282,6 +321,9 @@ func Dir(ctx context.Context, dir string, opts Options) (Summary, error) {
 		out := Record(ctx, rec, idx, opts)
 		idx++
 		sum.Outcomes = append(sum.Outcomes, out)
+		if out.LedgerChecked {
+			sum.LedgersChecked++
+		}
 		switch out.Status {
 		case StatusSkipped:
 			sum.Skipped++
@@ -290,6 +332,10 @@ func Dir(ctx context.Context, dir string, opts Options) (Summary, error) {
 			sum.Replayed++
 		case StatusMatch:
 			sum.Matches++
+			sum.Replayed++
+		case StatusLedgerMismatch:
+			sum.LedgerDivergence++
+			sum.Mismatches++
 			sum.Replayed++
 		default:
 			sum.Mismatches++

@@ -294,6 +294,15 @@ func (c *Client) SLO(ctx context.Context) (slo.Snapshot, error) {
 	return out, err
 }
 
+// Ambiguity fetches the daemon's disambiguation-efficiency telemetry
+// (GET /debug/ambiguity). Works against clarify-lb too, which serves the
+// merged fleet view at the same path.
+func (c *Client) Ambiguity(ctx context.Context) (AmbiguitySnapshot, error) {
+	var out AmbiguitySnapshot
+	err := c.do(ctx, http.MethodGet, "/debug/ambiguity", nil, &out)
+	return out, err
+}
+
 // AnswerFunc chooses OPTION 1 or 2 for one differential question; it is the
 // client-side analogue of the disambig oracle interfaces.
 type AnswerFunc func(q Question) (option int, err error)

@@ -45,6 +45,16 @@ func (h *histogram) observe(d time.Duration) {
 	h.n++
 }
 
+// observeValue folds a raw dimensionless observation (bits of ambiguity,
+// question counts) into a histogram whose bucket table is in the same unit;
+// the sum field is reused as-is.
+func (h *histogram) observeValue(v float64) {
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.counts[i]++
+	h.sumMs += v
+	h.n++
+}
+
 // observeExemplar is observe plus an exemplar: the trace that produced this
 // observation replaces the bucket's previous exemplar, so each bucket always
 // links to a recent representative trace.
@@ -310,6 +320,13 @@ type MetricsSnapshot struct {
 	// Tenants holds each live tenant's admission counters, queue backlog,
 	// and private SLO rings.
 	Tenants map[string]TenantMetrics `json:"tenants,omitempty"`
+	// Ambiguity is the disambiguation-efficiency telemetry: information-gain
+	// rollups per strategy and tenant plus the bits/questions distributions.
+	// Also served alone at GET /debug/ambiguity.
+	Ambiguity *AmbiguitySnapshot `json:"ambiguity,omitempty"`
+	// Runtime is the process-runtime block (goroutines, GC pause p99, heap
+	// in use), sampled at scrape time.
+	Runtime *RuntimeStats `json:"runtime,omitempty"`
 }
 
 // snapshot copies the counters; pool/session fields are filled by the server.

@@ -88,6 +88,14 @@ func writePrometheus(p *promtext.Writer, snap MetricsSnapshot) {
 	if len(snap.Tenants) > 0 {
 		writeTenants(p, snap.Tenants)
 	}
+	if snap.Ambiguity != nil {
+		writeAmbiguity(p, snap.Ambiguity)
+	}
+	if snap.Runtime != nil {
+		p.Gauge("clarifyd_goroutines", "Live goroutines.", float64(snap.Runtime.Goroutines))
+		p.Gauge("clarifyd_gc_pause_p99_ms", "99th-percentile GC stop-the-world pause since start, in milliseconds.", snap.Runtime.GCPauseP99Ms)
+		p.Gauge("clarifyd_heap_inuse_bytes", "Heap memory occupied by in-use spans.", float64(snap.Runtime.HeapInUseBytes))
+	}
 
 	p.Header("clarifyd_request_duration_ms", "histogram", "HTTP request latency per endpoint pattern, in milliseconds.")
 	for _, k := range sortedHistKeys(snap.LatencyMs) {

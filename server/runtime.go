@@ -1,0 +1,93 @@
+package server
+
+import (
+	"math"
+	runtimemetrics "runtime/metrics"
+)
+
+// RuntimeStats is the process-runtime block of GET /metrics: scheduler and
+// memory health signals sampled from runtime/metrics at scrape time, so an
+// operator correlating an ambiguity or latency regression can rule a
+// GC stall or goroutine leak in or out without attaching a profiler.
+type RuntimeStats struct {
+	// Goroutines is the live goroutine count.
+	Goroutines int64 `json:"goroutines"`
+	// GCPauseP99Ms is the 99th-percentile stop-the-world GC pause since
+	// process start, in milliseconds.
+	GCPauseP99Ms float64 `json:"gcPauseP99Ms"`
+	// HeapInUseBytes is the heap memory occupied by spans with live or
+	// not-yet-swept objects.
+	HeapInUseBytes int64 `json:"heapInUseBytes"`
+}
+
+// runtimeSampleNames are the runtime/metrics series the block reads. The
+// scheduler pause histogram moved names in Go 1.22; both are requested and
+// whichever the toolchain supports wins.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/sched/pauses/total/gc:seconds",
+	"/gc/pauses:seconds",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/heap/unused:bytes",
+}
+
+// readRuntimeStats samples the runtime. It allocates a fresh sample slice per
+// call; /metrics scrape rates make that noise.
+func readRuntimeStats() *RuntimeStats {
+	samples := make([]runtimemetrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	runtimemetrics.Read(samples)
+	out := &RuntimeStats{}
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == runtimemetrics.KindUint64 {
+				out.Goroutines = int64(s.Value.Uint64())
+			}
+		case "/sched/pauses/total/gc:seconds", "/gc/pauses:seconds":
+			if s.Value.Kind() == runtimemetrics.KindFloat64Histogram && out.GCPauseP99Ms == 0 {
+				out.GCPauseP99Ms = runtimeHistQuantile(s.Value.Float64Histogram(), 0.99) * 1000
+			}
+		case "/memory/classes/heap/objects:bytes", "/memory/classes/heap/unused:bytes":
+			if s.Value.Kind() == runtimemetrics.KindUint64 {
+				out.HeapInUseBytes += int64(s.Value.Uint64())
+			}
+		}
+	}
+	return out
+}
+
+// runtimeHistQuantile estimates the q-quantile of a runtime/metrics
+// Float64Histogram, returning the upper edge of the bucket holding the rank
+// (clamping infinite edges to the nearest finite neighbour).
+func runtimeHistQuantile(h *runtimemetrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			// Bucket i spans (Buckets[i], Buckets[i+1]].
+			edge := h.Buckets[i+1]
+			if math.IsInf(edge, 1) {
+				edge = h.Buckets[i]
+			}
+			if math.IsInf(edge, -1) {
+				edge = 0
+			}
+			return edge
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

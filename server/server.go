@@ -131,6 +131,7 @@ type Server struct {
 	pool    *pool
 	mgr     *manager
 	met     *metrics
+	amb     *ambiguityMetrics
 	traces  *obs.Ring
 	slos    *slo.Set
 	spaces  *symbolic.SpaceCache // shared across all hosted sessions
@@ -198,6 +199,7 @@ func New(opts Options) *Server {
 		pool:    newPool(opts.Workers, opts.QueueSize, opts.Shed, func(interface{}) { met.recordPanic() }),
 		mgr:     newManager(opts.MaxSessions, opts.IdleTTL, opts.SweepInterval),
 		met:     met,
+		amb:     newAmbiguityMetrics(),
 		traces:  newTraceRing(opts.TraceBufferSize),
 		slos:    slos,
 		spaces:  symbolic.NewSpaceCache(),
@@ -230,6 +232,7 @@ func New(opts Options) *Server {
 	s.route("GET /debug/traces", s.handleDebugTraces)
 	s.route("GET /debug/traces/{tid}", s.handleDebugTrace)
 	s.route("GET /debug/slo", s.handleDebugSLO)
+	s.route("GET /debug/ambiguity", s.handleDebugAmbiguity)
 	s.route("GET /debug/incidents", s.handleDebugIncidents)
 	return s
 }
@@ -377,6 +380,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		is := s.opts.Incidents.Stats()
 		snap.Incidents = &is
 	}
+	snap.Ambiguity = s.amb.snapshot()
+	snap.Runtime = readRuntimeStats()
 	switch r.URL.Query().Get("format") {
 	case "prometheus":
 		p := &promtext.Writer{W: w}
@@ -634,6 +639,16 @@ func (s *Server) runUpdate(sn *session, u *update, tn *tenant.Tenant, oracle *as
 	}
 	if rerr == nil {
 		sn.setConfigText(res.Config.Print())
+	}
+	// Fold the pipeline's information-gain ledger (if the update reached
+	// disambiguation) into the fleet and per-tenant ambiguity rollups.
+	if rerr == nil && res != nil {
+		if res.RouteInsert != nil {
+			s.amb.record(tn.Name(), res.RouteInsert.Ambiguity)
+		}
+		if res.ACLInsert != nil {
+			s.amb.record(tn.Name(), res.ACLInsert.Ambiguity)
+		}
 	}
 	u.setDegraded(flags.Degraded())
 	u.finish(res, rerr)
